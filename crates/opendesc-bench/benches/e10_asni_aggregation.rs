@@ -1,0 +1,124 @@
+//! E10 (extension) — ASNI-style completion aggregation (§5).
+//!
+//! Packs `(completion, frame)` pairs into jumbo buffers and compares (a)
+//! the modeled DMA time of individual writes vs one batched write per
+//! jumbo across link speeds, and (b) the host-side cost of consuming
+//! aggregated entries (iterate + accessor reads) vs ring-based delivery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use opendesc_core::{Compiler, Intent};
+use opendesc_ir::pred::FieldRef;
+use opendesc_ir::{names, Assignment, SemanticRegistry};
+use opendesc_nicsim::aggregate::{dma_cost_comparison, AsniAggregator, AsniIter};
+use opendesc_nicsim::{models, DmaConfig, PktGen, SimNic, Workload};
+
+const N: usize = 256;
+
+fn print_dma_table() {
+    println!("\nE10: DMA time per 1000 packets (8B completion + 60B frame), model");
+    println!("{:>10} {:>14} {:>14} {:>8}", "link GB/s", "individual", "aggregated", "ratio");
+    for bw in [7.9, 2.0, 0.5, 0.1] {
+        let cfg = DmaConfig::default().with_bandwidth(bw);
+        let (ind, agg) = dma_cost_comparison(&cfg, 1000, 8, 60, 9000);
+        println!(
+            "{:>10} {:>12.0}ns {:>12.0}ns {:>7.1}x",
+            bw,
+            ind,
+            agg,
+            ind / agg
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_dma_table();
+
+    // Host-side consumption comparison on real (cmpt, frame) pairs.
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = Intent::builder("e10")
+        .want(&mut reg, names::RSS_HASH)
+        .want(&mut reg, names::PKT_LEN)
+        .build();
+    let compiled = Compiler::default()
+        .compile_model(&models::mlx5(), &intent, &mut reg)
+        .unwrap();
+    let mut ctx = Assignment::new();
+    ctx.insert(FieldRef::new(&["ctx", "cqe_format"], 2), 1); // mini-CQE
+    let mut nic = SimNic::new(models::mlx5(), N * 2).unwrap();
+    nic.configure(compiled.context.clone().unwrap()).unwrap();
+    let mut gen = PktGen::new(Workload::min_size(64));
+    let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for _ in 0..N {
+        nic.deliver(&gen.next_frame()).unwrap();
+        let (f, cm) = nic.receive().unwrap();
+        pairs.push((cm, f));
+    }
+    // Pre-build the jumbos once (device-side work).
+    let mut agg = AsniAggregator::new(9000);
+    let mut jumbos = Vec::new();
+    for (cm, f) in &pairs {
+        if let Some(j) = agg.push(cm, f) {
+            jumbos.push(j);
+        }
+    }
+    if let Some(j) = agg.flush() {
+        jumbos.push(j);
+    }
+    println!(
+        "{} packets packed into {} jumbos",
+        N,
+        jumbos.len()
+    );
+
+    let rss_acc = compiled
+        .accessors
+        .for_semantic(reg.id(names::RSS_HASH).unwrap())
+        .unwrap()
+        .clone();
+
+    let mut g = c.benchmark_group("e10/host_consume");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("per_descriptor_ring", |b| {
+        b.iter_batched(
+            || {
+                let mut nic = SimNic::new(models::mlx5(), N * 2).unwrap();
+                nic.configure(compiled.context.clone().unwrap()).unwrap();
+                let mut gen = PktGen::new(Workload::min_size(64));
+                for _ in 0..N {
+                    nic.deliver(&gen.next_frame()).unwrap();
+                }
+                nic
+            },
+            |mut nic| {
+                let mut acc = 0u128;
+                while let Some((_f, cm)) = nic.receive() {
+                    acc ^= rss_acc.read(&cm);
+                }
+                acc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("asni_jumbo_iterate", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for j in &jumbos {
+                for (cm, _f) in AsniIter::new(&j.bytes) {
+                    acc ^= rss_acc.read(cm);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

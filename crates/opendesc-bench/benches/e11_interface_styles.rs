@@ -1,0 +1,214 @@
+//! E11 — interface styles: descriptor ring vs ENSO-style stream vs ASNI
+//! aggregation, under two application needs.
+//!
+//! Reproduces the paper's §2 critique shape directly:
+//! * ENSO "led to a 6× throughput improvement for raw payload
+//!   processing" → the stream should win when the app only touches
+//!   payload bytes;
+//! * "the model collapses if the application needs to recompute
+//!   metadata such as a hash in software" → with an RSS-needing app the
+//!   stream pays full software recomputation per packet while the
+//!   descriptor path reads 4 bytes from the completion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use opendesc_core::{Compiler, Intent};
+use opendesc_ir::pred::FieldRef;
+use opendesc_ir::{names, Assignment, SemanticRegistry};
+use opendesc_nicsim::aggregate::{AsniAggregator, AsniIter};
+use opendesc_nicsim::stream::StreamQueue;
+use opendesc_nicsim::{models, PktGen, SimNic, Workload};
+use opendesc_softnic::SoftNic;
+
+const N: usize = 256;
+
+struct Fixture {
+    /// (completion, frame) pairs as the descriptor interface delivers.
+    pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    rss_acc: opendesc_core::Accessor,
+    reg: SemanticRegistry,
+}
+
+fn fixture() -> Fixture {
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = Intent::builder("e11")
+        .want(&mut reg, names::RSS_HASH)
+        .want(&mut reg, names::PKT_LEN)
+        .build();
+    let compiled = Compiler::default()
+        .compile_model(&models::mlx5(), &intent, &mut reg)
+        .unwrap();
+    let mut ctx = Assignment::new();
+    ctx.insert(FieldRef::new(&["ctx", "cqe_format"], 2), 1);
+    let mut nic = SimNic::new(models::mlx5(), N * 2).unwrap();
+    nic.configure(compiled.context.clone().unwrap()).unwrap();
+    let mut gen = PktGen::new(Workload { flows: 64, payload: (64, 512), ..Workload::default() });
+    let mut pairs = Vec::with_capacity(N);
+    for _ in 0..N {
+        nic.deliver(&gen.next_frame()).unwrap();
+        let (f, c) = nic.receive().unwrap();
+        pairs.push((c, f));
+    }
+    let rss_acc = compiled
+        .accessors
+        .for_semantic(reg.id(names::RSS_HASH).unwrap())
+        .unwrap()
+        .clone();
+    Fixture { pairs, rss_acc, reg }
+}
+
+/// Checksum-ish payload touch: XOR-fold every byte (the "raw payload
+/// processing" app).
+fn touch_payload(frame: &[u8]) -> u64 {
+    frame.iter().fold(0u64, |a, b| a.rotate_left(7) ^ *b as u64)
+}
+
+fn bench(c: &mut Criterion) {
+    let fx = fixture();
+    println!("\nE11: interface styles — descriptor ring vs ENSO stream vs ASNI jumbo");
+    println!("paper shape: stream wins raw-payload; collapses when the app needs the hash");
+
+    // Wire-side (modeled): where ENSO's raw-payload win actually lives —
+    // per-packet completion+frame DMA vs one contiguous stream append.
+    use opendesc_nicsim::DmaConfig;
+    println!("\nmodeled DMA time per 1000 pkts (60B frames, 8B completions):");
+    println!("{:>10} {:>14} {:>14} {:>14}", "link GB/s", "descriptor", "enso stream", "asni jumbo");
+    for bw in [7.9, 2.0, 0.5] {
+        let cfg = DmaConfig::default().with_bandwidth(bw);
+        let mut per_desc = opendesc_nicsim::DmaMeter::default();
+        for _ in 0..1000 {
+            per_desc.record(&cfg, 8);
+            per_desc.record(&cfg, 60);
+        }
+        // Stream: frames coalesce into large contiguous writes (4 KB).
+        let mut stream = opendesc_nicsim::DmaMeter::default();
+        let frames_per_write = 4096 / 62;
+        let mut left = 1000u32;
+        while left > 0 {
+            let batch = left.min(frames_per_write);
+            stream.record(&cfg, batch * 62);
+            left -= batch;
+        }
+        let mut asni = opendesc_nicsim::DmaMeter::default();
+        let per_jumbo = 9000 / (4 + 8 + 60);
+        let mut left = 1000u32;
+        while left > 0 {
+            let batch = left.min(per_jumbo);
+            asni.record(&cfg, batch * (4 + 8 + 60));
+            left -= batch;
+        }
+        println!(
+            "{:>10} {:>12.0}ns {:>12.0}ns {:>12.0}ns   ({:.1}x stream win)",
+            bw,
+            per_desc.busy_ns,
+            stream.busy_ns,
+            asni.busy_ns,
+            per_desc.busy_ns / stream.busy_ns
+        );
+    }
+    println!();
+
+    // Pre-build the stream and the jumbos (device-side work, untimed).
+    let mut stream_src = StreamQueue::new(1 << 20);
+    for (_, f) in &fx.pairs {
+        assert!(stream_src.append(f));
+    }
+    let mut agg = AsniAggregator::new(9000);
+    let mut jumbos = Vec::new();
+    for (cm, f) in &fx.pairs {
+        if let Some(j) = agg.push(cm, f) {
+            jumbos.push(j);
+        }
+    }
+    if let Some(j) = agg.flush() {
+        jumbos.push(j);
+    }
+
+    // ---- raw payload processing: no metadata needed ----
+    let mut g = c.benchmark_group("e11/raw_payload");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("descriptor_ring", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (_cm, f) in &fx.pairs {
+                acc ^= touch_payload(f);
+            }
+            acc
+        })
+    });
+    g.bench_function("enso_stream", |b| {
+        b.iter_batched(
+            || stream_src.clone(),
+            |mut s| {
+                let mut acc = 0u64;
+                while let Some(f) = s.next() {
+                    acc ^= touch_payload(f);
+                }
+                acc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("asni_jumbo", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for j in &jumbos {
+                for (_cm, f) in AsniIter::new(&j.bytes) {
+                    acc ^= touch_payload(f);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // ---- the app needs the RSS hash per packet ----
+    let mut g = c.benchmark_group("e11/needs_rss_hash");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("descriptor_ring_read", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for (cm, _f) in &fx.pairs {
+                acc ^= fx.rss_acc.read(cm);
+            }
+            acc
+        })
+    });
+    g.bench_function("enso_stream_recompute", |b| {
+        b.iter_batched(
+            || (stream_src.clone(), SoftNic::new()),
+            |(mut s, mut soft)| {
+                let mut acc = 0u64;
+                while let Some(f) = s.next() {
+                    // The stream carries no metadata: full software
+                    // recomputation per packet.
+                    acc ^= soft.compute_by_name(names::RSS_HASH, f).unwrap_or(0);
+                }
+                acc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("asni_jumbo_read", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for j in &jumbos {
+                for (cm, _f) in AsniIter::new(&j.bytes) {
+                    acc ^= fx.rss_acc.read(cm);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+    let _ = &fx.reg;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

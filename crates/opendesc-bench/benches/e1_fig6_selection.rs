@@ -1,0 +1,86 @@
+//! E1 — the Fig. 6 running example as a decision table.
+//!
+//! For every subset of {rss_hash, ip_checksum, ip_id, vlan_tci} the
+//! compiler selects one of e1000e's two completion paths; the headline
+//! row is Req = {rss, csum}: the checksum path wins because software RSS
+//! is cheaper than software checksumming, exactly as the paper argues.
+//! Criterion times one full compile of the headline case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opendesc_core::{Compiler, Intent};
+use opendesc_ir::{names, SemanticRegistry};
+use opendesc_nicsim::models;
+
+const SEMS: [&str; 4] = [names::RSS_HASH, names::IP_CHECKSUM, names::IP_ID, names::VLAN_TCI];
+
+fn print_decision_table() {
+    println!("\nE1 (paper Fig. 6): e1000e layout selection per intent subset");
+    println!(
+        "{:<40} {:>6} {:>9} {:>12}  {}",
+        "Req", "path", "ctx", "soft(ns)", "software fallbacks"
+    );
+    for mask in 0u32..16 {
+        let mut reg = SemanticRegistry::with_builtins();
+        let mut b = Intent::builder("subset");
+        let mut label = Vec::new();
+        for (i, s) in SEMS.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                b = b.want(&mut reg, s);
+                label.push(*s);
+            }
+        }
+        let intent = b.build();
+        let compiled = Compiler::default()
+            .compile_model(&models::e1000e(), &intent, &mut reg)
+            .expect("all subsets satisfiable");
+        let ctx = compiled
+            .context
+            .as_ref()
+            .and_then(|c| c.values().next().copied())
+            .map(|v| format!("rss={v}"))
+            .unwrap_or_default();
+        println!(
+            "{:<40} {:>6} {:>9} {:>12.1}  {}",
+            format!("{{{}}}", label.join(",")),
+            compiled.path.id,
+            ctx,
+            compiled.selection.best.software_cost_ns,
+            compiled.missing_features().join(","),
+        );
+        // The paper's assertion, checked on every bench run:
+        if mask == 0b0011 {
+            assert_eq!(
+                compiled.missing_features(),
+                vec!["rss_hash"],
+                "Req={{rss,csum}} must choose the csum branch"
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_decision_table();
+    c.bench_function("e1/compile_rss_plus_csum_on_e1000e", |b| {
+        b.iter(|| {
+            let mut reg = SemanticRegistry::with_builtins();
+            let intent = Intent::builder("i")
+                .want(&mut reg, names::RSS_HASH)
+                .want(&mut reg, names::IP_CHECKSUM)
+                .build();
+            Compiler::default()
+                .compile_model(&models::e1000e(), &intent, &mut reg)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E2 — the Fig. 1 scenario as a NIC × intent matrix.
+//!
+//! Every catalog model compiled against every catalog intent: which
+//! layout wins, how many bytes it costs, what falls back to software.
+//! This is the compiler doing, automatically, the per-device work §2
+//! says each framework currently reimplements by hand.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opendesc_bench::{intent_catalog, model_catalog};
+use opendesc_core::Compiler;
+use opendesc_ir::SemanticRegistry;
+
+fn print_matrix() {
+    println!("\nE2: layout selection matrix (paper Fig. 1 scenario and friends)");
+    println!(
+        "{:<14} {:<12} {:>6} {:>8} {:>10}  {}",
+        "NIC", "intent", "paths", "cmpt(B)", "soft(ns)", "software fallbacks / error"
+    );
+    for model in model_catalog() {
+        let mut reg0 = SemanticRegistry::with_builtins();
+        for (iname, intent) in intent_catalog(&mut reg0) {
+            let mut reg = reg0.clone();
+            match Compiler::default().compile_model(&model, &intent, &mut reg) {
+                Ok(compiled) => {
+                    println!(
+                        "{:<14} {:<12} {:>6} {:>8} {:>10.1}  {}",
+                        model.name,
+                        iname,
+                        compiled.paths_considered,
+                        compiled.path.size_bytes(),
+                        compiled.selection.best.software_cost_ns,
+                        if compiled.missing_features().is_empty() {
+                            "-".to_string()
+                        } else {
+                            compiled.missing_features().join(",")
+                        }
+                    );
+                }
+                Err(e) => {
+                    println!(
+                        "{:<14} {:<12} {:>6} {:>8} {:>10}  UNSATISFIABLE: {e}",
+                        model.name, iname, "-", "-", "-"
+                    );
+                }
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_matrix();
+    // Time the full matrix: 5 models × 6 intents.
+    c.bench_function("e2/full_matrix_compile", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for model in model_catalog() {
+                let mut reg0 = SemanticRegistry::with_builtins();
+                for (_, intent) in intent_catalog(&mut reg0) {
+                    let mut reg = reg0.clone();
+                    if Compiler::default()
+                        .compile_model(&model, &intent, &mut reg)
+                        .is_ok()
+                    {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E4 — completion-size sensitivity under the PCIe/DMA model.
+//!
+//! Sweeps the completion record size (8 → 64 B, the QDMA size classes
+//! plus the mlx5 formats) against link bandwidths and prints the
+//! model-predicted completion rate ceiling; then measures the simulated
+//! NIC's accumulated DMA busy time delivering identical traffic with the
+//! mlx5 full CQE vs mini-CQE. Motivates the Size(p) term of Eq. 1 and
+//! the mini-CQE crossover of E7.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use opendesc_ir::pred::FieldRef;
+use opendesc_ir::Assignment;
+use opendesc_nicsim::{models, DmaConfig, SimNic, Workload};
+
+fn print_model_table() {
+    println!("\nE4: per-completion DMA cost and rate ceiling (analytic model)");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12}",
+        "cmpt(B)", "7.9GB/s", "2.0GB/s", "0.5GB/s", "0.1GB/s"
+    );
+    for size in [8u32, 16, 32, 64] {
+        let mut row = format!("{size:>9}");
+        for bw in [7.9, 2.0, 0.5, 0.1] {
+            let cfg = DmaConfig::default().with_bandwidth(bw);
+            let ns = cfg.write_cost_ns(size);
+            let mpps = 1000.0 / ns;
+            row.push_str(&format!(" {mpps:>9.2}Mpps"));
+        }
+        println!("{row}");
+    }
+    println!("(completion writes only; packet DMA not included)");
+}
+
+fn ctx(fmt: u128) -> Assignment {
+    let mut a = Assignment::new();
+    a.insert(FieldRef::new(&["ctx", "cqe_format"], 2), fmt);
+    a
+}
+
+fn measure_simulated() {
+    println!("\nsimulated mlx5, 10k packets, DMA busy time for completions:");
+    for (label, fmt) in [("full 64B CQE", 0u128), ("mini 8B CQE", 1)] {
+        let mut nic = SimNic::new(models::mlx5(), 1 << 14).unwrap();
+        nic.set_dma_config(DmaConfig::default().with_bandwidth(0.5));
+        nic.configure(ctx(fmt)).unwrap();
+        let frames = opendesc_bench::frames(Workload::min_size(32), 1000);
+        for _ in 0..10 {
+            for f in &frames {
+                nic.deliver(f).unwrap();
+            }
+            while nic.receive().is_some() {}
+        }
+        println!(
+            "  {label:<14} bytes={:>7} busy={:>10.0}ns ({:.1} ns/pkt)",
+            nic.dma.bytes,
+            nic.dma.busy_ns,
+            nic.dma.busy_ns / 10_000.0
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_model_table();
+    measure_simulated();
+    // Criterion: deliver+drain cost per completion size class.
+    let frames = opendesc_bench::frames(Workload::min_size(32), 256);
+    let mut g = c.benchmark_group("e4/deliver_drain");
+    g.throughput(Throughput::Elements(256));
+    for (label, fmt) in [("full64", 0u128), ("mini8", 1)] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut nic = SimNic::new(models::mlx5(), 512).unwrap();
+                    nic.configure(ctx(fmt)).unwrap();
+                    nic
+                },
+                |mut nic| {
+                    for f in &frames {
+                        nic.deliver(f).unwrap();
+                    }
+                    let mut n = 0;
+                    while nic.receive().is_some() {
+                        n += 1;
+                    }
+                    n
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E6 — compiler scalability in the number of completion paths.
+//!
+//! §4 argues the optimization "degenerates into enumerating a small
+//! finite set" because production NICs expose few layouts (two for
+//! e1000, a handful for mlx5, one per installed queue on QDMA). This
+//! bench provisions QDMA devices with 2 → 2048 installed layouts and
+//! times (a) frontend (parse + typecheck + CFG), (b) enumeration +
+//! selection — showing selection stays linear and comfortably fast even
+//! far beyond realistic layout counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opendesc_core::{Compiler, Intent};
+use opendesc_ir::{extract, names, SemanticRegistry};
+use opendesc_nicsim::{qdma, QdmaLayout};
+use opendesc_p4::typecheck::parse_and_check;
+
+/// Provision k distinct layouts cycling through semantic combinations.
+fn layouts(k: usize) -> Vec<QdmaLayout> {
+    let pool: [&[(&str, u16)]; 4] = [
+        &[("rss_hash", 32), ("pkt_len", 16)],
+        &[("rss_hash", 32), ("ip_checksum", 16), ("vlan_tci", 16)],
+        &[("flow_tag", 32), ("pkt_len", 16), ("rx_status", 16)],
+        &[("timestamp", 64), ("rss_hash", 32), ("l4_checksum", 16)],
+    ];
+    (0..k).map(|i| QdmaLayout::new(pool[i % pool.len()])).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nE6: selection time vs number of installed QDMA layouts");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "layouts", "paths", "contract(B)", "note"
+    );
+
+    let mut reg0 = SemanticRegistry::with_builtins();
+    let intent = Intent::builder("e6")
+        .want(&mut reg0, names::RSS_HASH)
+        .want(&mut reg0, names::IP_CHECKSUM)
+        .build();
+
+    let mut frontend = c.benchmark_group("e6/frontend");
+    for k in [2usize, 8, 32, 128, 512, 2048] {
+        let model = qdma(&layouts(k)).unwrap();
+        println!(
+            "{:>8} {:>10} {:>12} {:>14}",
+            k,
+            k + 1,
+            model.p4_source.len(),
+            if k <= 8 { "realistic" } else { "stress" }
+        );
+        frontend.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            b.iter(|| {
+                let (checked, d) = parse_and_check(&m.p4_source);
+                assert!(!d.has_errors());
+                let mut reg = SemanticRegistry::with_builtins();
+                extract(&checked, &m.deparser, &mut reg).unwrap()
+            })
+        });
+    }
+    frontend.finish();
+
+    let mut select = c.benchmark_group("e6/enumerate_and_select");
+    for k in [2usize, 8, 32, 128, 512, 2048] {
+        let model = qdma(&layouts(k)).unwrap();
+        let (checked, d) = parse_and_check(&model.p4_source);
+        assert!(!d.has_errors());
+        let mut reg = reg0.clone();
+        let cfg = extract(&checked, &model.deparser, &mut reg).unwrap();
+        select.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| {
+                Compiler::default()
+                    .compile_cfg(cfg, "qdma", &intent, &reg)
+                    .unwrap()
+            })
+        });
+    }
+    select.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

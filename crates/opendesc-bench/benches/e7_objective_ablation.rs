@@ -1,0 +1,119 @@
+//! E7 — ablation of the selection objective (Eq. 1).
+//!
+//! Sweeps the DMA-footprint weight β and compares three selectors —
+//! cost-only, size-only, and the combined Eq. 1 — by the *actual*
+//! simulated per-packet time their chosen layout induces (software
+//! recomputation measured through the driver + completion DMA time from
+//! the link model). The combined objective must dominate both ablations
+//! across the sweep; each ablation loses somewhere (cost-only wastes
+//! bandwidth on slow links, size-only burns CPU recomputing checksums).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opendesc_core::{Compiler, Intent, Objective, OpenDescDriver, Selector};
+use opendesc_ir::{names, SemanticRegistry};
+use opendesc_nicsim::{models, DmaConfig, SimNic, Workload};
+use std::time::Instant;
+
+const PKTS: usize = 2000;
+
+/// Actual per-packet cost of a compiled choice: measured host poll time
+/// plus modeled completion DMA time on a link of `bw` GB/s.
+fn realized_ns_per_pkt(
+    compiled: &opendesc_core::CompiledInterface,
+    bw: f64,
+    frames: &[Vec<u8>],
+) -> f64 {
+    let mut nic = SimNic::new(models::mlx5(), PKTS * 2).unwrap();
+    nic.set_dma_config(DmaConfig::default().with_bandwidth(bw));
+    let mut drv = OpenDescDriver::attach(nic, compiled.clone()).unwrap();
+    for f in frames {
+        drv.deliver(f).unwrap();
+    }
+    let t0 = Instant::now();
+    let mut n = 0;
+    while drv.poll().is_some() {
+        n += 1;
+    }
+    let host_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    let dma_ns = drv.nic.dma.busy_ns / n as f64;
+    host_ns + dma_ns
+}
+
+fn bench(c: &mut Criterion) {
+    let mut reg = SemanticRegistry::with_builtins();
+    // Re-price w(s) from measurements on this machine (§5 performance
+    // interfaces): Eq. 1's software term must reflect what the shims
+    // actually cost, or the crossover prediction is off.
+    let calibration = opendesc_softnic::calibrate(&mut reg, 2000);
+    println!("\n{}", calibration.render());
+    let intent = Intent::builder("e7")
+        .want(&mut reg, names::RSS_HASH)
+        .want(&mut reg, names::IP_CHECKSUM)
+        .want(&mut reg, names::L4_CHECKSUM)
+        .want(&mut reg, names::VLAN_TCI)
+        .build();
+    let frames = opendesc_bench::frames(
+        Workload { payload: (200, 800), vlan_fraction: 1.0, ..Workload::default() },
+        PKTS,
+    );
+
+    println!("\nE7: objective ablation — realized ns/pkt (host + completion DMA)");
+    println!(
+        "{:>10} {:>9} | {:>16} {:>16} {:>16}",
+        "link GB/s", "β used", "combined (Eq.1)", "cost-only", "size-only"
+    );
+    for bw in [7.9, 1.0, 0.25, 0.05] {
+        // β follows the link: ns per completion byte at this bandwidth.
+        let beta = 1.0 / bw;
+        let mut row = format!("{bw:>10} {beta:>9.2} |");
+        for objective in [Objective::Combined, Objective::CostOnly, Objective::SizeOnly] {
+            let compiler = Compiler {
+                selector: Selector {
+                    beta_ns_per_byte: beta,
+                    objective,
+                    ..Selector::default()
+                },
+            };
+            let compiled = compiler.compile_model(&models::mlx5(), &intent, &mut reg).unwrap();
+            let ns = realized_ns_per_pkt(&compiled, bw, &frames);
+            row.push_str(&format!(
+                " {:>8.0}ns ({:>2}B)",
+                ns,
+                compiled.path.size_bytes()
+            ));
+        }
+        println!("{row}");
+    }
+    println!("(expected shape: combined ≤ min(cost-only, size-only) within noise on every row)");
+
+    // Criterion: selection cost of each objective mode (identical — the
+    // objective is one arithmetic expression; recorded for completeness).
+    let mut g = c.benchmark_group("e7/selection");
+    for (label, objective) in [
+        ("combined", Objective::Combined),
+        ("cost_only", Objective::CostOnly),
+        ("size_only", Objective::SizeOnly),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let compiler = Compiler {
+                    selector: Selector { objective, ..Selector::default() },
+                };
+                compiler
+                    .compile_model(&models::mlx5(), &intent, &mut reg.clone())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E8 — batched accessor reads (the §5 "SIMD and architecture-dependent
+//! optimization" direction).
+//!
+//! DPDK drivers hand-maintain SSE/NEON variants that read four
+//! descriptors at a time; OpenDesc could *generate* them. This bench
+//! measures whether the *software* batch-of-4 API alone buys anything:
+//! it does not (≈8 ns/field either way) — the table-driven scalar reads
+//! are already cheap, and the real vectorized-RX win requires emitting
+//! genuine SIMD loads per layout. That is the honest motivation for the
+//! paper's "generate SIMD accessors" future-work item, recorded as a
+//! negative result in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use opendesc_core::{Compiler, Intent};
+use opendesc_ir::{names, SemanticRegistry};
+use opendesc_nicsim::{models, SimNic};
+use opendesc_softnic::testpkt;
+
+fn bench(c: &mut Criterion) {
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = Intent::builder("e8")
+        .want(&mut reg, names::TIMESTAMP)
+        .want(&mut reg, names::RSS_HASH)
+        .want(&mut reg, names::PKT_LEN)
+        .want(&mut reg, names::VLAN_TCI)
+        .build();
+    let compiled = Compiler::default()
+        .compile_model(&models::mlx5(), &intent, &mut reg)
+        .unwrap();
+    assert!(compiled.missing_features().is_empty());
+
+    // Four real completion records from the simulator.
+    let mut nic = SimNic::new(models::mlx5(), 16).unwrap();
+    nic.configure(compiled.context.clone().unwrap()).unwrap();
+    let mut cmpts: Vec<Vec<u8>> = Vec::new();
+    for i in 0..4u16 {
+        let f = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1000 + i, 2000, b"pkt", Some(0x100 + i));
+        nic.deliver(&f).unwrap();
+        let (_, cmpt) = nic.receive().unwrap();
+        cmpts.push(cmpt);
+    }
+    let quad: [&[u8]; 4] = [&cmpts[0], &cmpts[1], &cmpts[2], &cmpts[3]];
+    let set = &compiled.accessors;
+    let nacc = set.accessors.len();
+
+    println!("\nE8: batched (4-wide) vs scalar accessor reads, mlx5 full CQE, 4 fields");
+
+    let mut g = c.benchmark_group("e8/reads");
+    g.throughput(Throughput::Elements(4 * nacc as u64));
+    g.bench_function("scalar_4x4", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for cmpt in &quad {
+                for a in &set.accessors {
+                    acc ^= a.read(cmpt);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("batched_4x4", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for i in 0..nacc {
+                let vals = set.read_batch4(i, quad);
+                acc ^= vals[0] ^ vals[1] ^ vals[2] ^ vals[3];
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // Sanity: both orders produce identical values.
+    let mut scalar = Vec::new();
+    for cmpt in &quad {
+        for a in &set.accessors {
+            scalar.push(a.read(cmpt));
+        }
+    }
+    for (i, _a) in set.accessors.iter().enumerate() {
+        let batch = set.read_batch4(i, quad);
+        for (j, b) in batch.iter().enumerate() {
+            assert_eq!(*b, scalar[j * nacc + i], "batch/scalar divergence");
+        }
+    }
+    println!("batch/scalar value agreement: OK");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Shared helpers for the experiment benches (E1–E10).
+//!
+//! Each bench target regenerates one experiment from `EXPERIMENTS.md`:
+//! it prints the experiment's table/series to stdout (so the rows can be
+//! recorded) and registers Criterion measurements for the timed parts.
+
+use opendesc_core::{Compiler, Intent, OpenDescDriver};
+use opendesc_ir::{names, SemanticRegistry};
+use opendesc_nicsim::{models, NicModel, PktGen, SimNic, Workload};
+
+/// Named intents used across experiments.
+pub fn intent_catalog(reg: &mut SemanticRegistry) -> Vec<(String, Intent)> {
+    let mk = |reg: &mut SemanticRegistry, name: &str, sems: &[&str]| {
+        let mut b = Intent::builder(name);
+        for s in sems {
+            b = b.want(reg, s);
+        }
+        (name.to_string(), b.build())
+    };
+    vec![
+        mk(reg, "rss-only", &[names::RSS_HASH]),
+        mk(reg, "csum-only", &[names::IP_CHECKSUM]),
+        mk(reg, "rss+csum", &[names::RSS_HASH, names::IP_CHECKSUM]),
+        mk(
+            reg,
+            "fig1",
+            &[names::IP_CHECKSUM, names::VLAN_TCI, names::RSS_HASH, names::KVS_KEY_HASH],
+        ),
+        mk(
+            reg,
+            "telemetry",
+            &[names::TIMESTAMP, names::PKT_LEN, names::PACKET_TYPE],
+        ),
+        mk(
+            reg,
+            "everything",
+            &[
+                names::RSS_HASH,
+                names::IP_CHECKSUM,
+                names::L4_CHECKSUM,
+                names::VLAN_TCI,
+                names::PKT_LEN,
+                names::FLOW_TAG,
+                names::PAYLOAD_OFFSET,
+            ],
+        ),
+    ]
+}
+
+/// Compile an intent on a model and attach a driver with a ring of
+/// `ring` entries.
+pub fn make_driver(
+    model: NicModel,
+    intent: &Intent,
+    reg: &mut SemanticRegistry,
+    ring: usize,
+) -> OpenDescDriver {
+    let compiled = Compiler::default()
+        .compile_model(&model, intent, reg)
+        .expect("intent compiles");
+    let nic = SimNic::new(model, ring).expect("model valid");
+    OpenDescDriver::attach(nic, compiled).expect("context programs")
+}
+
+/// Pre-generate `n` frames of a workload.
+pub fn frames(wl: Workload, n: usize) -> Vec<Vec<u8>> {
+    PktGen::new(wl).batch(n)
+}
+
+/// Simple geometric-mean helper for summary rows.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Catalog of all models for matrix experiments.
+pub fn model_catalog() -> Vec<NicModel> {
+    models::catalog()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intent_catalog_compiles_everywhere_possible() {
+        for model in model_catalog() {
+            let mut reg = SemanticRegistry::with_builtins();
+            let intents = intent_catalog(&mut reg);
+            for (name, intent) in &intents {
+                let mut r2 = reg.clone();
+                let r = Compiler::default().compile_model(&model, intent, &mut r2);
+                if name == "telemetry" {
+                    continue; // timestamp support is model-dependent
+                }
+                assert!(r.is_ok(), "{} on {} failed", name, model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn geomean_sane() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Driver manifest backend: a machine-readable (TOML) description of a
+//! compiled interface — ring sizing, the context writes the driver must
+//! program over the control channel, the accessor table, and the
+//! software shims. This is the artifact a non-Rust driver (or a DPDK
+//! hook, per §4's future-work note) would consume to wire itself up
+//! without understanding P4.
+
+use crate::compiler::CompiledInterface;
+use crate::accessor::AccessorKind;
+
+/// Render the manifest.
+pub fn generate(c: &CompiledInterface) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# OpenDesc driver manifest — generated; do not edit.\n\
+         [interface]\n\
+         nic = \"{}\"\n\
+         intent = \"{}\"\n\
+         completion_bytes = {}\n\
+         selected_path = {}\n\
+         paths_considered = {}\n\n",
+        c.nic_name,
+        c.intent.name,
+        c.accessors.completion_bytes,
+        c.path.id,
+        c.paths_considered
+    ));
+
+    out.push_str("[context]\n");
+    match &c.context {
+        Some(ctx) if !ctx.is_empty() => {
+            for (f, v) in ctx {
+                out.push_str(&format!("\"{}\" = {}\n", f.dotted(), v));
+            }
+        }
+        Some(_) => out.push_str("# no context writes required\n"),
+        None => out.push_str("# MANUAL: opaque guard; configure the device by hand\n"),
+    }
+    out.push('\n');
+
+    for a in &c.accessors.accessors {
+        let info = c.reg.info(a.semantic);
+        match a.kind {
+            AccessorKind::Hardware => {
+                out.push_str(&format!(
+                    "[[accessor]]\nname = \"{}\"\nsemantic = \"{}\"\nkind = \"hardware\"\noffset_bits = {}\nwidth_bits = {}\n\n",
+                    a.name, info.name, a.offset_bits, a.width_bits
+                ));
+            }
+            AccessorKind::Software => {
+                out.push_str(&format!(
+                    "[[accessor]]\nname = \"{}\"\nsemantic = \"{}\"\nkind = \"softnic\"\nwidth_bits = {}\ncost = \"{}\"\n\n",
+                    a.name, info.name, a.width_bits, info.cost
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use crate::intent::Intent;
+    use opendesc_ir::SemanticRegistry;
+    use opendesc_nicsim::models;
+
+    fn compiled() -> CompiledInterface {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::from_p4(crate::intent::FIG1_INTENT_P4, &mut reg).unwrap();
+        Compiler::default()
+            .compile_model(&models::e1000e(), &intent, &mut reg)
+            .unwrap()
+    }
+
+    #[test]
+    fn manifest_contains_all_sections() {
+        let m = generate(&compiled());
+        assert!(m.contains("[interface]"), "{m}");
+        assert!(m.contains("nic = \"e1000e\""), "{m}");
+        assert!(m.contains("[context]"), "{m}");
+        assert!(m.contains("\"ctx.use_rss\" = 0"), "{m}");
+        assert!(m.contains("kind = \"hardware\""), "{m}");
+        assert!(m.contains("kind = \"softnic\""), "{m}");
+        assert!(m.contains("semantic = \"rss_hash\""), "{m}");
+    }
+
+    #[test]
+    fn hardware_entries_carry_offsets() {
+        let c = compiled();
+        let m = generate(&c);
+        // The ip_checksum hardware accessor's offset appears verbatim.
+        let csum = c
+            .accessors
+            .accessors
+            .iter()
+            .find(|a| a.kind == AccessorKind::Hardware)
+            .unwrap();
+        assert!(m.contains(&format!("offset_bits = {}", csum.offset_bits)), "{m}");
+    }
+
+    #[test]
+    fn manifest_is_line_oriented_toml_shape() {
+        // Cheap structural check: every non-comment, non-empty line is a
+        // table header or key = value.
+        let m = generate(&compiled());
+        for line in m.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            assert!(
+                t.starts_with('[') || t.contains('='),
+                "unexpected manifest line: {t}"
+            );
+        }
+    }
+}

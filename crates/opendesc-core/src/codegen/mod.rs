@@ -1,0 +1,79 @@
+//! Code generation backends for the synthesized host stubs: Rust source,
+//! C headers, and verified eBPF programs (paper §4, step 4).
+
+pub mod c;
+pub mod ebpf;
+pub mod manifest;
+pub mod rust;
+
+use std::fmt;
+
+/// Codegen failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// An unaligned field spans more bytes than a 64-bit load chain can
+    /// cover.
+    FieldTooWide { name: String, span_bytes: u32 },
+    /// A software-shim accessor was passed where only hardware reads make
+    /// sense (eBPF backend).
+    NotHardware { name: String },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::FieldTooWide { name, span_bytes } => {
+                write!(f, "field `{name}` spans {span_bytes} bytes; max is 8")
+            }
+            CodegenError::NotHardware { name } => {
+                write!(f, "`{name}` is a software shim; only hardware accessors compile to eBPF")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Sanitize an identifier for generated code.
+pub(crate) fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// The natural unsigned carrier type for a width, for Rust and C.
+pub(crate) fn carrier(width_bits: u16) -> &'static str {
+    match width_bits {
+        0..=8 => "u8",
+        9..=16 => "u16",
+        17..=32 => "u32",
+        33..=64 => "u64",
+        _ => "u128",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_sanitization() {
+        assert_eq!(ident("ip_fields.csum"), "ip_fields_csum");
+        assert_eq!(ident("3way"), "_3way");
+        assert_eq!(ident("ok_name"), "ok_name");
+    }
+
+    #[test]
+    fn carrier_selection() {
+        assert_eq!(carrier(1), "u8");
+        assert_eq!(carrier(16), "u16");
+        assert_eq!(carrier(17), "u32");
+        assert_eq!(carrier(64), "u64");
+        assert_eq!(carrier(65), "u128");
+    }
+}

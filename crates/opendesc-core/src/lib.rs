@@ -1,0 +1,45 @@
+//! # opendesc-core — the OpenDesc compiler
+//!
+//! The paper's primary contribution: given a NIC's P4 interface contract
+//! and an application's intent, select the best completion layout the NIC
+//! supports (Eq. 1), derive the context configuration that steers the NIC
+//! onto it, and synthesize host stubs — constant-time accessors, Rust/C
+//! source, and verified eBPF programs — plus SoftNIC shims for whatever
+//! the layout cannot provide.
+//!
+//! ```
+//! use opendesc_core::{Compiler, Intent};
+//! use opendesc_ir::{names, SemanticRegistry};
+//! use opendesc_nicsim::models;
+//!
+//! let mut reg = SemanticRegistry::with_builtins();
+//! let intent = Intent::builder("app")
+//!     .want(&mut reg, names::RSS_HASH)
+//!     .want(&mut reg, names::IP_CHECKSUM)
+//!     .build();
+//! let compiled = Compiler::default()
+//!     .compile_model(&models::e1000e(), &intent, &mut reg)
+//!     .unwrap();
+//! // Fig. 6: hardware checksum wins; RSS falls back to software.
+//! assert_eq!(compiled.missing_features(), vec!["rss_hash"]);
+//! ```
+pub mod intent;
+pub mod select;
+pub mod accessor;
+pub mod codegen;
+pub mod compiler;
+pub mod datapath;
+pub mod baseline;
+pub mod tx;
+pub mod equiv;
+pub mod hook;
+
+pub use accessor::{Accessor, AccessorKind, AccessorSet};
+pub use baseline::{GenericMbuf, GenericMbufDriver, LcdDriver};
+pub use compiler::{CompileError, CompiledInterface, Compiler};
+pub use datapath::{OpenDescDriver, RxPacket};
+pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
+pub use select::{Objective, PathScore, SelectError, Selection, Selector};
+pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};
+pub use equiv::{capabilities, diff, intent_equivalent, ContractDiff, IntentEquivalence};
+pub use hook::{HookDriver, HookStats, HookVerdict};

@@ -1,0 +1,428 @@
+//! TX compilation: align the host's transmit intent with the descriptor
+//! layouts the NIC's `DescParser` accepts (paper §3 channel ①, §5
+//! "synthesizing the complete driver datapath").
+//!
+//! Mirrors the RX pipeline: enumerate descriptor layouts, select by the
+//! same Eq. 1 shape (software cost of offload hints the layout cannot
+//! carry + descriptor DMA footprint), then synthesize a [`TxWriter`]
+//! that serializes hint values at the layout's fixed offsets. Offloads
+//! the layout cannot request are applied by the driver in software
+//! before posting — using the same softnic fix-ups the device itself
+//! uses, so the wire frame is identical either way.
+
+use crate::compiler::CompileError;
+use crate::intent::Intent;
+use crate::select::{SelectError, Selector};
+use opendesc_ir::bits::write_bits;
+use opendesc_ir::semantics::{names, SemanticRegistry};
+use opendesc_ir::txpath::{enumerate_tx_layouts, DescriptorLayout};
+use opendesc_ir::{Assignment, SemanticId};
+use opendesc_nicsim::nic::{NicError, SimNic};
+use opendesc_p4::typecheck::parse_and_check;
+use opendesc_softnic::fixup;
+use std::collections::BTreeSet;
+
+/// Serializes TX hint values into descriptor bytes at fixed offsets.
+#[derive(Debug, Clone)]
+pub struct TxWriter {
+    /// `(semantic, offset_bits, width_bits)` for every writable slot.
+    slots: Vec<(SemanticId, u32, u16)>,
+    pub desc_bytes: u32,
+}
+
+impl TxWriter {
+    /// Build from a layout.
+    pub fn new(layout: &DescriptorLayout) -> TxWriter {
+        let slots = layout
+            .slots
+            .iter()
+            .filter_map(|s| s.semantic.map(|sem| (sem, s.offset_bits, s.width_bits)))
+            .collect();
+        TxWriter { slots, desc_bytes: layout.size_bytes() }
+    }
+
+    /// Serialize a descriptor with the given hint values; semantics the
+    /// layout has no slot for are ignored (the caller handles them in
+    /// software).
+    pub fn build(&self, values: &[(SemanticId, u128)]) -> Vec<u8> {
+        let mut desc = vec![0u8; self.desc_bytes as usize];
+        for (sem, off, width) in &self.slots {
+            if let Some((_, v)) = values.iter().find(|(s, _)| s == sem) {
+                write_bits(&mut desc, *off, *width, *v);
+            }
+        }
+        desc
+    }
+
+    /// Whether the layout carries a slot for `sem`.
+    pub fn can_write(&self, sem: SemanticId) -> bool {
+        self.slots.iter().any(|(s, _, _)| *s == sem)
+    }
+}
+
+/// The product of TX compilation.
+#[derive(Debug, Clone)]
+pub struct CompiledTx {
+    pub nic_name: String,
+    pub layout: DescriptorLayout,
+    /// H2C context steering the queue onto this layout.
+    pub context: Option<Assignment>,
+    pub writer: TxWriter,
+    /// Requested TX semantics the layout cannot carry: the driver must
+    /// perform these in software before posting.
+    pub software: BTreeSet<SemanticId>,
+    pub layouts_considered: usize,
+}
+
+impl CompiledTx {
+    /// Names of software-fallback features.
+    pub fn software_features<'r>(&self, reg: &'r SemanticRegistry) -> Vec<&'r str> {
+        self.software.iter().map(|s| reg.name(*s)).collect()
+    }
+}
+
+/// Select the best TX layout for an intent (Eq. 1 over descriptor
+/// layouts). Structural semantics (`buf_addr`, `buf_len`) are implicitly
+/// required: a layout missing them cannot describe a transmit at all.
+pub fn compile_tx(
+    selector: &Selector,
+    contract_src: &str,
+    parser_name: &str,
+    nic_name: &str,
+    intent: &Intent,
+    reg: &mut SemanticRegistry,
+) -> Result<CompiledTx, CompileError> {
+    let (checked, diags) = parse_and_check(contract_src);
+    if diags.has_errors() {
+        return Err(CompileError::Contract(
+            diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("; "),
+        ));
+    }
+    let layouts = enumerate_tx_layouts(&checked, parser_name, reg).map_err(|d| {
+        CompileError::Extract(
+            d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; "),
+        )
+    })?;
+    if layouts.is_empty() {
+        return Err(CompileError::Select(SelectError::NoPaths));
+    }
+
+    let mut req = intent.req();
+    let buf_addr = reg.intern(names::BUF_ADDR);
+    let buf_len = reg.intern(names::BUF_LEN);
+    req.insert(buf_addr);
+    req.insert(buf_len);
+
+    // Score each layout with the same objective shape as RX.
+    let mut best: Option<(f64, &DescriptorLayout, BTreeSet<SemanticId>)> = None;
+    for l in &layouts {
+        let missing: BTreeSet<SemanticId> =
+            req.iter().filter(|s| !l.consumes.contains(s)).copied().collect();
+        let soft_cost: f64 = missing
+            .iter()
+            .map(|s| reg.cost(*s).eval(selector.avg_pkt_len))
+            .sum();
+        let objective = soft_cost + selector.beta_ns_per_byte * l.size_bytes() as f64;
+        if objective.is_finite()
+            && best.as_ref().is_none_or(|(o, _, _)| objective < *o)
+        {
+            best = Some((objective, l, missing));
+        }
+    }
+    let Some((_, layout, missing)) = best else {
+        let uncomputable = req
+            .iter()
+            .filter(|s| reg.cost(**s).is_infinite())
+            .map(|s| reg.name(*s).to_string())
+            .collect();
+        return Err(CompileError::Select(SelectError::Unsatisfiable { uncomputable }));
+    };
+    // buf_addr/len are never "software" work — they were required above
+    // to force infinite cost when absent; remove them from the fallback
+    // set now that the layout is known to carry them.
+    let software: BTreeSet<SemanticId> = missing
+        .into_iter()
+        .filter(|s| *s != buf_addr && *s != buf_len)
+        .collect();
+    Ok(CompiledTx {
+        nic_name: nic_name.to_string(),
+        context: layout.solve_context(),
+        writer: TxWriter::new(layout),
+        layout: layout.clone(),
+        software,
+        layouts_considered: layouts.len(),
+    })
+}
+
+/// TX offload requests for one frame.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxRequest {
+    /// Insert the IPv4 header checksum.
+    pub ip_csum: bool,
+    /// Insert the L4 checksum.
+    pub l4_csum: bool,
+    /// Insert an 802.1Q tag with this TCI.
+    pub vlan: Option<u16>,
+}
+
+/// The generated transmit half of the driver.
+pub struct TxDriver {
+    pub compiled: CompiledTx,
+    reg: SemanticRegistry,
+}
+
+impl TxDriver {
+    /// Attach to a NIC: programs the H2C context.
+    pub fn attach(nic: &mut SimNic, compiled: CompiledTx, reg: SemanticRegistry) -> Result<TxDriver, NicError> {
+        if let Some(ctx) = &compiled.context {
+            nic.configure_tx(ctx.clone());
+        }
+        Ok(TxDriver { compiled, reg })
+    }
+
+    /// Send one frame: offloads the layout carries become descriptor
+    /// hints; the rest are applied in software before posting.
+    pub fn send(&mut self, nic: &mut SimNic, frame: &[u8], req: TxRequest) -> Result<(), NicError> {
+        let mut frame = frame.to_vec();
+        let id = |n: &str| self.reg.id(n).expect("builtin semantic");
+        let mut hints: Vec<(SemanticId, u128)> = Vec::new();
+
+        if let Some(tci) = req.vlan {
+            let sem = id(names::TX_VLAN_INSERT);
+            if self.compiled.writer.can_write(sem) {
+                hints.push((sem, tci as u128));
+            } else if let Some(tagged) = fixup::insert_vlan(&frame, tci) {
+                frame = tagged;
+            }
+        }
+        if req.ip_csum {
+            let sem = id(names::TX_IP_CSUM);
+            if self.compiled.writer.can_write(sem) {
+                hints.push((sem, 1));
+            } else {
+                fixup::fill_ipv4_checksum(&mut frame);
+            }
+        }
+        if req.l4_csum {
+            let sem = id(names::TX_L4_CSUM);
+            if self.compiled.writer.can_write(sem) {
+                hints.push((sem, 1));
+            } else {
+                fixup::fill_l4_checksum(&mut frame);
+            }
+        }
+
+        let addr = nic.alloc_tx_buf(&frame);
+        hints.push((id(names::BUF_ADDR), addr as u128));
+        hints.push((id(names::BUF_LEN), frame.len() as u128));
+        let desc = self.compiled.writer.build(&hints);
+        nic.post_tx(&desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opendesc_nicsim::models;
+    use opendesc_softnic::checksum::{verify_ipv4_checksum, verify_l4_checksum};
+    use opendesc_softnic::testpkt;
+    use opendesc_softnic::wire::ParsedFrame;
+
+    fn zeroed_frame() -> Vec<u8> {
+        let mut f = testpkt::udp4([10, 7, 0, 1], [10, 7, 0, 2], 50, 60, b"send me", None);
+        f[24] = 0;
+        f[25] = 0;
+        f[40] = 0;
+        f[41] = 0;
+        f
+    }
+
+    fn tx_intent(reg: &mut SemanticRegistry) -> Intent {
+        Intent::builder("tx")
+            .want(reg, names::TX_L4_CSUM)
+            .want(reg, names::TX_VLAN_INSERT)
+            .build()
+    }
+
+    #[test]
+    fn qdma_tx_selects_extended_layout_for_offload_intent() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = tx_intent(&mut reg);
+        let model = models::qdma_default();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        assert_eq!(compiled.layouts_considered, 2);
+        assert_eq!(compiled.layout.size_bytes(), 16, "extended layout carries the hints");
+        assert!(compiled.software.is_empty());
+        // Context selects desc_size = 16.
+        let ctx = compiled.context.as_ref().unwrap();
+        assert_eq!(ctx.values().next(), Some(&16));
+    }
+
+    #[test]
+    fn plain_intent_prefers_small_descriptor() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::builder("plain").build(); // just buf_addr/len
+        let model = models::qdma_default();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        assert_eq!(compiled.layout.size_bytes(), 12, "12B base layout suffices");
+    }
+
+    #[test]
+    fn hardware_offload_end_to_end() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = tx_intent(&mut reg);
+        let model = models::qdma_default();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        let mut nic = SimNic::new(model, 16).unwrap();
+        let mut tx = TxDriver::attach(&mut nic, compiled, reg).unwrap();
+
+        tx.send(
+            &mut nic,
+            &zeroed_frame(),
+            TxRequest { l4_csum: true, vlan: Some(0x0077), ..Default::default() },
+        )
+        .unwrap();
+        let sent = nic.process_tx();
+        assert_eq!(sent.len(), 1);
+        let wire = &sent[0];
+        let p = ParsedFrame::parse(wire).unwrap();
+        assert_eq!(p.vlan_tci, Some(0x0077), "NIC inserted the tag");
+        assert!(verify_l4_checksum(&p), "NIC filled the L4 checksum");
+        assert_eq!(nic.tx_stats.frames, 1);
+    }
+
+    #[test]
+    fn software_fallback_produces_identical_wire_frame() {
+        // e1000e TX carries only the IP-csum hint: L4 csum and VLAN must
+        // fall back to driver software. The wire frame must be
+        // byte-identical to the hardware-offload result.
+        let mut reg_hw = SemanticRegistry::with_builtins();
+        let intent_hw = tx_intent(&mut reg_hw);
+        let qdma = models::qdma_default();
+        let ctx_hw = compile_tx(
+            &Selector::default(),
+            &qdma.p4_source,
+            "DescParser",
+            &qdma.name,
+            &intent_hw,
+            &mut reg_hw,
+        )
+        .unwrap();
+        let mut nic_hw = SimNic::new(qdma, 16).unwrap();
+        let mut tx_hw = TxDriver::attach(&mut nic_hw, ctx_hw, reg_hw).unwrap();
+
+        let mut reg_sw = SemanticRegistry::with_builtins();
+        let intent_sw = tx_intent(&mut reg_sw);
+        let e1000e = models::e1000e();
+        let ctx_sw = compile_tx(
+            &Selector::default(),
+            &e1000e.p4_source,
+            "DescParser",
+            &e1000e.name,
+            &intent_sw,
+            &mut reg_sw,
+        )
+        .unwrap();
+        assert!(
+            !ctx_sw.software.is_empty(),
+            "e1000e must report software TX features: {:?}",
+            ctx_sw.software_features(&reg_sw)
+        );
+        let mut nic_sw = SimNic::new(e1000e, 16).unwrap();
+        let mut tx_sw = TxDriver::attach(&mut nic_sw, ctx_sw, reg_sw).unwrap();
+
+        let req = TxRequest { l4_csum: true, vlan: Some(0x0123), ..Default::default() };
+        tx_hw.send(&mut nic_hw, &zeroed_frame(), req).unwrap();
+        tx_sw.send(&mut nic_sw, &zeroed_frame(), req).unwrap();
+        let a = nic_hw.process_tx().remove(0);
+        let b = nic_sw.process_tx().remove(0);
+        assert_eq!(a, b, "hardware offload and software fallback diverge on the wire");
+    }
+
+    #[test]
+    fn ip_csum_offload_on_e1000e() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::builder("t").want(&mut reg, names::TX_IP_CSUM).build();
+        let model = models::e1000e();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        assert!(compiled.software.is_empty(), "e1000e carries the IP-csum hint");
+        let mut nic = SimNic::new(model, 16).unwrap();
+        let mut tx = TxDriver::attach(&mut nic, compiled, reg).unwrap();
+        tx.send(&mut nic, &zeroed_frame(), TxRequest { ip_csum: true, ..Default::default() })
+            .unwrap();
+        let wire = nic.process_tx().remove(0);
+        assert!(verify_ipv4_checksum(&wire[14..34]));
+    }
+
+    #[test]
+    fn missing_parser_is_select_error() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::builder("t").build();
+        let model = models::mlx5(); // no TX parser in this model
+        let err = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::Extract(_)));
+    }
+
+    #[test]
+    fn writer_only_writes_known_slots() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::builder("t").build();
+        let model = models::qdma_default();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        let addr = reg.id(names::BUF_ADDR).unwrap();
+        let vlan = reg.id(names::TX_VLAN_INSERT).unwrap();
+        assert!(compiled.writer.can_write(addr));
+        assert!(!compiled.writer.can_write(vlan), "12B layout has no vlan slot");
+        let desc = compiled.writer.build(&[(addr, 0xABCD), (vlan, 7)]);
+        assert_eq!(desc.len(), 12);
+        assert_eq!(&desc[..8], &0xABCDu64.to_be_bytes());
+    }
+}

@@ -1,0 +1,279 @@
+//! eBPF instruction encoding (the classic 64-bit fixed-width ISA).
+//!
+//! Instructions are `{code, dst, src, off, imm}`; 64-bit immediates use
+//! the two-slot `LDDW` form. The subset covers everything the generated
+//! descriptor accessors and the test programs need: ALU/ALU64, MEM
+//! loads/stores, conditional jumps, and EXIT.
+
+use std::fmt;
+
+/// Instruction classes (low 3 bits of the opcode).
+pub mod class {
+    pub const LD: u8 = 0x00;
+    pub const LDX: u8 = 0x01;
+    pub const ST: u8 = 0x02;
+    pub const STX: u8 = 0x03;
+    pub const ALU: u8 = 0x04;
+    pub const JMP: u8 = 0x05;
+    pub const JMP32: u8 = 0x06;
+    pub const ALU64: u8 = 0x07;
+}
+
+/// Memory access sizes (bits 3–4 for LD/ST classes).
+pub mod size {
+    pub const W: u8 = 0x00; // 4 bytes
+    pub const H: u8 = 0x08; // 2 bytes
+    pub const B: u8 = 0x10; // 1 byte
+    pub const DW: u8 = 0x18; // 8 bytes
+}
+
+/// Addressing modes (bits 5–7 for LD/ST classes).
+pub mod mode {
+    pub const IMM: u8 = 0x00;
+    pub const MEM: u8 = 0x60;
+}
+
+/// Source operand flag (bit 3 for ALU/JMP classes).
+pub mod srcop {
+    /// Use the 32-bit immediate.
+    pub const K: u8 = 0x00;
+    /// Use the source register.
+    pub const X: u8 = 0x08;
+}
+
+/// ALU operations (bits 4–7).
+pub mod alu {
+    pub const ADD: u8 = 0x00;
+    pub const SUB: u8 = 0x10;
+    pub const MUL: u8 = 0x20;
+    pub const DIV: u8 = 0x30;
+    pub const OR: u8 = 0x40;
+    pub const AND: u8 = 0x50;
+    pub const LSH: u8 = 0x60;
+    pub const RSH: u8 = 0x70;
+    pub const NEG: u8 = 0x80;
+    pub const MOD: u8 = 0x90;
+    pub const XOR: u8 = 0xa0;
+    pub const MOV: u8 = 0xb0;
+    pub const ARSH: u8 = 0xc0;
+}
+
+/// Jump operations (bits 4–7).
+pub mod jmp {
+    pub const JA: u8 = 0x00;
+    pub const JEQ: u8 = 0x10;
+    pub const JGT: u8 = 0x20;
+    pub const JGE: u8 = 0x30;
+    pub const JSET: u8 = 0x40;
+    pub const JNE: u8 = 0x50;
+    pub const JSGT: u8 = 0x60;
+    pub const JSGE: u8 = 0x70;
+    pub const CALL: u8 = 0x80;
+    pub const EXIT: u8 = 0x90;
+    pub const JLT: u8 = 0xa0;
+    pub const JLE: u8 = 0xb0;
+    pub const JSLT: u8 = 0xc0;
+    pub const JSLE: u8 = 0xd0;
+}
+
+/// XDP program return codes.
+pub mod xdp_action {
+    pub const ABORTED: u64 = 0;
+    pub const DROP: u64 = 1;
+    pub const PASS: u64 = 2;
+    pub const TX: u64 = 3;
+    pub const REDIRECT: u64 = 4;
+}
+
+/// One 8-byte eBPF instruction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    pub code: u8,
+    /// Destination register (0–10).
+    pub dst: u8,
+    /// Source register (0–10).
+    pub src: u8,
+    pub off: i16,
+    pub imm: i32,
+}
+
+impl Insn {
+    pub const fn new(code: u8, dst: u8, src: u8, off: i16, imm: i32) -> Insn {
+        Insn { code, dst, src, off, imm }
+    }
+
+    /// Instruction class.
+    pub fn class(&self) -> u8 {
+        self.code & 0x07
+    }
+
+    /// Whether this is the first slot of an LDDW (64-bit immediate load).
+    pub fn is_lddw(&self) -> bool {
+        self.code == class::LD | mode::IMM | size::DW
+    }
+
+    /// Encode to the canonical 8-byte little-endian form.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.code;
+        b[1] = (self.src << 4) | (self.dst & 0x0F);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decode from the canonical 8-byte form.
+    pub fn decode(b: &[u8; 8]) -> Insn {
+        Insn {
+            code: b[0],
+            dst: b[1] & 0x0F,
+            src: b[1] >> 4,
+            off: i16::from_le_bytes([b[2], b[3]]),
+            imm: i32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.class();
+        match c {
+            class::ALU | class::ALU64 => {
+                let w = if c == class::ALU64 { "64" } else { "32" };
+                let op = match self.code & 0xF0 {
+                    alu::ADD => "add",
+                    alu::SUB => "sub",
+                    alu::MUL => "mul",
+                    alu::DIV => "div",
+                    alu::OR => "or",
+                    alu::AND => "and",
+                    alu::LSH => "lsh",
+                    alu::RSH => "rsh",
+                    alu::NEG => "neg",
+                    alu::MOD => "mod",
+                    alu::XOR => "xor",
+                    alu::MOV => "mov",
+                    alu::ARSH => "arsh",
+                    _ => "alu?",
+                };
+                if self.code & srcop::X != 0 {
+                    write!(f, "{op}{w} r{}, r{}", self.dst, self.src)
+                } else {
+                    write!(f, "{op}{w} r{}, {}", self.dst, self.imm)
+                }
+            }
+            class::LDX => write!(
+                f,
+                "ldx{} r{}, [r{}{:+}]",
+                size_str(self.code),
+                self.dst,
+                self.src,
+                self.off
+            ),
+            class::STX => write!(
+                f,
+                "stx{} [r{}{:+}], r{}",
+                size_str(self.code),
+                self.dst,
+                self.off,
+                self.src
+            ),
+            class::ST => write!(
+                f,
+                "st{} [r{}{:+}], {}",
+                size_str(self.code),
+                self.dst,
+                self.off,
+                self.imm
+            ),
+            class::LD if self.is_lddw() => write!(f, "lddw r{}, {}(lo)", self.dst, self.imm),
+            class::JMP | class::JMP32 => {
+                let op = match self.code & 0xF0 {
+                    jmp::JA => return write!(f, "ja {:+}", self.off),
+                    jmp::JEQ => "jeq",
+                    jmp::JGT => "jgt",
+                    jmp::JGE => "jge",
+                    jmp::JSET => "jset",
+                    jmp::JNE => "jne",
+                    jmp::JSGT => "jsgt",
+                    jmp::JSGE => "jsge",
+                    jmp::JLT => "jlt",
+                    jmp::JLE => "jle",
+                    jmp::JSLT => "jslt",
+                    jmp::JSLE => "jsle",
+                    jmp::CALL => return write!(f, "call {}", self.imm),
+                    jmp::EXIT => return write!(f, "exit"),
+                    _ => "jmp?",
+                };
+                if self.code & srcop::X != 0 {
+                    write!(f, "{op} r{}, r{}, {:+}", self.dst, self.src, self.off)
+                } else {
+                    write!(f, "{op} r{}, {}, {:+}", self.dst, self.imm, self.off)
+                }
+            }
+            _ => write!(f, "op {:#04x}", self.code),
+        }
+    }
+}
+
+fn size_str(code: u8) -> &'static str {
+    match code & 0x18 {
+        size::W => "w",
+        size::H => "h",
+        size::B => "b",
+        size::DW => "dw",
+        _ => "?",
+    }
+}
+
+/// Number of bytes accessed by a LD/ST of this opcode.
+pub fn access_size(code: u8) -> u32 {
+    match code & 0x18 {
+        size::W => 4,
+        size::H => 2,
+        size::B => 1,
+        size::DW => 8,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let i = Insn::new(class::ALU64 | alu::MOV | srcop::K, 3, 0, 0, -42);
+        assert_eq!(Insn::decode(&i.encode()), i);
+        let j = Insn::new(class::LDX | mode::MEM | size::H, 2, 1, 14, 0);
+        assert_eq!(Insn::decode(&j.encode()), j);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mov = Insn::new(class::ALU64 | alu::MOV | srcop::K, 0, 0, 0, 2);
+        assert_eq!(format!("{mov}"), "mov64 r0, 2");
+        let ldx = Insn::new(class::LDX | mode::MEM | size::W, 2, 1, 8, 0);
+        assert_eq!(format!("{ldx}"), "ldxw r2, [r1+8]");
+        let jeq = Insn::new(class::JMP | jmp::JEQ | srcop::X, 1, 2, 5, 0);
+        assert_eq!(format!("{jeq}"), "jeq r1, r2, +5");
+        let exit = Insn::new(class::JMP | jmp::EXIT, 0, 0, 0, 0);
+        assert_eq!(format!("{exit}"), "exit");
+    }
+
+    #[test]
+    fn access_sizes() {
+        assert_eq!(access_size(class::LDX | mode::MEM | size::B), 1);
+        assert_eq!(access_size(class::LDX | mode::MEM | size::H), 2);
+        assert_eq!(access_size(class::LDX | mode::MEM | size::W), 4);
+        assert_eq!(access_size(class::LDX | mode::MEM | size::DW), 8);
+    }
+
+    #[test]
+    fn lddw_detection() {
+        let lddw = Insn::new(class::LD | mode::IMM | size::DW, 1, 0, 0, 7);
+        assert!(lddw.is_lddw());
+        let ldx = Insn::new(class::LDX | mode::MEM | size::DW, 1, 1, 0, 0);
+        assert!(!ldx.is_lddw());
+    }
+}

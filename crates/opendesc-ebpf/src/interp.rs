@@ -1,0 +1,456 @@
+//! eBPF virtual machine: executes programs against an [`XdpContext`].
+//!
+//! The VM enforces memory safety *at runtime* (every access is
+//! bounds-checked against its region), independently of the static
+//! verifier. Tests run adversarial programs through both: the verifier
+//! must reject anything the VM would fault on.
+
+use crate::insn::{access_size, alu, class, jmp, srcop, Insn};
+use crate::xdp::{base, ctx_off, XdpContext};
+use std::fmt;
+
+/// Runtime execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Memory access outside any region.
+    OutOfBounds { addr: u64, len: u32, pc: usize },
+    /// Write to a read-only region (context).
+    ReadOnly { addr: u64, pc: usize },
+    /// Unknown or unsupported opcode.
+    BadOpcode { code: u8, pc: usize },
+    /// Jump target outside the program.
+    BadJump { pc: usize, target: i64 },
+    /// Instruction budget exhausted (runaway program).
+    Timeout,
+    /// Truncated LDDW pair.
+    TruncatedLddw { pc: usize },
+    /// Helper calls are not part of this subset.
+    UnsupportedCall { imm: i32, pc: usize },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { addr, len, pc } => {
+                write!(f, "out-of-bounds access of {len} bytes at {addr:#x} (pc {pc})")
+            }
+            VmError::ReadOnly { addr, pc } => {
+                write!(f, "write to read-only address {addr:#x} (pc {pc})")
+            }
+            VmError::BadOpcode { code, pc } => write!(f, "bad opcode {code:#04x} (pc {pc})"),
+            VmError::BadJump { pc, target } => write!(f, "jump from pc {pc} to {target}"),
+            VmError::Timeout => write!(f, "instruction budget exhausted"),
+            VmError::TruncatedLddw { pc } => write!(f, "truncated lddw at pc {pc}"),
+            VmError::UnsupportedCall { imm, pc } => {
+                write!(f, "unsupported helper call {imm} (pc {pc})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmStats {
+    pub insns_executed: u64,
+}
+
+/// The virtual machine.
+pub struct Vm {
+    /// Max instructions per run.
+    pub insn_budget: u64,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Vm { insn_budget: 1_000_000 }
+    }
+}
+
+impl Vm {
+    /// Run `prog` over `ctx`; returns (r0, stats).
+    pub fn run(&self, prog: &[Insn], ctx: &XdpContext) -> Result<(u64, VmStats), VmError> {
+        let mut regs = [0u64; 11];
+        let mut stack = [0u8; base::STACK_SIZE as usize];
+        // Context object bytes: four 64-bit pointers.
+        let mut ctx_obj = [0u8; ctx_off::SIZE as usize];
+        ctx_obj[0..8].copy_from_slice(&base::PKT.to_le_bytes());
+        ctx_obj[8..16].copy_from_slice(&(base::PKT + ctx.packet.len() as u64).to_le_bytes());
+        ctx_obj[16..24].copy_from_slice(&base::META.to_le_bytes());
+        ctx_obj[24..32].copy_from_slice(&(base::META + ctx.metadata.len() as u64).to_le_bytes());
+
+        regs[1] = base::CTX;
+        regs[10] = base::STACK_TOP;
+
+        let mut pc: usize = 0;
+        let mut stats = VmStats::default();
+        loop {
+            if stats.insns_executed >= self.insn_budget {
+                return Err(VmError::Timeout);
+            }
+            let Some(insn) = prog.get(pc) else {
+                return Err(VmError::BadJump { pc: pc.saturating_sub(1), target: pc as i64 });
+            };
+            stats.insns_executed += 1;
+            if insn.dst > 10 || insn.src > 10 {
+                return Err(VmError::BadOpcode { code: insn.code, pc });
+            }
+            let cls = insn.class();
+            match cls {
+                class::ALU64 | class::ALU => {
+                    let op = insn.code & 0xF0;
+                    let rhs = if insn.code & srcop::X != 0 {
+                        regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let dst = insn.dst as usize;
+                    let lhs = regs[dst];
+                    let val = match op {
+                        alu::ADD => lhs.wrapping_add(rhs),
+                        alu::SUB => lhs.wrapping_sub(rhs),
+                        alu::MUL => lhs.wrapping_mul(rhs),
+                        // Per the eBPF spec, division by zero yields 0.
+                        alu::DIV => lhs.checked_div(rhs).unwrap_or(0),
+                        alu::MOD => lhs.checked_rem(rhs).unwrap_or(lhs),
+                        alu::OR => lhs | rhs,
+                        alu::AND => lhs & rhs,
+                        alu::LSH => lhs.wrapping_shl(rhs as u32 & 63),
+                        alu::RSH => lhs.wrapping_shr(rhs as u32 & 63),
+                        alu::NEG => (lhs as i64).wrapping_neg() as u64,
+                        alu::XOR => lhs ^ rhs,
+                        alu::MOV => rhs,
+                        alu::ARSH => ((lhs as i64) >> (rhs as u32 & 63)) as u64,
+                        _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                    };
+                    regs[dst] = if cls == class::ALU {
+                        // 32-bit ops operate on and zero-extend the low half.
+                        let l32 = lhs as u32;
+                        let r32 = rhs as u32;
+                        (match op {
+                            alu::ADD => l32.wrapping_add(r32),
+                            alu::SUB => l32.wrapping_sub(r32),
+                            alu::MUL => l32.wrapping_mul(r32),
+                            alu::DIV => l32.checked_div(r32).unwrap_or(0),
+                            alu::MOD => l32.checked_rem(r32).unwrap_or(l32),
+                            alu::OR => l32 | r32,
+                            alu::AND => l32 & r32,
+                            alu::LSH => l32.wrapping_shl(r32 & 31),
+                            alu::RSH => l32.wrapping_shr(r32 & 31),
+                            alu::NEG => (l32 as i32).wrapping_neg() as u32,
+                            alu::XOR => l32 ^ r32,
+                            alu::MOV => r32,
+                            alu::ARSH => ((l32 as i32) >> (r32 & 31)) as u32,
+                            _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                        }) as u64
+                    } else {
+                        val
+                    };
+                    pc += 1;
+                }
+                class::LD => {
+                    if insn.is_lddw() {
+                        let Some(hi) = prog.get(pc + 1) else {
+                            return Err(VmError::TruncatedLddw { pc });
+                        };
+                        regs[insn.dst as usize] =
+                            (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                        pc += 2;
+                    } else {
+                        return Err(VmError::BadOpcode { code: insn.code, pc });
+                    }
+                }
+                class::LDX => {
+                    let addr = regs[insn.src as usize].wrapping_add(insn.off as i64 as u64);
+                    let len = access_size(insn.code);
+                    let v = self.load(addr, len, ctx, &ctx_obj, &stack, pc)?;
+                    regs[insn.dst as usize] = v;
+                    pc += 1;
+                }
+                class::STX | class::ST => {
+                    let addr = regs[insn.dst as usize].wrapping_add(insn.off as i64 as u64);
+                    let len = access_size(insn.code);
+                    let v = if cls == class::STX {
+                        regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    self.store(addr, len, v, ctx, &mut stack, pc)?;
+                    pc += 1;
+                }
+                class::JMP => {
+                    let op = insn.code & 0xF0;
+                    if op == jmp::EXIT {
+                        return Ok((regs[0], stats));
+                    }
+                    if op == jmp::CALL {
+                        return Err(VmError::UnsupportedCall { imm: insn.imm, pc });
+                    }
+                    let rhs = if insn.code & srcop::X != 0 {
+                        regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let lhs = regs[insn.dst as usize];
+                    let taken = match op {
+                        jmp::JA => true,
+                        jmp::JEQ => lhs == rhs,
+                        jmp::JNE => lhs != rhs,
+                        jmp::JGT => lhs > rhs,
+                        jmp::JGE => lhs >= rhs,
+                        jmp::JLT => lhs < rhs,
+                        jmp::JLE => lhs <= rhs,
+                        jmp::JSET => lhs & rhs != 0,
+                        jmp::JSGT => (lhs as i64) > rhs as i64,
+                        jmp::JSGE => (lhs as i64) >= rhs as i64,
+                        jmp::JSLT => (lhs as i64) < (rhs as i64),
+                        jmp::JSLE => (lhs as i64) <= rhs as i64,
+                        _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                    };
+                    if taken {
+                        let target = pc as i64 + 1 + insn.off as i64;
+                        if target < 0 || target as usize > prog.len() {
+                            return Err(VmError::BadJump { pc, target });
+                        }
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+            }
+        }
+    }
+
+    fn load(
+        &self,
+        addr: u64,
+        len: u32,
+        ctx: &XdpContext,
+        ctx_obj: &[u8],
+        stack: &[u8],
+        pc: usize,
+    ) -> Result<u64, VmError> {
+        let slice = self
+            .region(addr, len, ctx, ctx_obj, stack)
+            .ok_or(VmError::OutOfBounds { addr, len, pc })?;
+        let mut b = [0u8; 8];
+        b[..len as usize].copy_from_slice(slice);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn store(
+        &self,
+        addr: u64,
+        len: u32,
+        value: u64,
+        ctx: &XdpContext,
+        stack: &mut [u8],
+        pc: usize,
+    ) -> Result<(), VmError> {
+        // Only the stack is writable in this subset (accessor programs
+        // never write packets).
+        let lo = base::STACK_TOP - base::STACK_SIZE;
+        if addr >= lo && addr.saturating_add(len as u64) <= base::STACK_TOP {
+            let off = (addr - lo) as usize;
+            stack[off..off + len as usize].copy_from_slice(&value.to_le_bytes()[..len as usize]);
+            return Ok(());
+        }
+        // A store that would land inside a mapped read-only object is a
+        // distinct error from a wild store.
+        let in_ctx = addr >= base::CTX && addr < base::CTX + ctx_off::SIZE as u64;
+        let in_pkt = addr >= base::PKT && addr < base::PKT + ctx.packet.len() as u64;
+        let in_meta = addr >= base::META && addr < base::META + ctx.metadata.len() as u64;
+        if in_ctx || in_pkt || in_meta {
+            return Err(VmError::ReadOnly { addr, pc });
+        }
+        Err(VmError::OutOfBounds { addr, len, pc })
+    }
+
+    fn region<'m>(
+        &self,
+        addr: u64,
+        len: u32,
+        ctx: &'m XdpContext,
+        ctx_obj: &'m [u8],
+        stack: &'m [u8],
+    ) -> Option<&'m [u8]> {
+        let end = addr.checked_add(len as u64)?;
+        let slice_in = |base_addr: u64, buf: &'m [u8]| -> Option<&'m [u8]> {
+            let lo = addr.checked_sub(base_addr)? as usize;
+            let hi = end.checked_sub(base_addr)? as usize;
+            buf.get(lo..hi)
+        };
+        if addr >= base::CTX && end <= base::CTX + ctx_off::SIZE as u64 {
+            return slice_in(base::CTX, ctx_obj);
+        }
+        if addr >= base::PKT && end <= base::PKT + ctx.packet.len() as u64 {
+            return slice_in(base::PKT, &ctx.packet);
+        }
+        if addr >= base::META && end <= base::META + ctx.metadata.len() as u64 {
+            return slice_in(base::META, &ctx.metadata);
+        }
+        let stack_lo = base::STACK_TOP - base::STACK_SIZE;
+        if addr >= stack_lo && end <= base::STACK_TOP {
+            return slice_in(stack_lo, stack);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{reg, Asm};
+    use crate::insn::{jmp, size, xdp_action};
+
+    fn run(prog: &[Insn], ctx: &XdpContext) -> Result<u64, VmError> {
+        Vm::default().run(prog, ctx).map(|(r0, _)| r0)
+    }
+
+    #[test]
+    fn return_constant() {
+        let mut a = Asm::new();
+        a.mov64_imm(reg::R0, xdp_action::PASS as i32).exit();
+        let ctx = XdpContext::new(vec![], vec![]);
+        assert_eq!(run(&a.build(), &ctx), Ok(xdp_action::PASS));
+    }
+
+    #[test]
+    fn read_packet_byte_with_bounds_check() {
+        // r2 = ctx->data; r3 = ctx->data_end;
+        // if r2 + 1 > r3 goto drop; r0 = *(u8*)r2; exit
+        let mut a = Asm::new();
+        a.ldx(size::DW, reg::R2, reg::R1, ctx_off::DATA)
+            .ldx(size::DW, reg::R3, reg::R1, ctx_off::DATA_END)
+            .mov64_reg(reg::R4, reg::R2)
+            .alu64_imm(crate::insn::alu::ADD, reg::R4, 1)
+            .jmp_reg(jmp::JGT, reg::R4, reg::R3, "drop")
+            .ldx(size::B, reg::R0, reg::R2, 0)
+            .exit()
+            .label("drop")
+            .mov64_imm(reg::R0, xdp_action::DROP as i32)
+            .exit();
+        let prog = a.build();
+        assert_eq!(run(&prog, &XdpContext::new(vec![0xAB], vec![])), Ok(0xAB));
+        // Empty packet takes the drop branch instead of faulting.
+        assert_eq!(
+            run(&prog, &XdpContext::new(vec![], vec![])),
+            Ok(xdp_action::DROP)
+        );
+    }
+
+    #[test]
+    fn metadata_reads_little_endian() {
+        let mut a = Asm::new();
+        a.ldx(size::DW, reg::R2, reg::R1, ctx_off::META)
+            .ldx(size::W, reg::R0, reg::R2, 0)
+            .exit();
+        let ctx = XdpContext::new(vec![], vec![0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(run(&a.build(), &ctx), Ok(0x12345678));
+    }
+
+    #[test]
+    fn unchecked_oob_read_faults() {
+        let mut a = Asm::new();
+        a.ldx(size::DW, reg::R2, reg::R1, ctx_off::META)
+            .ldx(size::W, reg::R0, reg::R2, 100)
+            .exit();
+        let ctx = XdpContext::new(vec![], vec![0u8; 8]);
+        assert!(matches!(
+            run(&a.build(), &ctx),
+            Err(VmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_read_write() {
+        let mut a = Asm::new();
+        a.mov64_imm(reg::R2, 0x1234)
+            .stx(size::H, reg::R10, -8, reg::R2)
+            .ldx(size::H, reg::R0, reg::R10, -8)
+            .exit();
+        assert_eq!(run(&a.build(), &XdpContext::new(vec![], vec![])), Ok(0x1234));
+    }
+
+    #[test]
+    fn stack_overflow_faults() {
+        let mut a = Asm::new();
+        a.stx(size::DW, reg::R10, -520, reg::R0).exit();
+        assert!(matches!(
+            run(&a.build(), &XdpContext::new(vec![], vec![])),
+            Err(VmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn packet_writes_rejected() {
+        let mut a = Asm::new();
+        a.ldx(size::DW, reg::R2, reg::R1, ctx_off::DATA)
+            .stx(size::B, reg::R2, 0, reg::R0)
+            .exit();
+        let ctx = XdpContext::new(vec![0u8; 4], vec![]);
+        assert!(matches!(run(&a.build(), &ctx), Err(VmError::ReadOnly { .. })));
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let mut a = Asm::new();
+        a.label("top").ja("top");
+        let vm = Vm { insn_budget: 1000 };
+        assert_eq!(
+            vm.run(&a.build(), &XdpContext::new(vec![], vec![])).unwrap_err(),
+            VmError::Timeout
+        );
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut a = Asm::new();
+        a.mov64_imm(reg::R0, 42)
+            .mov64_imm(reg::R2, 0)
+            .alu64_reg(crate::insn::alu::DIV, reg::R0, reg::R2)
+            .exit();
+        assert_eq!(run(&a.build(), &XdpContext::new(vec![], vec![])), Ok(0));
+    }
+
+    #[test]
+    fn alu32_zero_extends() {
+        let mut a = Asm::new();
+        a.lddw(reg::R0, 0xFFFF_FFFF_FFFF_FFFF)
+            .alu32_imm(crate::insn::alu::ADD, reg::R0, 1)
+            .exit();
+        assert_eq!(run(&a.build(), &XdpContext::new(vec![], vec![])), Ok(0));
+    }
+
+    #[test]
+    fn helper_calls_rejected() {
+        let mut a = Asm::new();
+        a.raw(Insn::new(class::JMP | jmp::CALL, 0, 0, 0, 1)).exit();
+        assert!(matches!(
+            run(&a.build(), &XdpContext::new(vec![], vec![])),
+            Err(VmError::UnsupportedCall { .. })
+        ));
+    }
+
+    #[test]
+    fn lddw_loads_full_64_bits() {
+        let mut a = Asm::new();
+        a.lddw(reg::R0, 0xDEADBEEF_CAFEF00D).exit();
+        assert_eq!(
+            run(&a.build(), &XdpContext::new(vec![], vec![])),
+            Ok(0xDEADBEEF_CAFEF00D)
+        );
+    }
+
+    #[test]
+    fn shifts_and_masks() {
+        let mut a = Asm::new();
+        a.mov64_imm(reg::R0, 0x00AB_CDEF)
+            .alu64_imm(crate::insn::alu::RSH, reg::R0, 8)
+            .alu64_imm(crate::insn::alu::AND, reg::R0, 0xFF)
+            .exit();
+        assert_eq!(run(&a.build(), &XdpContext::new(vec![], vec![])), Ok(0xCD));
+    }
+}

@@ -1,0 +1,64 @@
+//! XDP-style hook context.
+//!
+//! Mirrors the kernel's `xdp_md` idea with explicit 64-bit fields: the
+//! program receives a context pointer in r1 and reads packet/metadata
+//! bounds from it. OpenDesc points `meta`/`meta_end` at the raw NIC
+//! completion record — the "access to the descriptor can be bounded and
+//! therefore read safely from an eBPF program" path of paper §4.
+
+/// Field offsets within the context object (all 8-byte fields).
+pub mod ctx_off {
+    /// Packet data start pointer.
+    pub const DATA: i16 = 0;
+    /// Packet data end pointer.
+    pub const DATA_END: i16 = 8;
+    /// Metadata (descriptor) start pointer.
+    pub const META: i16 = 16;
+    /// Metadata (descriptor) end pointer.
+    pub const META_END: i16 = 24;
+    /// Total context size in bytes.
+    pub const SIZE: u32 = 32;
+}
+
+/// Synthetic base addresses for the VM's memory regions. Chosen far apart
+/// so accidental pointer arithmetic across regions faults.
+pub mod base {
+    pub const CTX: u64 = 0x0000_0100;
+    pub const PKT: u64 = 0x1_0000_0000;
+    pub const META: u64 = 0x2_0000_0000;
+    /// r10 value; the valid stack is `[STACK_TOP-512, STACK_TOP)`.
+    pub const STACK_TOP: u64 = 0x3_0000_0200;
+    pub const STACK_SIZE: u64 = 512;
+}
+
+/// An XDP invocation context: one packet and its descriptor metadata.
+#[derive(Debug, Clone)]
+pub struct XdpContext {
+    pub packet: Vec<u8>,
+    pub metadata: Vec<u8>,
+}
+
+impl XdpContext {
+    pub fn new(packet: impl Into<Vec<u8>>, metadata: impl Into<Vec<u8>>) -> Self {
+        XdpContext { packet: packet.into(), metadata: metadata.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(base::CTX + ctx_off::SIZE as u64 <= base::PKT);
+        assert!(base::PKT < base::META);
+        assert!(base::META < base::STACK_TOP - base::STACK_SIZE);
+    }
+
+    #[test]
+    fn context_holds_packet_and_metadata() {
+        let c = XdpContext::new(vec![1, 2, 3], vec![4, 5]);
+        assert_eq!(c.packet.len(), 3);
+        assert_eq!(c.metadata.len(), 2);
+    }
+}

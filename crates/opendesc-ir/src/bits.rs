@@ -1,0 +1,197 @@
+//! Bit-level packing helpers shared by the deparser interpreter, the NIC
+//! simulator's completion writeback, and the generated host accessors.
+//!
+//! Layout convention is network bit order, matching P4 header semantics:
+//! the first declared field occupies the most significant bits of byte 0,
+//! and multi-byte fields are big-endian. A field at `offset_bits = 12`,
+//! `width_bits = 8` spans the low nibble of byte 1 and the high nibble of
+//! byte 2.
+
+/// Write `width` bits of `value` into `buf` starting at absolute bit
+/// offset `offset`. Bits beyond `width` in `value` are ignored.
+///
+/// # Panics
+/// Panics if the range `[offset, offset + width)` does not fit in `buf`,
+/// or if `width > 128`.
+pub fn write_bits(buf: &mut [u8], offset: u32, width: u16, value: u128) {
+    assert!(width <= 128, "field width {width} exceeds 128 bits");
+    let end = offset as usize + width as usize;
+    assert!(
+        end <= buf.len() * 8,
+        "bit range {offset}..{end} out of buffer of {} bits",
+        buf.len() * 8
+    );
+    // Mask the value to its width so stray high bits cannot leak.
+    let value = if width == 128 {
+        value
+    } else {
+        value & ((1u128 << width) - 1)
+    };
+    for i in 0..width {
+        // Bit i of the field (0 = most significant) lands at absolute bit
+        // position offset + i; within a byte, bit 0 is the MSB (0x80).
+        let bit = (value >> (width - 1 - i)) & 1;
+        let abs = offset as usize + i as usize;
+        let byte = abs / 8;
+        let shift = 7 - (abs % 8);
+        if bit == 1 {
+            buf[byte] |= 1 << shift;
+        } else {
+            buf[byte] &= !(1 << shift);
+        }
+    }
+}
+
+/// Read `width` bits starting at absolute bit offset `offset` from `buf`.
+///
+/// # Panics
+/// Panics if the range does not fit in `buf` or `width > 128`.
+pub fn read_bits(buf: &[u8], offset: u32, width: u16) -> u128 {
+    assert!(width <= 128, "field width {width} exceeds 128 bits");
+    let end = offset as usize + width as usize;
+    assert!(
+        end <= buf.len() * 8,
+        "bit range {offset}..{end} out of buffer of {} bits",
+        buf.len() * 8
+    );
+    let mut out: u128 = 0;
+    for i in 0..width {
+        let abs = offset as usize + i as usize;
+        let byte = abs / 8;
+        let shift = 7 - (abs % 8);
+        let bit = (buf[byte] >> shift) & 1;
+        out = (out << 1) | bit as u128;
+    }
+    out
+}
+
+/// Fast path for byte-aligned fields of byte-multiple width: plain
+/// big-endian store. Generated accessors rely on this equivalence.
+pub fn write_bytes_be(buf: &mut [u8], offset_bytes: usize, width_bytes: usize, value: u128) {
+    assert!(width_bytes <= 16);
+    let be = value.to_be_bytes();
+    buf[offset_bytes..offset_bytes + width_bytes].copy_from_slice(&be[16 - width_bytes..]);
+}
+
+/// Fast path for byte-aligned reads; see [`write_bytes_be`].
+pub fn read_bytes_be(buf: &[u8], offset_bytes: usize, width_bytes: usize) -> u128 {
+    assert!(width_bytes <= 16);
+    let mut be = [0u8; 16];
+    be[16 - width_bytes..].copy_from_slice(&buf[offset_bytes..offset_bytes + width_bytes]);
+    u128::from_be_bytes(be)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aligned_big_endian_layout() {
+        let mut buf = [0u8; 8];
+        write_bits(&mut buf, 0, 32, 0xDEADBEEF);
+        assert_eq!(&buf[..4], &[0xDE, 0xAD, 0xBE, 0xEF]);
+        assert_eq!(read_bits(&buf, 0, 32), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn unaligned_field_straddles_bytes() {
+        let mut buf = [0u8; 2];
+        // 4-bit offset, 8-bit field: low nibble of byte 0 + high nibble of 1.
+        write_bits(&mut buf, 4, 8, 0xAB);
+        assert_eq!(buf, [0x0A, 0xB0]);
+        assert_eq!(read_bits(&buf, 4, 8), 0xAB);
+    }
+
+    #[test]
+    fn adjacent_fields_do_not_clobber() {
+        let mut buf = [0u8; 2];
+        write_bits(&mut buf, 0, 3, 0b101);
+        write_bits(&mut buf, 3, 5, 0b11111);
+        write_bits(&mut buf, 8, 8, 0x5A);
+        assert_eq!(read_bits(&buf, 0, 3), 0b101);
+        assert_eq!(read_bits(&buf, 3, 5), 0b11111);
+        assert_eq!(read_bits(&buf, 8, 8), 0x5A);
+    }
+
+    #[test]
+    fn overwrite_clears_old_bits() {
+        let mut buf = [0xFFu8; 2];
+        write_bits(&mut buf, 4, 8, 0x00);
+        assert_eq!(buf, [0xF0, 0x0F]);
+    }
+
+    #[test]
+    fn value_masked_to_width() {
+        let mut buf = [0u8; 1];
+        write_bits(&mut buf, 0, 4, 0xFF);
+        assert_eq!(read_bits(&buf, 0, 4), 0xF);
+        assert_eq!(buf[0], 0xF0);
+    }
+
+    #[test]
+    fn full_128_bit_field() {
+        let mut buf = [0u8; 16];
+        let v = u128::MAX - 12345;
+        write_bits(&mut buf, 0, 128, v);
+        assert_eq!(read_bits(&buf, 0, 128), v);
+    }
+
+    #[test]
+    fn byte_helpers_match_bit_helpers() {
+        let mut a = [0u8; 8];
+        let mut b = [0u8; 8];
+        write_bits(&mut a, 16, 32, 0xCAFEBABE);
+        write_bytes_be(&mut b, 2, 4, 0xCAFEBABE);
+        assert_eq!(a, b);
+        assert_eq!(read_bytes_be(&a, 2, 4), read_bits(&a, 16, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of buffer")]
+    fn out_of_range_write_panics() {
+        let mut buf = [0u8; 1];
+        write_bits(&mut buf, 4, 8, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_field(
+            offset in 0u32..64,
+            width in 1u16..=64,
+            value in any::<u128>(),
+        ) {
+            let mut buf = [0u8; 16];
+            write_bits(&mut buf, offset, width, value);
+            let masked = if width == 128 { value } else { value & ((1u128 << width) - 1) };
+            prop_assert_eq!(read_bits(&buf, offset, width), masked);
+        }
+
+        #[test]
+        fn disjoint_fields_independent(
+            w1 in 1u16..=32,
+            w2 in 1u16..=32,
+            v1 in any::<u128>(),
+            v2 in any::<u128>(),
+        ) {
+            let mut buf = [0u8; 16];
+            write_bits(&mut buf, 0, w1, v1);
+            write_bits(&mut buf, w1 as u32, w2, v2);
+            let m1 = v1 & ((1u128 << w1) - 1);
+            let m2 = v2 & ((1u128 << w2) - 1);
+            prop_assert_eq!(read_bits(&buf, 0, w1), m1);
+            prop_assert_eq!(read_bits(&buf, w1 as u32, w2), m2);
+        }
+
+        #[test]
+        fn aligned_equivalence(off_bytes in 0usize..8, wb in 1usize..=8, v in any::<u128>()) {
+            let mut a = [0u8; 16];
+            let mut b = [0u8; 16];
+            let width = (wb * 8) as u16;
+            let masked = v & ((1u128 << width) - 1);
+            write_bits(&mut a, (off_bytes * 8) as u32, width, v);
+            write_bytes_be(&mut b, off_bytes, wb, masked);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

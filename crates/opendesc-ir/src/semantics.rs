@@ -1,0 +1,407 @@
+//! The semantic alphabet Σ (paper §4).
+//!
+//! Every metadata field a NIC emits or a host requests is tagged with a
+//! *semantic* — an interned name such as `rss_hash` or `ip_checksum` that
+//! both sides agree on via `@semantic("...")` annotations. The registry
+//! also carries the software-emulation cost `w : Σ → ℝ₊ ∪ {∞}` used by the
+//! selection objective (Eq. 1): missing semantics are recomputed by a
+//! SoftNIC shim at this per-packet cost, and semantics that software
+//! cannot recompute at all (e.g. a hardware arrival timestamp) have
+//! infinite cost.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned id of a semantic within a [`SemanticRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SemanticId(pub u32);
+
+/// Software-emulation cost of one semantic, in nanoseconds per packet.
+///
+/// `Infinite` marks semantics that software fundamentally cannot
+/// recompute (hardware timestamps, device-internal state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cost {
+    /// Finite per-packet cost, ns. A `per_byte` component models
+    /// payload-dependent work such as checksums over the packet body.
+    Finite { base_ns: f64, per_byte_ns: f64 },
+    Infinite,
+}
+
+impl Cost {
+    /// Flat cost helper.
+    pub const fn flat(base_ns: f64) -> Cost {
+        Cost::Finite { base_ns, per_byte_ns: 0.0 }
+    }
+
+    /// Evaluate for an average packet length.
+    pub fn eval(&self, avg_pkt_len: u32) -> f64 {
+        match self {
+            Cost::Finite { base_ns, per_byte_ns } => base_ns + per_byte_ns * avg_pkt_len as f64,
+            Cost::Infinite => f64::INFINITY,
+        }
+    }
+
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Cost::Infinite)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cost::Finite { base_ns, per_byte_ns } if *per_byte_ns == 0.0 => {
+                write!(f, "{base_ns}ns")
+            }
+            Cost::Finite { base_ns, per_byte_ns } => {
+                write!(f, "{base_ns}ns + {per_byte_ns}ns/B")
+            }
+            Cost::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Descriptor of one semantic.
+#[derive(Debug, Clone)]
+pub struct SemanticInfo {
+    pub name: String,
+    /// Natural bit width of the value (what an intent field should use).
+    pub width_bits: u16,
+    /// Software recomputation cost.
+    pub cost: Cost,
+    /// Human-readable description, used in generated documentation.
+    pub doc: String,
+}
+
+/// Interning registry for semantics, preloaded with the well-known set.
+#[derive(Debug, Clone)]
+pub struct SemanticRegistry {
+    infos: Vec<SemanticInfo>,
+    by_name: HashMap<String, SemanticId>,
+}
+
+/// Well-known semantic names, exposed as constants so host code can refer
+/// to them without typo risk.
+pub mod names {
+    /// Receive-side-scaling flow hash (Toeplitz over the 5-tuple).
+    pub const RSS_HASH: &str = "rss_hash";
+    /// IPv4 header checksum validity / value.
+    pub const IP_CHECKSUM: &str = "ip_checksum";
+    /// L4 (TCP/UDP) checksum validity / value.
+    pub const L4_CHECKSUM: &str = "l4_checksum";
+    /// Stripped 802.1Q VLAN tag control information.
+    pub const VLAN_TCI: &str = "vlan_tci";
+    /// Hardware arrival timestamp (device clock).
+    pub const TIMESTAMP: &str = "timestamp";
+    /// Wire length of the received frame.
+    pub const PKT_LEN: &str = "pkt_len";
+    /// Parsed packet-type bitmap (L2/L3/L4 kinds).
+    pub const PACKET_TYPE: &str = "packet_type";
+    /// Flow tag / mark from a device flow table.
+    pub const FLOW_TAG: &str = "flow_tag";
+    /// IPv4 identification field (legacy e1000 metadata).
+    pub const IP_ID: &str = "ip_id";
+    /// Byte offset of the L4 payload start.
+    pub const PAYLOAD_OFFSET: &str = "payload_offset";
+    /// Extracted key-value-store request key hash (FlexNIC-style L5
+    /// offload, the paper's Fig. 1 example).
+    pub const KVS_KEY_HASH: &str = "kvs_key_hash";
+    /// Queue/steering hint computed by the device.
+    pub const QUEUE_HINT: &str = "queue_hint";
+    /// Error/status bitmap for the received frame.
+    pub const RX_STATUS: &str = "rx_status";
+    /// Crypto context id for inline AES offload metadata.
+    pub const CRYPTO_CTX: &str = "crypto_ctx";
+
+    // --- TX-direction semantics: hints the NIC *consumes* from the
+    // --- transmit descriptor (paper §3, channel ①). The software cost is
+    // --- what the host pays to do the work itself when the layout cannot
+    // --- carry the hint.
+    /// Physical address of the frame buffer (structural; no fallback).
+    pub const BUF_ADDR: &str = "buf_addr";
+    /// Frame length (structural; no fallback).
+    pub const BUF_LEN: &str = "buf_len";
+    /// Request L4 checksum insertion on transmit.
+    pub const TX_L4_CSUM: &str = "tx_l4_csum_offload";
+    /// Request IPv4 header checksum insertion on transmit.
+    pub const TX_IP_CSUM: &str = "tx_ip_csum_offload";
+    /// Request 802.1Q tag insertion with the given TCI.
+    pub const TX_VLAN_INSERT: &str = "tx_vlan_insert";
+    /// TCP segmentation offload: maximum segment size.
+    pub const TX_TSO_MSS: &str = "tx_tso_mss";
+}
+
+impl Default for SemanticRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl SemanticRegistry {
+    /// Empty registry (tests only; real users want [`with_builtins`]).
+    ///
+    /// [`with_builtins`]: SemanticRegistry::with_builtins
+    pub fn empty() -> Self {
+        SemanticRegistry { infos: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Registry preloaded with the well-known semantics and their default
+    /// software costs. Costs are calibrated against the softnic reference
+    /// implementations (see `opendesc-softnic`), in ns per packet on a
+    /// nominal 3 GHz core.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::empty();
+        let defs: &[(&str, u16, Cost, &str)] = &[
+            (
+                names::RSS_HASH,
+                32,
+                Cost::flat(40.0),
+                "Toeplitz flow hash over the IP 5-tuple",
+            ),
+            (
+                names::IP_CHECKSUM,
+                16,
+                Cost::Finite { base_ns: 10.0, per_byte_ns: 0.15 },
+                "IPv4 header checksum (validity or raw value)",
+            ),
+            (
+                names::L4_CHECKSUM,
+                16,
+                Cost::Finite { base_ns: 12.0, per_byte_ns: 0.25 },
+                "TCP/UDP checksum over the full payload",
+            ),
+            (
+                names::VLAN_TCI,
+                16,
+                Cost::flat(6.0),
+                "stripped 802.1Q tag control information",
+            ),
+            (
+                names::TIMESTAMP,
+                64,
+                Cost::Infinite,
+                "hardware arrival timestamp; software cannot recover it",
+            ),
+            (names::PKT_LEN, 16, Cost::flat(1.0), "received frame length"),
+            (
+                names::PACKET_TYPE,
+                16,
+                Cost::flat(18.0),
+                "parsed L2/L3/L4 packet-type bitmap",
+            ),
+            (
+                names::FLOW_TAG,
+                32,
+                Cost::flat(55.0),
+                "flow-table tag (software emulates with a hash-table lookup)",
+            ),
+            (names::IP_ID, 16, Cost::flat(8.0), "IPv4 identification field"),
+            (
+                names::PAYLOAD_OFFSET,
+                16,
+                Cost::flat(14.0),
+                "offset of the L4 payload within the frame",
+            ),
+            (
+                names::KVS_KEY_HASH,
+                32,
+                Cost::Finite { base_ns: 30.0, per_byte_ns: 0.5 },
+                "hash of the key in a KVS request payload (L5 offload)",
+            ),
+            (
+                names::QUEUE_HINT,
+                16,
+                Cost::flat(25.0),
+                "device-computed steering hint",
+            ),
+            (names::RX_STATUS, 16, Cost::flat(2.0), "receive status bitmap"),
+            (
+                names::CRYPTO_CTX,
+                32,
+                Cost::Infinite,
+                "inline-crypto context id owned by the device",
+            ),
+            (
+                names::BUF_ADDR,
+                64,
+                Cost::Infinite,
+                "TX frame buffer address (structural)",
+            ),
+            (
+                names::BUF_LEN,
+                16,
+                Cost::Infinite,
+                "TX frame length (structural)",
+            ),
+            (
+                names::TX_L4_CSUM,
+                16,
+                Cost::Finite { base_ns: 12.0, per_byte_ns: 0.25 },
+                "L4 checksum insertion on transmit",
+            ),
+            (
+                names::TX_IP_CSUM,
+                16,
+                Cost::Finite { base_ns: 10.0, per_byte_ns: 0.15 },
+                "IPv4 header checksum insertion on transmit",
+            ),
+            (
+                names::TX_VLAN_INSERT,
+                16,
+                Cost::flat(15.0),
+                "802.1Q tag insertion on transmit (software memmove)",
+            ),
+            (
+                names::TX_TSO_MSS,
+                16,
+                Cost::Finite { base_ns: 400.0, per_byte_ns: 0.1 },
+                "TCP segmentation offload (software GSO fallback)",
+            ),
+        ];
+        for (name, width, cost, doc) in defs {
+            r.register(SemanticInfo {
+                name: (*name).into(),
+                width_bits: *width,
+                cost: *cost,
+                doc: (*doc).into(),
+            });
+        }
+        r
+    }
+
+    /// Register a semantic. Registering an existing name replaces its cost
+    /// and doc (applications may re-cost builtins for their workload) and
+    /// returns the existing id.
+    pub fn register(&mut self, info: SemanticInfo) -> SemanticId {
+        if let Some(&id) = self.by_name.get(&info.name) {
+            self.infos[id.0 as usize] = info;
+            return id;
+        }
+        let id = SemanticId(self.infos.len() as u32);
+        self.by_name.insert(info.name.clone(), id);
+        self.infos.push(info);
+        id
+    }
+
+    /// Register a custom semantic by name with a flat cost — the extension
+    /// hook the paper describes for application-defined offloads.
+    pub fn register_custom(
+        &mut self,
+        name: &str,
+        width_bits: u16,
+        cost: Cost,
+        doc: &str,
+    ) -> SemanticId {
+        self.register(SemanticInfo {
+            name: name.into(),
+            width_bits,
+            cost,
+            doc: doc.into(),
+        })
+    }
+
+    /// Look up a semantic id by name.
+    pub fn id(&self, name: &str) -> Option<SemanticId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up or create an id for `name`. Unknown semantics default to
+    /// infinite software cost: the compiler must not silently pretend it
+    /// can emulate something it has no implementation for.
+    pub fn intern(&mut self, name: &str) -> SemanticId {
+        if let Some(id) = self.id(name) {
+            return id;
+        }
+        self.register(SemanticInfo {
+            name: name.into(),
+            width_bits: 0,
+            cost: Cost::Infinite,
+            doc: format!("unknown semantic `{name}` (auto-interned)"),
+        })
+    }
+
+    /// Info for an id.
+    pub fn info(&self, id: SemanticId) -> &SemanticInfo {
+        &self.infos[id.0 as usize]
+    }
+
+    /// Name for an id.
+    pub fn name(&self, id: SemanticId) -> &str {
+        &self.infos[id.0 as usize].name
+    }
+
+    /// Software cost for an id.
+    pub fn cost(&self, id: SemanticId) -> Cost {
+        self.infos[id.0 as usize].cost
+    }
+
+    /// Override the cost of an existing semantic.
+    pub fn set_cost(&mut self, id: SemanticId, cost: Cost) {
+        self.infos[id.0 as usize].cost = cost;
+    }
+
+    /// Number of registered semantics.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterate over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SemanticId, &SemanticInfo)> {
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (SemanticId(i as u32), info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_present_with_expected_costs() {
+        let r = SemanticRegistry::with_builtins();
+        let rss = r.id(names::RSS_HASH).unwrap();
+        assert_eq!(r.name(rss), "rss_hash");
+        assert!(!r.cost(rss).is_infinite());
+        let ts = r.id(names::TIMESTAMP).unwrap();
+        assert!(r.cost(ts).is_infinite());
+    }
+
+    #[test]
+    fn intern_unknown_gets_infinite_cost() {
+        let mut r = SemanticRegistry::with_builtins();
+        let id = r.intern("totally_new_feature");
+        assert!(r.cost(id).is_infinite());
+        // Interning again returns the same id.
+        assert_eq!(r.intern("totally_new_feature"), id);
+    }
+
+    #[test]
+    fn register_custom_overrides_cost() {
+        let mut r = SemanticRegistry::with_builtins();
+        let id = r.register_custom("kvs_key_hash", 32, Cost::flat(99.0), "re-costed");
+        assert_eq!(Some(id), r.id(names::KVS_KEY_HASH));
+        assert_eq!(r.cost(id).eval(64), 99.0);
+    }
+
+    #[test]
+    fn cost_eval_includes_per_byte() {
+        let c = Cost::Finite { base_ns: 10.0, per_byte_ns: 0.5 };
+        assert_eq!(c.eval(100), 60.0);
+        assert!(Cost::Infinite.eval(1).is_infinite());
+    }
+
+    #[test]
+    fn ids_stable_across_lookups() {
+        let r = SemanticRegistry::with_builtins();
+        let a = r.id(names::VLAN_TCI).unwrap();
+        let b = r.id(names::VLAN_TCI).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r.iter().count(), r.len());
+    }
+}

@@ -1,0 +1,441 @@
+//! TX descriptor-layout enumeration from a `DescParser` (paper §3,
+//! channel ① — the host-produced transmit descriptor).
+//!
+//! The RX direction enumerates *completion paths* through the deparser;
+//! the TX direction mirrors it: each accept-terminated walk through the
+//! descriptor parser's state machine is one *descriptor layout* the NIC
+//! can consume, guarded by the `select` conditions on the per-queue H2C
+//! context. `@semantic` annotations on descriptor fields name the hints
+//! the NIC consumes (`buf_addr`, `buf_len`, `tx_l4_csum_offload`, ...).
+
+use crate::path::FieldSlot;
+use crate::pred::{solve, Assignment, CmpOp, Cond, FieldRef};
+use crate::semantics::{SemanticId, SemanticRegistry};
+use opendesc_p4::ast::{self, Transition};
+use opendesc_p4::diag::Diagnostics;
+use opendesc_p4::typecheck::{const_eval, CheckedProgram};
+use opendesc_p4::types::{ExternKind, Ty};
+use std::collections::BTreeSet;
+
+/// One descriptor layout the NIC's parser accepts.
+#[derive(Debug, Clone)]
+pub struct DescriptorLayout {
+    pub id: usize,
+    /// Conjunction of select guards (over the H2C context) on this walk.
+    pub guard: Vec<Cond>,
+    /// Flattened fields with absolute bit offsets within the descriptor.
+    pub slots: Vec<FieldSlot>,
+    pub size_bits: u32,
+    /// Semantics the NIC consumes from this layout.
+    pub consumes: BTreeSet<SemanticId>,
+    /// State names visited (diagnostic aid).
+    pub states: Vec<String>,
+}
+
+impl DescriptorLayout {
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bits.div_ceil(8)
+    }
+
+    /// Context assignment steering the queue onto this layout.
+    pub fn solve_context(&self) -> Option<Assignment> {
+        solve(&self.guard)
+    }
+
+    /// Slot consuming semantic `sem`.
+    pub fn slot_for(&self, sem: SemanticId) -> Option<&FieldSlot> {
+        self.slots.iter().find(|s| s.semantic == Some(sem))
+    }
+}
+
+/// Enumerate the layouts of parser `name`. Parser loops are rejected
+/// (descriptor formats are finite); select guards become layout guards.
+pub fn enumerate_tx_layouts(
+    checked: &CheckedProgram,
+    name: &str,
+    reg: &mut SemanticRegistry,
+) -> Result<Vec<DescriptorLayout>, Diagnostics> {
+    let mut diags = Diagnostics::new();
+    let Some(parser) = checked.program.parser(name) else {
+        diags.error(
+            format!("no parser named `{name}` in contract"),
+            opendesc_p4::span::Span::default(),
+        );
+        return Err(diags);
+    };
+    if !parser.type_params.is_empty() || parser.states.is_none() {
+        diags.error(
+            format!("parser `{name}` is a bodiless template; enumeration needs a concrete parser"),
+            parser.name.span,
+        );
+        return Err(diags);
+    }
+
+    // Identify the desc_in param (extraction source) and build a field
+    // resolver over the other params (context + out descriptor).
+    let mut desc_param = None;
+    for p in &parser.params {
+        if matches!(checked.param_ty(p), Some(Ty::Extern(ExternKind::DescIn | ExternKind::PacketIn)))
+        {
+            desc_param = Some(p.name.name.clone());
+        }
+    }
+    let Some(desc_param) = desc_param else {
+        diags.error(
+            format!("parser `{name}` has no desc_in parameter"),
+            parser.name.span,
+        );
+        return Err(diags);
+    };
+
+    let states = parser.states.as_ref().unwrap();
+    let mut walker = Walker {
+        checked,
+        reg,
+        desc_param,
+        parser,
+        out: Vec::new(),
+        diags: Diagnostics::new(),
+    };
+    let mut guard = Vec::new();
+    let mut extracted = Vec::new();
+    let mut visited = Vec::new();
+    walker.walk("start", &mut guard, &mut extracted, &mut visited, 0);
+    if walker.diags.has_errors() {
+        return Err(walker.diags);
+    }
+    let _ = states;
+    Ok(walker.out)
+}
+
+struct Walker<'a> {
+    checked: &'a CheckedProgram,
+    reg: &'a mut SemanticRegistry,
+    desc_param: String,
+    parser: &'a ast::ParserDecl,
+    out: Vec<DescriptorLayout>,
+    diags: Diagnostics,
+}
+
+impl<'a> Walker<'a> {
+    fn state(&self, name: &str) -> Option<&'a ast::StateDecl> {
+        self.parser
+            .states
+            .as_ref()
+            .unwrap()
+            .iter()
+            .find(|s| s.name.name == name)
+    }
+
+    fn walk(
+        &mut self,
+        state_name: &str,
+        guard: &mut Vec<Cond>,
+        extracted: &mut Vec<opendesc_p4::types::HeaderId>,
+        visited: &mut Vec<String>,
+        depth: u32,
+    ) {
+        if depth > 64 {
+            self.diags.error(
+                "parser walk exceeded depth 64 (cyclic states?)",
+                self.parser.name.span,
+            );
+            return;
+        }
+        match state_name {
+            "accept" => {
+                self.out.push(self.materialize(guard, extracted, visited));
+                return;
+            }
+            "reject" => return,
+            _ => {}
+        }
+        let Some(st) = self.state(state_name) else {
+            self.diags.error(
+                format!("transition to unknown state `{state_name}`"),
+                self.parser.name.span,
+            );
+            return;
+        };
+        visited.push(state_name.to_string());
+        let extracted_before = extracted.len();
+        // Collect extracts in this state.
+        for stmt in &st.stmts {
+            if let ast::StmtKind::Expr(e) = &stmt.kind {
+                if let ast::ExprKind::Call { callee, args } = &e.kind {
+                    if let Some(path) = callee.as_path() {
+                        if path.len() == 2 && path[0] == self.desc_param && path[1] == "extract" {
+                            if let Some(hid) = self.resolve_header(&args[0]) {
+                                extracted.push(hid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match &st.transition {
+            None => {
+                self.out.push(self.materialize(guard, extracted, visited));
+            }
+            Some(Transition::Direct(t)) => {
+                self.walk(&t.name, guard, extracted, visited, depth + 1);
+            }
+            Some(Transition::Select { exprs, cases, .. }) => {
+                let field = exprs.first().and_then(|e| self.field_of(e));
+                let mut covered: Vec<u128> = Vec::new();
+                let mut saw_default = false;
+                for case in cases {
+                    let mut vals = Vec::new();
+                    let mut is_default = false;
+                    for m in &case.matches {
+                        match m {
+                            ast::SelectMatch::Default => is_default = true,
+                            ast::SelectMatch::Expr(e) => {
+                                if let Some(v) = const_eval(e, &self.checked.types) {
+                                    vals.push(v);
+                                }
+                            }
+                        }
+                    }
+                    let cond = if is_default {
+                        saw_default = true;
+                        match &field {
+                            Some(f) => Cond::And(
+                                covered
+                                    .iter()
+                                    .map(|v| Cond::Cmp {
+                                        field: f.clone(),
+                                        op: CmpOp::Ne,
+                                        value: *v,
+                                    })
+                                    .collect(),
+                            ),
+                            None => Cond::Opaque("select default".into()),
+                        }
+                    } else {
+                        covered.extend(&vals);
+                        match (&field, vals.len()) {
+                            (Some(f), 1) => Cond::Cmp {
+                                field: f.clone(),
+                                op: CmpOp::Eq,
+                                value: vals[0],
+                            },
+                            (Some(f), _) if !vals.is_empty() => Cond::Or(
+                                vals.iter()
+                                    .map(|v| Cond::Cmp {
+                                        field: f.clone(),
+                                        op: CmpOp::Eq,
+                                        value: *v,
+                                    })
+                                    .collect(),
+                            ),
+                            _ => Cond::Opaque("unanalyzable select match".into()),
+                        }
+                    };
+                    guard.push(cond);
+                    self.walk(&case.target.name, guard, extracted, visited, depth + 1);
+                    guard.pop();
+                }
+                // P4 select without default rejects unmatched inputs — no
+                // implicit layout.
+                let _ = saw_default;
+            }
+        }
+        extracted.truncate(extracted_before);
+        visited.pop();
+    }
+
+    fn materialize(
+        &self,
+        guard: &[Cond],
+        extracted: &[opendesc_p4::types::HeaderId],
+        visited: &[String],
+    ) -> DescriptorLayout {
+        let mut slots = Vec::new();
+        let mut offset = 0u32;
+        let mut consumes = BTreeSet::new();
+        for &hid in extracted {
+            let info = self.checked.types.header(hid);
+            for f in &info.fields {
+                let semantic = f
+                    .semantic
+                    .as_deref()
+                    .and_then(|s| self.reg.id(s));
+                slots.push(FieldSlot {
+                    name: format!("{}.{}", info.name, f.name),
+                    source: info.name.clone(),
+                    semantic,
+                    offset_bits: offset + f.offset_bits,
+                    width_bits: f.width_bits,
+                });
+                if let Some(s) = semantic {
+                    consumes.insert(s);
+                }
+            }
+            offset += info.width_bits;
+        }
+        DescriptorLayout {
+            id: self.out.len(),
+            guard: guard.to_vec(),
+            slots,
+            size_bits: offset,
+            consumes,
+            states: visited.to_vec(),
+        }
+    }
+
+    fn resolve_header(&mut self, arg: &ast::Expr) -> Option<opendesc_p4::types::HeaderId> {
+        let path = arg.as_path()?;
+        // Resolve through params: first segment is a param name.
+        let param = self
+            .parser
+            .params
+            .iter()
+            .find(|p| p.name.name == path[0])?;
+        let mut ty = self.checked.param_ty(param)?;
+        for seg in &path[1..] {
+            ty = match ty {
+                Ty::Struct(sid) => self.checked.types.struct_(sid).field(seg)?.ty,
+                _ => return None,
+            };
+        }
+        match ty {
+            Ty::Header(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn field_of(&mut self, e: &ast::Expr) -> Option<FieldRef> {
+        let path = e.as_path()?;
+        let param = self
+            .parser
+            .params
+            .iter()
+            .find(|p| p.name.name == path[0])?;
+        let mut ty = self.checked.param_ty(param)?;
+        for seg in &path[1..] {
+            ty = match ty {
+                Ty::Struct(sid) => self.checked.types.struct_(sid).field(seg)?.ty,
+                Ty::Header(hid) => Ty::Bit(self.checked.types.header(hid).field(seg)?.width_bits),
+                _ => return None,
+            };
+        }
+        let width = match ty {
+            Ty::Bit(w) => w,
+            Ty::Bool => 1,
+            Ty::Enum(id) => self.checked.types.enum_(id).repr_width,
+            _ => return None,
+        };
+        Some(FieldRef {
+            path: path.iter().map(|s| s.to_string()).collect(),
+            width,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opendesc_p4::typecheck::parse_and_check;
+
+    const QDMA_TX: &str = r#"
+        header base_t {
+            @semantic("buf_addr") bit<64> addr;
+            @semantic("buf_len")  bit<16> len;
+            bit<8> flags;
+            bit<8> qid;
+        }
+        header ext_t { @semantic("tx_l4_csum_offload") bit<32> csum_args; }
+        struct desc_t { base_t base; ext_t ext; }
+        struct h2c_ctx_t { bit<8> desc_size; }
+        parser DescParser(desc_in d, in h2c_ctx_t ctx, out desc_t hdr) {
+            state start {
+                d.extract(hdr.base);
+                transition select(ctx.desc_size) {
+                    12: accept;
+                    16: parse_ext;
+                    default: reject;
+                }
+            }
+            state parse_ext {
+                d.extract(hdr.ext);
+                transition accept;
+            }
+        }
+    "#;
+
+    fn layouts_of(src: &str, name: &str) -> (Vec<DescriptorLayout>, SemanticRegistry) {
+        let (checked, d) = parse_and_check(src);
+        assert!(!d.has_errors(), "{:?}", d.iter().map(|x| x.message.clone()).collect::<Vec<_>>());
+        let mut reg = SemanticRegistry::with_builtins();
+        let l = enumerate_tx_layouts(&checked, name, &mut reg).unwrap();
+        (l, reg)
+    }
+
+    #[test]
+    fn qdma_tx_two_layouts() {
+        let (layouts, reg) = layouts_of(QDMA_TX, "DescParser");
+        assert_eq!(layouts.len(), 2, "reject arm produces no layout");
+        let small = layouts.iter().find(|l| l.size_bytes() == 12).unwrap();
+        let big = layouts.iter().find(|l| l.size_bytes() == 16).unwrap();
+        let csum = reg.id("tx_l4_csum_offload").unwrap();
+        assert!(!small.consumes.contains(&csum));
+        assert!(big.consumes.contains(&csum));
+        // Guards solve to the right context values.
+        let sctx = small.solve_context().unwrap();
+        assert_eq!(sctx.values().next(), Some(&12));
+        let bctx = big.solve_context().unwrap();
+        assert_eq!(bctx.values().next(), Some(&16));
+    }
+
+    #[test]
+    fn slots_have_absolute_offsets() {
+        let (layouts, reg) = layouts_of(QDMA_TX, "DescParser");
+        let big = layouts.iter().find(|l| l.size_bytes() == 16).unwrap();
+        let addr = reg.id("buf_addr").unwrap();
+        let csum = reg.id("tx_l4_csum_offload").unwrap();
+        assert_eq!(big.slot_for(addr).unwrap().offset_bits, 0);
+        assert_eq!(big.slot_for(csum).unwrap().offset_bits, 96);
+        assert_eq!(big.states, vec!["start", "parse_ext"]);
+    }
+
+    #[test]
+    fn single_state_parser_single_layout() {
+        let src = r#"
+            header d_t { @semantic("buf_addr") bit<64> a; @semantic("buf_len") bit<16> l; bit<16> pad0; }
+            struct desc_t { d_t d; }
+            struct ctx_t { bit<1> r; }
+            parser P(desc_in x, in ctx_t ctx, out desc_t hdr) {
+                state start { x.extract(hdr.d); transition accept; }
+            }
+        "#;
+        let (layouts, _) = layouts_of(src, "P");
+        assert_eq!(layouts.len(), 1);
+        assert!(layouts[0].guard.is_empty());
+        assert_eq!(layouts[0].size_bytes(), 12);
+    }
+
+    #[test]
+    fn cyclic_parser_rejected() {
+        let src = r#"
+            header d_t { bit<8> a; }
+            struct desc_t { d_t d; }
+            parser P(desc_in x, out desc_t hdr) {
+                state start { transition spin; }
+                state spin { transition start; }
+            }
+        "#;
+        let (checked, d) = parse_and_check(src);
+        assert!(!d.has_errors());
+        let mut reg = SemanticRegistry::with_builtins();
+        let err = enumerate_tx_layouts(&checked, "P", &mut reg).unwrap_err();
+        assert!(err.iter().any(|x| x.message.contains("depth")));
+    }
+
+    #[test]
+    fn missing_parser_is_an_error() {
+        let (checked, _) = parse_and_check("header h_t { bit<8> a; }");
+        let mut reg = SemanticRegistry::with_builtins();
+        assert!(enumerate_tx_layouts(&checked, "Nope", &mut reg).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # opendesc-nicsim — simulated NICs executing OpenDesc contracts
+//!
+//! Substitutes for the hardware the paper targets (e1000/ixgbe-class
+//! fixed-function NICs, mlx5-class partially programmable NICs, QDMA-class
+//! fully programmable NICs). The simulator's completion writeback is
+//! driven by the *same contract* the compiler analyzes: either by
+//! interpreting the `CmptDeparser`, or by a fast table-driven path proven
+//! equivalent by tests. Includes descriptor rings, a PCIe/DMA cost model,
+//! an offload engine delegating to the softnic reference implementations,
+//! a deterministic workload generator, and fault injection.
+pub mod dma;
+pub mod ring;
+pub mod offload;
+pub mod models;
+pub mod nic;
+pub mod pktgen;
+pub mod hostmem;
+pub mod tx;
+pub mod aggregate;
+pub mod multiqueue;
+pub mod rxbuf;
+pub mod stream;
+
+pub use dma::{DmaConfig, DmaMeter};
+pub use models::{catalog, e1000_legacy, e1000e, ice, ixgbe, mlx5, qdma, qdma_default, NicModel, QdmaLayout};
+pub use nic::{FaultConfig, NicError, NicStats, SimNic, WritebackMode};
+pub use offload::{MetaRecord, OffloadEngine};
+pub use pktgen::{PktGen, Transport, Workload};
+pub use ring::{DescRing, RingError};
+pub use aggregate::{AsniAggregator, AsniFrame, AsniIter};
+pub use hostmem::HostMem;
+pub use multiqueue::{MultiQueueNic, SteerPolicy};
+pub use rxbuf::RxBufferPool;
+pub use stream::StreamQueue;
+pub use tx::TxStats;

@@ -1,0 +1,580 @@
+//! The simulated NIC: executes a model's contract against live traffic.
+//!
+//! `SimNic` wires together the offload engine, the completion ring, the
+//! DMA cost model, and — crucially — the *contract itself*: completion
+//! records are serialized by either interpreting the `CmptDeparser` AST
+//! (reference mode) or by a table-driven fast path derived from the
+//! enumerated completion layout. A property test asserts the two agree,
+//! which is exactly the host/NIC semantic-alignment property OpenDesc is
+//! about.
+
+use crate::dma::{DmaConfig, DmaMeter};
+use crate::hostmem::HostMem;
+use crate::models::NicModel;
+use crate::offload::{MetaRecord, OffloadEngine};
+use crate::ring::{DescRing, RingError};
+use opendesc_ir::bits::write_bits;
+use opendesc_ir::interp::run_deparser;
+use opendesc_ir::value::Value;
+use opendesc_ir::{
+    enumerate_paths, extract, Assignment, Cfg, CompletionPath, SemanticId, SemanticRegistry,
+    DEFAULT_MAX_PATHS,
+};
+use opendesc_p4::typecheck::{parse_and_check, CheckedProgram};
+use opendesc_p4::types::Ty;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How the simulated device serializes completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritebackMode {
+    /// Interpret the deparser AST for every packet (reference semantics).
+    Interpret,
+    /// Table-driven writeback from the active enumerated layout; falls
+    /// back to interpretation when the active path cannot be determined.
+    #[default]
+    Fast,
+}
+
+/// Fault injection knobs (in the smoltcp spirit: exercise the unhappy
+/// paths deterministically).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability \[0,1\] of dropping a frame before processing.
+    pub drop_chance: f64,
+    /// Probability \[0,1\] of flipping one byte of the completion record.
+    pub corrupt_chance: f64,
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, seed: 0x0DE5C }
+    }
+}
+
+/// Counters for one receive queue.
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    pub rx_frames: u64,
+    pub rx_bytes: u64,
+    pub completions: u64,
+    pub dropped_faults: u64,
+    pub dropped_ring_full: u64,
+    pub corrupted: u64,
+}
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NicError {
+    /// The model's contract failed to parse/check/extract.
+    BadContract(String),
+    /// The requested context assignment selects no completion path.
+    NoPathForContext,
+    Ring(RingError),
+}
+
+impl fmt::Display for NicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NicError::BadContract(m) => write!(f, "bad contract: {m}"),
+            NicError::NoPathForContext => write!(f, "context selects no completion path"),
+            NicError::Ring(e) => write!(f, "ring: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NicError {}
+
+/// A simulated NIC receive queue executing an OpenDesc contract.
+pub struct SimNic {
+    pub model: NicModel,
+    pub checked: CheckedProgram,
+    pub reg: SemanticRegistry,
+    pub cfg: Cfg,
+    pub paths: Vec<CompletionPath>,
+    /// Semantics the device computes (everything the contract's meta
+    /// struct mentions).
+    pub supported: Vec<SemanticId>,
+    engine: OffloadEngine,
+    context: Assignment,
+    active_path: Option<usize>,
+    mode: WritebackMode,
+    pub cq: DescRing,
+    pub dma_cfg: DmaConfig,
+    pub dma: DmaMeter,
+    pub stats: NicStats,
+    faults: FaultConfig,
+    fault_rng: SmallRng,
+    /// Received frames pending host pickup, parallel to completions.
+    rx_frames: std::collections::VecDeque<Vec<u8>>,
+    /// Transmit descriptor ring (host → device).
+    pub tx_ring: DescRing,
+    /// DMA-visible buffer pool TX descriptors point into.
+    pub host_mem: HostMem,
+    /// Per-queue H2C (TX) context programmed by the driver.
+    pub(crate) h2c_context: Assignment,
+    /// TX-side counters.
+    pub tx_stats: crate::tx::TxStats,
+    /// RX buffer-provisioning state (see [`crate::rxbuf`]).
+    pub rx_pool: crate::rxbuf::RxBufferPool,
+}
+
+impl SimNic {
+    /// Instantiate a NIC from a model, with a completion ring of
+    /// `ring_entries` slots.
+    pub fn new(model: NicModel, ring_entries: usize) -> Result<SimNic, NicError> {
+        let (checked, diags) = parse_and_check(&model.p4_source);
+        if diags.has_errors() {
+            return Err(NicError::BadContract(
+                diags
+                    .iter()
+                    .map(|d| d.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ));
+        }
+        let mut reg = SemanticRegistry::with_builtins();
+        let cfg = extract(&checked, &model.deparser, &mut reg)
+            .map_err(|d| {
+                NicError::BadContract(
+                    d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; "),
+                )
+            })?;
+        let paths = enumerate_paths(&cfg, DEFAULT_MAX_PATHS)
+            .map_err(|e| NicError::BadContract(e.to_string()))?;
+
+        // Supported semantics: every @semantic in the meta struct.
+        let mut supported = Vec::new();
+        if let Some(Ty::Struct(sid)) = checked.types.lookup(&model.meta_type) {
+            let sinfo = checked.types.struct_(sid).clone();
+            for f in &sinfo.fields {
+                if let Ty::Header(hid) = f.ty {
+                    for hf in &checked.types.header(hid).fields {
+                        if let Some(sem) = &hf.semantic {
+                            let id = reg.intern(sem);
+                            if !supported.contains(&id) {
+                                supported.push(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let slot = model.completion_slot_bytes.max(1);
+        let faults = FaultConfig::default();
+        let mut nic = SimNic {
+            checked,
+            reg,
+            cfg,
+            paths,
+            supported,
+            engine: OffloadEngine::default(),
+            context: Assignment::new(),
+            active_path: None,
+            mode: WritebackMode::default(),
+            cq: DescRing::new(ring_entries, slot),
+            dma_cfg: DmaConfig::default(),
+            dma: DmaMeter::default(),
+            stats: NicStats::default(),
+            fault_rng: SmallRng::seed_from_u64(faults.seed),
+            faults,
+            rx_frames: std::collections::VecDeque::new(),
+            tx_ring: DescRing::new(ring_entries, 64),
+            host_mem: HostMem::new(),
+            h2c_context: Assignment::new(),
+            tx_stats: crate::tx::TxStats::default(),
+            rx_pool: crate::rxbuf::RxBufferPool::default(),
+            model,
+        };
+        nic.refresh_active_path();
+        Ok(nic)
+    }
+
+    /// Set writeback mode.
+    pub fn set_mode(&mut self, mode: WritebackMode) {
+        self.mode = mode;
+    }
+
+    /// Configure fault injection.
+    pub fn set_faults(&mut self, faults: FaultConfig) {
+        self.fault_rng = SmallRng::seed_from_u64(faults.seed);
+        self.faults = faults;
+    }
+
+    /// Override the DMA link model.
+    pub fn set_dma_config(&mut self, cfg: DmaConfig) {
+        self.dma_cfg = cfg;
+    }
+
+    /// Program the per-queue context (the "MMIO writes" of the implicit
+    /// control channel). Typically the assignment comes straight from the
+    /// compiler's selected path.
+    pub fn configure(&mut self, context: Assignment) -> Result<(), NicError> {
+        self.context = context;
+        self.refresh_active_path();
+        if self.active_path.is_none() {
+            // Some layout must still serve (possibly via a default arm);
+            // Interpret mode can always run, so this is only an error if
+            // *no* path guard evaluates true.
+            return Err(NicError::NoPathForContext);
+        }
+        Ok(())
+    }
+
+    /// The completion path the current context selects.
+    pub fn active_path(&self) -> Option<&CompletionPath> {
+        self.active_path.map(|i| &self.paths[i])
+    }
+
+    fn refresh_active_path(&mut self) {
+        self.active_path = self.paths.iter().position(|p| {
+            p.guard
+                .iter()
+                .all(|c| c.eval(&self.context) == Some(true))
+        });
+    }
+
+    /// Deliver one frame from the wire. Computes offloads, serializes the
+    /// completion per the contract, and posts packet + completion.
+    pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
+        if self.faults.drop_chance > 0.0
+            && self.fault_rng.random::<f64>() < self.faults.drop_chance
+        {
+            self.stats.dropped_faults += 1;
+            return Ok(());
+        }
+        // Buffer mode: the frame needs a posted receive buffer; the DMA
+        // write happens here, ahead of the completion.
+        if self.rx_pool.enabled && !self.rx_buffer_write(frame) {
+            return Ok(());
+        }
+        let record = self.engine.process(&self.reg, &self.supported, frame);
+        let mut cmpt = match self.mode {
+            WritebackMode::Fast => match self.active_path {
+                Some(i) => self.fast_writeback(i, &record),
+                None => self.interpret_writeback(&record)?,
+            },
+            WritebackMode::Interpret => self.interpret_writeback(&record)?,
+        };
+        if self.faults.corrupt_chance > 0.0
+            && !cmpt.is_empty()
+            && self.fault_rng.random::<f64>() < self.faults.corrupt_chance
+        {
+            let idx = self.fault_rng.random_range(0..cmpt.len());
+            cmpt[idx] ^= 1 << self.fault_rng.random_range(0..8);
+            self.stats.corrupted += 1;
+        }
+        match self.cq.produce(&cmpt) {
+            Ok(()) => {}
+            Err(RingError::Full) => {
+                self.stats.dropped_ring_full += 1;
+                return Ok(());
+            }
+            Err(e) => return Err(NicError::Ring(e)),
+        }
+        self.cq.ring_doorbell();
+        self.dma.record(&self.dma_cfg, cmpt.len() as u32);
+        if !self.rx_pool.enabled {
+            self.rx_frames.push_back(frame.to_vec());
+        }
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += frame.len() as u64;
+        self.stats.completions += 1;
+        Ok(())
+    }
+
+    /// Host side: pop the next (frame, completion) pair. In buffer mode
+    /// the frame is read back from the posted host-memory buffer (and the
+    /// buffer recycled); otherwise from the internal copy queue.
+    pub fn receive(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        let cmpt = self.cq.consume()?.to_vec();
+        let frame = if self.rx_pool.enabled {
+            self.rx_buffer_read()?
+        } else {
+            self.rx_frames.pop_front()?
+        };
+        Some((frame, cmpt))
+    }
+
+    /// Table-driven completion writeback from enumerated layout `i`.
+    fn fast_writeback(&self, i: usize, record: &MetaRecord) -> Vec<u8> {
+        let path = &self.paths[i];
+        let mut buf = vec![0u8; path.size_bytes() as usize];
+        for slot in &path.slots {
+            if let Some(sem) = slot.semantic {
+                if let Some(v) = record.get(sem) {
+                    write_bits(&mut buf, slot.offset_bits, slot.width_bits, v);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Reference writeback: interpret the deparser AST.
+    fn interpret_writeback(&self, record: &MetaRecord) -> Result<Vec<u8>, NicError> {
+        let ctx = self.build_ctx_value();
+        let meta = self.build_meta_value(record);
+        let mut args = HashMap::new();
+        args.insert(self.model.ctx_param.clone(), ctx);
+        args.insert(self.model.meta_param.clone(), meta);
+        let run = run_deparser(&self.checked, &self.model.deparser, &args)
+            .map_err(|e| NicError::BadContract(e.to_string()))?;
+        Ok(run.output)
+    }
+
+    /// Build the context struct value from the programmed assignment.
+    fn build_ctx_value(&self) -> Value {
+        let Some(Ty::Struct(sid)) = self.checked.types.lookup(&self.model.ctx_type) else {
+            return Value::bits(0, 0);
+        };
+        let mut v = Value::struct_of(sid, &self.checked.types);
+        for (fref, val) in &self.context {
+            if fref.path.first().map(String::as_str) != Some(self.model.ctx_param.as_str()) {
+                continue;
+            }
+            let segs: Vec<&str> = fref.path[1..].iter().map(String::as_str).collect();
+            if let Some(slot) = v.get_path_mut(&segs) {
+                *slot = Value::bits(fref.width, *val);
+            }
+        }
+        v
+    }
+
+    /// Build the pipe_meta struct value from an offload record.
+    fn build_meta_value(&self, record: &MetaRecord) -> Value {
+        let Some(Ty::Struct(sid)) = self.checked.types.lookup(&self.model.meta_type) else {
+            return Value::bits(0, 0);
+        };
+        let mut v = Value::struct_of(sid, &self.checked.types);
+        let sinfo = self.checked.types.struct_(sid).clone();
+        for f in &sinfo.fields {
+            if let Ty::Header(hid) = f.ty {
+                let hinfo = self.checked.types.header(hid).clone();
+                if let Some(hv) = v.get_path_mut(&[f.name.as_str()]) {
+                    if let Value::Header { valid, fields, .. } = hv {
+                        *valid = true;
+                        for hf in &hinfo.fields {
+                            if let Some(sem_name) = &hf.semantic {
+                                if let Some(id) = self.reg.id(sem_name) {
+                                    if let Some(val) = record.get(id) {
+                                        let masked = if hf.width_bits >= 128 {
+                                            val
+                                        } else {
+                                            val & ((1u128 << hf.width_bits) - 1)
+                                        };
+                                        fields.insert(hf.name.clone(), masked);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Run a frame through the offload engine only (no rings): useful for
+    /// tests comparing writeback modes.
+    pub fn offload_record(&mut self, frame: &[u8]) -> MetaRecord {
+        self.engine.process(&self.reg, &self.supported, frame)
+    }
+
+    /// Serialize a record under both modes (test/diagnostic helper).
+    pub fn writeback_both(&self, record: &MetaRecord) -> Result<(Vec<u8>, Vec<u8>), NicError> {
+        let interp = self.interpret_writeback(record)?;
+        let fast = match self.active_path {
+            Some(i) => self.fast_writeback(i, record),
+            None => interp.clone(),
+        };
+        Ok((interp, fast))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use opendesc_ir::names;
+    use opendesc_ir::pred::{CmpOp, Cond, FieldRef};
+    use opendesc_softnic::testpkt;
+
+    fn asn(pairs: &[(&str, u16, u128)]) -> Assignment {
+        pairs
+            .iter()
+            .map(|(name, w, v)| (FieldRef::new(&["ctx", name], *w), *v))
+            .collect()
+    }
+
+    fn frame() -> Vec<u8> {
+        testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 9], 7777, 11211, b"get k1\r\n", Some(0x0064))
+    }
+
+    #[test]
+    fn e1000e_end_to_end_rss_path() {
+        let mut nic = SimNic::new(models::e1000e(), 64).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        nic.deliver(&frame()).unwrap();
+        let (f, cmpt) = nic.receive().unwrap();
+        assert_eq!(f, frame());
+        assert_eq!(cmpt.len(), 12);
+        // First 4 bytes are the RSS hash the softnic reference computes.
+        let mut soft = opendesc_softnic::SoftNic::new();
+        let want = soft.compute_by_name(names::RSS_HASH, &f).unwrap() as u32;
+        assert_eq!(u32::from_be_bytes(cmpt[..4].try_into().unwrap()), want);
+        // Base record: pkt_len at bytes 4..6.
+        assert_eq!(
+            u16::from_be_bytes(cmpt[4..6].try_into().unwrap()) as usize,
+            f.len()
+        );
+    }
+
+    #[test]
+    fn e1000e_csum_path_selected_by_context() {
+        let mut nic = SimNic::new(models::e1000e(), 64).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 0)])).unwrap();
+        let p = nic.active_path().unwrap();
+        let csum = nic.reg.id(names::IP_CHECKSUM).unwrap();
+        assert!(p.prov.contains(&csum));
+        nic.deliver(&frame()).unwrap();
+        let (_, cmpt) = nic.receive().unwrap();
+        // ip_id at 0..2 (testpkt uses 0x1234), csum status 0xFFFF at 2..4.
+        assert_eq!(&cmpt[..2], &0x1234u16.to_be_bytes());
+        assert_eq!(&cmpt[2..4], &[0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn fast_and_interpret_writeback_agree() {
+        for model in models::catalog() {
+            let mut nic = SimNic::new(model.clone(), 16).unwrap();
+            // Exercise every solvable path of the model.
+            for i in 0..nic.paths.len() {
+                let Some(ctx) = nic.paths[i].solve_context() else { continue };
+                nic.configure(ctx).unwrap();
+                let rec = nic.offload_record(&frame());
+                let (interp, fast) = nic.writeback_both(&rec).unwrap();
+                assert_eq!(
+                    interp, fast,
+                    "model {} path {i}: interpreter and fast writeback disagree",
+                    model.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mlx5_mini_cqe_is_8_bytes_full_is_64() {
+        let mut nic = SimNic::new(models::mlx5(), 16).unwrap();
+        nic.configure(asn(&[("cqe_format", 2, 1)])).unwrap();
+        nic.deliver(&frame()).unwrap();
+        let (_, mini) = nic.receive().unwrap();
+        assert_eq!(mini.len(), 8);
+        nic.configure(asn(&[("cqe_format", 2, 0)])).unwrap();
+        nic.deliver(&frame()).unwrap();
+        let (_, full) = nic.receive().unwrap();
+        assert_eq!(full.len(), 64);
+    }
+
+    #[test]
+    fn mlx5_full_cqe_carries_kvs_hash() {
+        let mut nic = SimNic::new(models::mlx5(), 16).unwrap();
+        nic.configure(asn(&[("cqe_format", 2, 0)])).unwrap();
+        let f = frame();
+        nic.deliver(&f).unwrap();
+        let (_, cqe) = nic.receive().unwrap();
+        let kvs = nic.reg.id(names::KVS_KEY_HASH).unwrap();
+        let slot = nic.active_path().unwrap().slot_for(kvs).unwrap().clone();
+        let got = opendesc_ir::bits::read_bits(&cqe, slot.offset_bits, slot.width_bits);
+        let want = opendesc_softnic::kvs_key_hash(b"get k1\r\n").unwrap() as u128;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unsolved_context_reports_error() {
+        let mut nic = SimNic::new(models::e1000e(), 16).unwrap();
+        // A contradictory context: use_rss must be 0 or 1; force a guard
+        // mismatch by programming a field no guard matches is impossible
+        // here (guards are exhaustive), so instead check a guard-violating
+        // assignment still selects some path.
+        assert!(nic.configure(asn(&[("use_rss", 1, 1)])).is_ok());
+        // Artificial: clear paths to simulate an unsatisfiable context.
+        nic.paths.iter_mut().for_each(|p| {
+            p.guard = vec![Cond::Cmp {
+                field: FieldRef::new(&["ctx", "use_rss"], 1),
+                op: CmpOp::Eq,
+                value: 7, // impossible for bit<1>
+            }];
+        });
+        assert_eq!(
+            nic.configure(asn(&[("use_rss", 1, 1)])),
+            Err(NicError::NoPathForContext)
+        );
+    }
+
+    #[test]
+    fn ring_full_counts_drops() {
+        let mut nic = SimNic::new(models::e1000_legacy(), 2, ).unwrap();
+        nic.configure(Assignment::new()).unwrap();
+        for _ in 0..5 {
+            nic.deliver(&frame()).unwrap();
+        }
+        assert_eq!(nic.stats.completions, 2);
+        assert_eq!(nic.stats.dropped_ring_full, 3);
+    }
+
+    #[test]
+    fn fault_injection_drops_and_corrupts() {
+        let mut nic = SimNic::new(models::e1000_legacy(), 1024).unwrap();
+        nic.configure(Assignment::new()).unwrap();
+        nic.set_faults(FaultConfig { drop_chance: 0.3, corrupt_chance: 0.3, seed: 42 });
+        for _ in 0..500 {
+            nic.deliver(&frame()).unwrap();
+        }
+        assert!(nic.stats.dropped_faults > 50, "{:?}", nic.stats);
+        assert!(nic.stats.corrupted > 50, "{:?}", nic.stats);
+        assert_eq!(
+            nic.stats.rx_frames + nic.stats.dropped_faults + nic.stats.dropped_ring_full,
+            500
+        );
+    }
+
+    #[test]
+    fn dma_meter_tracks_completion_bytes() {
+        let mut nic = SimNic::new(models::mlx5(), 256).unwrap();
+        nic.configure(asn(&[("cqe_format", 2, 1)])).unwrap();
+        for _ in 0..10 {
+            nic.deliver(&frame()).unwrap();
+        }
+        assert_eq!(nic.dma.bytes, 80, "10 mini-CQEs of 8 bytes");
+        assert!(nic.dma.busy_ns > 0.0);
+    }
+
+    #[test]
+    fn supported_semantics_derived_from_contract() {
+        let nic = SimNic::new(models::e1000_legacy(), 16).unwrap();
+        let names_: Vec<&str> = nic.supported.iter().map(|s| nic.reg.name(*s)).collect();
+        assert!(names_.contains(&"pkt_len"));
+        assert!(names_.contains(&"ip_checksum"));
+        assert!(names_.contains(&"vlan_tci"));
+        assert!(!names_.contains(&"rss_hash"), "legacy e1000 has no RSS");
+    }
+
+    #[test]
+    fn timestamps_flow_through_mlx5_full_cqe() {
+        let mut nic = SimNic::new(models::mlx5(), 16).unwrap();
+        nic.configure(asn(&[("cqe_format", 2, 0)])).unwrap();
+        nic.deliver(&frame()).unwrap();
+        nic.deliver(&frame()).unwrap();
+        let ts_sem = nic.reg.id(names::TIMESTAMP).unwrap();
+        let slot = nic.active_path().unwrap().slot_for(ts_sem).unwrap().clone();
+        let (_, c1) = nic.receive().unwrap();
+        let (_, c2) = nic.receive().unwrap();
+        let t1 = opendesc_ir::bits::read_bits(&c1, slot.offset_bits, slot.width_bits);
+        let t2 = opendesc_ir::bits::read_bits(&c2, slot.offset_bits, slot.width_bits);
+        assert!(t2 > t1, "device timestamps must advance: {t1} vs {t2}");
+    }
+}

@@ -1,0 +1,177 @@
+//! The simulated NIC's offload engine.
+//!
+//! For each received frame the engine produces a [`MetaRecord`]: the
+//! values of every semantic the device model supports. The completion
+//! deparser (executed from the contract) then serializes whichever subset
+//! the active layout carries. The engine delegates stateless semantics to
+//! the SoftNIC reference implementations — hardware and software compute
+//! identical values by construction — and adds the device-only ones
+//! (timestamps from the device clock).
+
+use opendesc_ir::semantics::{names, SemanticRegistry};
+use opendesc_ir::SemanticId;
+use opendesc_softnic::SoftNic;
+use std::collections::BTreeMap;
+
+/// Per-packet semantic values, keyed by semantic id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetaRecord {
+    values: BTreeMap<SemanticId, u128>,
+}
+
+impl MetaRecord {
+    pub fn get(&self, sem: SemanticId) -> Option<u128> {
+        self.values.get(&sem).copied()
+    }
+
+    pub fn set(&mut self, sem: SemanticId, value: u128) {
+        self.values.insert(sem, value);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (SemanticId, u128)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The device-side computation engine.
+#[derive(Debug, Clone)]
+pub struct OffloadEngine {
+    soft: SoftNic,
+    /// Device clock in nanoseconds; advances as frames arrive.
+    clock_ns: u64,
+    /// Link rate used to advance the clock per frame, bits per ns.
+    link_gbps: f64,
+    /// Monotonic crypto-context allocator (device-owned state).
+    next_crypto_ctx: u32,
+}
+
+impl Default for OffloadEngine {
+    fn default() -> Self {
+        Self::new(100.0)
+    }
+}
+
+impl OffloadEngine {
+    /// An engine on a link of `link_gbps` gigabits per second.
+    pub fn new(link_gbps: f64) -> Self {
+        OffloadEngine {
+            soft: SoftNic::new(),
+            clock_ns: 1_000, // arbitrary non-zero epoch
+            link_gbps,
+            next_crypto_ctx: 1,
+        }
+    }
+
+    /// Current device time.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Compute the values of `supported` semantics for `frame`, advancing
+    /// the device clock by the frame's wire time.
+    pub fn process(
+        &mut self,
+        reg: &SemanticRegistry,
+        supported: &[SemanticId],
+        frame: &[u8],
+    ) -> MetaRecord {
+        // Wire time: preamble(8) + frame + FCS(4) + IFG(12) bytes.
+        let wire_bytes = frame.len() as u64 + 24;
+        self.clock_ns += ((wire_bytes * 8) as f64 / self.link_gbps) as u64;
+
+        let mut rec = MetaRecord::default();
+        for &sem in supported {
+            let name = reg.name(sem).to_string();
+            let v = match name.as_str() {
+                names::TIMESTAMP => Some(self.clock_ns as u128),
+                names::CRYPTO_CTX => {
+                    let id = self.next_crypto_ctx;
+                    self.next_crypto_ctx = self.next_crypto_ctx.wrapping_add(1).max(1);
+                    Some(id as u128)
+                }
+                _ => self.soft.compute_by_name(&name, frame).map(|v| v as u128),
+            };
+            if let Some(v) = v {
+                rec.set(sem, v);
+            }
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opendesc_softnic::testpkt;
+
+    fn ids(reg: &SemanticRegistry, names_: &[&str]) -> Vec<SemanticId> {
+        names_.iter().map(|n| reg.id(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn process_fills_supported_semantics() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut eng = OffloadEngine::new(100.0);
+        let f = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1000, 2000, b"data", None);
+        let sems = ids(&reg, &[names::RSS_HASH, names::PKT_LEN, names::TIMESTAMP]);
+        let rec = eng.process(&reg, &sems, &f);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.get(reg.id(names::PKT_LEN).unwrap()), Some(f.len() as u128));
+        assert!(rec.get(reg.id(names::TIMESTAMP).unwrap()).unwrap() > 1000);
+    }
+
+    #[test]
+    fn clock_advances_with_frame_size() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut eng = OffloadEngine::new(10.0); // 10 Gbps
+        let t0 = eng.now_ns();
+        let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 1000], None);
+        eng.process(&reg, &[], &f);
+        let dt = eng.now_ns() - t0;
+        // ~ (1042+24)*8/10 ≈ 850 ns.
+        assert!(dt > 700 && dt < 1000, "wire time {dt} ns");
+    }
+
+    #[test]
+    fn timestamps_monotonic() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut eng = OffloadEngine::default();
+        let ts = reg.id(names::TIMESTAMP).unwrap();
+        let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", None);
+        let a = eng.process(&reg, &[ts], &f).get(ts).unwrap();
+        let b = eng.process(&reg, &[ts], &f).get(ts).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn unsupported_layers_leave_gaps() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut eng = OffloadEngine::default();
+        // A non-IP frame: VLAN semantic absent, RSS absent.
+        let frame = vec![0u8; 14]; // bare ethernet, ethertype 0
+        let sems = ids(&reg, &[names::RSS_HASH, names::VLAN_TCI, names::PKT_LEN]);
+        let rec = eng.process(&reg, &sems, &frame);
+        assert_eq!(rec.get(reg.id(names::RSS_HASH).unwrap()), None);
+        assert_eq!(rec.get(reg.id(names::VLAN_TCI).unwrap()), None);
+        assert_eq!(rec.get(reg.id(names::PKT_LEN).unwrap()), Some(14));
+    }
+
+    #[test]
+    fn crypto_ctx_ids_unique() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut eng = OffloadEngine::default();
+        let cc = reg.id(names::CRYPTO_CTX).unwrap();
+        let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", None);
+        let a = eng.process(&reg, &[cc], &f).get(cc).unwrap();
+        let b = eng.process(&reg, &[cc], &f).get(cc).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,251 @@
+//! Descriptor/completion rings: the shared-memory structures host and NIC
+//! exchange through (paper §3, channels ① and ④).
+//!
+//! A ring is a power-of-two array of fixed-size byte slots with a
+//! producer index, a consumer index, and a doorbell counter. The same
+//! type serves both directions: the host produces TX descriptors the NIC
+//! consumes, and the NIC produces RX completions the host consumes.
+
+use std::fmt;
+
+/// Error type for ring operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// No free slot: producer caught up with consumer.
+    Full,
+    /// Entry larger than the ring's slot size.
+    EntryTooLarge { len: usize, slot: usize },
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::Full => write!(f, "ring full"),
+            RingError::EntryTooLarge { len, slot } => {
+                write!(f, "entry of {len} bytes exceeds slot size {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// A single-producer single-consumer descriptor ring.
+#[derive(Debug, Clone)]
+pub struct DescRing {
+    slots: Vec<Vec<u8>>,
+    /// Valid byte length of each slot's current entry.
+    lens: Vec<u16>,
+    slot_size: usize,
+    mask: usize,
+    /// Total entries ever produced.
+    prod: u64,
+    /// Total entries ever consumed.
+    cons: u64,
+    /// Doorbell value: producer's published index (host MMIO write in a
+    /// real device; here just a counter the consumer reads).
+    doorbell: u64,
+}
+
+impl DescRing {
+    /// Create a ring of `capacity` slots (rounded up to a power of two) of
+    /// `slot_size` bytes each.
+    pub fn new(capacity: usize, slot_size: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        DescRing {
+            slots: vec![vec![0u8; slot_size]; cap],
+            lens: vec![0; cap],
+            slot_size,
+            mask: cap - 1,
+            prod: 0,
+            cons: 0,
+            doorbell: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    pub fn slot_size(&self) -> usize {
+        self.slot_size
+    }
+
+    /// Entries produced but not yet consumed.
+    pub fn len(&self) -> usize {
+        (self.prod - self.cons) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prod == self.cons
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Free slots available to the producer.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// Write one entry. Does not publish it — call [`ring_doorbell`] to
+    /// make produced entries visible, as a driver batches doorbell writes.
+    ///
+    /// [`ring_doorbell`]: DescRing::ring_doorbell
+    pub fn produce(&mut self, entry: &[u8]) -> Result<(), RingError> {
+        if entry.len() > self.slot_size {
+            return Err(RingError::EntryTooLarge { len: entry.len(), slot: self.slot_size });
+        }
+        if self.is_full() {
+            return Err(RingError::Full);
+        }
+        let idx = (self.prod as usize) & self.mask;
+        self.slots[idx][..entry.len()].copy_from_slice(entry);
+        self.lens[idx] = entry.len() as u16;
+        self.prod += 1;
+        Ok(())
+    }
+
+    /// Publish all produced entries (one MMIO write in hardware). Returns
+    /// how many new entries became visible.
+    pub fn ring_doorbell(&mut self) -> u64 {
+        let newly = self.prod - self.doorbell;
+        self.doorbell = self.prod;
+        newly
+    }
+
+    /// Entries published and not yet consumed.
+    pub fn published(&self) -> usize {
+        (self.doorbell - self.cons) as usize
+    }
+
+    /// Consume the next published entry, if any.
+    pub fn consume(&mut self) -> Option<&[u8]> {
+        if self.cons >= self.doorbell {
+            return None;
+        }
+        let idx = (self.cons as usize) & self.mask;
+        self.cons += 1;
+        Some(&self.slots[idx][..self.lens[idx] as usize])
+    }
+
+    /// Peek at the next published entry without consuming.
+    pub fn peek(&self) -> Option<&[u8]> {
+        if self.cons >= self.doorbell {
+            return None;
+        }
+        let idx = (self.cons as usize) & self.mask;
+        Some(&self.slots[idx][..self.lens[idx] as usize])
+    }
+
+    /// Total produced over the ring's lifetime.
+    pub fn total_produced(&self) -> u64 {
+        self.prod
+    }
+
+    /// Total consumed over the ring's lifetime.
+    pub fn total_consumed(&self) -> u64 {
+        self.cons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn produce_publish_consume_roundtrip() {
+        let mut r = DescRing::new(4, 16);
+        r.produce(b"abc").unwrap();
+        assert_eq!(r.consume(), None, "unpublished entries invisible");
+        assert_eq!(r.ring_doorbell(), 1);
+        assert_eq!(r.consume(), Some(&b"abc"[..]));
+        assert_eq!(r.consume(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(DescRing::new(5, 8).capacity(), 8);
+        assert_eq!(DescRing::new(1, 8).capacity(), 2);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let mut r = DescRing::new(2, 8);
+        r.produce(b"1").unwrap();
+        r.produce(b"2").unwrap();
+        assert_eq!(r.produce(b"3"), Err(RingError::Full));
+        r.ring_doorbell();
+        r.consume().unwrap();
+        r.produce(b"3").unwrap(); // slot freed
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut r = DescRing::new(2, 4);
+        assert_eq!(
+            r.produce(b"12345"),
+            Err(RingError::EntryTooLarge { len: 5, slot: 4 })
+        );
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut r = DescRing::new(4, 8);
+        for round in 0..10u8 {
+            for i in 0..4u8 {
+                r.produce(&[round, i]).unwrap();
+            }
+            r.ring_doorbell();
+            for i in 0..4u8 {
+                assert_eq!(r.consume(), Some(&[round, i][..]));
+            }
+        }
+        assert_eq!(r.total_produced(), 40);
+        assert_eq!(r.total_consumed(), 40);
+    }
+
+    #[test]
+    fn doorbell_batching_publishes_in_groups() {
+        let mut r = DescRing::new(8, 8);
+        r.produce(b"a").unwrap();
+        r.produce(b"b").unwrap();
+        assert_eq!(r.published(), 0);
+        assert_eq!(r.ring_doorbell(), 2);
+        assert_eq!(r.published(), 2);
+        r.produce(b"c").unwrap();
+        assert_eq!(r.published(), 2, "third entry not yet published");
+        assert_eq!(r.peek(), Some(&b"a"[..]));
+    }
+
+    proptest! {
+        /// FIFO order holds under arbitrary interleavings of produce,
+        /// doorbell, and consume.
+        #[test]
+        fn fifo_under_random_ops(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut r = DescRing::new(8, 8);
+            let mut next_write: u64 = 0;
+            let mut next_read: u64 = 0;
+            for op in ops {
+                match op {
+                    0 => {
+                        if r.produce(&next_write.to_be_bytes()).is_ok() {
+                            next_write += 1;
+                        }
+                    }
+                    1 => { r.ring_doorbell(); }
+                    _ => {
+                        if let Some(e) = r.consume() {
+                            let v = u64::from_be_bytes(e.try_into().unwrap());
+                            prop_assert_eq!(v, next_read);
+                            next_read += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert!(next_read <= next_write);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # opendesc-p4 — P4-16 subset frontend for OpenDesc descriptor contracts
+//!
+//! This crate parses and type-checks the P4 dialect OpenDesc uses as a
+//! *declarative interface contract* between a NIC and the host (paper §3):
+//! header/struct/enum declarations, `DescParser` parsers, `CmptDeparser`
+//! controls, and the `@semantic`/`@cost` annotations that tie header fields
+//! to offload semantics.
+//!
+//! Typical use:
+//!
+//! ```
+//! use opendesc_p4::typecheck::parse_and_check;
+//!
+//! let (checked, diags) = parse_and_check(r#"
+//!     header cmpt_t { @semantic("rss_hash") bit<32> rss; }
+//! "#);
+//! assert!(!diags.has_errors());
+//! let id = checked.types.header_id("cmpt_t").unwrap();
+//! assert_eq!(checked.types.header(id).width_bytes(), 4);
+//! ```
+pub mod span;
+pub mod diag;
+pub mod token;
+pub mod lexer;
+pub mod ast;
+pub mod parser;
+pub mod types;
+pub mod typecheck;
+pub mod pretty;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use span::{SourceMap, Span};
+pub use typecheck::{parse_and_check, CheckedProgram};
+
+#[cfg(test)]
+mod fuzz_tests;

@@ -1,0 +1,1183 @@
+//! Recursive-descent parser for the OpenDesc P4 subset.
+//!
+//! Entry point is [`parse`]. The parser is resilient: on a syntax error it
+//! records a diagnostic and skips ahead to the next plausible declaration
+//! boundary so that a single typo does not hide every later error.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::lexer::lex;
+use crate::token::{Keyword as Kw, Token, TokenKind as Tk};
+
+/// Parse a full compilation unit. Lexing diagnostics are merged into the
+/// returned set.
+pub fn parse(src: &str) -> (Program, Diagnostics) {
+    let (tokens, mut diags) = lex(src);
+    let mut p = Parser { tokens, pos: 0, diags: Diagnostics::new() };
+    let program = p.parse_program();
+    for d in p.diags {
+        diags.push(d);
+    }
+    (program, diags)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Diagnostics,
+}
+
+/// Internal result type: `Err(())` means a diagnostic was already recorded
+/// and the caller should recover.
+type PResult<T> = Result<T, ()>;
+
+impl Parser {
+    // ---------------------------------------------------------------- utils
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, ahead: usize) -> &Token {
+        &self.tokens[(self.pos + ahead).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &Tk) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn at_kw(&self, kw: Kw) -> bool {
+        matches!(&self.peek().kind, Tk::Kw(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &Tk) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &Tk, what: &str) -> PResult<Token> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek().clone();
+            self.diags.push(Diagnostic::error(
+                format!("expected {kind} {what}, found {}", t.kind),
+                t.span,
+            ));
+            Err(())
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<Ident> {
+        match &self.peek().kind {
+            Tk::Ident(_) => {
+                let t = self.bump();
+                if let Tk::Ident(name) = t.kind {
+                    Ok(Ident::new(name, t.span))
+                } else {
+                    unreachable!()
+                }
+            }
+            // `accept`/`reject`/`default` double as state names in
+            // transitions; allow a few keywords where P4 does.
+            Tk::Kw(Kw::Accept) => {
+                let t = self.bump();
+                Ok(Ident::new("accept", t.span))
+            }
+            Tk::Kw(Kw::Reject) => {
+                let t = self.bump();
+                Ok(Ident::new("reject", t.span))
+            }
+            other => {
+                let span = self.peek().span;
+                self.diags.push(Diagnostic::error(
+                    format!("expected identifier {what}, found {other}"),
+                    span,
+                ));
+                Err(())
+            }
+        }
+    }
+
+    /// Skip tokens until a likely declaration start or EOF, for recovery.
+    fn recover_to_decl(&mut self) {
+        let mut depth = 0i32;
+        loop {
+            match &self.peek().kind {
+                Tk::Eof => return,
+                Tk::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tk::RBrace => {
+                    depth -= 1;
+                    self.bump();
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                Tk::Semi if depth <= 0 => {
+                    self.bump();
+                    return;
+                }
+                Tk::Kw(
+                    Kw::Header | Kw::Struct | Kw::Typedef | Kw::Const | Kw::Parser
+                    | Kw::Control | Kw::Extern | Kw::Enum,
+                ) if depth <= 0 => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- program
+
+    fn parse_program(&mut self) -> Program {
+        let mut decls = Vec::new();
+        while !self.at(&Tk::Eof) {
+            match self.parse_decl() {
+                Ok(d) => decls.push(d),
+                Err(()) => self.recover_to_decl(),
+            }
+        }
+        Program { decls }
+    }
+
+    fn parse_annotations(&mut self) -> PResult<Vec<Annotation>> {
+        let mut anns = Vec::new();
+        while self.at(&Tk::At) {
+            let at = self.bump();
+            let name = self.expect_ident("after `@`")?;
+            let mut args = Vec::new();
+            let mut end = name.span;
+            if self.eat(&Tk::LParen) {
+                if !self.at(&Tk::RParen) {
+                    loop {
+                        match &self.peek().kind {
+                            Tk::Str(s) => {
+                                args.push(AnnArg::Str(s.clone()));
+                                self.bump();
+                            }
+                            Tk::Int { value, .. } => {
+                                args.push(AnnArg::Int(*value));
+                                self.bump();
+                            }
+                            Tk::Ident(n) => {
+                                args.push(AnnArg::Ident(n.clone()));
+                                self.bump();
+                            }
+                            other => {
+                                let span = self.peek().span;
+                                self.diags.push(Diagnostic::error(
+                                    format!("invalid annotation argument: {other}"),
+                                    span,
+                                ));
+                                return Err(());
+                            }
+                        }
+                        if !self.eat(&Tk::Comma) {
+                            break;
+                        }
+                    }
+                }
+                end = self.expect(&Tk::RParen, "to close annotation")?.span;
+            }
+            anns.push(Annotation { name, args, span: at.span.to(end) });
+        }
+        Ok(anns)
+    }
+
+    fn parse_decl(&mut self) -> PResult<Decl> {
+        let annotations = self.parse_annotations()?;
+        let t = self.peek().clone();
+        match &t.kind {
+            Tk::Kw(Kw::Header) => self.parse_header(annotations).map(Decl::Header),
+            Tk::Kw(Kw::Struct) => self.parse_struct(annotations).map(Decl::Struct),
+            Tk::Kw(Kw::Typedef) => self.parse_typedef().map(Decl::Typedef),
+            Tk::Kw(Kw::Const) => self.parse_const().map(Decl::Const),
+            Tk::Kw(Kw::Enum) => self.parse_enum(annotations).map(Decl::Enum),
+            Tk::Kw(Kw::Parser) => self.parse_parser(annotations).map(Decl::Parser),
+            Tk::Kw(Kw::Control) => self.parse_control(annotations).map(Decl::Control),
+            Tk::Kw(Kw::Extern) => self.parse_extern(annotations).map(Decl::Extern),
+            Tk::Kw(Kw::Table) => {
+                self.diags.push(Diagnostic::error(
+                    "match-action tables are not part of OpenDesc descriptor contracts",
+                    t.span,
+                ).with_note("a contract describes metadata exchange, not forwarding; \
+                             model pipeline results as pipe_meta fields instead"));
+                Err(())
+            }
+            other => {
+                self.diags.push(Diagnostic::error(
+                    format!("expected a declaration, found {other}"),
+                    t.span,
+                ));
+                Err(())
+            }
+        }
+    }
+
+    // ----------------------------------------------------- type-ish helpers
+
+    fn parse_type(&mut self) -> PResult<Type> {
+        let t = self.peek().clone();
+        match &t.kind {
+            Tk::Kw(Kw::Bit) => {
+                self.bump();
+                self.expect(&Tk::LAngle, "after `bit`")?;
+                let w = match &self.peek().kind {
+                    Tk::Int { value, width: None } => {
+                        let v = *value;
+                        let tok = self.bump();
+                        if v == 0 || v > 4096 {
+                            self.diags.push(Diagnostic::error(
+                                format!("bit width {v} out of supported range 1..=4096"),
+                                tok.span,
+                            ));
+                            return Err(());
+                        }
+                        v as u16
+                    }
+                    other => {
+                        let span = self.peek().span;
+                        self.diags.push(Diagnostic::error(
+                            format!("expected bit width, found {other}"),
+                            span,
+                        ));
+                        return Err(());
+                    }
+                };
+                let end = self.expect(&Tk::RAngle, "to close `bit<`")?.span;
+                Ok(Type { kind: TypeKind::Bit(w), span: t.span.to(end) })
+            }
+            Tk::Kw(Kw::Bool) => {
+                self.bump();
+                Ok(Type { kind: TypeKind::Bool, span: t.span })
+            }
+            Tk::Kw(Kw::Void) => {
+                self.bump();
+                Ok(Type { kind: TypeKind::Void, span: t.span })
+            }
+            Tk::Ident(n) => {
+                let name = n.clone();
+                self.bump();
+                Ok(Type { kind: TypeKind::Named(name), span: t.span })
+            }
+            other => {
+                self.diags
+                    .push(Diagnostic::error(format!("expected a type, found {other}"), t.span));
+                Err(())
+            }
+        }
+    }
+
+    fn parse_field_list(&mut self) -> PResult<Vec<FieldDecl>> {
+        let mut fields = Vec::new();
+        self.expect(&Tk::LBrace, "to open field list")?;
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            let annotations = self.parse_annotations()?;
+            let ty = self.parse_type()?;
+            let name = self.expect_ident("as field name")?;
+            let semi = self.expect(&Tk::Semi, "after field")?;
+            let span = ty.span.to(semi.span);
+            fields.push(FieldDecl { annotations, ty, name, span });
+        }
+        self.expect(&Tk::RBrace, "to close field list")?;
+        Ok(fields)
+    }
+
+    // -------------------------------------------------------- declarations
+
+    fn parse_header(&mut self, annotations: Vec<Annotation>) -> PResult<HeaderDecl> {
+        let kw = self.bump(); // `header`
+        let name = self.expect_ident("as header name")?;
+        let fields = self.parse_field_list()?;
+        let span = kw.span.to(self.tokens[self.pos - 1].span);
+        Ok(HeaderDecl { annotations, name, fields, span })
+    }
+
+    fn parse_struct(&mut self, annotations: Vec<Annotation>) -> PResult<StructDecl> {
+        let kw = self.bump(); // `struct`
+        let name = self.expect_ident("as struct name")?;
+        let fields = self.parse_field_list()?;
+        let span = kw.span.to(self.tokens[self.pos - 1].span);
+        Ok(StructDecl { annotations, name, fields, span })
+    }
+
+    fn parse_typedef(&mut self) -> PResult<TypedefDecl> {
+        let kw = self.bump(); // `typedef`
+        let ty = self.parse_type()?;
+        let name = self.expect_ident("as typedef name")?;
+        let semi = self.expect(&Tk::Semi, "after typedef")?;
+        Ok(TypedefDecl { ty, name, span: kw.span.to(semi.span) })
+    }
+
+    fn parse_const(&mut self) -> PResult<ConstDecl> {
+        let kw = self.bump(); // `const`
+        let ty = self.parse_type()?;
+        let name = self.expect_ident("as constant name")?;
+        self.expect(&Tk::Assign, "after constant name")?;
+        let value = self.parse_expr()?;
+        let semi = self.expect(&Tk::Semi, "after constant")?;
+        Ok(ConstDecl { ty, name, value, span: kw.span.to(semi.span) })
+    }
+
+    fn parse_enum(&mut self, annotations: Vec<Annotation>) -> PResult<EnumDecl> {
+        let kw = self.bump(); // `enum`
+        let repr = if self.at_kw(Kw::Bit) {
+            Some(self.parse_type()?)
+        } else {
+            None
+        };
+        let name = self.expect_ident("as enum name")?;
+        self.expect(&Tk::LBrace, "to open enum")?;
+        let mut variants = Vec::new();
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            variants.push(self.expect_ident("as enum variant")?);
+            if !self.eat(&Tk::Comma) {
+                break;
+            }
+        }
+        let close = self.expect(&Tk::RBrace, "to close enum")?;
+        Ok(EnumDecl { annotations, repr, name, variants, span: kw.span.to(close.span) })
+    }
+
+    fn parse_type_params(&mut self) -> PResult<Vec<Ident>> {
+        let mut type_params = Vec::new();
+        if self.eat(&Tk::LAngle) {
+            loop {
+                type_params.push(self.expect_ident("as type parameter")?);
+                if !self.eat(&Tk::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tk::RAngle, "to close type parameters")?;
+        }
+        Ok(type_params)
+    }
+
+    fn parse_params(&mut self) -> PResult<Vec<Param>> {
+        self.expect(&Tk::LParen, "to open parameter list")?;
+        let mut params = Vec::new();
+        if !self.at(&Tk::RParen) {
+            loop {
+                let start = self.peek().span;
+                let dir = match &self.peek().kind {
+                    Tk::Kw(Kw::In) => {
+                        // Disambiguate `in` direction from a type named `in`
+                        // (not possible: `in` is reserved), safe to bump.
+                        self.bump();
+                        Some(Direction::In)
+                    }
+                    Tk::Kw(Kw::Out) => {
+                        self.bump();
+                        Some(Direction::Out)
+                    }
+                    Tk::Kw(Kw::InOut) => {
+                        self.bump();
+                        Some(Direction::InOut)
+                    }
+                    _ => None,
+                };
+                let ty = self.parse_type()?;
+                let name = self.expect_ident("as parameter name")?;
+                let span = start.to(name.span);
+                params.push(Param { dir, ty, name, span });
+                if !self.eat(&Tk::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tk::RParen, "to close parameter list")?;
+        Ok(params)
+    }
+
+    fn parse_parser(&mut self, annotations: Vec<Annotation>) -> PResult<ParserDecl> {
+        let kw = self.bump(); // `parser`
+        let name = self.expect_ident("as parser name")?;
+        let type_params = self.parse_type_params()?;
+        let params = self.parse_params()?;
+        if self.eat(&Tk::Semi) {
+            let span = kw.span.to(self.tokens[self.pos - 1].span);
+            return Ok(ParserDecl { annotations, name, type_params, params, states: None, span });
+        }
+        self.expect(&Tk::LBrace, "to open parser body")?;
+        let mut states = Vec::new();
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            states.push(self.parse_state()?);
+        }
+        let close = self.expect(&Tk::RBrace, "to close parser body")?;
+        Ok(ParserDecl {
+            annotations,
+            name,
+            type_params,
+            params,
+            states: Some(states),
+            span: kw.span.to(close.span),
+        })
+    }
+
+    fn parse_state(&mut self) -> PResult<StateDecl> {
+        let kw = self.expect(&Tk::Kw(Kw::State), "to begin parser state")?;
+        let name = self.expect_ident("as state name")?;
+        self.expect(&Tk::LBrace, "to open state body")?;
+        let mut stmts = Vec::new();
+        let mut transition = None;
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            if self.at_kw(Kw::Transition) {
+                transition = Some(self.parse_transition()?);
+                break;
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        let close = self.expect(&Tk::RBrace, "to close state body")?;
+        Ok(StateDecl { name, stmts, transition, span: kw.span.to(close.span) })
+    }
+
+    fn parse_transition(&mut self) -> PResult<Transition> {
+        self.bump(); // `transition`
+        if self.at_kw(Kw::Select) {
+            let start = self.bump().span; // `select`
+            self.expect(&Tk::LParen, "after `select`")?;
+            let mut exprs = vec![self.parse_expr()?];
+            while self.eat(&Tk::Comma) {
+                exprs.push(self.parse_expr()?);
+            }
+            self.expect(&Tk::RParen, "to close select expression")?;
+            self.expect(&Tk::LBrace, "to open select body")?;
+            let mut cases = Vec::new();
+            while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+                let cstart = self.peek().span;
+                let mut matches = Vec::new();
+                if self.at_kw(Kw::Default) {
+                    self.bump();
+                    matches.push(SelectMatch::Default);
+                } else {
+                    matches.push(SelectMatch::Expr(self.parse_expr()?));
+                    while self.eat(&Tk::Comma) {
+                        if self.at_kw(Kw::Default) {
+                            self.bump();
+                            matches.push(SelectMatch::Default);
+                        } else {
+                            matches.push(SelectMatch::Expr(self.parse_expr()?));
+                        }
+                    }
+                }
+                self.expect(&Tk::Colon, "after select match")?;
+                let target = self.expect_ident("as transition target")?;
+                let semi = self.expect(&Tk::Semi, "after select case")?;
+                cases.push(SelectCase { matches, target, span: cstart.to(semi.span) });
+            }
+            let close = self.expect(&Tk::RBrace, "to close select body")?;
+            Ok(Transition::Select { exprs, cases, span: start.to(close.span) })
+        } else {
+            let target = self.expect_ident("as transition target")?;
+            self.expect(&Tk::Semi, "after transition")?;
+            Ok(Transition::Direct(target))
+        }
+    }
+
+    fn parse_control(&mut self, annotations: Vec<Annotation>) -> PResult<ControlDecl> {
+        let kw = self.bump(); // `control`
+        let name = self.expect_ident("as control name")?;
+        let type_params = self.parse_type_params()?;
+        let params = self.parse_params()?;
+        if self.eat(&Tk::Semi) {
+            let span = kw.span.to(self.tokens[self.pos - 1].span);
+            return Ok(ControlDecl {
+                annotations,
+                name,
+                type_params,
+                params,
+                locals: Vec::new(),
+                apply: None,
+                span,
+            });
+        }
+        self.expect(&Tk::LBrace, "to open control body")?;
+        let mut locals = Vec::new();
+        let mut apply = None;
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            if self.at_kw(Kw::Apply) {
+                self.bump();
+                apply = Some(self.parse_block()?);
+                break;
+            } else if self.at_kw(Kw::Action) {
+                locals.push(ControlLocal::Action(self.parse_action()?));
+            } else if self.at_kw(Kw::Const) {
+                locals.push(ControlLocal::Const(self.parse_const()?));
+            } else {
+                // Must be a local variable declaration: `ty name [= init];`
+                let ty = self.parse_type()?;
+                let name = self.expect_ident("as local variable name")?;
+                let init = if self.eat(&Tk::Assign) {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                let semi = self.expect(&Tk::Semi, "after local variable")?;
+                let span = ty.span.to(semi.span);
+                locals.push(ControlLocal::Var(VarDecl { ty, name, init, span }));
+            }
+        }
+        let close = self.expect(&Tk::RBrace, "to close control body")?;
+        Ok(ControlDecl {
+            annotations,
+            name,
+            type_params,
+            params,
+            locals,
+            apply,
+            span: kw.span.to(close.span),
+        })
+    }
+
+    fn parse_action(&mut self) -> PResult<ActionDecl> {
+        let kw = self.bump(); // `action`
+        let name = self.expect_ident("as action name")?;
+        let params = self.parse_params()?;
+        let body = self.parse_block()?;
+        let span = kw.span.to(body.span);
+        Ok(ActionDecl { annotations: Vec::new(), name, params, body, span })
+    }
+
+    fn parse_extern(&mut self, annotations: Vec<Annotation>) -> PResult<ExternDecl> {
+        let kw = self.bump(); // `extern`
+        let name = self.expect_ident("as extern name")?;
+        let mut methods = Vec::new();
+        if self.eat(&Tk::LBrace) {
+            while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+                let ret = self.parse_type()?;
+                let mname = self.expect_ident("as extern method name")?;
+                let params = self.parse_params()?;
+                let semi = self.expect(&Tk::Semi, "after extern method")?;
+                let span = ret.span.to(semi.span);
+                methods.push(ExternMethod { ret, name: mname, params, span });
+            }
+            self.expect(&Tk::RBrace, "to close extern")?;
+        } else {
+            self.expect(&Tk::Semi, "after extern declaration")?;
+        }
+        let span = kw.span.to(self.tokens[self.pos - 1].span);
+        Ok(ExternDecl { annotations, name, methods, span })
+    }
+
+    // ----------------------------------------------------------- statements
+
+    fn parse_block(&mut self) -> PResult<Block> {
+        let open = self.expect(&Tk::LBrace, "to open block")?;
+        let mut stmts = Vec::new();
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            stmts.push(self.parse_stmt()?);
+        }
+        let close = self.expect(&Tk::RBrace, "to close block")?;
+        Ok(Block { stmts, span: open.span.to(close.span) })
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let t = self.peek().clone();
+        match &t.kind {
+            Tk::Kw(Kw::If) => self.parse_if(),
+            Tk::Kw(Kw::Switch) => self.parse_switch(),
+            Tk::Kw(Kw::Return) => {
+                self.bump();
+                let semi = self.expect(&Tk::Semi, "after `return`")?;
+                Ok(Stmt { kind: StmtKind::Return, span: t.span.to(semi.span) })
+            }
+            Tk::LBrace => {
+                let b = self.parse_block()?;
+                let span = b.span;
+                Ok(Stmt { kind: StmtKind::Block(b), span })
+            }
+            // Local declarations inside blocks: `bit<8> x = ...;`
+            Tk::Kw(Kw::Bit) | Tk::Kw(Kw::Bool) => self.parse_var_stmt(),
+            // `Type name = ...;` vs expression statement: two identifiers in
+            // a row means a declaration with a named type.
+            Tk::Ident(_) if matches!(self.peek_at(1).kind, Tk::Ident(_)) => self.parse_var_stmt(),
+            _ => {
+                let e = self.parse_expr()?;
+                if self.eat(&Tk::Assign) {
+                    let rhs = self.parse_expr()?;
+                    let semi = self.expect(&Tk::Semi, "after assignment")?;
+                    let span = e.span.to(semi.span);
+                    Ok(Stmt { kind: StmtKind::Assign { lhs: e, rhs }, span })
+                } else {
+                    let semi = self.expect(&Tk::Semi, "after expression statement")?;
+                    let span = e.span.to(semi.span);
+                    Ok(Stmt { kind: StmtKind::Expr(e), span })
+                }
+            }
+        }
+    }
+
+    fn parse_var_stmt(&mut self) -> PResult<Stmt> {
+        let ty = self.parse_type()?;
+        let name = self.expect_ident("as variable name")?;
+        let init = if self.eat(&Tk::Assign) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let semi = self.expect(&Tk::Semi, "after variable declaration")?;
+        let span = ty.span.to(semi.span);
+        Ok(Stmt { kind: StmtKind::Var(VarDecl { ty, name, init, span }), span })
+    }
+
+    fn parse_if(&mut self) -> PResult<Stmt> {
+        let kw = self.bump(); // `if`
+        self.expect(&Tk::LParen, "after `if`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tk::RParen, "to close `if` condition")?;
+        let then_blk = self.parse_block()?;
+        let mut span = kw.span.to(then_blk.span);
+        let else_blk = if self.at_kw(Kw::Else) {
+            self.bump();
+            if self.at_kw(Kw::If) {
+                // `else if` — wrap the nested if in a synthetic block.
+                let nested = self.parse_if()?;
+                let nspan = nested.span;
+                span = span.to(nspan);
+                Some(Block { stmts: vec![nested], span: nspan })
+            } else {
+                let b = self.parse_block()?;
+                span = span.to(b.span);
+                Some(b)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span })
+    }
+
+    fn parse_switch(&mut self) -> PResult<Stmt> {
+        let kw = self.bump(); // `switch`
+        self.expect(&Tk::LParen, "after `switch`")?;
+        let scrutinee = self.parse_expr()?;
+        self.expect(&Tk::RParen, "to close `switch` scrutinee")?;
+        self.expect(&Tk::LBrace, "to open switch body")?;
+        let mut cases = Vec::new();
+        while !self.at(&Tk::RBrace) && !self.at(&Tk::Eof) {
+            let cstart = self.peek().span;
+            let mut labels = Vec::new();
+            loop {
+                if self.at_kw(Kw::Default) {
+                    self.bump();
+                    labels.push(SwitchLabel::Default);
+                } else {
+                    labels.push(SwitchLabel::Expr(self.parse_expr()?));
+                }
+                self.expect(&Tk::Colon, "after switch label")?;
+                // Fallthrough labels: another label directly follows.
+                if !self.at(&Tk::LBrace) {
+                    continue;
+                }
+                break;
+            }
+            let block = self.parse_block()?;
+            let span = cstart.to(block.span);
+            cases.push(SwitchCase { labels, block, span });
+        }
+        let close = self.expect(&Tk::RBrace, "to close switch body")?;
+        Ok(Stmt { kind: StmtKind::Switch { scrutinee, cases }, span: kw.span.to(close.span) })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        self.parse_bin_expr(0)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_bin_expr(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match &self.peek().kind {
+                Tk::OrOr => (BinOp::Or, 1),
+                Tk::AndAnd => (BinOp::And, 2),
+                Tk::EqEq => (BinOp::Eq, 3),
+                Tk::NotEq => (BinOp::Ne, 3),
+                Tk::LAngle => (BinOp::Lt, 4),
+                Tk::Le => (BinOp::Le, 4),
+                Tk::RAngle => (BinOp::Gt, 4),
+                Tk::Ge => (BinOp::Ge, 4),
+                Tk::Pipe => (BinOp::BitOr, 5),
+                Tk::Caret => (BinOp::BitXor, 6),
+                Tk::Amp => (BinOp::BitAnd, 7),
+                Tk::Shl => (BinOp::Shl, 8),
+                Tk::Shr => (BinOp::Shr, 8),
+                Tk::PlusPlus => (BinOp::Concat, 9),
+                Tk::Plus => (BinOp::Add, 10),
+                Tk::Minus => (BinOp::Sub, 10),
+                Tk::Star => (BinOp::Mul, 11),
+                Tk::Slash => (BinOp::Div, 11),
+                Tk::Percent => (BinOp::Mod, 11),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_bin_expr(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        let t = self.peek().clone();
+        let op = match &t.kind {
+            Tk::Not => Some(UnOp::Not),
+            Tk::Tilde => Some(UnOp::BitNot),
+            Tk::Minus => Some(UnOp::Neg),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.parse_unary()?;
+            let span = t.span.to(expr.span);
+            return Ok(Expr { kind: ExprKind::Unary { op, expr: Box::new(expr) }, span });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match &self.peek().kind {
+                Tk::Dot => {
+                    self.bump();
+                    let member = self.expect_ident("after `.`")?;
+                    let span = e.span.to(member.span);
+                    e = Expr {
+                        kind: ExprKind::Member { base: Box::new(e), member },
+                        span,
+                    };
+                }
+                Tk::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&Tk::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&Tk::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let close = self.expect(&Tk::RParen, "to close call")?;
+                    let span = e.span.to(close.span);
+                    e = Expr { kind: ExprKind::Call { callee: Box::new(e), args }, span };
+                }
+                Tk::LBracket => {
+                    self.bump();
+                    let hi = self.parse_expr()?;
+                    let lo = if self.eat(&Tk::Colon) {
+                        self.parse_expr()?
+                    } else {
+                        hi.clone()
+                    };
+                    let close = self.expect(&Tk::RBracket, "to close slice")?;
+                    let span = e.span.to(close.span);
+                    e = Expr {
+                        kind: ExprKind::Slice {
+                            base: Box::new(e),
+                            hi: Box::new(hi),
+                            lo: Box::new(lo),
+                        },
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        let t = self.peek().clone();
+        match &t.kind {
+            Tk::Int { value, width } => {
+                let (value, width) = (*value, *width);
+                self.bump();
+                Ok(Expr { kind: ExprKind::Int { value, width }, span: t.span })
+            }
+            Tk::Kw(Kw::True) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(true), span: t.span })
+            }
+            Tk::Kw(Kw::False) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(false), span: t.span })
+            }
+            Tk::Ident(n) => {
+                let name = n.clone();
+                self.bump();
+                Ok(Expr { kind: ExprKind::Ident(name), span: t.span })
+            }
+            Tk::LParen => {
+                // Either a cast `(bit<8>) e` / `(bool) e` or a grouped expr.
+                if matches!(self.peek_at(1).kind, Tk::Kw(Kw::Bit) | Tk::Kw(Kw::Bool)) {
+                    self.bump(); // `(`
+                    let ty = self.parse_type()?;
+                    self.expect(&Tk::RParen, "to close cast type")?;
+                    let expr = self.parse_unary()?;
+                    let span = t.span.to(expr.span);
+                    return Ok(Expr { kind: ExprKind::Cast { ty, expr: Box::new(expr) }, span });
+                }
+                self.bump();
+                let inner = self.parse_expr()?;
+                let close = self.expect(&Tk::RParen, "to close expression")?;
+                Ok(Expr { kind: inner.kind, span: t.span.to(close.span) })
+            }
+            other => {
+                self.diags.push(Diagnostic::error(
+                    format!("expected an expression, found {other}"),
+                    t.span,
+                ));
+                Err(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        let (p, diags) = parse(src);
+        assert!(
+            !diags.has_errors(),
+            "unexpected parse errors:\n{}",
+            diags
+                .iter()
+                .map(|d| format!("{}: {}", d.severity, d.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        p
+    }
+
+    #[test]
+    fn parse_intent_header_fig5() {
+        let p = parse_ok(
+            r#"
+            header intent_t {
+                @semantic("rss")
+                bit<32> rss_val;
+                @semantic("vlan")
+                bit<16> vlan_tag;
+                @semantic("ip_checksum")
+                bit<16> csum;
+            }
+            "#,
+        );
+        let h = p.header("intent_t").expect("header present");
+        assert_eq!(h.fields.len(), 3);
+        assert_eq!(h.fields[0].semantic(), Some("rss"));
+        assert_eq!(h.fields[1].semantic(), Some("vlan"));
+        assert_eq!(h.fields[2].semantic(), Some("ip_checksum"));
+        assert_eq!(h.fields[0].ty.kind, TypeKind::Bit(32));
+    }
+
+    #[test]
+    fn parse_template_signatures_fig3_fig4() {
+        let p = parse_ok(
+            r#"
+            parser DescParser<H2C_CTX_T, DESC_T>(
+                desc_in desc_in,
+                in H2C_CTX_T h2c_ctx,
+                out DESC_T desc_hdr
+            );
+            control CmptDeparser<C2H_CTX_T, DESC_T, META_T>(
+                cmpt_out cmpt_out,
+                in DESC_T desc_hdr,
+                in META_T pipe_meta
+            );
+            "#,
+        );
+        let dp = p.parser("DescParser").unwrap();
+        assert_eq!(dp.type_params.len(), 2);
+        assert_eq!(dp.params.len(), 3);
+        assert!(dp.states.is_none(), "signature only");
+        assert_eq!(dp.params[1].dir, Some(Direction::In));
+        assert_eq!(dp.params[2].dir, Some(Direction::Out));
+
+        let cd = p.control("CmptDeparser").unwrap();
+        assert_eq!(cd.type_params.len(), 3);
+        assert!(cd.apply.is_none());
+    }
+
+    #[test]
+    fn parse_concrete_deparser_with_if_else() {
+        let p = parse_ok(
+            r#"
+            control CmptDeparser(cmpt_out cmpt, in ctx_t ctx, in meta_t pipe_meta) {
+                apply {
+                    if (ctx.use_rss == 1) {
+                        cmpt.emit(pipe_meta.rss);
+                    } else {
+                        cmpt.emit(pipe_meta.ip_fields);
+                    }
+                    cmpt.emit(pipe_meta.base);
+                }
+            }
+            "#,
+        );
+        let c = p.control("CmptDeparser").unwrap();
+        let body = c.apply.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        assert!(matches!(body.stmts[0].kind, StmtKind::If { .. }));
+        match &body.stmts[1].kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::Call { callee, args } => {
+                    assert_eq!(callee.as_path().unwrap(), vec!["cmpt", "emit"]);
+                    assert_eq!(args[0].as_path().unwrap(), vec!["pipe_meta", "base"]);
+                }
+                other => panic!("expected call, got {other:?}"),
+            },
+            other => panic!("expected expr stmt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_parser_with_states_and_select() {
+        let p = parse_ok(
+            r#"
+            parser DescParser(desc_in d, in ctx_t ctx, out desc_t hdr) {
+                state start {
+                    d.extract(hdr.base);
+                    transition select(ctx.desc_size) {
+                        8: parse_small;
+                        16, 32: parse_large;
+                        default: accept;
+                    }
+                }
+                state parse_small {
+                    transition accept;
+                }
+                state parse_large {
+                    d.extract(hdr.ext);
+                    transition accept;
+                }
+            }
+            "#,
+        );
+        let dp = p.parser("DescParser").unwrap();
+        let states = dp.states.as_ref().unwrap();
+        assert_eq!(states.len(), 3);
+        match states[0].transition.as_ref().unwrap() {
+            Transition::Select { cases, .. } => {
+                assert_eq!(cases.len(), 3);
+                assert_eq!(cases[1].matches.len(), 2);
+                assert_eq!(cases[2].matches, vec![SelectMatch::Default]);
+                assert_eq!(cases[2].target.name, "accept");
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_switch_statement() {
+        let p = parse_ok(
+            r#"
+            control C(cmpt_out o, in ctx_t ctx, in meta_t m) {
+                apply {
+                    switch (ctx.cqe_format) {
+                        0: { o.emit(m.full); }
+                        1: { o.emit(m.compressed); }
+                        default: { o.emit(m.minimal); }
+                    }
+                }
+            }
+            "#,
+        );
+        let c = p.control("C").unwrap();
+        match &c.apply.as_ref().unwrap().stmts[0].kind {
+            StmtKind::Switch { cases, .. } => assert_eq!(cases.len(), 3),
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_typedef_const_enum() {
+        let p = parse_ok(
+            r#"
+            typedef bit<16> tci_t;
+            const bit<16> ETH_VLAN = 16w0x8100;
+            enum bit<2> cqe_fmt_t { FULL, COMPRESSED, MINI }
+            "#,
+        );
+        assert_eq!(p.decls.len(), 3);
+        match &p.decls[2] {
+            Decl::Enum(e) => {
+                assert_eq!(e.variants.len(), 3);
+                assert_eq!(e.repr.as_ref().unwrap().kind, TypeKind::Bit(2));
+            }
+            other => panic!("expected enum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_expressions_precedence() {
+        let p = parse_ok(
+            r#"
+            control C(in ctx_t ctx) {
+                apply {
+                    if (ctx.a == 1 && ctx.b != 2 || !ctx.c) { return; }
+                    if ((ctx.x & 0xF0) >> 4 == 3) { return; }
+                    if (ctx.flags[3:1] == 2) { return; }
+                }
+            }
+            "#,
+        );
+        let c = p.control("C").unwrap();
+        // `a == 1 && b != 2 || !c` must parse as `((a==1) && (b!=2)) || (!c)`.
+        match &c.apply.as_ref().unwrap().stmts[0].kind {
+            StmtKind::If { cond, .. } => match &cond.kind {
+                ExprKind::Binary { op: BinOp::Or, lhs, .. } => {
+                    assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::And, .. }));
+                }
+                other => panic!("expected `||` at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parse_cast_expression() {
+        let p = parse_ok(
+            r#"
+            control C(in ctx_t ctx) {
+                apply {
+                    bit<8> x = (bit<8>) ctx.wide;
+                }
+            }
+            "#,
+        );
+        let c = p.control("C").unwrap();
+        match &c.apply.as_ref().unwrap().stmts[0].kind {
+            StmtKind::Var(v) => {
+                assert!(matches!(v.init.as_ref().unwrap().kind, ExprKind::Cast { .. }));
+            }
+            other => panic!("expected var, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_extern_with_methods() {
+        let p = parse_ok(
+            r#"
+            extern crypto_engine {
+                void aes_gcm(in bit<128> key, in bit<96> iv);
+                bit<32> digest(in bit<32> seed);
+            }
+            "#,
+        );
+        match &p.decls[0] {
+            Decl::Extern(e) => assert_eq!(e.methods.len(), 2),
+            other => panic!("expected extern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_decl_is_rejected_with_guidance() {
+        let (_, diags) = parse("table t { }");
+        assert!(diags.has_errors());
+        let msg = diags.iter().next().unwrap();
+        assert!(msg.message.contains("tables"));
+    }
+
+    #[test]
+    fn parser_recovers_after_bad_decl() {
+        let (p, diags) = parse(
+            r#"
+            header broken_t { bit<8> }
+            header ok_t { bit<8> x; }
+            "#,
+        );
+        assert!(diags.has_errors());
+        assert!(p.header("ok_t").is_some(), "parser must recover and see ok_t");
+    }
+
+    #[test]
+    fn control_locals_parsed() {
+        let p = parse_ok(
+            r#"
+            control C(in ctx_t ctx) {
+                bit<32> scratch = 0;
+                const bit<8> MAGIC = 7;
+                action note() { scratch = 1; }
+                apply { note(); }
+            }
+            "#,
+        );
+        let c = p.control("C").unwrap();
+        assert_eq!(c.locals.len(), 3);
+        assert!(matches!(c.locals[0], ControlLocal::Var(_)));
+        assert!(matches!(c.locals[1], ControlLocal::Const(_)));
+        assert!(matches!(c.locals[2], ControlLocal::Action(_)));
+    }
+
+    #[test]
+    fn else_if_chain_nests() {
+        let p = parse_ok(
+            r#"
+            control C(in ctx_t ctx, cmpt_out o, in meta_t m) {
+                apply {
+                    if (ctx.f == 0) { o.emit(m.a); }
+                    else if (ctx.f == 1) { o.emit(m.b); }
+                    else { o.emit(m.c); }
+                }
+            }
+            "#,
+        );
+        let c = p.control("C").unwrap();
+        match &c.apply.as_ref().unwrap().stmts[0].kind {
+            StmtKind::If { else_blk: Some(b), .. } => {
+                assert!(matches!(b.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected if/else-if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        let p = parse_ok("");
+        assert!(p.decls.is_empty());
+    }
+
+    #[test]
+    fn bit_slice_single_index() {
+        let p = parse_ok(
+            "control C(in ctx_t c) { apply { if (c.flags[0] == 1) { return; } } }",
+        );
+        let ctl = p.control("C").unwrap();
+        match &ctl.apply.as_ref().unwrap().stmts[0].kind {
+            StmtKind::If { cond, .. } => match &cond.kind {
+                ExprKind::Binary { lhs, .. } => {
+                    assert!(matches!(lhs.kind, ExprKind::Slice { .. }));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Resolved types for checked contracts.
+//!
+//! The type checker lowers the syntactic AST into these tables. Headers get
+//! their field bit-offsets and total widths computed here — those numbers
+//! are what the OpenDesc compiler later turns into constant-time accessors.
+
+use crate::span::Span;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a header in [`TypeTable::headers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeaderId(pub u32);
+
+/// Index of a struct in [`TypeTable::structs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructId(pub u32);
+
+/// Index of an enum in [`TypeTable::enums`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnumId(pub u32);
+
+/// A fully resolved type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Fixed-width bit string. Width 0 never occurs in checked programs.
+    Bit(u16),
+    Bool,
+    Header(HeaderId),
+    Struct(StructId),
+    Enum(EnumId),
+    /// Builtin extern object such as `cmpt_out`, `desc_in`, `packet_in`,
+    /// `packet_out`, or a user-declared extern.
+    Extern(ExternKind),
+    Void,
+}
+
+/// Which extern object a value is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExternKind {
+    /// `cmpt_out`: completion emitter (has `emit`).
+    CmptOut,
+    /// `desc_in`: descriptor byte stream (has `extract`).
+    DescIn,
+    /// `packet_in` (has `extract`).
+    PacketIn,
+    /// `packet_out` (has `emit`).
+    PacketOut,
+    /// A user extern declaration; index into [`TypeTable::externs`].
+    User(u32),
+}
+
+impl Ty {
+    /// Bit width of value types (`bit<N>`, `bool`, enums); `None` for
+    /// aggregates and externs.
+    pub fn bit_width(&self, tt: &TypeTable) -> Option<u16> {
+        match self {
+            Ty::Bit(w) => Some(*w),
+            Ty::Bool => Some(1),
+            Ty::Enum(id) => Some(tt.enum_(*id).repr_width),
+            Ty::Header(id) => Some(tt.header(*id).width_bits as u16),
+            _ => None,
+        }
+    }
+}
+
+/// Pretty type name for diagnostics.
+pub struct TyDisplay<'a>(pub Ty, pub &'a TypeTable);
+
+impl fmt::Display for TyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Ty::Bit(w) => write!(f, "bit<{w}>"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Header(id) => write!(f, "header {}", self.1.header(id).name),
+            Ty::Struct(id) => write!(f, "struct {}", self.1.struct_(id).name),
+            Ty::Enum(id) => write!(f, "enum {}", self.1.enum_(id).name),
+            Ty::Extern(ExternKind::CmptOut) => write!(f, "cmpt_out"),
+            Ty::Extern(ExternKind::DescIn) => write!(f, "desc_in"),
+            Ty::Extern(ExternKind::PacketIn) => write!(f, "packet_in"),
+            Ty::Extern(ExternKind::PacketOut) => write!(f, "packet_out"),
+            Ty::Extern(ExternKind::User(i)) => {
+                write!(f, "extern {}", self.1.externs[i as usize].name)
+            }
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// A checked header field with its computed layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    pub name: String,
+    /// Bit offset from the start of the header (network bit order: field 0
+    /// occupies the most significant bits of byte 0).
+    pub offset_bits: u32,
+    pub width_bits: u16,
+    /// Value of the `@semantic("...")` annotation, if present.
+    pub semantic: Option<String>,
+    /// Value of the `@cost(N)` annotation, if present (software cost hint).
+    pub cost: Option<u64>,
+    pub span: Span,
+}
+
+/// A checked header with computed total width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderInfo {
+    pub name: String,
+    pub fields: Vec<FieldInfo>,
+    /// Total width in bits (multiple of 8 is enforced by the checker).
+    pub width_bits: u32,
+    pub span: Span,
+}
+
+impl HeaderInfo {
+    /// Total width in whole bytes.
+    pub fn width_bytes(&self) -> u32 {
+        self.width_bits.div_ceil(8)
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldInfo> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A checked struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructFieldInfo {
+    pub name: String,
+    pub ty: Ty,
+    pub span: Span,
+}
+
+/// A checked struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructInfo {
+    pub name: String,
+    pub fields: Vec<StructFieldInfo>,
+    pub span: Span,
+}
+
+impl StructInfo {
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&StructFieldInfo> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A checked enum with explicit representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumInfo {
+    pub name: String,
+    pub repr_width: u16,
+    /// Variant names; variant `i` has value `i`.
+    pub variants: Vec<String>,
+    pub span: Span,
+}
+
+impl EnumInfo {
+    /// Value of a variant, if it exists.
+    pub fn variant_value(&self, name: &str) -> Option<u128> {
+        self.variants.iter().position(|v| v == name).map(|i| i as u128)
+    }
+}
+
+/// A checked user extern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternInfo {
+    pub name: String,
+    pub methods: Vec<String>,
+    pub span: Span,
+}
+
+/// A named compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstInfo {
+    pub name: String,
+    pub ty: Ty,
+    pub value: u128,
+    pub span: Span,
+}
+
+/// All resolved nominal types of a checked program.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    pub headers: Vec<HeaderInfo>,
+    pub structs: Vec<StructInfo>,
+    pub enums: Vec<EnumInfo>,
+    pub externs: Vec<ExternInfo>,
+    pub consts: Vec<ConstInfo>,
+    /// Name → resolved type, covering headers, structs, enums, typedefs and
+    /// the builtin extern type names.
+    pub by_name: HashMap<String, Ty>,
+}
+
+impl TypeTable {
+    pub fn header(&self, id: HeaderId) -> &HeaderInfo {
+        &self.headers[id.0 as usize]
+    }
+
+    pub fn struct_(&self, id: StructId) -> &StructInfo {
+        &self.structs[id.0 as usize]
+    }
+
+    pub fn enum_(&self, id: EnumId) -> &EnumInfo {
+        &self.enums[id.0 as usize]
+    }
+
+    /// Resolve a type name (after typedef expansion).
+    pub fn lookup(&self, name: &str) -> Option<Ty> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Find a header id by name.
+    pub fn header_id(&self, name: &str) -> Option<HeaderId> {
+        match self.lookup(name)? {
+            Ty::Header(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Find a named constant.
+    pub fn const_(&self, name: &str) -> Option<&ConstInfo> {
+        self.consts.iter().find(|c| c.name == name)
+    }
+
+    /// Render a type for diagnostics.
+    pub fn display(&self, ty: Ty) -> TyDisplay<'_> {
+        TyDisplay(ty, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_width_bytes_rounds_up() {
+        let h = HeaderInfo {
+            name: "h".into(),
+            fields: vec![],
+            width_bits: 9,
+            span: Span::default(),
+        };
+        assert_eq!(h.width_bytes(), 2);
+    }
+
+    #[test]
+    fn enum_variant_values_are_positional() {
+        let e = EnumInfo {
+            name: "e".into(),
+            repr_width: 2,
+            variants: vec!["A".into(), "B".into(), "C".into()],
+            span: Span::default(),
+        };
+        assert_eq!(e.variant_value("A"), Some(0));
+        assert_eq!(e.variant_value("C"), Some(2));
+        assert_eq!(e.variant_value("D"), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Internet checksum (RFC 1071) and the IPv4/L4 helpers built on it.
+//!
+//! These are the reference software implementations behind the
+//! `ip_checksum` and `l4_checksum` semantics: when the selected completion
+//! layout does not carry checksum validity, the SoftNIC shim recomputes it
+//! here (at the cost the selection objective charged for it).
+
+use crate::wire::{ipproto, ParsedFrame};
+
+/// RFC 1071 one's-complement sum over `data`, returned folded and
+/// complemented (i.e. the value to *store* in a checksum field computed
+/// over data whose checksum field is zero; a verify over data including a
+/// correct checksum yields 0).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data, 0))
+}
+
+fn sum_words(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    acc
+}
+
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Checksum of an IPv4 header whose checksum field is zeroed (or whose
+/// current value should be replaced).
+pub fn ipv4_header_checksum(header: &[u8]) -> u16 {
+    debug_assert!(header.len() >= 20);
+    let mut acc = sum_words(&header[..10], 0);
+    // Skip the checksum field at bytes 10..12.
+    acc = sum_words(&header[12..], acc);
+    !fold(acc)
+}
+
+/// Verify an IPv4 header in place (including its checksum field): valid
+/// iff the one's-complement sum is 0xFFFF (folded ~0).
+pub fn verify_ipv4_checksum(header: &[u8]) -> bool {
+    internet_checksum(header) == 0
+}
+
+/// TCP/UDP checksum over the IPv4 pseudo-header plus the L4 segment, with
+/// the segment's checksum field assumed zeroed.
+pub fn l4_checksum(src_ip: [u8; 4], dst_ip: [u8; 4], proto: u8, segment: &[u8]) -> u16 {
+    let mut acc = 0u32;
+    acc = sum_words(&src_ip, acc);
+    acc = sum_words(&dst_ip, acc);
+    acc += proto as u32;
+    acc += segment.len() as u32;
+    acc = sum_words(segment, acc);
+    let c = !fold(acc);
+    // UDP transmits an all-zero checksum as 0xFFFF.
+    if proto == ipproto::UDP && c == 0 {
+        0xFFFF
+    } else {
+        c
+    }
+}
+
+/// Verify the L4 checksum of a parsed frame (checksum field included in
+/// the sum; valid iff the folded sum complements to zero).
+pub fn verify_l4_checksum(p: &ParsedFrame<'_>) -> bool {
+    let Some(ip) = &p.ipv4 else { return false };
+    let seg = ip.payload();
+    if seg.is_empty() {
+        return false;
+    }
+    let mut acc = 0u32;
+    acc = sum_words(&ip.src().to_be_bytes(), acc);
+    acc = sum_words(&ip.dst().to_be_bytes(), acc);
+    acc += ip.protocol() as u32;
+    acc += seg.len() as u32;
+    acc = sum_words(seg, acc);
+    fold(acc) == 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testpkt;
+    use crate::wire::ParsedFrame;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // Classic example: 0x0001 0xF203 0xF4F5 0xF6F7 → sum 0xDDF2,
+        // checksum 0x220D.
+        let data = [0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7];
+        assert_eq!(internet_checksum(&data), 0x220D);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00u16);
+    }
+
+    #[test]
+    fn ipv4_header_checksum_known_vector() {
+        // Wikipedia's IPv4 checksum example header.
+        let hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(ipv4_header_checksum(&hdr), 0xB861);
+        let mut with = hdr;
+        with[10..12].copy_from_slice(&0xB861u16.to_be_bytes());
+        assert!(verify_ipv4_checksum(&with));
+    }
+
+    #[test]
+    fn corrupted_frame_fails_l4_verify() {
+        let mut f = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1, 2, b"payload", None);
+        let p = ParsedFrame::parse(&f).unwrap();
+        assert!(verify_l4_checksum(&p));
+        let last = f.len() - 1;
+        f[last] ^= 0xFF;
+        let p = ParsedFrame::parse(&f).unwrap();
+        assert!(!verify_l4_checksum(&p));
+    }
+
+    proptest! {
+        #[test]
+        fn checksum_detects_single_byte_flips(
+            payload in proptest::collection::vec(any::<u8>(), 1..256),
+            flip_pos_seed in any::<usize>(),
+            flip_bits in 1u8..=255,
+        ) {
+            let f = testpkt::udp4([1,2,3,4],[5,6,7,8], 10, 20, &payload, None);
+            let p = ParsedFrame::parse(&f).unwrap();
+            prop_assert!(verify_l4_checksum(&p));
+            // Flip one payload byte; verification must fail (one's
+            // complement sums detect any single-byte change).
+            let mut g = f.clone();
+            let start = g.len() - payload.len();
+            let pos = start + flip_pos_seed % payload.len();
+            g[pos] ^= flip_bits;
+            let q = ParsedFrame::parse(&g).unwrap();
+            prop_assert!(!verify_l4_checksum(&q));
+        }
+
+        #[test]
+        fn built_frames_always_verify(
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            sp in any::<u16>(),
+            dp in any::<u16>(),
+            tcp in any::<bool>(),
+        ) {
+            let f = if tcp {
+                testpkt::tcp4([9,9,9,9],[8,8,8,8], sp, dp, &payload, None)
+            } else {
+                testpkt::udp4([9,9,9,9],[8,8,8,8], sp, dp, &payload, None)
+            };
+            let p = ParsedFrame::parse(&f).unwrap();
+            prop_assert!(verify_ipv4_checksum(p.ipv4.unwrap().header()));
+            prop_assert!(verify_l4_checksum(&p));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The SoftNIC engine: software reference implementations of every
+//! well-known semantic (paper §4 step 4 — "SoftNIC shims").
+//!
+//! When the selected completion layout does not provide a requested
+//! semantic, the compiled datapath calls [`SoftNic::compute`] per packet.
+//! The engine is also what the paper calls the *reference implementation*
+//! shipped with each feature: the NIC simulator's offload engine delegates
+//! here so hardware and software compute identical values.
+
+use crate::checksum::{verify_ipv4_checksum, verify_l4_checksum};
+use crate::toeplitz::{rss_ipv4_l4, MSFT_RSS_KEY};
+use crate::wire::{ethertype, ipproto, ParsedFrame};
+use opendesc_ir::semantics::{names, SemanticRegistry};
+use opendesc_ir::SemanticId;
+use std::collections::HashMap;
+
+/// Bits of the `packet_type` semantic's bitmap.
+pub mod ptype {
+    pub const ETH: u16 = 1 << 0;
+    pub const VLAN: u16 = 1 << 1;
+    pub const IPV4: u16 = 1 << 2;
+    pub const IPV6: u16 = 1 << 3;
+    pub const TCP: u16 = 1 << 4;
+    pub const UDP: u16 = 1 << 5;
+    pub const ICMP: u16 = 1 << 6;
+}
+
+/// Checksum-status encoding shared by hardware models and software: the
+/// 16-bit value is `0xFFFF` for "verified good", `0x0000` for "bad", and
+/// anything else is the raw computed checksum (fixed-function NICs differ
+/// in what they report; OpenDesc only needs both sides to agree, which
+/// the contract guarantees).
+pub mod csum_status {
+    pub const GOOD: u16 = 0xFFFF;
+    pub const BAD: u16 = 0x0000;
+}
+
+/// Software implementations of the semantic alphabet.
+///
+/// Stateless semantics are pure functions of the frame; `flow_tag`
+/// emulates a device flow table with a host-side hash map (the run-time
+/// cost the selection objective charges for it).
+#[derive(Debug, Clone)]
+pub struct SoftNic {
+    rss_key: [u8; 40],
+    /// Emulated flow table: 5-tuple hash → tag, insertion-ordered ids.
+    flow_table: HashMap<u64, u32>,
+    next_flow_tag: u32,
+}
+
+impl Default for SoftNic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SoftNic {
+    pub fn new() -> Self {
+        SoftNic {
+            rss_key: MSFT_RSS_KEY,
+            flow_table: HashMap::new(),
+            next_flow_tag: 1,
+        }
+    }
+
+    /// Use a non-default RSS key.
+    pub fn with_rss_key(mut self, key: [u8; 40]) -> Self {
+        self.rss_key = key;
+        self
+    }
+
+    /// Compute semantic `sem` over `frame`. Returns `None` when the
+    /// semantic is software-incomputable (timestamps, crypto contexts) or
+    /// the frame lacks the layers it needs.
+    pub fn compute(&mut self, reg: &SemanticRegistry, sem: SemanticId, frame: &[u8]) -> Option<u64> {
+        let name = reg.name(sem).to_string();
+        self.compute_by_name(&name, frame)
+    }
+
+    /// Compute a semantic by name (see [`compute`]).
+    ///
+    /// [`compute`]: SoftNic::compute
+    pub fn compute_by_name(&mut self, name: &str, frame: &[u8]) -> Option<u64> {
+        let p = ParsedFrame::parse(frame)?;
+        match name {
+            names::RSS_HASH => self.rss(&p).map(|h| h as u64),
+            names::IP_CHECKSUM => {
+                let ip = p.ipv4?;
+                Some(if verify_ipv4_checksum(ip.header()) {
+                    csum_status::GOOD as u64
+                } else {
+                    csum_status::BAD as u64
+                })
+            }
+            names::L4_CHECKSUM => {
+                p.ipv4?;
+                p.ports()?;
+                Some(if verify_l4_checksum(&p) {
+                    csum_status::GOOD as u64
+                } else {
+                    csum_status::BAD as u64
+                })
+            }
+            names::VLAN_TCI => p.vlan_tci.map(|t| t as u64),
+            names::PKT_LEN => Some(frame.len() as u64),
+            names::PACKET_TYPE => Some(self.packet_type(&p) as u64),
+            names::IP_ID => p.ipv4.map(|ip| ip.ident() as u64),
+            names::PAYLOAD_OFFSET => p.payload_offset().map(|o| o as u64),
+            names::FLOW_TAG => self.flow_tag(&p).map(|t| t as u64),
+            names::KVS_KEY_HASH => kvs_key_hash(p.l4_payload()?).map(|h| h as u64),
+            names::QUEUE_HINT => {
+                // Steering hint: low bits of the RSS hash (RSS++-style).
+                self.rss(&p).map(|h| (h & 0xFF) as u64)
+            }
+            names::RX_STATUS => {
+                // Bit 0: descriptor done; bit 1: end of packet. Software
+                // receives complete frames, so both are always set.
+                Some(0b11)
+            }
+            // Semantics software cannot recompute.
+            names::TIMESTAMP | names::CRYPTO_CTX => None,
+            _ => None,
+        }
+    }
+
+    /// Toeplitz RSS over the 4-tuple (falls back to the 2-tuple for
+    /// non-TCP/UDP IPv4 traffic).
+    pub fn rss(&self, p: &ParsedFrame<'_>) -> Option<u32> {
+        let ip = p.ipv4.as_ref()?;
+        match p.ports() {
+            Some((sp, dp)) => Some(rss_ipv4_l4(&self.rss_key, ip.src(), ip.dst(), sp, dp)),
+            None => Some(crate::toeplitz::rss_ipv4(&self.rss_key, ip.src(), ip.dst())),
+        }
+    }
+
+    /// Packet-type bitmap (see [`ptype`]).
+    pub fn packet_type(&self, p: &ParsedFrame<'_>) -> u16 {
+        let mut t = ptype::ETH;
+        if p.vlan_tci.is_some() {
+            t |= ptype::VLAN;
+        }
+        match p.eth.ethertype() {
+            Some(ethertype::IPV6) => t |= ptype::IPV6,
+            Some(ethertype::IPV4) if p.ipv4.is_some() => {
+                t |= ptype::IPV4;
+                match p.ipv4.as_ref().unwrap().protocol() {
+                    ipproto::TCP => t |= ptype::TCP,
+                    ipproto::UDP => t |= ptype::UDP,
+                    ipproto::ICMP => t |= ptype::ICMP,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        t
+    }
+
+    /// Emulated flow-table tag: stable per 5-tuple, assigned on first
+    /// sight.
+    pub fn flow_tag(&mut self, p: &ParsedFrame<'_>) -> Option<u32> {
+        let ip = p.ipv4.as_ref()?;
+        let (sp, dp) = p.ports()?;
+        let key = ((ip.src() as u64) << 32 | ip.dst() as u64)
+            ^ ((sp as u64) << 48 | (dp as u64) << 16 | ip.protocol() as u64);
+        let tag = *self.flow_table.entry(key).or_insert_with(|| {
+            let t = self.next_flow_tag;
+            self.next_flow_tag = self.next_flow_tag.wrapping_add(1).max(1);
+            t
+        });
+        Some(tag)
+    }
+
+    /// Number of distinct flows the emulated flow table has seen.
+    pub fn flow_count(&self) -> usize {
+        self.flow_table.len()
+    }
+}
+
+/// FNV-1a hash of the key in a memcached-style `get <key>\r\n` request —
+/// the reference implementation of the `kvs_key_hash` semantic (the
+/// paper's Fig. 1 "result of a specific feature" example, after
+/// FlexNIC's KVS offload).
+pub fn kvs_key_hash(payload: &[u8]) -> Option<u32> {
+    let rest = payload.strip_prefix(b"get ")?;
+    let end = rest
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(rest.len());
+    let key = &rest[..end];
+    if key.is_empty() {
+        return None;
+    }
+    let mut h: u32 = 0x811c9dc5;
+    for &b in key {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testpkt;
+
+    fn udp_frame() -> Vec<u8> {
+        testpkt::udp4([10, 1, 0, 1], [10, 1, 0, 2], 5000, 6000, b"payload", None)
+    }
+
+    #[test]
+    fn rss_matches_toeplitz_reference() {
+        let mut sn = SoftNic::new();
+        let f = udp_frame();
+        let got = sn.compute_by_name(names::RSS_HASH, &f).unwrap();
+        let want = rss_ipv4_l4(
+            &MSFT_RSS_KEY,
+            u32::from_be_bytes([10, 1, 0, 1]),
+            u32::from_be_bytes([10, 1, 0, 2]),
+            5000,
+            6000,
+        ) as u64;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn checksums_report_good_then_bad() {
+        let mut sn = SoftNic::new();
+        let mut f = udp_frame();
+        assert_eq!(
+            sn.compute_by_name(names::IP_CHECKSUM, &f),
+            Some(csum_status::GOOD as u64)
+        );
+        assert_eq!(
+            sn.compute_by_name(names::L4_CHECKSUM, &f),
+            Some(csum_status::GOOD as u64)
+        );
+        let n = f.len() - 1;
+        f[n] ^= 0xA5; // corrupt payload → L4 bad, IP header still good
+        assert_eq!(
+            sn.compute_by_name(names::IP_CHECKSUM, &f),
+            Some(csum_status::GOOD as u64)
+        );
+        assert_eq!(
+            sn.compute_by_name(names::L4_CHECKSUM, &f),
+            Some(csum_status::BAD as u64)
+        );
+    }
+
+    #[test]
+    fn vlan_tci_only_when_tagged() {
+        let mut sn = SoftNic::new();
+        assert_eq!(sn.compute_by_name(names::VLAN_TCI, &udp_frame()), None);
+        let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"", Some(0x3064));
+        assert_eq!(sn.compute_by_name(names::VLAN_TCI, &f), Some(0x3064));
+    }
+
+    #[test]
+    fn packet_type_bitmap() {
+        let mut sn = SoftNic::new();
+        let udp = sn.compute_by_name(names::PACKET_TYPE, &udp_frame()).unwrap() as u16;
+        assert_eq!(udp, ptype::ETH | ptype::IPV4 | ptype::UDP);
+        let f = testpkt::tcp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"", Some(5));
+        let tcp = sn.compute_by_name(names::PACKET_TYPE, &f).unwrap() as u16;
+        assert_eq!(tcp, ptype::ETH | ptype::VLAN | ptype::IPV4 | ptype::TCP);
+    }
+
+    #[test]
+    fn flow_tags_stable_per_flow() {
+        let mut sn = SoftNic::new();
+        let a1 = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 100, 200, b"x", None);
+        let a2 = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 100, 200, b"yyy", None);
+        let b = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 101, 200, b"x", None);
+        let ta1 = sn.compute_by_name(names::FLOW_TAG, &a1).unwrap();
+        let ta2 = sn.compute_by_name(names::FLOW_TAG, &a2).unwrap();
+        let tb = sn.compute_by_name(names::FLOW_TAG, &b).unwrap();
+        assert_eq!(ta1, ta2, "same 5-tuple, same tag");
+        assert_ne!(ta1, tb, "different flow, different tag");
+        assert_eq!(sn.flow_count(), 2);
+    }
+
+    #[test]
+    fn kvs_key_hash_parses_get_requests() {
+        assert!(kvs_key_hash(b"get user:42\r\n").is_some());
+        assert_eq!(kvs_key_hash(b"get a\r\n"), kvs_key_hash(b"get a\r\n"));
+        assert_ne!(kvs_key_hash(b"get a\r\n"), kvs_key_hash(b"get b\r\n"));
+        assert_eq!(kvs_key_hash(b"set a 1\r\n"), None);
+        assert_eq!(kvs_key_hash(b"get \r\n"), None);
+        // Missing CRLF still hashes the remainder.
+        assert_eq!(kvs_key_hash(b"get abc"), kvs_key_hash(b"get abc\r\n"));
+    }
+
+    #[test]
+    fn kvs_semantic_via_frame() {
+        let mut sn = SoftNic::new();
+        let f = testpkt::udp4(
+            [10, 0, 0, 9],
+            [10, 0, 0, 10],
+            31337,
+            11211,
+            &testpkt::kvs_get_payload("session:9"),
+            None,
+        );
+        let h = sn.compute_by_name(names::KVS_KEY_HASH, &f).unwrap();
+        assert_eq!(h as u32, kvs_key_hash(b"get session:9\r\n").unwrap());
+    }
+
+    #[test]
+    fn incomputable_semantics_return_none() {
+        let mut sn = SoftNic::new();
+        assert_eq!(sn.compute_by_name(names::TIMESTAMP, &udp_frame()), None);
+        assert_eq!(sn.compute_by_name(names::CRYPTO_CTX, &udp_frame()), None);
+        assert_eq!(sn.compute_by_name("nonexistent_semantic", &udp_frame()), None);
+    }
+
+    #[test]
+    fn pkt_len_and_payload_offset() {
+        let mut sn = SoftNic::new();
+        let f = udp_frame();
+        assert_eq!(sn.compute_by_name(names::PKT_LEN, &f), Some(f.len() as u64));
+        assert_eq!(
+            sn.compute_by_name(names::PAYLOAD_OFFSET, &f),
+            Some((14 + 20 + 8) as u64)
+        );
+    }
+
+    #[test]
+    fn queue_hint_is_rss_low_bits() {
+        let mut sn = SoftNic::new();
+        let f = udp_frame();
+        let rss = sn.compute_by_name(names::RSS_HASH, &f).unwrap();
+        let hint = sn.compute_by_name(names::QUEUE_HINT, &f).unwrap();
+        assert_eq!(hint, rss & 0xFF);
+    }
+
+    #[test]
+    fn registry_dispatch_equivalent_to_name_dispatch() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut sn1 = SoftNic::new();
+        let mut sn2 = SoftNic::new();
+        let f = udp_frame();
+        for (id, info) in reg.iter() {
+            assert_eq!(
+                sn1.compute(&reg, id, &f),
+                sn2.compute_by_name(&info.name, &f),
+                "mismatch for {}",
+                info.name
+            );
+        }
+    }
+}

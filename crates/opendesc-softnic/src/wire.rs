@@ -1,0 +1,382 @@
+//! Zero-copy wire-format views over raw Ethernet frames.
+//!
+//! Minimal, allocation-free accessors in the smoltcp style: a view wraps a
+//! byte slice and exposes typed getters. Only the protocols the semantic
+//! implementations need are covered (Ethernet II, 802.1Q, IPv4, TCP, UDP).
+
+/// EtherType values used by the views.
+pub mod ethertype {
+    pub const IPV4: u16 = 0x0800;
+    pub const VLAN: u16 = 0x8100;
+    pub const QINQ: u16 = 0x88A8;
+    pub const IPV6: u16 = 0x86DD;
+    pub const ARP: u16 = 0x0806;
+}
+
+/// IPv4 protocol numbers used by the views.
+pub mod ipproto {
+    pub const TCP: u8 = 6;
+    pub const UDP: u8 = 17;
+    pub const ICMP: u8 = 1;
+}
+
+fn be16(b: &[u8], off: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([*b.get(off)?, *b.get(off + 1)?]))
+}
+
+fn be32(b: &[u8], off: usize) -> Option<u32> {
+    Some(u32::from_be_bytes([
+        *b.get(off)?,
+        *b.get(off + 1)?,
+        *b.get(off + 2)?,
+        *b.get(off + 3)?,
+    ]))
+}
+
+/// View over an Ethernet II frame (with optional single 802.1Q tag).
+#[derive(Debug, Clone, Copy)]
+pub struct EthFrame<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> EthFrame<'a> {
+    /// Wrap a frame; `None` if shorter than the 14-byte Ethernet header.
+    pub fn new(bytes: &'a [u8]) -> Option<Self> {
+        (bytes.len() >= 14).then_some(EthFrame { bytes })
+    }
+
+    pub fn dst_mac(&self) -> [u8; 6] {
+        self.bytes[0..6].try_into().unwrap()
+    }
+
+    pub fn src_mac(&self) -> [u8; 6] {
+        self.bytes[6..12].try_into().unwrap()
+    }
+
+    /// Outer ethertype (may be the VLAN TPID).
+    pub fn outer_ethertype(&self) -> u16 {
+        be16(self.bytes, 12).unwrap()
+    }
+
+    /// Whether a single 802.1Q tag is present.
+    pub fn has_vlan(&self) -> bool {
+        matches!(self.outer_ethertype(), ethertype::VLAN | ethertype::QINQ)
+    }
+
+    /// VLAN tag control information, if tagged.
+    pub fn vlan_tci(&self) -> Option<u16> {
+        if self.has_vlan() {
+            be16(self.bytes, 14)
+        } else {
+            None
+        }
+    }
+
+    /// Ethertype of the encapsulated payload, after any VLAN tag.
+    pub fn ethertype(&self) -> Option<u16> {
+        if self.has_vlan() {
+            be16(self.bytes, 16)
+        } else {
+            Some(self.outer_ethertype())
+        }
+    }
+
+    /// Byte offset of the L3 header.
+    pub fn l3_offset(&self) -> usize {
+        if self.has_vlan() {
+            18
+        } else {
+            14
+        }
+    }
+
+    /// L3 payload slice.
+    pub fn l3(&self) -> &'a [u8] {
+        &self.bytes[self.l3_offset().min(self.bytes.len())..]
+    }
+
+    /// Whole frame.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+}
+
+/// View over an IPv4 header (+payload).
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4View<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Ipv4View<'a> {
+    /// Wrap an IPv4 packet; validates version nibble and minimum length.
+    pub fn new(bytes: &'a [u8]) -> Option<Self> {
+        if bytes.len() < 20 || bytes[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = ((bytes[0] & 0xF) as usize) * 4;
+        (ihl >= 20 && bytes.len() >= ihl).then_some(Ipv4View { bytes })
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        ((self.bytes[0] & 0xF) as usize) * 4
+    }
+
+    pub fn total_len(&self) -> u16 {
+        be16(self.bytes, 2).unwrap()
+    }
+
+    pub fn ident(&self) -> u16 {
+        be16(self.bytes, 4).unwrap()
+    }
+
+    pub fn ttl(&self) -> u8 {
+        self.bytes[8]
+    }
+
+    pub fn protocol(&self) -> u8 {
+        self.bytes[9]
+    }
+
+    pub fn checksum(&self) -> u16 {
+        be16(self.bytes, 10).unwrap()
+    }
+
+    pub fn src(&self) -> u32 {
+        be32(self.bytes, 12).unwrap()
+    }
+
+    pub fn dst(&self) -> u32 {
+        be32(self.bytes, 16).unwrap()
+    }
+
+    /// L4 payload (after the IPv4 header, clipped to `total_len`).
+    pub fn payload(&self) -> &'a [u8] {
+        let start = self.header_len();
+        let end = (self.total_len() as usize).min(self.bytes.len());
+        &self.bytes[start.min(end)..end]
+    }
+
+    /// The raw header bytes.
+    pub fn header(&self) -> &'a [u8] {
+        &self.bytes[..self.header_len()]
+    }
+}
+
+/// View over a TCP header.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> TcpView<'a> {
+    pub fn new(bytes: &'a [u8]) -> Option<Self> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let off = ((bytes[12] >> 4) as usize) * 4;
+        (off >= 20 && bytes.len() >= off).then_some(TcpView { bytes })
+    }
+
+    pub fn src_port(&self) -> u16 {
+        be16(self.bytes, 0).unwrap()
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        be16(self.bytes, 2).unwrap()
+    }
+
+    pub fn header_len(&self) -> usize {
+        ((self.bytes[12] >> 4) as usize) * 4
+    }
+
+    pub fn checksum(&self) -> u16 {
+        be16(self.bytes, 16).unwrap()
+    }
+
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[self.header_len().min(self.bytes.len())..]
+    }
+}
+
+/// View over a UDP header.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> UdpView<'a> {
+    pub fn new(bytes: &'a [u8]) -> Option<Self> {
+        (bytes.len() >= 8).then_some(UdpView { bytes })
+    }
+
+    pub fn src_port(&self) -> u16 {
+        be16(self.bytes, 0).unwrap()
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        be16(self.bytes, 2).unwrap()
+    }
+
+    pub fn len(&self) -> u16 {
+        be16(self.bytes, 4).unwrap()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 8
+    }
+
+    pub fn checksum(&self) -> u16 {
+        be16(self.bytes, 6).unwrap()
+    }
+
+    pub fn payload(&self) -> &'a [u8] {
+        let end = (self.len() as usize).min(self.bytes.len());
+        &self.bytes[8.min(end)..end]
+    }
+}
+
+/// A fully parsed frame: every layer the semantics need, resolved once.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsedFrame<'a> {
+    pub eth: EthFrame<'a>,
+    pub vlan_tci: Option<u16>,
+    pub ipv4: Option<Ipv4View<'a>>,
+    pub tcp: Option<TcpView<'a>>,
+    pub udp: Option<UdpView<'a>>,
+}
+
+impl<'a> ParsedFrame<'a> {
+    /// Parse as far as the frame allows; L2 must be present.
+    pub fn parse(bytes: &'a [u8]) -> Option<Self> {
+        let eth = EthFrame::new(bytes)?;
+        let vlan_tci = eth.vlan_tci();
+        let mut ipv4 = None;
+        let mut tcp = None;
+        let mut udp = None;
+        if eth.ethertype() == Some(ethertype::IPV4) {
+            if let Some(ip) = Ipv4View::new(eth.l3()) {
+                match ip.protocol() {
+                    ipproto::TCP => tcp = TcpView::new(ip.payload()),
+                    ipproto::UDP => udp = UdpView::new(ip.payload()),
+                    _ => {}
+                }
+                ipv4 = Some(ip);
+            }
+        }
+        Some(ParsedFrame { eth, vlan_tci, ipv4, tcp, udp })
+    }
+
+    /// The L4 source/destination ports, from whichever transport parsed.
+    pub fn ports(&self) -> Option<(u16, u16)> {
+        if let Some(t) = &self.tcp {
+            return Some((t.src_port(), t.dst_port()));
+        }
+        if let Some(u) = &self.udp {
+            return Some((u.src_port(), u.dst_port()));
+        }
+        None
+    }
+
+    /// The application payload, if a transport parsed.
+    pub fn l4_payload(&self) -> Option<&'a [u8]> {
+        if let Some(t) = &self.tcp {
+            return Some(t.payload());
+        }
+        if let Some(u) = &self.udp {
+            return Some(u.payload());
+        }
+        None
+    }
+
+    /// Byte offset of the L4 payload within the frame, if resolvable.
+    pub fn payload_offset(&self) -> Option<u16> {
+        let ip = self.ipv4.as_ref()?;
+        let l4 = self.eth.l3_offset() + ip.header_len();
+        let hdr = if let Some(t) = &self.tcp {
+            t.header_len()
+        } else if self.udp.is_some() {
+            8
+        } else {
+            return None;
+        };
+        Some((l4 + hdr) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testpkt;
+
+    #[test]
+    fn parse_plain_udp_frame() {
+        let f = testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1234,
+            5678,
+            b"hello",
+            None,
+        );
+        let p = ParsedFrame::parse(&f).unwrap();
+        assert!(p.vlan_tci.is_none());
+        let ip = p.ipv4.unwrap();
+        assert_eq!(ip.src(), u32::from_be_bytes([10, 0, 0, 1]));
+        assert_eq!(ip.protocol(), ipproto::UDP);
+        assert_eq!(p.ports(), Some((1234, 5678)));
+        assert_eq!(p.l4_payload(), Some(&b"hello"[..]));
+        assert_eq!(p.payload_offset(), Some(14 + 20 + 8));
+    }
+
+    #[test]
+    fn parse_vlan_tagged_tcp_frame() {
+        let f = testpkt::tcp4(
+            [192, 168, 1, 1],
+            [192, 168, 1, 2],
+            443,
+            51000,
+            b"xyz",
+            Some(0x2064), // prio 1, vid 100
+        );
+        let p = ParsedFrame::parse(&f).unwrap();
+        assert_eq!(p.vlan_tci, Some(0x2064));
+        assert!(p.tcp.is_some());
+        assert_eq!(p.ports(), Some((443, 51000)));
+        assert_eq!(p.l4_payload(), Some(&b"xyz"[..]));
+        assert_eq!(p.payload_offset(), Some(18 + 20 + 20));
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert!(EthFrame::new(&[0u8; 13]).is_none());
+        assert!(ParsedFrame::parse(&[0u8; 5]).is_none());
+    }
+
+    #[test]
+    fn bad_ip_version_rejected() {
+        let mut f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"", None);
+        f[14] = 0x65; // version 6 nibble in an IPv4 slot
+        let p = ParsedFrame::parse(&f).unwrap();
+        assert!(p.ipv4.is_none());
+    }
+
+    #[test]
+    fn ipv4_payload_clipped_to_total_len() {
+        // Frame padded past the IP total length must not leak padding into
+        // the payload view.
+        let mut f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 7, 9, b"ab", None);
+        f.extend_from_slice(&[0xEE; 10]); // ethernet padding
+        let p = ParsedFrame::parse(&f).unwrap();
+        assert_eq!(p.l4_payload(), Some(&b"ab"[..]));
+    }
+
+    #[test]
+    fn udp_view_len_and_empty() {
+        let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 7, 9, b"", None);
+        let p = ParsedFrame::parse(&f).unwrap();
+        let u = p.udp.unwrap();
+        assert_eq!(u.len(), 8);
+        assert!(u.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Portability: one application intent, five NIC models, zero
+//! per-device code.
+//!
+//! Reproduces the paper's Fig. 1 scenario: an application wants the
+//! packet checksum, the decapsulated VLAN TCI, the RSS hash, and a
+//! KVS-offload result. Each NIC class satisfies a different subset in
+//! hardware; OpenDesc fills the gaps with SoftNIC shims — and the
+//! application observes *identical* metadata everywhere.
+//!
+//! ```sh
+//! cargo run --example multi_nic_portability
+//! ```
+
+use opendesc::compiler::FIG1_INTENT_P4;
+use opendesc::ir::names;
+use opendesc::nicsim::SimNic;
+use opendesc::prelude::*;
+use opendesc::softnic::testpkt;
+
+fn main() {
+    let frame = testpkt::udp4(
+        [172, 16, 0, 10],
+        [172, 16, 0, 1],
+        40123,
+        11211,
+        &testpkt::kvs_get_payload("user:alice"),
+        Some(0x0C64), // prio 0, VID 100, plus CFI bits for fun
+    );
+
+    println!("Fig. 1 intent:\n{FIG1_INTENT_P4}");
+    println!(
+        "{:<14} {:>6} {:>8} {:<34} {}",
+        "NIC", "paths", "cmpt(B)", "hardware-provided", "software-fallback"
+    );
+
+    let mut observed: Vec<Vec<Option<u128>>> = Vec::new();
+    for model in models::catalog() {
+        // Each model gets a fresh registry/intent so @cost re-pricing
+        // can't leak between compilations.
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::from_p4(FIG1_INTENT_P4, &mut reg).unwrap();
+        let compiled = Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .expect("Fig. 1 intent is satisfiable everywhere");
+
+        let provided: Vec<&str> = compiled
+            .selection
+            .best
+            .provided
+            .iter()
+            .map(|s| compiled.reg.name(*s))
+            .collect();
+        println!(
+            "{:<14} {:>6} {:>8} {:<34} {}",
+            model.name,
+            compiled.paths_considered,
+            compiled.path.size_bytes(),
+            provided.join(","),
+            compiled.missing_features().join(","),
+        );
+
+        let nic = SimNic::new(model, 64).unwrap();
+        let mut drv = OpenDescDriver::attach(nic, compiled).unwrap();
+        drv.deliver(&frame).unwrap();
+        let pkt = drv.poll().unwrap();
+        observed.push(pkt.meta.iter().map(|(_, v)| *v).collect());
+    }
+
+    // The portability check: every NIC delivered the same values.
+    let all_equal = observed.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "\napplication-visible metadata identical across all {} NICs: {}",
+        observed.len(),
+        all_equal
+    );
+    assert!(all_equal, "portability property violated");
+
+    // Show the values once, with names.
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = Intent::from_p4(FIG1_INTENT_P4, &mut reg).unwrap();
+    println!("\nobserved values:");
+    for (f, v) in intent.fields.iter().zip(&observed[0]) {
+        let name = reg.name(f.semantic);
+        match v {
+            Some(v) => println!("  {name:<14} = {v:#x}"),
+            None => println!("  {name:<14} = <not computable for this frame>"),
+        }
+    }
+    let _ = names::RSS_HASH; // silence unused import lint paths in docs
+}

@@ -1,0 +1,98 @@
+//! Multiple OpenDesc instances on one device (paper §3): each receive
+//! queue gets its own intent, its own compiled completion layout, and
+//! its own context — tailored to the traffic steered at it.
+//!
+//! Queue 0 ("fast path"): KVS requests steered by destination port,
+//! minimal intent {kvs_key_hash, pkt_len} — on mlx5 the compiler still
+//! needs the full CQE (the key hash lives in the programmable slot).
+//! Queue 1 ("bulk"): everything else, intent {rss_hash, pkt_len} — the
+//! compiler picks the 8 B compressed mini-CQE, an 8× smaller DMA
+//! footprint on the high-volume queue.
+//!
+//! ```sh
+//! cargo run --example multi_queue
+//! ```
+
+use opendesc::compiler::{Compiler, Intent, OpenDescDriver};
+use opendesc::ir::names;
+use opendesc::nicsim::{MultiQueueNic, PktGen, SteerPolicy, Transport, Workload};
+use opendesc::prelude::*;
+
+fn main() {
+    let model = models::mlx5();
+
+    // Two intents, two compilations — same contract.
+    let mut reg = SemanticRegistry::with_builtins();
+    let kvs_intent = Intent::builder("kvs_fastpath")
+        .want(&mut reg, names::KVS_KEY_HASH)
+        .want(&mut reg, names::PKT_LEN)
+        .build();
+    let bulk_intent = Intent::builder("bulk")
+        .want(&mut reg, names::RSS_HASH)
+        .want(&mut reg, names::PKT_LEN)
+        .build();
+    let kvs_compiled = Compiler::default().compile_model(&model, &kvs_intent, &mut reg).unwrap();
+    let bulk_compiled = Compiler::default().compile_model(&model, &bulk_intent, &mut reg).unwrap();
+    println!(
+        "queue 0 (kvs):  {}B completion, fallbacks: {:?}",
+        kvs_compiled.path.size_bytes(),
+        kvs_compiled.missing_features()
+    );
+    println!(
+        "queue 1 (bulk): {}B completion, fallbacks: {:?}",
+        bulk_compiled.path.size_bytes(),
+        bulk_compiled.missing_features()
+    );
+    assert!(kvs_compiled.path.size_bytes() > bulk_compiled.path.size_bytes());
+
+    // One device, two queues, port steering: 11211 → queue 0.
+    let mut nic = MultiQueueNic::new(
+        model,
+        2,
+        1024,
+        SteerPolicy::DstPort { table: vec![(11211, 0)], default: 1 },
+    )
+    .unwrap();
+    nic.queue_mut(0).configure(kvs_compiled.context.clone().unwrap()).unwrap();
+    nic.queue_mut(1).configure(bulk_compiled.context.clone().unwrap()).unwrap();
+
+    // Mixed traffic.
+    let mut kvs_gen = PktGen::new(Workload { transport: Transport::KvsGet, flows: 8, ..Workload::default() });
+    let mut bulk_gen = PktGen::new(Workload { flows: 24, seed: 42, ..Workload::default() });
+    for _ in 0..300 {
+        nic.deliver(&kvs_gen.next_frame()).unwrap();
+        nic.deliver(&bulk_gen.next_frame()).unwrap();
+        nic.deliver(&bulk_gen.next_frame()).unwrap();
+    }
+    println!("\nsteering: {:?} frames per queue", nic.steered);
+    assert_eq!(nic.steered[0], 300);
+    assert_eq!(nic.steered[1], 600);
+
+    // Each queue polls through its own compiled driver. (The queues are
+    // moved out of the steering shell once the wire side is done.)
+    let mut queues = nic.queues;
+    let bulk_nic = queues.pop().unwrap();
+    let kvs_nic = queues.pop().unwrap();
+
+    let kvs_sem = reg.id(names::KVS_KEY_HASH).unwrap();
+    let mut kvs_drv = OpenDescDriver::attach(kvs_nic, kvs_compiled).unwrap();
+    let mut keys = std::collections::HashSet::new();
+    while let Some(pkt) = kvs_drv.poll() {
+        if let Some(h) = pkt.get(kvs_sem) {
+            keys.insert(h);
+        }
+    }
+    println!("queue 0 saw {} distinct KVS keys (hash from the NIC's programmable slot)", keys.len());
+
+    let rss_sem = reg.id(names::RSS_HASH).unwrap();
+    let mut bulk_drv = OpenDescDriver::attach(bulk_nic, bulk_compiled).unwrap();
+    let (mut n, mut bytes) = (0u64, 0u64);
+    while let Some(pkt) = bulk_drv.poll() {
+        assert!(pkt.get(rss_sem).is_some());
+        n += 1;
+        bytes += pkt.frame.len() as u64;
+    }
+    println!("queue 1 drained {n} bulk frames ({bytes} bytes) through 8B mini-CQEs");
+    assert_eq!(n, 600);
+    println!("\ntwo intents, two layouts, one NIC — per-queue contracts as §3 describes.");
+}

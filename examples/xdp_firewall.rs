@@ -1,0 +1,83 @@
+//! XDP firewall from NIC metadata: generate a verified eBPF program that
+//! drops packets whose *device-computed* flow tag matches a blocklist
+//! entry — without the program ever touching packet bytes.
+//!
+//! This is the paper's "access the metadata sent from the NIC in eBPF
+//! through XDP" consumption model: the accessor offsets come from the
+//! compiled completion layout, and the generated program carries the
+//! bounds check the kernel-style verifier demands.
+//!
+//! ```sh
+//! cargo run --example xdp_firewall
+//! ```
+
+use opendesc::compiler::codegen::ebpf::gen_xdp_filter;
+use opendesc::ebpf::{disasm, verify, Vm, XdpContext};
+use opendesc::ebpf::insn::xdp_action;
+use opendesc::ir::names;
+use opendesc::nicsim::SimNic;
+use opendesc::prelude::*;
+
+fn main() {
+    // Intent: the application steers on the device flow tag.
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = Intent::builder("firewall")
+        .want(&mut reg, names::FLOW_TAG)
+        .want(&mut reg, names::PKT_LEN)
+        .build();
+
+    let model = models::mlx5();
+    let compiled = Compiler::default()
+        .compile_model(&model, &intent, &mut reg)
+        .expect("mlx5 full CQE provides flow tags");
+    println!("{}", compiled.report());
+
+    // Generate the filter: drop flow tag 1 (the first flow the device
+    // sees). The accessor's offset/width come from the selected layout.
+    let flow_acc = compiled
+        .accessors
+        .for_semantic(reg.id(names::FLOW_TAG).unwrap())
+        .expect("flow_tag accessor");
+    let blocked_tag = 1u64;
+    let prog = gen_xdp_filter(flow_acc, compiled.accessors.completion_bytes, blocked_tag)
+        .expect("hardware accessor compiles to eBPF");
+
+    println!("--- generated XDP program ({} insns) ---", prog.len());
+    println!("{}", disasm(&prog));
+    let stats = verify(&prog).expect("generated programs verify by construction");
+    println!("verifier: OK ({} states explored)\n", stats.states_explored);
+
+    // Run traffic: two flows; the first one hits the blocklist.
+    let nic = SimNic::new(model, 256).unwrap();
+    let mut drv = OpenDescDriver::attach(nic, compiled).unwrap();
+    let flows: [(u16, &str); 2] = [(1111, "flow A"), (2222, "flow B")];
+    for round in 0..4 {
+        for (port, _) in flows {
+            let f = opendesc::softnic::testpkt::udp4(
+                [10, 9, 0, 1],
+                [10, 9, 0, 2],
+                port,
+                9000,
+                format!("round {round}").as_bytes(),
+                None,
+            );
+            drv.deliver(&f).unwrap();
+        }
+    }
+
+    let vm = Vm::default();
+    let (mut passed, mut dropped) = (0u32, 0u32);
+    // The XDP hook sees (packet, raw completion record) pairs.
+    while let Some((frame, cmpt)) = drv.nic.receive() {
+        let ctx = XdpContext::new(frame, cmpt);
+        let (action, _) = vm.run(&prog, &ctx).expect("verified program cannot fault");
+        match action {
+            a if a == xdp_action::DROP => dropped += 1,
+            a if a == xdp_action::PASS => passed += 1,
+            other => panic!("unexpected action {other}"),
+        }
+    }
+    println!("passed={passed} dropped={dropped}");
+    assert_eq!(dropped, 4, "all four packets of the blocked flow dropped");
+    assert_eq!(passed, 4, "the other flow passes");
+}
