@@ -16,7 +16,10 @@ const N: usize = 256;
 
 fn print_dma_table() {
     println!("\nE10: DMA time per 1000 packets (8B completion + 60B frame), model");
-    println!("{:>10} {:>14} {:>14} {:>8}", "link GB/s", "individual", "aggregated", "ratio");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "link GB/s", "individual", "aggregated", "ratio"
+    );
     for bw in [7.9, 2.0, 0.5, 0.1] {
         let cfg = DmaConfig::default().with_bandwidth(bw);
         let (ind, agg) = dma_cost_comparison(&cfg, 1000, 8, 60, 9000);
@@ -64,11 +67,7 @@ fn bench(c: &mut Criterion) {
     if let Some(j) = agg.flush() {
         jumbos.push(j);
     }
-    println!(
-        "{} packets packed into {} jumbos",
-        N,
-        jumbos.len()
-    );
+    println!("{} packets packed into {} jumbos", N, jumbos.len());
 
     let rss_acc = compiled
         .accessors

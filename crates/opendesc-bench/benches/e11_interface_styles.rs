@@ -41,7 +41,11 @@ fn fixture() -> Fixture {
     ctx.insert(FieldRef::new(&["ctx", "cqe_format"], 2), 1);
     let mut nic = SimNic::new(models::mlx5(), N * 2).unwrap();
     nic.configure(compiled.context.clone().unwrap()).unwrap();
-    let mut gen = PktGen::new(Workload { flows: 64, payload: (64, 512), ..Workload::default() });
+    let mut gen = PktGen::new(Workload {
+        flows: 64,
+        payload: (64, 512),
+        ..Workload::default()
+    });
     let mut pairs = Vec::with_capacity(N);
     for _ in 0..N {
         nic.deliver(&gen.next_frame()).unwrap();
@@ -53,7 +57,11 @@ fn fixture() -> Fixture {
         .for_semantic(reg.id(names::RSS_HASH).unwrap())
         .unwrap()
         .clone();
-    Fixture { pairs, rss_acc, reg }
+    Fixture {
+        pairs,
+        rss_acc,
+        reg,
+    }
 }
 
 /// Checksum-ish payload touch: XOR-fold every byte (the "raw payload
@@ -71,7 +79,10 @@ fn bench(c: &mut Criterion) {
     // per-packet completion+frame DMA vs one contiguous stream append.
     use opendesc_nicsim::DmaConfig;
     println!("\nmodeled DMA time per 1000 pkts (60B frames, 8B completions):");
-    println!("{:>10} {:>14} {:>14} {:>14}", "link GB/s", "descriptor", "enso stream", "asni jumbo");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "link GB/s", "descriptor", "enso stream", "asni jumbo"
+    );
     for bw in [7.9, 2.0, 0.5] {
         let cfg = DmaConfig::default().with_bandwidth(bw);
         let mut per_desc = opendesc_nicsim::DmaMeter::default();

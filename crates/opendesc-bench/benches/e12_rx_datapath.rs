@@ -1,0 +1,108 @@
+//! E12 — RX datapath: per-packet (seed-style) vs compiled-plan vs
+//! zero-alloc batched poll, across the four NIC models.
+//!
+//! The tentpole measurement for compiled shim plans: the seed datapath
+//! re-parsed the frame once *per software shim* and computed RSS twice
+//! when `rss_hash` + `queue_hint` were both requested; the compiled
+//! plan parses once per packet and memoizes RSS, and the batched path
+//! additionally recycles all frame/completion/metadata storage and
+//! reads hardware fields column-wise. On a software-shim-heavy model
+//! (e1000e) batched + compiled must beat the seed path by ≥ 2×
+//! packets/sec — asserted below, not just printed.
+//!
+//! Ring filling runs in the setup phase (as in E3); the timed region is
+//! the host-side drain only. The quick-mode table (also emitted as
+//! `BENCH_e12.json` by `scripts/bench.sh`) is printed first so the rows
+//! can be recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use opendesc_bench::e12;
+use opendesc_softnic::SoftNic;
+
+fn bench(c: &mut Criterion) {
+    // Quick-mode matrix first: prints the E12 table and checks the
+    // acceptance ratio with drain-only wall-clock timing.
+    let rows = e12::run_quick(10);
+    println!(
+        "\nE12: RX datapath, {} pkts/round, mixed UDP/VLAN traffic",
+        e12::ROUND
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>12}",
+        "model", "path", "Mpps", "ns/pkt"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>12} {:>10.3} {:>12.1}",
+            r.model, r.path, r.mpps, r.ns_per_pkt
+        );
+    }
+    let speedup = e12::speedup(&rows, "e1000e");
+    println!("e1000e batched vs per-packet speedup: {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "acceptance: batched+compiled must beat seed per-packet by >=2x on e1000e (got {speedup:.2}x)"
+    );
+
+    // Criterion timings for the same drains.
+    let frames = e12::traffic(e12::ROUND);
+    for model in e12::model_matrix() {
+        let mut g = c.benchmark_group(format!("e12/{}", model.name));
+        g.throughput(Throughput::Elements(e12::ROUND as u64));
+
+        g.bench_function("per_packet", |b| {
+            b.iter_batched(
+                || {
+                    let mut drv = e12::driver(model.clone(), e12::ROUND * 2);
+                    for f in &frames {
+                        drv.deliver(f).unwrap();
+                    }
+                    (drv, SoftNic::new())
+                },
+                |(mut drv, mut soft)| e12::drain_per_packet(&mut drv, &mut soft),
+                BatchSize::LargeInput,
+            )
+        });
+
+        g.bench_function("plan", |b| {
+            b.iter_batched(
+                || {
+                    let mut drv = e12::driver(model.clone(), e12::ROUND * 2);
+                    for f in &frames {
+                        drv.deliver(f).unwrap();
+                    }
+                    drv
+                },
+                |mut drv| e12::drain_plan(&mut drv),
+                BatchSize::LargeInput,
+            )
+        });
+
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    let mut drv = e12::driver(model.clone(), e12::ROUND * 2);
+                    for f in &frames {
+                        drv.deliver(f).unwrap();
+                    }
+                    let batch = drv.make_batch(e12::BATCH_CAP);
+                    (drv, batch)
+                },
+                |(mut drv, mut batch)| e12::drain_batched(&mut drv, &mut batch),
+                BatchSize::LargeInput,
+            )
+        });
+
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

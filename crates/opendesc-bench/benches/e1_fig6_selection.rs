@@ -11,13 +11,18 @@ use opendesc_core::{Compiler, Intent};
 use opendesc_ir::{names, SemanticRegistry};
 use opendesc_nicsim::models;
 
-const SEMS: [&str; 4] = [names::RSS_HASH, names::IP_CHECKSUM, names::IP_ID, names::VLAN_TCI];
+const SEMS: [&str; 4] = [
+    names::RSS_HASH,
+    names::IP_CHECKSUM,
+    names::IP_ID,
+    names::VLAN_TCI,
+];
 
 fn print_decision_table() {
     println!("\nE1 (paper Fig. 6): e1000e layout selection per intent subset");
     println!(
-        "{:<40} {:>6} {:>9} {:>12}  {}",
-        "Req", "path", "ctx", "soft(ns)", "software fallbacks"
+        "{:<40} {:>6} {:>9} {:>12}  software fallbacks",
+        "Req", "path", "ctx", "soft(ns)"
     );
     for mask in 0u32..16 {
         let mut reg = SemanticRegistry::with_builtins();

@@ -13,8 +13,8 @@ use opendesc_ir::SemanticRegistry;
 fn print_matrix() {
     println!("\nE2: layout selection matrix (paper Fig. 1 scenario and friends)");
     println!(
-        "{:<14} {:<12} {:>6} {:>8} {:>10}  {}",
-        "NIC", "intent", "paths", "cmpt(B)", "soft(ns)", "software fallbacks / error"
+        "{:<14} {:<12} {:>6} {:>8} {:>10}  software fallbacks / error",
+        "NIC", "intent", "paths", "cmpt(B)", "soft(ns)"
     );
     for model in model_catalog() {
         let mut reg0 = SemanticRegistry::with_builtins();

@@ -41,7 +41,13 @@ fn setup(wl: Workload) -> Setup {
         .unwrap();
     let ctx = compiled.context.clone().unwrap();
     let frames = opendesc_bench::frames(wl, BATCH);
-    Setup { intent, reg, ctx, compiled, frames }
+    Setup {
+        intent,
+        reg,
+        ctx,
+        compiled,
+        frames,
+    }
 }
 
 fn nic_with(s: &Setup) -> SimNic {
@@ -130,7 +136,11 @@ fn bench(c: &mut Criterion) {
     bench_workload(
         c,
         "mixed",
-        Workload { payload: (18, 1400), vlan_fraction: 1.0, ..Workload::default() },
+        Workload {
+            payload: (18, 1400),
+            vlan_fraction: 1.0,
+            ..Workload::default()
+        },
     );
 }
 

@@ -104,8 +104,12 @@ fn bench(c: &mut Criterion) {
 
     // Verifier cost itself (compile-time, not per-packet).
     let mut g2 = c.benchmark_group("e5/verifier");
-    g2.bench_function("verify_accessor", |b| b.iter(|| verify(&read_prog).unwrap()));
-    g2.bench_function("verify_csum_recompute", |b| b.iter(|| verify(&csum_prog).unwrap()));
+    g2.bench_function("verify_accessor", |b| {
+        b.iter(|| verify(&read_prog).unwrap())
+    });
+    g2.bench_function("verify_csum_recompute", |b| {
+        b.iter(|| verify(&csum_prog).unwrap())
+    });
     g2.finish();
 }
 

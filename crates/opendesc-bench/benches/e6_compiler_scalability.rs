@@ -22,7 +22,9 @@ fn layouts(k: usize) -> Vec<QdmaLayout> {
         &[("flow_tag", 32), ("pkt_len", 16), ("rx_status", 16)],
         &[("timestamp", 64), ("rss_hash", 32), ("l4_checksum", 16)],
     ];
-    (0..k).map(|i| QdmaLayout::new(pool[i % pool.len()])).collect()
+    (0..k)
+        .map(|i| QdmaLayout::new(pool[i % pool.len()]))
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {

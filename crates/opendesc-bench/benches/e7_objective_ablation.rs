@@ -53,7 +53,11 @@ fn bench(c: &mut Criterion) {
         .want(&mut reg, names::VLAN_TCI)
         .build();
     let frames = opendesc_bench::frames(
-        Workload { payload: (200, 800), vlan_fraction: 1.0, ..Workload::default() },
+        Workload {
+            payload: (200, 800),
+            vlan_fraction: 1.0,
+            ..Workload::default()
+        },
         PKTS,
     );
 
@@ -66,7 +70,11 @@ fn bench(c: &mut Criterion) {
         // β follows the link: ns per completion byte at this bandwidth.
         let beta = 1.0 / bw;
         let mut row = format!("{bw:>10} {beta:>9.2} |");
-        for objective in [Objective::Combined, Objective::CostOnly, Objective::SizeOnly] {
+        for objective in [
+            Objective::Combined,
+            Objective::CostOnly,
+            Objective::SizeOnly,
+        ] {
             let compiler = Compiler {
                 selector: Selector {
                     beta_ns_per_byte: beta,
@@ -74,7 +82,9 @@ fn bench(c: &mut Criterion) {
                     ..Selector::default()
                 },
             };
-            let compiled = compiler.compile_model(&models::mlx5(), &intent, &mut reg).unwrap();
+            let compiled = compiler
+                .compile_model(&models::mlx5(), &intent, &mut reg)
+                .unwrap();
             let ns = realized_ns_per_pkt(&compiled, bw, &frames);
             row.push_str(&format!(
                 " {:>8.0}ns ({:>2}B)",
@@ -97,7 +107,10 @@ fn bench(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let compiler = Compiler {
-                    selector: Selector { objective, ..Selector::default() },
+                    selector: Selector {
+                        objective,
+                        ..Selector::default()
+                    },
                 };
                 compiler
                     .compile_model(&models::mlx5(), &intent, &mut reg.clone())

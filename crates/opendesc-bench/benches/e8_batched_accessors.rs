@@ -34,7 +34,14 @@ fn bench(c: &mut Criterion) {
     nic.configure(compiled.context.clone().unwrap()).unwrap();
     let mut cmpts: Vec<Vec<u8>> = Vec::new();
     for i in 0..4u16 {
-        let f = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1000 + i, 2000, b"pkt", Some(0x100 + i));
+        let f = testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000 + i,
+            2000,
+            b"pkt",
+            Some(0x100 + i),
+        );
         nic.deliver(&f).unwrap();
         let (_, cmpt) = nic.receive().unwrap();
         cmpts.push(cmpt);

@@ -65,7 +65,11 @@ fn bench(c: &mut Criterion) {
         ("ice_hw_both", models::ice()),
         ("e1000e_l4_in_sw", models::e1000e()),
     ];
-    let req = TxRequest { l4_csum: true, ip_csum: true, vlan: None };
+    let req = TxRequest {
+        l4_csum: true,
+        ip_csum: true,
+        vlan: None,
+    };
     for payload in [64usize, 1024] {
         let fs = frames(BATCH, payload);
         let mut g = c.benchmark_group(format!("e9/payload{payload}"));

@@ -1,0 +1,34 @@
+//! Quick-mode E12 runner: measures the RX datapath matrix
+//! (per-packet vs compiled plan vs zero-alloc batched, four models)
+//! and writes the perf-trajectory record. Used by `scripts/bench.sh`.
+//!
+//! Usage: `e12_json [OUTPUT.json]` (default `BENCH_e12.json`).
+
+use opendesc_bench::e12;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_e12.json".into());
+    let rows = e12::run_quick(10);
+    println!(
+        "E12: RX datapath, {} pkts/round, mixed UDP/VLAN traffic",
+        e12::ROUND
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>12}",
+        "model", "path", "Mpps", "ns/pkt"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>12} {:>10.3} {:>12.1}",
+            r.model, r.path, r.mpps, r.ns_per_pkt
+        );
+    }
+    println!(
+        "e1000e batched vs per-packet speedup: {:.2}x",
+        e12::speedup(&rows, "e1000e")
+    );
+    std::fs::write(&path, e12::to_json(&rows)).expect("write bench record");
+    println!("wrote {path}");
+}

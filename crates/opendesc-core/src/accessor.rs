@@ -11,7 +11,8 @@ use opendesc_ir::bits::{read_bits, read_bytes_be};
 use opendesc_ir::path::CompletionPath;
 use opendesc_ir::semantics::SemanticRegistry;
 use opendesc_ir::SemanticId;
-use opendesc_softnic::SoftNic;
+use opendesc_softnic::wire::ParsedFrame;
+use opendesc_softnic::{ShimMemo, ShimOp, SoftNic};
 use std::fmt;
 
 /// How a semantic is obtained.
@@ -46,7 +47,9 @@ impl Accessor {
             kind: AccessorKind::Hardware,
             offset_bits,
             width_bits,
-            aligned: offset_bits % 8 == 0 && width_bits % 8 == 0 && width_bits <= 128,
+            aligned: offset_bits.is_multiple_of(8)
+                && width_bits.is_multiple_of(8)
+                && width_bits <= 128,
         }
     }
 
@@ -127,7 +130,10 @@ impl AccessorSet {
                 accessors.push(Accessor::software(*sem, name, *width));
             }
         }
-        AccessorSet { accessors, completion_bytes: path.size_bytes() }
+        AccessorSet {
+            accessors,
+            completion_bytes: path.size_bytes(),
+        }
     }
 
     /// The accessor for `sem`.
@@ -160,31 +166,70 @@ impl AccessorSet {
         frame: &[u8],
         cmpt: &[u8],
     ) -> Vec<Option<u128>> {
+        // Parse once and share the view across every software shim; memo
+        // intra-packet repeats (RSS for rss_hash + queue_hint). The op
+        // lowering still happens per call here — compiled interfaces
+        // avoid even that via `RxPlan`.
+        let parsed = ParsedFrame::parse(frame);
+        let mut memo = ShimMemo::default();
         self.accessors
             .iter()
             .map(|a| match a.kind {
                 AccessorKind::Hardware => Some(a.read(cmpt)),
-                AccessorKind::Software => {
-                    soft.compute(reg, a.semantic, frame).map(|v| v as u128)
-                }
+                AccessorKind::Software => parsed
+                    .as_ref()
+                    .and_then(|p| {
+                        soft.exec_op(
+                            ShimOp::from_name(reg.name(a.semantic)),
+                            p,
+                            frame.len(),
+                            &mut memo,
+                        )
+                    })
+                    .map(|v| v as u128),
             })
             .collect()
     }
 
-    /// Batched hardware read (the §5 SIMD-accessors direction, modeled
-    /// as a 4-descriptor software batch): reads one accessor across four
-    /// completion records. The benefit measured by E8 comes from
-    /// amortizing the per-field offset computation and keeping the
-    /// four loads independent for the CPU's ILP.
+    /// Columnar hardware read (the §5 SIMD-accessors direction): one
+    /// accessor across a whole batch of completion records, in chunks of
+    /// four with a scalar remainder. The benefit measured by E8/E12 comes
+    /// from amortizing the per-field offset computation and keeping the
+    /// loads of a chunk independent for the CPU's ILP.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `cmpts`.
+    pub fn read_column<C: AsRef<[u8]>>(&self, acc_idx: usize, cmpts: &[C], out: &mut [u128]) {
+        let a = &self.accessors[acc_idx];
+        debug_assert_eq!(a.kind, AccessorKind::Hardware);
+        let n = cmpts.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v0 = a.read(cmpts[i].as_ref());
+            let v1 = a.read(cmpts[i + 1].as_ref());
+            let v2 = a.read(cmpts[i + 2].as_ref());
+            let v3 = a.read(cmpts[i + 3].as_ref());
+            out[i] = v0;
+            out[i + 1] = v1;
+            out[i + 2] = v2;
+            out[i + 3] = v3;
+            i += 4;
+        }
+        while i < n {
+            out[i] = a.read(cmpts[i].as_ref());
+            i += 1;
+        }
+    }
+
+    /// Fixed 4-descriptor batch read, kept for the E8 bench; a thin
+    /// wrapper over [`read_column`].
+    ///
+    /// [`read_column`]: AccessorSet::read_column
     #[inline]
     pub fn read_batch4(&self, acc_idx: usize, cmpts: [&[u8]; 4]) -> [u128; 4] {
-        let a = &self.accessors[acc_idx];
-        [
-            a.read(cmpts[0]),
-            a.read(cmpts[1]),
-            a.read(cmpts[2]),
-            a.read(cmpts[3]),
-        ]
+        let mut out = [0u128; 4];
+        self.read_column(acc_idx, &cmpts, &mut out);
+        out
     }
 }
 
@@ -222,10 +267,8 @@ mod tests {
         let (path, reg) = mlx5_mini_path();
         let rss = reg.id(names::RSS_HASH).unwrap();
         let vlan = reg.id(names::VLAN_TCI).unwrap();
-        let set = AccessorSet::synthesize(
-            &path,
-            &[(rss, "rss".into(), 32), (vlan, "vlan".into(), 16)],
-        );
+        let set =
+            AccessorSet::synthesize(&path, &[(rss, "rss".into(), 32), (vlan, "vlan".into(), 16)]);
         assert_eq!(set.hardware().count(), 1);
         assert_eq!(set.software().count(), 1);
         assert_eq!(set.completion_bytes, 8);
@@ -237,10 +280,8 @@ mod tests {
         let (path, reg) = mlx5_mini_path();
         let rss = reg.id(names::RSS_HASH).unwrap();
         let len = reg.id(names::PKT_LEN).unwrap();
-        let set = AccessorSet::synthesize(
-            &path,
-            &[(rss, "rss".into(), 32), (len, "len".into(), 16)],
-        );
+        let set =
+            AccessorSet::synthesize(&path, &[(rss, "rss".into(), 32), (len, "len".into(), 16)]);
         let cmpt = [0xDE, 0xAD, 0xBE, 0xEF, 0x05, 0xDC, 0x03, 0x00];
         assert_eq!(set.for_semantic(rss).unwrap().read(&cmpt), 0xDEADBEEF);
         assert_eq!(set.for_semantic(len).unwrap().read(&cmpt), 0x05DC);
@@ -278,6 +319,26 @@ mod tests {
         let batch = set.read_batch4(0, [&c[0], &c[1], &c[2], &c[3]]);
         for i in 0..4 {
             assert_eq!(batch[i], set.accessors[0].read(&c[i]));
+        }
+    }
+
+    #[test]
+    fn read_column_matches_scalar_with_remainder() {
+        let (path, reg) = mlx5_mini_path();
+        let rss = reg.id(names::RSS_HASH).unwrap();
+        let len = reg.id(names::PKT_LEN).unwrap();
+        let set =
+            AccessorSet::synthesize(&path, &[(rss, "rss".into(), 32), (len, "len".into(), 16)]);
+        // 7 completions: one 4-chunk plus a 3-record scalar remainder.
+        let cmpts: Vec<Vec<u8>> = (0u8..7)
+            .map(|i| vec![i, i ^ 0xFF, 2 * i, 3, 4, 5, 6, 7])
+            .collect();
+        for acc_idx in 0..set.accessors.len() {
+            let mut out = vec![0u128; cmpts.len()];
+            set.read_column(acc_idx, &cmpts, &mut out);
+            for (c, got) in cmpts.iter().zip(&out) {
+                assert_eq!(*got, set.accessors[acc_idx].read(c));
+            }
         }
     }
 

@@ -64,7 +64,13 @@ impl GenericMbufDriver {
             .active_path()
             .map(|p| p.slots.clone())
             .unwrap_or_default();
-        Ok(GenericMbufDriver { nic, intent, reg, soft: SoftNic::new(), slots })
+        Ok(GenericMbufDriver {
+            nic,
+            intent,
+            reg,
+            soft: SoftNic::new(),
+            slots,
+        })
     }
 
     pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
@@ -114,7 +120,12 @@ pub struct LcdDriver {
 
 impl LcdDriver {
     pub fn attach(nic: SimNic, intent: Intent, reg: SemanticRegistry) -> Self {
-        LcdDriver { nic, intent, reg, soft: SoftNic::new() }
+        LcdDriver {
+            nic,
+            intent,
+            reg,
+            soft: SoftNic::new(),
+        }
     }
 
     pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
@@ -149,7 +160,14 @@ mod tests {
     use opendesc_softnic::testpkt;
 
     fn frame() -> Vec<u8> {
-        testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 7, 9, b"hello world", Some(0x0064))
+        testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            7,
+            9,
+            b"hello world",
+            Some(0x0064),
+        )
     }
 
     fn compiled_pair() -> (OpenDescDriver, GenericMbufDriver, LcdDriver) {
@@ -160,11 +178,13 @@ mod tests {
             .want(&mut reg, names::PKT_LEN)
             .build();
         let model = models::mlx5();
-        let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+        let compiled = Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .unwrap();
         let ctx = compiled.context.clone().unwrap();
 
-        let od = OpenDescDriver::attach(SimNic::new(model.clone(), 256).unwrap(), compiled)
-            .unwrap();
+        let od =
+            OpenDescDriver::attach(SimNic::new(model.clone(), 256).unwrap(), compiled).unwrap();
 
         let mut nic2 = SimNic::new(model.clone(), 256).unwrap();
         nic2.configure(ctx.clone()).unwrap();

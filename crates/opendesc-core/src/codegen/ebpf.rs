@@ -40,7 +40,10 @@ fn load_field(a: &mut Asm, acc: &Accessor) -> Result<(), CodegenError> {
     let hi = (acc.offset_bits + acc.width_bits as u32).div_ceil(8);
     let span = hi - lo;
     if span > 8 {
-        return Err(CodegenError::FieldTooWide { name: acc.name.clone(), span_bytes: span });
+        return Err(CodegenError::FieldTooWide {
+            name: acc.name.clone(),
+            span_bytes: span,
+        });
     }
     a.mov64_imm(reg::R0, 0);
     for i in lo..hi {
@@ -67,12 +70,11 @@ fn load_field(a: &mut Asm, acc: &Accessor) -> Result<(), CodegenError> {
 
 /// Compile one hardware accessor into a standalone program that returns
 /// the field value in r0 (0 when the record is too short).
-pub fn gen_accessor_prog(
-    acc: &Accessor,
-    completion_bytes: u32,
-) -> Result<Vec<Insn>, CodegenError> {
+pub fn gen_accessor_prog(acc: &Accessor, completion_bytes: u32) -> Result<Vec<Insn>, CodegenError> {
     if acc.kind != AccessorKind::Hardware {
-        return Err(CodegenError::NotHardware { name: acc.name.clone() });
+        return Err(CodegenError::NotHardware {
+            name: acc.name.clone(),
+        });
     }
     let mut a = Asm::new();
     prologue(&mut a, completion_bytes, "short");
@@ -92,7 +94,9 @@ pub fn gen_xdp_filter(
     match_value: u64,
 ) -> Result<Vec<Insn>, CodegenError> {
     if acc.kind != AccessorKind::Hardware {
-        return Err(CodegenError::NotHardware { name: acc.name.clone() });
+        return Err(CodegenError::NotHardware {
+            name: acc.name.clone(),
+        });
     }
     let mut a = Asm::new();
     prologue(&mut a, completion_bytes, "short");
@@ -116,9 +120,7 @@ pub fn gen_xdp_filter(
 
 /// Compile every hardware accessor of a set; returns `(name, program)`
 /// pairs.
-pub fn gen_all(
-    set: &AccessorSet,
-) -> Result<Vec<(String, Vec<Insn>)>, CodegenError> {
+pub fn gen_all(set: &AccessorSet) -> Result<Vec<(String, Vec<Insn>)>, CodegenError> {
     set.hardware()
         .map(|a| Ok((a.name.clone(), gen_accessor_prog(a, set.completion_bytes)?)))
         .collect()
@@ -321,7 +323,11 @@ mod tests {
         let acc = Accessor::hardware(SemanticId(0), "csum", 0, 16);
         let read = gen_accessor_prog(&acc, 8).unwrap();
         let recompute = gen_ipv4_csum_prog(14);
-        assert!(read.len() * 3 < recompute.len(),
-            "read={} recompute={}", read.len(), recompute.len());
+        assert!(
+            read.len() * 3 < recompute.len(),
+            "read={} recompute={}",
+            read.len(),
+            recompute.len()
+        );
     }
 }

@@ -5,8 +5,8 @@
 //! hook, per §4's future-work note) would consume to wire itself up
 //! without understanding P4.
 
-use crate::compiler::CompiledInterface;
 use crate::accessor::AccessorKind;
+use crate::compiler::CompiledInterface;
 
 /// Render the manifest.
 pub fn generate(c: &CompiledInterface) -> String {
@@ -19,11 +19,7 @@ pub fn generate(c: &CompiledInterface) -> String {
          completion_bytes = {}\n\
          selected_path = {}\n\
          paths_considered = {}\n\n",
-        c.nic_name,
-        c.intent.name,
-        c.accessors.completion_bytes,
-        c.path.id,
-        c.paths_considered
+        c.nic_name, c.intent.name, c.accessors.completion_bytes, c.path.id, c.paths_considered
     ));
 
     out.push_str("[context]\n");
@@ -97,7 +93,10 @@ mod tests {
             .iter()
             .find(|a| a.kind == AccessorKind::Hardware)
             .unwrap();
-        assert!(m.contains(&format!("offset_bits = {}", csum.offset_bits)), "{m}");
+        assert!(
+            m.contains(&format!("offset_bits = {}", csum.offset_bits)),
+            "{m}"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl fmt::Display for CodegenError {
                 write!(f, "field `{name}` spans {span_bytes} bytes; max is 8")
             }
             CodegenError::NotHardware { name } => {
-                write!(f, "`{name}` is a software shim; only hardware accessors compile to eBPF")
+                write!(
+                    f,
+                    "`{name}` is a software shim; only hardware accessors compile to eBPF"
+                )
             }
         }
     }

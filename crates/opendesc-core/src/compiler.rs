@@ -10,6 +10,7 @@
 use crate::accessor::AccessorSet;
 use crate::codegen::{self, CodegenError};
 use crate::intent::Intent;
+use crate::plan::RxPlan;
 use crate::select::{SelectError, Selection, Selector};
 use opendesc_ebpf::insn::Insn;
 use opendesc_ir::path::CompletionPath;
@@ -72,6 +73,10 @@ pub struct CompiledInterface {
     pub context: Option<Assignment>,
     /// Synthesized accessors (hardware reads + software shims).
     pub accessors: AccessorSet,
+    /// The accessors lowered to a per-packet execution plan: software
+    /// shims pre-resolved to `ShimOp`s so the hot loop never dispatches
+    /// on semantic names.
+    pub plan: RxPlan,
     /// The semantic registry used (costs may have been re-priced by the
     /// intent's `@cost` annotations).
     pub reg: SemanticRegistry,
@@ -102,7 +107,10 @@ impl Compiler {
         }
         let cfg = extract(&checked, deparser, reg).map_err(|d| {
             CompileError::Extract(
-                d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; "),
+                d.iter()
+                    .map(|x| x.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; "),
             )
         })?;
         self.compile_cfg(&cfg, nic_name, intent, reg)
@@ -143,6 +151,7 @@ impl Compiler {
             .map(|f| (f.semantic, f.name.clone(), f.width_bits))
             .collect();
         let accessors = AccessorSet::synthesize(&path, &requested);
+        let plan = RxPlan::compile(&accessors, reg);
         Ok(CompiledInterface {
             nic_name: nic_name.to_string(),
             intent: intent.clone(),
@@ -150,6 +159,7 @@ impl Compiler {
             selection,
             path,
             accessors,
+            plan,
             reg: reg.clone(),
             paths_considered: paths.len(),
         })
@@ -215,7 +225,11 @@ impl CompiledInterface {
             self.paths_considered
         ));
         for s in &self.selection.ranking {
-            let marker = if s.path_id == self.selection.best.path_id { "→" } else { " " };
+            let marker = if s.path_id == self.selection.best.path_id {
+                "→"
+            } else {
+                " "
+            };
             out.push_str(&format!("  {marker} {}\n", s.describe(&self.reg)));
         }
         out.push('\n');
@@ -289,7 +303,11 @@ mod tests {
             .compile_model(&models::mlx5(), &intent, &mut reg)
             .unwrap();
         // The full CQE provides all four semantics, incl. the KVS hash.
-        assert!(compiled.missing_features().is_empty(), "{}", compiled.report());
+        assert!(
+            compiled.missing_features().is_empty(),
+            "{}",
+            compiled.report()
+        );
         assert_eq!(compiled.path.size_bytes(), 64);
         assert_eq!(compiled.accessors.hardware().count(), 4);
     }
@@ -312,22 +330,33 @@ mod tests {
     #[test]
     fn timestamp_on_fixed_nic_is_unsatisfiable() {
         let mut reg = SemanticRegistry::with_builtins();
-        let intent = Intent::builder("i").want(&mut reg, names::TIMESTAMP).build();
+        let intent = Intent::builder("i")
+            .want(&mut reg, names::TIMESTAMP)
+            .build();
         let err = Compiler::default()
             .compile_model(&models::e1000e(), &intent, &mut reg)
             .unwrap_err();
-        assert!(matches!(err, CompileError::Select(SelectError::Unsatisfiable { .. })));
+        assert!(matches!(
+            err,
+            CompileError::Select(SelectError::Unsatisfiable { .. })
+        ));
     }
 
     #[test]
     fn timestamp_on_mlx5_succeeds() {
         let mut reg = SemanticRegistry::with_builtins();
-        let intent = Intent::builder("i").want(&mut reg, names::TIMESTAMP).build();
+        let intent = Intent::builder("i")
+            .want(&mut reg, names::TIMESTAMP)
+            .build();
         let compiled = Compiler::default()
             .compile_model(&models::mlx5(), &intent, &mut reg)
             .unwrap();
         assert!(compiled.missing_features().is_empty());
-        assert_eq!(compiled.path.size_bytes(), 64, "only the full CQE has timestamps");
+        assert_eq!(
+            compiled.path.size_bytes(),
+            64,
+            "only the full CQE has timestamps"
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::compiler::CompiledInterface;
 use opendesc_ir::SemanticId;
 use opendesc_nicsim::nic::{NicError, SimNic};
-use opendesc_softnic::SoftNic;
+use opendesc_softnic::wire::ParsedFrame;
+use opendesc_softnic::{ShimMemo, SoftNic};
 
 /// Metadata for one received packet, ordered like the intent's fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +25,106 @@ pub struct RxPacket {
 impl RxPacket {
     /// Value of a semantic, if present.
     pub fn get(&self, sem: SemanticId) -> Option<u128> {
-        self.meta.iter().find(|(s, _)| *s == sem).and_then(|(_, v)| *v)
+        self.meta
+            .iter()
+            .find(|(s, _)| *s == sem)
+            .and_then(|(_, v)| *v)
+    }
+}
+
+/// Struct-of-arrays batch storage for the zero-allocation RX path.
+///
+/// One `RxBatch` is created per queue (see
+/// [`OpenDescDriver::make_batch`]) and refilled by
+/// [`OpenDescDriver::poll_batch_into`]; frame, completion, and metadata
+/// storage is recycled across calls, so a steady-state poll loop stops
+/// allocating entirely. Metadata is column-major — all packets' values
+/// of one field are contiguous (`meta[field * cap + pkt]`) — which is
+/// what the columnar hardware reader fills.
+#[derive(Debug, Default)]
+pub struct RxBatch {
+    /// Packets currently held (set by the last `poll_batch_into`).
+    len: usize,
+    /// Capacity in packets.
+    cap: usize,
+    /// Intent fields per packet (accessor order).
+    sems: Vec<SemanticId>,
+    /// Received frames; `frames[i]` is valid for `i < len`.
+    frames: Vec<Vec<u8>>,
+    /// Completion records, parallel to `frames`.
+    cmpts: Vec<Vec<u8>>,
+    /// Column-major metadata: `meta[field * cap + pkt]`.
+    meta: Vec<Option<u128>>,
+    /// Scratch column for the hardware batch reader.
+    hwcol: Vec<u128>,
+}
+
+impl RxBatch {
+    fn new(iface: &CompiledInterface, cap: usize) -> RxBatch {
+        let sems: Vec<SemanticId> = iface
+            .accessors
+            .accessors
+            .iter()
+            .map(|a| a.semantic)
+            .collect();
+        let fields = sems.len();
+        RxBatch {
+            len: 0,
+            cap,
+            sems,
+            frames: (0..cap).map(|_| Vec::new()).collect(),
+            cmpts: (0..cap).map(|_| Vec::new()).collect(),
+            meta: vec![None; fields * cap],
+            hwcol: vec![0; cap],
+        }
+    }
+
+    /// Packets received by the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum packets per poll.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The per-packet fields, in intent/accessor order.
+    pub fn semantics(&self) -> &[SemanticId] {
+        &self.sems
+    }
+
+    /// Frame bytes of packet `pkt` (`pkt < len`).
+    pub fn frame(&self, pkt: usize) -> &[u8] {
+        assert!(pkt < self.len);
+        &self.frames[pkt]
+    }
+
+    /// Completion record of packet `pkt` (`pkt < len`).
+    pub fn cmpt(&self, pkt: usize) -> &[u8] {
+        assert!(pkt < self.len);
+        &self.cmpts[pkt]
+    }
+
+    /// Metadata by field position (accessor order) and packet.
+    pub fn value_at(&self, field: usize, pkt: usize) -> Option<u128> {
+        assert!(pkt < self.len);
+        self.meta[field * self.cap + pkt]
+    }
+
+    /// Metadata by semantic and packet.
+    pub fn get(&self, pkt: usize, sem: SemanticId) -> Option<u128> {
+        let field = self.sems.iter().position(|s| *s == sem)?;
+        self.value_at(field, pkt)
+    }
+
+    /// One field's values across the batch (`[..len]`).
+    pub fn column(&self, field: usize) -> &[Option<u128>] {
+        &self.meta[field * self.cap..field * self.cap + self.len]
     }
 }
 
@@ -42,7 +142,11 @@ impl OpenDescDriver {
         if let Some(ctx) = &iface.context {
             nic.configure(ctx.clone())?;
         }
-        Ok(OpenDescDriver { nic, iface, soft: SoftNic::new() })
+        Ok(OpenDescDriver {
+            nic,
+            iface,
+            soft: SoftNic::new(),
+        })
     }
 
     /// Wire-side: deliver a frame into the NIC.
@@ -53,10 +157,10 @@ impl OpenDescDriver {
     /// Host-side: poll one packet with its requested metadata.
     pub fn poll(&mut self) -> Option<RxPacket> {
         let (frame, cmpt) = self.nic.receive()?;
-        let values =
-            self.iface
-                .accessors
-                .read_packet(&self.iface.reg, &mut self.soft, &frame, &cmpt);
+        let values = self
+            .iface
+            .plan
+            .execute(&self.iface.accessors, &mut self.soft, &frame, &cmpt);
         let meta = self
             .iface
             .accessors
@@ -78,6 +182,69 @@ impl OpenDescDriver {
             }
         }
         out
+    }
+
+    /// Batch storage sized for this interface, holding up to `cap`
+    /// packets. Create once, then refill with [`poll_batch_into`].
+    ///
+    /// [`poll_batch_into`]: OpenDescDriver::poll_batch_into
+    pub fn make_batch(&self, cap: usize) -> RxBatch {
+        RxBatch::new(&self.iface, cap)
+    }
+
+    /// Zero-allocation batched poll: drain up to `batch.capacity()`
+    /// pending packets into recycled storage, then fill the metadata
+    /// columns — hardware fields via the columnar batch reader, software
+    /// fields via the compiled shim plan (one parse per packet, memoized
+    /// intra-packet repeats). Returns the number of packets received.
+    ///
+    /// Produces bit-identical metadata to calling [`poll`] per packet.
+    ///
+    /// [`poll`]: OpenDescDriver::poll
+    pub fn poll_batch_into(&mut self, batch: &mut RxBatch) -> usize {
+        assert_eq!(
+            batch.sems.len(),
+            self.iface.accessors.accessors.len(),
+            "batch was built for a different interface"
+        );
+        // Drain the rings into recycled frame/completion storage.
+        let mut n = 0;
+        while n < batch.cap {
+            if !self
+                .nic
+                .receive_into(&mut batch.frames[n], &mut batch.cmpts[n])
+            {
+                break;
+            }
+            n += 1;
+        }
+        batch.len = n;
+
+        let plan = &self.iface.plan;
+        let set = &self.iface.accessors;
+        // Hardware fields: one column at a time across the whole batch.
+        for &acc_idx in &plan.hw {
+            set.read_column(acc_idx, &batch.cmpts[..n], &mut batch.hwcol[..n]);
+            let base = acc_idx * batch.cap;
+            for pkt in 0..n {
+                batch.meta[base + pkt] = Some(batch.hwcol[pkt]);
+            }
+        }
+        // Software fields: parse each frame once, share it across shims.
+        if plan.needs_parse() {
+            for pkt in 0..n {
+                let frame = &batch.frames[pkt];
+                let parsed = ParsedFrame::parse(frame);
+                let mut memo = ShimMemo::default();
+                for &(acc_idx, op) in &plan.sw {
+                    batch.meta[acc_idx * batch.cap + pkt] = parsed
+                        .as_ref()
+                        .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
+                        .map(|v| v as u128);
+                }
+            }
+        }
+        n
     }
 }
 
@@ -104,7 +271,9 @@ mod tests {
     fn driver_for(model: opendesc_nicsim::NicModel) -> (OpenDescDriver, SemanticRegistry) {
         let mut reg = SemanticRegistry::with_builtins();
         let intent = Intent::from_p4(crate::intent::FIG1_INTENT_P4, &mut reg).unwrap();
-        let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+        let compiled = Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .unwrap();
         let nic = SimNic::new(model, 256).unwrap();
         (OpenDescDriver::attach(nic, compiled).unwrap(), reg)
     }
@@ -133,7 +302,12 @@ mod tests {
         let pkt = drv.poll().unwrap();
         // The compiler chose the csum path; RSS and KVS are software
         // shims but the application still gets every value.
-        for name in [names::RSS_HASH, names::VLAN_TCI, names::IP_CHECKSUM, names::KVS_KEY_HASH] {
+        for name in [
+            names::RSS_HASH,
+            names::VLAN_TCI,
+            names::IP_CHECKSUM,
+            names::KVS_KEY_HASH,
+        ] {
             let id = reg.id(name).unwrap();
             assert!(pkt.get(id).is_some(), "{name} missing from RxPacket");
         }
@@ -146,7 +320,12 @@ mod tests {
         // computed them.
         let frame = kvs_frame("same:key");
         let mut per_model: Vec<Vec<Option<u128>>> = Vec::new();
-        for model in [models::e1000e(), models::ixgbe(), models::mlx5(), models::qdma_default()] {
+        for model in [
+            models::e1000e(),
+            models::ixgbe(),
+            models::mlx5(),
+            models::qdma_default(),
+        ] {
             let (mut drv, _) = driver_for(model);
             drv.deliver(&frame).unwrap();
             let pkt = drv.poll().unwrap();
@@ -155,6 +334,59 @@ mod tests {
         for window in per_model.windows(2) {
             assert_eq!(window[0], window[1], "metadata diverged between models");
         }
+    }
+
+    #[test]
+    fn batched_poll_matches_per_packet_poll() {
+        for model in [
+            models::e1000e(),
+            models::ixgbe(),
+            models::mlx5(),
+            models::qdma_default(),
+        ] {
+            let name = model.name.clone();
+            let (mut a, _) = driver_for(model.clone());
+            let (mut b, _) = driver_for(model);
+            let frames: Vec<Vec<u8>> = (0..7)
+                .map(|i| kvs_frame(&format!("flow:{}", i % 3)))
+                .collect();
+            for f in &frames {
+                a.deliver(f).unwrap();
+                b.deliver(f).unwrap();
+            }
+            let singles = a.poll_batch(7);
+            let mut batch = b.make_batch(7);
+            assert_eq!(b.poll_batch_into(&mut batch), 7, "{name}");
+            for (pkt, single) in singles.iter().enumerate() {
+                assert_eq!(batch.frame(pkt), &single.frame[..], "{name}");
+                for (field, (sem, want)) in single.meta.iter().enumerate() {
+                    assert_eq!(batch.value_at(field, pkt), *want, "{name}");
+                    assert_eq!(batch.get(pkt, *sem), *want, "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_storage_recycles_across_polls() {
+        let (mut drv, reg) = driver_for(models::e1000e());
+        let vlan = reg.id(names::VLAN_TCI).unwrap();
+        let mut batch = drv.make_batch(4);
+        for round in 0..3 {
+            for i in 0..4 {
+                drv.deliver(&kvs_frame(&format!("r{round}:{i}"))).unwrap();
+            }
+            assert_eq!(drv.poll_batch_into(&mut batch), 4);
+            assert_eq!(batch.len(), 4);
+            for pkt in 0..4 {
+                assert_eq!(batch.get(pkt, vlan), Some(0x0123), "round {round}");
+            }
+        }
+        // Partial refill shrinks len; stale packets are not readable.
+        drv.deliver(&kvs_frame("last")).unwrap();
+        assert_eq!(drv.poll_batch_into(&mut batch), 1);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.column(0).len(), 1);
     }
 
     #[test]

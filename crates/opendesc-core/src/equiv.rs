@@ -26,16 +26,23 @@ pub fn capabilities(
     let (checked, diags) = parse_and_check(contract_src);
     if diags.has_errors() {
         return Err(CompileError::Contract(
-            diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("; "),
+            diags
+                .iter()
+                .map(|d| d.message.clone())
+                .collect::<Vec<_>>()
+                .join("; "),
         ));
     }
     let cfg = extract(&checked, deparser, reg).map_err(|d| {
         CompileError::Extract(
-            d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; "),
+            d.iter()
+                .map(|x| x.message.clone())
+                .collect::<Vec<_>>()
+                .join("; "),
         )
     })?;
-    let paths = enumerate_paths(&cfg, DEFAULT_MAX_PATHS)
-        .map_err(|e| CompileError::Paths(e.to_string()))?;
+    let paths =
+        enumerate_paths(&cfg, DEFAULT_MAX_PATHS).map_err(|e| CompileError::Paths(e.to_string()))?;
     Ok(paths.iter().flat_map(|p| p.prov.iter().copied()).collect())
 }
 
@@ -56,7 +63,10 @@ impl ContractDiff {
             if s.is_empty() {
                 "-".to_string()
             } else {
-                s.iter().map(|x| reg.name(*x)).collect::<Vec<_>>().join(", ")
+                s.iter()
+                    .map(|x| reg.name(*x))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             }
         };
         format!(
@@ -129,8 +139,12 @@ pub fn intent_equivalent(
                 }
             }
         }
-        (Ok(_), Err(_)) => IntentEquivalence::OneSided { satisfiable_on_a: true },
-        (Err(_), Ok(_)) => IntentEquivalence::OneSided { satisfiable_on_a: false },
+        (Ok(_), Err(_)) => IntentEquivalence::OneSided {
+            satisfiable_on_a: true,
+        },
+        (Err(_), Ok(_)) => IntentEquivalence::OneSided {
+            satisfiable_on_a: false,
+        },
         (Err(_), Err(_)) => IntentEquivalence::NeitherSatisfiable,
     }
 }
@@ -142,7 +156,11 @@ mod tests {
     use opendesc_nicsim::models;
 
     fn m(model: &opendesc_nicsim::NicModel) -> (String, String, String) {
-        (model.p4_source.clone(), model.deparser.clone(), model.name.clone())
+        (
+            model.p4_source.clone(),
+            model.deparser.clone(),
+            model.name.clone(),
+        )
     }
 
     #[test]
@@ -152,7 +170,12 @@ mod tests {
         let caps = capabilities(&model.p4_source, &model.deparser, &mut reg).unwrap();
         // Both branches' semantics appear, even though no single layout
         // has them all.
-        for n in [names::RSS_HASH, names::IP_CHECKSUM, names::IP_ID, names::PKT_LEN] {
+        for n in [
+            names::RSS_HASH,
+            names::IP_CHECKSUM,
+            names::IP_ID,
+            names::PKT_LEN,
+        ] {
             assert!(caps.contains(&reg.id(n).unwrap()), "{n} missing");
         }
         assert!(!caps.contains(&reg.id(names::TIMESTAMP).unwrap()));
@@ -206,7 +229,10 @@ mod tests {
             &intent,
             &mut reg,
         ) {
-            IntentEquivalence::DifferentSplit { a_provides, b_provides } => {
+            IntentEquivalence::DifferentSplit {
+                a_provides,
+                b_provides,
+            } => {
                 assert!(a_provides.len() > b_provides.len());
             }
             other => panic!("expected DifferentSplit, got {other:?}"),
@@ -241,7 +267,9 @@ mod tests {
     #[test]
     fn one_sided_when_timestamp_requested() {
         let mut reg = SemanticRegistry::with_builtins();
-        let intent = Intent::builder("i").want(&mut reg, names::TIMESTAMP).build();
+        let intent = Intent::builder("i")
+            .want(&mut reg, names::TIMESTAMP)
+            .build();
         let a = models::mlx5();
         let b = models::e1000e();
         let (sa, da, na) = m(&a);
@@ -254,7 +282,9 @@ mod tests {
                 &intent,
                 &mut reg,
             ),
-            IntentEquivalence::OneSided { satisfiable_on_a: true },
+            IntentEquivalence::OneSided {
+                satisfiable_on_a: true
+            },
         );
     }
 }

@@ -52,7 +52,13 @@ where
         if let Some(ctx) = &iface.context {
             nic.configure(ctx.clone())?;
         }
-        Ok(HookDriver { nic, iface, hook, soft: SoftNic::new(), stats: HookStats::default() })
+        Ok(HookDriver {
+            nic,
+            iface,
+            hook,
+            soft: SoftNic::new(),
+            stats: HookStats::default(),
+        })
     }
 
     /// Wire side.
@@ -131,7 +137,10 @@ mod tests {
         })
         .unwrap();
 
-        let mut gen = PktGen::new(Workload { flows: 64, ..Workload::default() });
+        let mut gen = PktGen::new(Workload {
+            flows: 64,
+            ..Workload::default()
+        });
         for _ in 0..200 {
             drv.deliver(&gen.next_frame()).unwrap();
         }

@@ -124,13 +124,19 @@ impl Intent {
                 width_bits: f.width_bits,
             });
         }
-        Ok(Intent { name: hinfo.name.clone(), fields })
+        Ok(Intent {
+            name: hinfo.name.clone(),
+            fields,
+        })
     }
 
     /// Programmatic construction.
     pub fn builder(name: &str) -> IntentBuilder {
         IntentBuilder {
-            intent: Intent { name: name.into(), fields: Vec::new() },
+            intent: Intent {
+                name: name.into(),
+                fields: Vec::new(),
+            },
         }
     }
 

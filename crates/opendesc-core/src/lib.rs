@@ -23,23 +23,25 @@
 //! // Fig. 6: hardware checksum wins; RSS falls back to software.
 //! assert_eq!(compiled.missing_features(), vec!["rss_hash"]);
 //! ```
-pub mod intent;
-pub mod select;
 pub mod accessor;
+pub mod baseline;
 pub mod codegen;
 pub mod compiler;
 pub mod datapath;
-pub mod baseline;
-pub mod tx;
 pub mod equiv;
 pub mod hook;
+pub mod intent;
+pub mod plan;
+pub mod select;
+pub mod tx;
 
 pub use accessor::{Accessor, AccessorKind, AccessorSet};
 pub use baseline::{GenericMbuf, GenericMbufDriver, LcdDriver};
 pub use compiler::{CompileError, CompiledInterface, Compiler};
-pub use datapath::{OpenDescDriver, RxPacket};
-pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
-pub use select::{Objective, PathScore, SelectError, Selection, Selector};
-pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};
+pub use datapath::{OpenDescDriver, RxBatch, RxPacket};
 pub use equiv::{capabilities, diff, intent_equivalent, ContractDiff, IntentEquivalence};
 pub use hook::{HookDriver, HookStats, HookVerdict};
+pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
+pub use plan::{PlanStep, RxPlan};
+pub use select::{Objective, PathScore, SelectError, Selection, Selector};
+pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};

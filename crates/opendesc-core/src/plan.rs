@@ -1,0 +1,237 @@
+//! Compiled RX shim plans: the per-packet execution IR of a compiled
+//! interface.
+//!
+//! `AccessorSet` tells *where* each semantic comes from; an [`RxPlan`]
+//! lowers that, once, at `Compiler::compile` time, into how the hot loop
+//! obtains it: hardware steps index straight into the accessor table and
+//! software steps carry a pre-resolved [`ShimOp`] — no per-packet
+//! registry lookup or match-on-name. Executing the plan parses the frame
+//! once, shares the [`ParsedFrame`] across all software steps, and
+//! memoizes intra-packet repeats through [`ShimMemo`] (RSS feeding both
+//! `rss_hash` and `queue_hint` is computed a single time).
+
+use crate::accessor::{AccessorKind, AccessorSet};
+use opendesc_ir::semantics::SemanticRegistry;
+use opendesc_softnic::wire::ParsedFrame;
+use opendesc_softnic::{ShimMemo, ShimOp, SoftNic};
+
+/// One step of a compiled plan; the index is the accessor's position in
+/// the [`AccessorSet`] (and therefore the metadata slot it fills).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Constant-time read of accessor `acc_idx` from the completion.
+    Hardware { acc_idx: usize },
+    /// SoftNIC shim, pre-lowered to its op.
+    Software { acc_idx: usize, op: ShimOp },
+}
+
+/// The compiled per-packet execution plan of one interface.
+#[derive(Debug, Clone, Default)]
+pub struct RxPlan {
+    /// All steps, in accessor (= intent field) order.
+    pub steps: Vec<PlanStep>,
+    /// Accessor indices of the hardware steps, for columnar batch reads.
+    pub hw: Vec<usize>,
+    /// `(accessor index, op)` of the software steps.
+    pub sw: Vec<(usize, ShimOp)>,
+}
+
+impl RxPlan {
+    /// Lower an accessor set. Called once per compilation; the returned
+    /// plan is reused for every packet.
+    pub fn compile(set: &AccessorSet, reg: &SemanticRegistry) -> RxPlan {
+        let mut steps = Vec::with_capacity(set.accessors.len());
+        let mut hw = Vec::new();
+        let mut sw = Vec::new();
+        for (acc_idx, a) in set.accessors.iter().enumerate() {
+            match a.kind {
+                AccessorKind::Hardware => {
+                    steps.push(PlanStep::Hardware { acc_idx });
+                    hw.push(acc_idx);
+                }
+                AccessorKind::Software => {
+                    let op = ShimOp::from_name(reg.name(a.semantic));
+                    steps.push(PlanStep::Software { acc_idx, op });
+                    sw.push((acc_idx, op));
+                }
+            }
+        }
+        RxPlan { steps, hw, sw }
+    }
+
+    /// Whether any step needs the frame parsed (pure-hardware plans skip
+    /// the parse entirely).
+    #[inline]
+    pub fn needs_parse(&self) -> bool {
+        !self.sw.is_empty()
+    }
+
+    /// Execute the plan for one packet into `out[..steps.len()]`.
+    ///
+    /// Hardware steps always produce `Some`; software steps produce
+    /// `None` when the frame does not parse or lacks the layers the shim
+    /// needs — the same contract as `AccessorSet::read_packet`.
+    pub fn execute_into(
+        &self,
+        set: &AccessorSet,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        out: &mut [Option<u128>],
+    ) {
+        debug_assert!(out.len() >= self.steps.len());
+        let parsed = if self.needs_parse() {
+            ParsedFrame::parse(frame)
+        } else {
+            None
+        };
+        let mut memo = ShimMemo::default();
+        for step in &self.steps {
+            match *step {
+                PlanStep::Hardware { acc_idx } => {
+                    out[acc_idx] = Some(set.accessors[acc_idx].read(cmpt));
+                }
+                PlanStep::Software { acc_idx, op } => {
+                    out[acc_idx] = parsed
+                        .as_ref()
+                        .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+                        .map(|v| v as u128);
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience over [`execute_into`].
+    ///
+    /// [`execute_into`]: RxPlan::execute_into
+    pub fn execute(
+        &self,
+        set: &AccessorSet,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+    ) -> Vec<Option<u128>> {
+        let mut out = vec![None; self.steps.len()];
+        self.execute_into(set, soft, frame, cmpt, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use crate::intent::Intent;
+    use opendesc_ir::names;
+    use opendesc_nicsim::models;
+    use opendesc_softnic::testpkt;
+
+    fn compiled_for(model: opendesc_nicsim::NicModel) -> crate::compiler::CompiledInterface {
+        let mut reg = opendesc_ir::SemanticRegistry::with_builtins();
+        let intent = Intent::from_p4(crate::intent::FIG1_INTENT_P4, &mut reg).unwrap();
+        Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_partitions_hw_and_sw_steps() {
+        let iface = compiled_for(models::e1000e());
+        let plan = &iface.plan;
+        assert_eq!(plan.steps.len(), iface.accessors.accessors.len());
+        assert_eq!(plan.hw.len(), iface.accessors.hardware().count());
+        assert_eq!(plan.sw.len(), iface.accessors.software().count());
+        assert!(plan.needs_parse(), "e1000e needs RSS + KVS shims");
+        // Every software step carries a concrete (supported) op.
+        for (_, op) in &plan.sw {
+            assert_ne!(*op, ShimOp::Unsupported);
+        }
+    }
+
+    #[test]
+    fn pure_hardware_plan_skips_parsing() {
+        let iface = compiled_for(models::mlx5());
+        assert!(iface.accessors.software().count() == 0);
+        assert!(!iface.plan.needs_parse());
+    }
+
+    #[test]
+    fn execute_matches_read_packet() {
+        for model in [
+            models::e1000e(),
+            models::ixgbe(),
+            models::mlx5(),
+            models::qdma_default(),
+        ] {
+            let iface = compiled_for(model);
+            let frame = testpkt::udp4(
+                [10, 0, 0, 1],
+                [10, 0, 0, 2],
+                4242,
+                11211,
+                &testpkt::kvs_get_payload("plan:key"),
+                Some(0x0042),
+            );
+            let cmpt = vec![0xA5u8; iface.accessors.completion_bytes as usize];
+            let mut a = SoftNic::new();
+            let mut b = SoftNic::new();
+            let legacy = iface
+                .accessors
+                .read_packet(&iface.reg, &mut a, &frame, &cmpt);
+            let planned = iface.plan.execute(&iface.accessors, &mut b, &frame, &cmpt);
+            assert_eq!(legacy, planned, "{}", iface.nic_name);
+        }
+    }
+
+    #[test]
+    fn execute_handles_unparseable_frames() {
+        let iface = compiled_for(models::e1000e());
+        let runt = vec![0u8; 6]; // shorter than an Ethernet header
+        let cmpt = vec![0u8; iface.accessors.completion_bytes as usize];
+        let mut soft = SoftNic::new();
+        let vals = iface
+            .plan
+            .execute(&iface.accessors, &mut soft, &runt, &cmpt);
+        for (step, v) in iface.plan.steps.iter().zip(&vals) {
+            match step {
+                PlanStep::Hardware { .. } => assert!(v.is_some()),
+                PlanStep::Software { .. } => assert!(v.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_rss_feeds_hash_and_hint_identically() {
+        let mut reg = opendesc_ir::SemanticRegistry::with_builtins();
+        let intent = Intent::builder("hint")
+            .want(&mut reg, names::RSS_HASH)
+            .want(&mut reg, names::QUEUE_HINT)
+            .build();
+        let iface = Compiler::default()
+            .compile_model(&models::e1000_legacy(), &intent, &mut reg)
+            .unwrap();
+        assert!(
+            iface.plan.sw.len() >= 2,
+            "legacy e1000 computes both in software"
+        );
+        let frame = testpkt::udp4([1, 2, 3, 4], [5, 6, 7, 8], 9, 10, b"x", None);
+        let cmpt = vec![0u8; iface.accessors.completion_bytes as usize];
+        let mut soft = SoftNic::new();
+        let vals = iface
+            .plan
+            .execute(&iface.accessors, &mut soft, &frame, &cmpt);
+        let rss_idx = iface
+            .accessors
+            .accessors
+            .iter()
+            .position(|a| a.semantic == reg.id(names::RSS_HASH).unwrap())
+            .unwrap();
+        let hint_idx = iface
+            .accessors
+            .accessors
+            .iter()
+            .position(|a| a.semantic == reg.id(names::QUEUE_HINT).unwrap())
+            .unwrap();
+        assert_eq!(vals[hint_idx].unwrap(), vals[rss_idx].unwrap() & 0xFF);
+    }
+}

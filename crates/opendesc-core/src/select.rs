@@ -158,8 +158,7 @@ impl Selector {
         if paths.is_empty() {
             return Err(SelectError::NoPaths);
         }
-        let mut ranking: Vec<PathScore> =
-            paths.iter().map(|p| self.score(p, req, reg)).collect();
+        let mut ranking: Vec<PathScore> = paths.iter().map(|p| self.score(p, req, reg)).collect();
         ranking.sort_by(|a, b| {
             a.objective
                 .partial_cmp(&b.objective)
@@ -266,7 +265,11 @@ mod tests {
     fn fig6_prefers_csum_path_for_rss_plus_csum() {
         let (paths, reg) = e1000e_paths();
         let sel = Selector::default()
-            .select(&paths, &req(&reg, &[names::RSS_HASH, names::IP_CHECKSUM]), &reg)
+            .select(
+                &paths,
+                &req(&reg, &[names::RSS_HASH, names::IP_CHECKSUM]),
+                &reg,
+            )
             .unwrap();
         let csum_id = reg.id(names::IP_CHECKSUM).unwrap();
         let rss_id = reg.id(names::RSS_HASH).unwrap();
@@ -275,7 +278,10 @@ mod tests {
             "hardware must provide the expensive checksum: {}",
             sel.best.describe(&reg)
         );
-        assert!(sel.best.missing.contains(&rss_id), "RSS recomputed in software");
+        assert!(
+            sel.best.missing.contains(&rss_id),
+            "RSS recomputed in software"
+        );
         // And the context steers the NIC accordingly (use_rss = 0).
         let ctx = sel.best.context.as_ref().unwrap();
         assert_eq!(ctx.values().next(), Some(&0));
@@ -288,7 +294,10 @@ mod tests {
             .select(&paths, &req(&reg, &[names::RSS_HASH]), &reg)
             .unwrap();
         assert!(sel.best.missing.is_empty());
-        assert!(sel.best.provided.contains(&reg.id(names::RSS_HASH).unwrap()));
+        assert!(sel
+            .best
+            .provided
+            .contains(&reg.id(names::RSS_HASH).unwrap()));
     }
 
     #[test]
@@ -335,7 +344,11 @@ mod tests {
             ..Selector::default()
         };
         let s = sel
-            .select(&paths, &req(&reg, &[names::RSS_HASH, names::IP_CHECKSUM]), &reg)
+            .select(
+                &paths,
+                &req(&reg, &[names::RSS_HASH, names::IP_CHECKSUM]),
+                &reg,
+            )
             .unwrap();
         // Both 8B: objective equal; still finite and well-defined.
         assert_eq!(s.best.footprint_bytes, 8);
@@ -352,7 +365,10 @@ mod tests {
         let s = sel
             .select(&paths, &req(&reg, &[names::IP_CHECKSUM]), &reg)
             .unwrap();
-        assert_eq!(s.best.objective, 0.0, "checksum provided in hw, no software cost");
+        assert_eq!(
+            s.best.objective, 0.0,
+            "checksum provided in hw, no software cost"
+        );
     }
 
     #[test]
@@ -383,12 +399,18 @@ mod tests {
         let want = req(&reg, &[names::RSS_HASH, names::VLAN_TCI]);
 
         // Cheap bandwidth: take the big layout, get vlan in hardware.
-        let cheap = Selector { beta_ns_per_byte: 0.01, ..Selector::default() };
+        let cheap = Selector {
+            beta_ns_per_byte: 0.01,
+            ..Selector::default()
+        };
         let s1 = cheap.select(&paths, &want, &reg).unwrap();
         assert_eq!(s1.best.footprint_bytes, 64);
 
         // Expensive bandwidth: shrink to 4B and eat the software vlan.
-        let pricey = Selector { beta_ns_per_byte: 2.0, ..Selector::default() };
+        let pricey = Selector {
+            beta_ns_per_byte: 2.0,
+            ..Selector::default()
+        };
         let s2 = pricey.select(&paths, &want, &reg).unwrap();
         assert_eq!(s2.best.footprint_bytes, 4);
         assert_eq!(s2.best.missing.len(), 1);
@@ -409,7 +431,11 @@ mod tests {
     fn describe_mentions_fallbacks() {
         let (paths, reg) = e1000e_paths();
         let sel = Selector::default()
-            .select(&paths, &req(&reg, &[names::RSS_HASH, names::IP_CHECKSUM]), &reg)
+            .select(
+                &paths,
+                &req(&reg, &[names::RSS_HASH, names::IP_CHECKSUM]),
+                &reg,
+            )
             .unwrap();
         let txt = sel.best.describe(&reg);
         assert!(txt.contains("software-fallback={rss_hash}"), "{txt}");

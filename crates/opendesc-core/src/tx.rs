@@ -38,7 +38,10 @@ impl TxWriter {
             .iter()
             .filter_map(|s| s.semantic.map(|sem| (sem, s.offset_bits, s.width_bits)))
             .collect();
-        TxWriter { slots, desc_bytes: layout.size_bytes() }
+        TxWriter {
+            slots,
+            desc_bytes: layout.size_bytes(),
+        }
     }
 
     /// Serialize a descriptor with the given hint values; semantics the
@@ -95,12 +98,19 @@ pub fn compile_tx(
     let (checked, diags) = parse_and_check(contract_src);
     if diags.has_errors() {
         return Err(CompileError::Contract(
-            diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("; "),
+            diags
+                .iter()
+                .map(|d| d.message.clone())
+                .collect::<Vec<_>>()
+                .join("; "),
         ));
     }
     let layouts = enumerate_tx_layouts(&checked, parser_name, reg).map_err(|d| {
         CompileError::Extract(
-            d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; "),
+            d.iter()
+                .map(|x| x.message.clone())
+                .collect::<Vec<_>>()
+                .join("; "),
         )
     })?;
     if layouts.is_empty() {
@@ -116,16 +126,17 @@ pub fn compile_tx(
     // Score each layout with the same objective shape as RX.
     let mut best: Option<(f64, &DescriptorLayout, BTreeSet<SemanticId>)> = None;
     for l in &layouts {
-        let missing: BTreeSet<SemanticId> =
-            req.iter().filter(|s| !l.consumes.contains(s)).copied().collect();
+        let missing: BTreeSet<SemanticId> = req
+            .iter()
+            .filter(|s| !l.consumes.contains(s))
+            .copied()
+            .collect();
         let soft_cost: f64 = missing
             .iter()
             .map(|s| reg.cost(*s).eval(selector.avg_pkt_len))
             .sum();
         let objective = soft_cost + selector.beta_ns_per_byte * l.size_bytes() as f64;
-        if objective.is_finite()
-            && best.as_ref().is_none_or(|(o, _, _)| objective < *o)
-        {
+        if objective.is_finite() && best.as_ref().is_none_or(|(o, _, _)| objective < *o) {
             best = Some((objective, l, missing));
         }
     }
@@ -135,7 +146,9 @@ pub fn compile_tx(
             .filter(|s| reg.cost(**s).is_infinite())
             .map(|s| reg.name(*s).to_string())
             .collect();
-        return Err(CompileError::Select(SelectError::Unsatisfiable { uncomputable }));
+        return Err(CompileError::Select(SelectError::Unsatisfiable {
+            uncomputable,
+        }));
     };
     // buf_addr/len are never "software" work — they were required above
     // to force infinite cost when absent; remove them from the fallback
@@ -173,7 +186,11 @@ pub struct TxDriver {
 
 impl TxDriver {
     /// Attach to a NIC: programs the H2C context.
-    pub fn attach(nic: &mut SimNic, compiled: CompiledTx, reg: SemanticRegistry) -> Result<TxDriver, NicError> {
+    pub fn attach(
+        nic: &mut SimNic,
+        compiled: CompiledTx,
+        reg: SemanticRegistry,
+    ) -> Result<TxDriver, NicError> {
         if let Some(ctx) = &compiled.context {
             nic.configure_tx(ctx.clone());
         }
@@ -259,7 +276,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(compiled.layouts_considered, 2);
-        assert_eq!(compiled.layout.size_bytes(), 16, "extended layout carries the hints");
+        assert_eq!(
+            compiled.layout.size_bytes(),
+            16,
+            "extended layout carries the hints"
+        );
         assert!(compiled.software.is_empty());
         // Context selects desc_size = 16.
         let ctx = compiled.context.as_ref().unwrap();
@@ -303,7 +324,11 @@ mod tests {
         tx.send(
             &mut nic,
             &zeroed_frame(),
-            TxRequest { l4_csum: true, vlan: Some(0x0077), ..Default::default() },
+            TxRequest {
+                l4_csum: true,
+                vlan: Some(0x0077),
+                ..Default::default()
+            },
         )
         .unwrap();
         let sent = nic.process_tx();
@@ -355,18 +380,27 @@ mod tests {
         let mut nic_sw = SimNic::new(e1000e, 16).unwrap();
         let mut tx_sw = TxDriver::attach(&mut nic_sw, ctx_sw, reg_sw).unwrap();
 
-        let req = TxRequest { l4_csum: true, vlan: Some(0x0123), ..Default::default() };
+        let req = TxRequest {
+            l4_csum: true,
+            vlan: Some(0x0123),
+            ..Default::default()
+        };
         tx_hw.send(&mut nic_hw, &zeroed_frame(), req).unwrap();
         tx_sw.send(&mut nic_sw, &zeroed_frame(), req).unwrap();
         let a = nic_hw.process_tx().remove(0);
         let b = nic_sw.process_tx().remove(0);
-        assert_eq!(a, b, "hardware offload and software fallback diverge on the wire");
+        assert_eq!(
+            a, b,
+            "hardware offload and software fallback diverge on the wire"
+        );
     }
 
     #[test]
     fn ip_csum_offload_on_e1000e() {
         let mut reg = SemanticRegistry::with_builtins();
-        let intent = Intent::builder("t").want(&mut reg, names::TX_IP_CSUM).build();
+        let intent = Intent::builder("t")
+            .want(&mut reg, names::TX_IP_CSUM)
+            .build();
         let model = models::e1000e();
         let compiled = compile_tx(
             &Selector::default(),
@@ -377,11 +411,21 @@ mod tests {
             &mut reg,
         )
         .unwrap();
-        assert!(compiled.software.is_empty(), "e1000e carries the IP-csum hint");
+        assert!(
+            compiled.software.is_empty(),
+            "e1000e carries the IP-csum hint"
+        );
         let mut nic = SimNic::new(model, 16).unwrap();
         let mut tx = TxDriver::attach(&mut nic, compiled, reg).unwrap();
-        tx.send(&mut nic, &zeroed_frame(), TxRequest { ip_csum: true, ..Default::default() })
-            .unwrap();
+        tx.send(
+            &mut nic,
+            &zeroed_frame(),
+            TxRequest {
+                ip_csum: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let wire = nic.process_tx().remove(0);
         assert!(verify_ipv4_checksum(&wire[14..34]));
     }
@@ -420,7 +464,10 @@ mod tests {
         let addr = reg.id(names::BUF_ADDR).unwrap();
         let vlan = reg.id(names::TX_VLAN_INSERT).unwrap();
         assert!(compiled.writer.can_write(addr));
-        assert!(!compiled.writer.can_write(vlan), "12B layout has no vlan slot");
+        assert!(
+            !compiled.writer.can_write(vlan),
+            "12B layout has no vlan slot"
+        );
         let desc = compiled.writer.build(&[(addr, 0xABCD), (vlan, 7)]);
         assert_eq!(desc.len(), 12);
         assert_eq!(&desc[..8], &0xABCDu64.to_be_bytes());

@@ -66,12 +66,24 @@ impl Asm {
 
     /// `dst = imm` (64-bit, sign-extended 32-bit immediate).
     pub fn mov64_imm(&mut self, dst: u8, imm: i32) -> &mut Self {
-        self.raw(Insn::new(class::ALU64 | alu::MOV | srcop::K, dst, 0, 0, imm))
+        self.raw(Insn::new(
+            class::ALU64 | alu::MOV | srcop::K,
+            dst,
+            0,
+            0,
+            imm,
+        ))
     }
 
     /// `dst = src` (64-bit).
     pub fn mov64_reg(&mut self, dst: u8, src: u8) -> &mut Self {
-        self.raw(Insn::new(class::ALU64 | alu::MOV | srcop::X, dst, src, 0, 0))
+        self.raw(Insn::new(
+            class::ALU64 | alu::MOV | srcop::X,
+            dst,
+            src,
+            0,
+            0,
+        ))
     }
 
     /// `dst = imm64` (two-slot LDDW).
@@ -124,19 +136,28 @@ impl Asm {
 
     /// Unconditional jump to `label`.
     pub fn ja(&mut self, label: &str) -> &mut Self {
-        self.fixups.push(Fixup { insn_idx: self.insns.len(), label: label.into() });
+        self.fixups.push(Fixup {
+            insn_idx: self.insns.len(),
+            label: label.into(),
+        });
         self.raw(Insn::new(class::JMP | jmp::JA, 0, 0, 0, 0))
     }
 
     /// Conditional jump `if dst OP imm goto label`.
     pub fn jmp_imm(&mut self, op: u8, dst: u8, imm: i32, label: &str) -> &mut Self {
-        self.fixups.push(Fixup { insn_idx: self.insns.len(), label: label.into() });
+        self.fixups.push(Fixup {
+            insn_idx: self.insns.len(),
+            label: label.into(),
+        });
         self.raw(Insn::new(class::JMP | op | srcop::K, dst, 0, 0, imm))
     }
 
     /// Conditional jump `if dst OP src goto label`.
     pub fn jmp_reg(&mut self, op: u8, dst: u8, src: u8, label: &str) -> &mut Self {
-        self.fixups.push(Fixup { insn_idx: self.insns.len(), label: label.into() });
+        self.fixups.push(Fixup {
+            insn_idx: self.insns.len(),
+            label: label.into(),
+        });
         self.raw(Insn::new(class::JMP | op | srcop::X, dst, src, 0, 0))
     }
 
@@ -203,9 +224,7 @@ mod tests {
     #[test]
     fn backward_label_resolution() {
         let mut a = Asm::new();
-        a.label("top")
-            .mov64_imm(reg::R0, 0)
-            .ja("top");
+        a.label("top").mov64_imm(reg::R0, 0).ja("top");
         let prog = a.build();
         assert_eq!(prog[1].off, -2);
     }

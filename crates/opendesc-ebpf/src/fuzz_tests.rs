@@ -23,40 +23,91 @@ fn arb_insn() -> impl Strategy<Value = Vec<Insn>> {
     prop_oneof![
         // mov imm
         (reg.clone(), any::<i16>()).prop_map(|(d, v)| vec![Insn::new(
-            class::ALU64 | alu::MOV | srcop::K, d, 0, 0, v as i32
+            class::ALU64 | alu::MOV | srcop::K,
+            d,
+            0,
+            0,
+            v as i32
         )]),
         // mov reg
         (reg.clone(), reg.clone()).prop_map(|(d, s)| vec![Insn::new(
-            class::ALU64 | alu::MOV | srcop::X, d, s, 0, 0
+            class::ALU64 | alu::MOV | srcop::X,
+            d,
+            s,
+            0,
+            0
         )]),
         // alu imm (add/and/or/rsh)
-        (reg.clone(), prop_oneof![Just(alu::ADD), Just(alu::AND), Just(alu::OR), Just(alu::RSH)], 0i32..64)
-            .prop_map(|(d, op, v)| vec![Insn::new(class::ALU64 | op | srcop::K, d, 0, 0, v)]),
+        (
+            reg.clone(),
+            prop_oneof![
+                Just(alu::ADD),
+                Just(alu::AND),
+                Just(alu::OR),
+                Just(alu::RSH)
+            ],
+            0i32..64
+        )
+            .prop_map(|(d, op, v)| vec![Insn::new(
+                class::ALU64 | op | srcop::K,
+                d,
+                0,
+                0,
+                v
+            )]),
         // load a context pointer field
-        (reg.clone(), prop_oneof![
-            Just(ctx_off::DATA), Just(ctx_off::DATA_END),
-            Just(ctx_off::META), Just(ctx_off::META_END),
-            Just(4i16), Just(12) // invalid offsets too
-        ])
-        .prop_map(|(d, off)| vec![Insn::new(class::LDX | mode::MEM | size::DW, d, 1, off, 0)]),
+        (
+            reg.clone(),
+            prop_oneof![
+                Just(ctx_off::DATA),
+                Just(ctx_off::DATA_END),
+                Just(ctx_off::META),
+                Just(ctx_off::META_END),
+                Just(4i16),
+                Just(12) // invalid offsets too
+            ]
+        )
+            .prop_map(|(d, off)| vec![Insn::new(
+                class::LDX | mode::MEM | size::DW,
+                d,
+                1,
+                off,
+                0
+            )]),
         // memory load via arbitrary register (often unsound → rejected)
-        (reg.clone(), reg.clone(), -4i16..16, prop_oneof![Just(size::B), Just(size::H), Just(size::W), Just(size::DW)])
-            .prop_map(|(d, s, off, sz)| vec![Insn::new(class::LDX | mode::MEM | sz, d, s, off, 0)]),
+        (
+            reg.clone(),
+            reg.clone(),
+            -4i16..16,
+            prop_oneof![Just(size::B), Just(size::H), Just(size::W), Just(size::DW)]
+        )
+            .prop_map(|(d, s, off, sz)| vec![Insn::new(
+                class::LDX | mode::MEM | sz,
+                d,
+                s,
+                off,
+                0
+            )]),
         // stack store + load pair
         (reg.clone(), -64i16..-8).prop_map(|(s, off)| vec![
             Insn::new(class::STX | mode::MEM | size::DW, 10, s, off, 0),
             Insn::new(class::LDX | mode::MEM | size::DW, s, 10, off, 0),
         ]),
         // forward conditional jump over 1 insn
-        (reg.clone(), prop_oneof![Just(jmp::JEQ), Just(jmp::JGT), Just(jmp::JNE)], any::<i32>())
+        (
+            reg.clone(),
+            prop_oneof![Just(jmp::JEQ), Just(jmp::JGT), Just(jmp::JNE)],
+            any::<i32>()
+        )
             .prop_map(|(d, op, v)| vec![
                 Insn::new(class::JMP | op | srcop::K, d, 0, 1, v),
                 Insn::new(class::ALU64 | alu::MOV | srcop::K, 0, 0, 0, 7),
             ]),
         // pointer-vs-end comparison (the bounds-proof shape)
-        (reg.clone(), reg.clone()).prop_map(|(d, s)| vec![Insn::new(
-            class::JMP | jmp::JGT | srcop::X, d, s, 1, 0
-        ), Insn::new(class::ALU64 | alu::MOV | srcop::K, 0, 0, 0, 1)]),
+        (reg.clone(), reg.clone()).prop_map(|(d, s)| vec![
+            Insn::new(class::JMP | jmp::JGT | srcop::X, d, s, 1, 0),
+            Insn::new(class::ALU64 | alu::MOV | srcop::K, 0, 0, 0, 1)
+        ]),
     ]
 }
 

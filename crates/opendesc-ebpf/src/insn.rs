@@ -99,7 +99,13 @@ pub struct Insn {
 
 impl Insn {
     pub const fn new(code: u8, dst: u8, src: u8, off: i16, imm: i32) -> Insn {
-        Insn { code, dst, src, off, imm }
+        Insn {
+            code,
+            dst,
+            src,
+            off,
+            imm,
+        }
     }
 
     /// Instruction class.

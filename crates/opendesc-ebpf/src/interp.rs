@@ -32,7 +32,10 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::OutOfBounds { addr, len, pc } => {
-                write!(f, "out-of-bounds access of {len} bytes at {addr:#x} (pc {pc})")
+                write!(
+                    f,
+                    "out-of-bounds access of {len} bytes at {addr:#x} (pc {pc})"
+                )
             }
             VmError::ReadOnly { addr, pc } => {
                 write!(f, "write to read-only address {addr:#x} (pc {pc})")
@@ -64,7 +67,9 @@ pub struct Vm {
 
 impl Default for Vm {
     fn default() -> Self {
-        Vm { insn_budget: 1_000_000 }
+        Vm {
+            insn_budget: 1_000_000,
+        }
     }
 }
 
@@ -90,11 +95,17 @@ impl Vm {
                 return Err(VmError::Timeout);
             }
             let Some(insn) = prog.get(pc) else {
-                return Err(VmError::BadJump { pc: pc.saturating_sub(1), target: pc as i64 });
+                return Err(VmError::BadJump {
+                    pc: pc.saturating_sub(1),
+                    target: pc as i64,
+                });
             };
             stats.insns_executed += 1;
             if insn.dst > 10 || insn.src > 10 {
-                return Err(VmError::BadOpcode { code: insn.code, pc });
+                return Err(VmError::BadOpcode {
+                    code: insn.code,
+                    pc,
+                });
             }
             let cls = insn.class();
             match cls {
@@ -122,7 +133,12 @@ impl Vm {
                         alu::XOR => lhs ^ rhs,
                         alu::MOV => rhs,
                         alu::ARSH => ((lhs as i64) >> (rhs as u32 & 63)) as u64,
-                        _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                        _ => {
+                            return Err(VmError::BadOpcode {
+                                code: insn.code,
+                                pc,
+                            })
+                        }
                     };
                     regs[dst] = if cls == class::ALU {
                         // 32-bit ops operate on and zero-extend the low half.
@@ -142,24 +158,25 @@ impl Vm {
                             alu::XOR => l32 ^ r32,
                             alu::MOV => r32,
                             alu::ARSH => ((l32 as i32) >> (r32 & 31)) as u32,
-                            _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                            _ => {
+                                return Err(VmError::BadOpcode {
+                                    code: insn.code,
+                                    pc,
+                                })
+                            }
                         }) as u64
                     } else {
                         val
                     };
                     pc += 1;
                 }
-                class::LD => {
-                    if insn.is_lddw() {
-                        let Some(hi) = prog.get(pc + 1) else {
-                            return Err(VmError::TruncatedLddw { pc });
-                        };
-                        regs[insn.dst as usize] =
-                            (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
-                        pc += 2;
-                    } else {
-                        return Err(VmError::BadOpcode { code: insn.code, pc });
-                    }
+                class::LD if insn.is_lddw() => {
+                    let Some(hi) = prog.get(pc + 1) else {
+                        return Err(VmError::TruncatedLddw { pc });
+                    };
+                    regs[insn.dst as usize] =
+                        (insn.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
+                    pc += 2;
                 }
                 class::LDX => {
                     let addr = regs[insn.src as usize].wrapping_add(insn.off as i64 as u64);
@@ -206,7 +223,12 @@ impl Vm {
                         jmp::JSGE => (lhs as i64) >= rhs as i64,
                         jmp::JSLT => (lhs as i64) < (rhs as i64),
                         jmp::JSLE => (lhs as i64) <= rhs as i64,
-                        _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                        _ => {
+                            return Err(VmError::BadOpcode {
+                                code: insn.code,
+                                pc,
+                            })
+                        }
                     };
                     if taken {
                         let target = pc as i64 + 1 + insn.off as i64;
@@ -218,7 +240,12 @@ impl Vm {
                         pc += 1;
                     }
                 }
-                _ => return Err(VmError::BadOpcode { code: insn.code, pc }),
+                _ => {
+                    return Err(VmError::BadOpcode {
+                        code: insn.code,
+                        pc,
+                    })
+                }
             }
         }
     }
@@ -371,7 +398,10 @@ mod tests {
             .stx(size::H, reg::R10, -8, reg::R2)
             .ldx(size::H, reg::R0, reg::R10, -8)
             .exit();
-        assert_eq!(run(&a.build(), &XdpContext::new(vec![], vec![])), Ok(0x1234));
+        assert_eq!(
+            run(&a.build(), &XdpContext::new(vec![], vec![])),
+            Ok(0x1234)
+        );
     }
 
     #[test]
@@ -391,7 +421,10 @@ mod tests {
             .stx(size::B, reg::R2, 0, reg::R0)
             .exit();
         let ctx = XdpContext::new(vec![0u8; 4], vec![]);
-        assert!(matches!(run(&a.build(), &ctx), Err(VmError::ReadOnly { .. })));
+        assert!(matches!(
+            run(&a.build(), &ctx),
+            Err(VmError::ReadOnly { .. })
+        ));
     }
 
     #[test]
@@ -400,7 +433,8 @@ mod tests {
         a.label("top").ja("top");
         let vm = Vm { insn_budget: 1000 };
         assert_eq!(
-            vm.run(&a.build(), &XdpContext::new(vec![], vec![])).unwrap_err(),
+            vm.run(&a.build(), &XdpContext::new(vec![], vec![]))
+                .unwrap_err(),
             VmError::Timeout
         );
     }

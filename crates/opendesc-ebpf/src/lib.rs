@@ -6,11 +6,11 @@
 //! proofs, kernel-style), and executed by the [`interp`] VM against an
 //! XDP-like context whose `meta`/`meta_end` window exposes the raw NIC
 //! completion record.
-pub mod insn;
 pub mod asm;
-pub mod xdp;
+pub mod insn;
 pub mod interp;
 pub mod verifier;
+pub mod xdp;
 
 pub use asm::{disasm, reg, Asm};
 pub use insn::{alu, class, jmp, mode, size, srcop, xdp_action, Insn};

@@ -80,7 +80,11 @@ impl State {
         let mut regs = [RegState::Uninit; 11];
         regs[1] = RegState::PtrCtx;
         regs[10] = RegState::PtrStack(0);
-        State { regs, proven_pkt: 0, proven_meta: 0 }
+        State {
+            regs,
+            proven_pkt: 0,
+            proven_meta: 0,
+        }
     }
 }
 
@@ -91,7 +95,10 @@ const STATE_BUDGET: usize = 100_000;
 /// Verify `prog`. Returns stats on success.
 pub fn verify(prog: &[Insn]) -> Result<VerifierStats, VerifierError> {
     if prog.is_empty() {
-        return Err(VerifierError { pc: 0, reason: "empty program".into() });
+        return Err(VerifierError {
+            pc: 0,
+            reason: "empty program".into(),
+        });
     }
     let mut queue: VecDeque<(usize, State)> = VecDeque::new();
     queue.push_back((0, State::initial()));
@@ -106,7 +113,10 @@ pub fn verify(prog: &[Insn]) -> Result<VerifierStats, VerifierError> {
             });
         }
         let Some(insn) = prog.get(pc) else {
-            return Err(VerifierError { pc, reason: "fall off the end of the program".into() });
+            return Err(VerifierError {
+                pc,
+                reason: "fall off the end of the program".into(),
+            });
         };
         let err = |reason: String| VerifierError { pc, reason };
         if insn.dst > 10 || insn.src > 10 {
@@ -129,7 +139,10 @@ pub fn verify(prog: &[Insn]) -> Result<VerifierStats, VerifierError> {
                     st.regs[insn.dst as usize] = RegState::Scalar(Some(v));
                     queue.push_back((pc + 2, st));
                 } else {
-                    return Err(err(format!("unsupported load class opcode {:#04x}", insn.code)));
+                    return Err(err(format!(
+                        "unsupported load class opcode {:#04x}",
+                        insn.code
+                    )));
                 }
             }
             class::LDX => {
@@ -150,7 +163,9 @@ pub fn verify(prog: &[Insn]) -> Result<VerifierStats, VerifierError> {
                         continue;
                     }
                     jmp::CALL => {
-                        return Err(err("helper calls are not allowed in accessor programs".into()));
+                        return Err(err(
+                            "helper calls are not allowed in accessor programs".into()
+                        ));
                     }
                     jmp::JA => {
                         let target = pc as i64 + 1 + insn.off as i64;
@@ -193,7 +208,10 @@ fn check_target(prog: &[Insn], pc: usize, target: i64) -> Result<(), VerifierErr
         });
     }
     if target as usize >= prog.len() {
-        return Err(VerifierError { pc, reason: format!("jump target {target} out of program") });
+        return Err(VerifierError {
+            pc,
+            reason: format!("jump target {target} out of program"),
+        });
     }
     Ok(())
 }
@@ -226,7 +244,9 @@ fn apply_bounds_proof(op: u8, dst: RegState, src: RegState, taken: &mut State, f
         (false, jmp::JLE | jmp::JLT) => Some(false),
         _ => None,
     };
-    let Some(on_taken) = proof_on_taken else { return };
+    let Some(on_taken) = proof_on_taken else {
+        return;
+    };
     let target_state = if on_taken { taken } else { fall };
     if is_meta {
         target_state.proven_meta = target_state.proven_meta.max(ptr);
@@ -277,7 +297,7 @@ fn step_alu(insn: &Insn, st: &mut State, pc: usize) -> Result<(), VerifierError>
                 (PtrStack(k), Some(d)) if !is32 => PtrStack(k + signed(d)),
                 (PtrPkt(_) | PtrMeta(_) | PtrStack(_) | PtrCtx | PtrPktEnd | PtrMetaEnd, _) => {
                     return Err(err(
-                        "pointer arithmetic with unbounded or 32-bit operand".into(),
+                        "pointer arithmetic with unbounded or 32-bit operand".into()
                     ));
                 }
                 (Scalar(Some(a)), Some(d)) => {
@@ -567,7 +587,9 @@ mod tests {
     #[test]
     fn rejects_stack_out_of_range() {
         let mut a = Asm::new();
-        a.mov64_imm(reg::R0, 0).stx(size::DW, reg::R10, -520, reg::R0).exit();
+        a.mov64_imm(reg::R0, 0)
+            .stx(size::DW, reg::R10, -520, reg::R0)
+            .exit();
         let e = verify(&a.build()).unwrap_err();
         assert!(e.reason.contains("stack"), "{e}");
     }
@@ -627,7 +649,10 @@ mod tests {
         assert!(verify(&prog).is_err());
         let vm = Vm::default();
         let small = XdpContext::new(vec![], vec![0u8; 2]);
-        assert!(matches!(vm.run(&prog, &small), Err(VmError::OutOfBounds { .. })));
+        assert!(matches!(
+            vm.run(&prog, &small),
+            Err(VmError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub struct XdpContext {
 
 impl XdpContext {
     pub fn new(packet: impl Into<Vec<u8>>, metadata: impl Into<Vec<u8>>) -> Self {
-        XdpContext { packet: packet.into(), metadata: metadata.into() }
+        XdpContext {
+            packet: packet.into(),
+            metadata: metadata.into(),
+        }
     }
 }
 
@@ -49,6 +52,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn regions_do_not_overlap() {
         assert!(base::CTX + ctx_off::SIZE as u64 <= base::PKT);
         assert!(base::PKT < base::META);

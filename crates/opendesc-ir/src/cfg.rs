@@ -67,7 +67,10 @@ pub enum CfgNode {
     /// Conditional with one labeled edge per arm. Arms are ordered and
     /// their conditions are mutually exclusive by construction (if/else,
     /// switch with implicit default).
-    Branch { arms: Vec<(Cond, NodeId)>, span: Span },
+    Branch {
+        arms: Vec<(Cond, NodeId)>,
+        span: Span,
+    },
     /// End of the deparser.
     Exit,
 }
@@ -100,8 +103,7 @@ impl Cfg {
             match node {
                 CfgNode::Emit { vertex, next } => {
                     let v = &self.vertices[*vertex];
-                    let sems: Vec<&str> =
-                        v.sems().map(|s| reg.name(s)).collect();
+                    let sems: Vec<&str> = v.sems().map(|s| reg.name(s)).collect();
                     out.push_str(&format!(
                         "  n{} [shape=box,label=\"emit {} ({}B{}{})\"];\n",
                         i,
@@ -139,7 +141,10 @@ pub fn extract(
 ) -> Result<Cfg, Diagnostics> {
     let mut diags = Diagnostics::new();
     let Some(control) = checked.program.control(name) else {
-        diags.error(format!("no control named `{name}` in contract"), Span::default());
+        diags.error(
+            format!("no control named `{name}` in contract"),
+            Span::default(),
+        );
         return Err(diags);
     };
     if !control.type_params.is_empty() {
@@ -161,7 +166,9 @@ pub fn extract(
     let mut params: HashMap<String, Ty> = HashMap::new();
     let mut cmpt_param = None;
     for p in &control.params {
-        let Some(ty) = checked.param_ty(p) else { continue };
+        let Some(ty) = checked.param_ty(p) else {
+            continue;
+        };
         if matches!(ty, Ty::Extern(ExternKind::CmptOut)) {
             cmpt_param = Some(p.name.name.clone());
         }
@@ -245,7 +252,11 @@ impl<'a> Builder<'a> {
     fn build_stmt(&mut self, stmt: &Stmt, next: NodeId) -> NodeId {
         match &stmt.kind {
             StmtKind::Expr(e) => self.build_expr_stmt(e, next),
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.cond_of_expr(cond);
                 let then_entry = self.build_block(&then_blk.stmts, next);
                 let else_entry = match else_blk {
@@ -324,7 +335,10 @@ impl<'a> Builder<'a> {
                     None => Cond::Opaque(format!("{} not matched", expr_str(scrutinee))),
                 };
                 arms.push((default_cond, default_entry.unwrap_or(next)));
-                self.push(CfgNode::Branch { arms, span: stmt.span })
+                self.push(CfgNode::Branch {
+                    arms,
+                    span: stmt.span,
+                })
             }
             StmtKind::Return => {
                 // Return jumps straight to exit, discarding `next`.
@@ -495,10 +509,7 @@ impl<'a> Builder<'a> {
                 }
                 other => {
                     self.diags.error(
-                        format!(
-                            "cannot access `.{seg}` on {}",
-                            self.types.display(other)
-                        ),
+                        format!("cannot access `.{seg}` on {}", self.types.display(other)),
                         span,
                     );
                     return None;
@@ -530,7 +541,10 @@ impl<'a> Builder<'a> {
         match &e.kind {
             ExprKind::Bool(true) => Cond::True,
             ExprKind::Bool(false) => Cond::Opaque("false".into()),
-            ExprKind::Unary { op: UnOp::Not, expr } => self.cond_of_expr(expr).negated(),
+            ExprKind::Unary {
+                op: UnOp::Not,
+                expr,
+            } => self.cond_of_expr(expr).negated(),
             ExprKind::Binary { op, lhs, rhs } => {
                 use BinOp::*;
                 match op {
@@ -550,7 +564,11 @@ impl<'a> Builder<'a> {
                         if let (Some(f), Some(v)) =
                             (self.field_of_expr(lhs), const_eval(rhs, self.types))
                         {
-                            return Cond::Cmp { field: f, op: cmp, value: v };
+                            return Cond::Cmp {
+                                field: f,
+                                op: cmp,
+                                value: v,
+                            };
                         }
                         if let (Some(v), Some(f)) =
                             (const_eval(lhs, self.types), self.field_of_expr(rhs))
@@ -562,7 +580,11 @@ impl<'a> Builder<'a> {
                                 CmpOp::Ge => CmpOp::Le,
                                 other => other,
                             };
-                            return Cond::Cmp { field: f, op: flipped, value: v };
+                            return Cond::Cmp {
+                                field: f,
+                                op: flipped,
+                                value: v,
+                            };
                         }
                         Cond::Opaque(expr_str(e))
                     }
@@ -578,7 +600,10 @@ impl<'a> Builder<'a> {
 /// display.
 pub fn expr_str(e: &Expr) -> String {
     match &e.kind {
-        ExprKind::Int { value, width: Some(w) } => format!("{w}w{value}"),
+        ExprKind::Int {
+            value,
+            width: Some(w),
+        } => format!("{w}w{value}"),
         ExprKind::Int { value, width: None } => format!("{value}"),
         ExprKind::Bool(b) => format!("{b}"),
         ExprKind::Ident(n) => n.clone(),
@@ -636,7 +661,15 @@ mod tests {
 
     fn extract_ok(src: &str, name: &str) -> (Cfg, SemanticRegistry) {
         let (checked, diags) = parse_and_check(src);
-        assert!(!diags.has_errors(), "{}", diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("\n"));
+        assert!(
+            !diags.has_errors(),
+            "{}",
+            diags
+                .iter()
+                .map(|d| d.message.clone())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         let mut reg = SemanticRegistry::with_builtins();
         let cfg = extract(&checked, name, &mut reg).expect("extraction succeeds");
         (cfg, reg)
@@ -683,20 +716,14 @@ mod tests {
     fn join_is_shared_not_duplicated() {
         let (cfg, _) = extract_ok(E1000_FIG6, "CmptDeparser");
         // Both if-arms must converge on the same `emit(base)` node.
-        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else { panic!() };
-        let succ = |mut n: NodeId| -> NodeId {
-            loop {
-                match &cfg.nodes[n] {
-                    CfgNode::Emit { next, .. } => {
-                        n = *next;
-                        if matches!(cfg.nodes[n], CfgNode::Exit) {
-                            return n;
-                        }
-                        // The shared base emit itself:
-                        return n;
-                    }
-                    _ => return n,
-                }
+        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else {
+            panic!()
+        };
+        let succ = |n: NodeId| -> NodeId {
+            match &cfg.nodes[n] {
+                // The shared base emit (or exit) the arm falls into:
+                CfgNode::Emit { next, .. } => *next,
+                _ => n,
             }
         };
         let a = succ(arms[0].1);
@@ -721,7 +748,9 @@ mod tests {
             }
         "#;
         let (cfg, _) = extract_ok(src, "C");
-        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else { panic!() };
+        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else {
+            panic!()
+        };
         assert_eq!(arms.len(), 3, "two labels + implicit default");
         assert_eq!(format!("{}", arms[0].0), "ctx.fmt == 0");
         assert_eq!(format!("{}", arms[1].0), "ctx.fmt == 1");
@@ -743,7 +772,9 @@ mod tests {
             }
         "#;
         let (cfg, _) = extract_ok(src, "C");
-        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else { panic!() };
+        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else {
+            panic!()
+        };
         assert_eq!(arms[0].1, cfg.exit, "return arm goes straight to exit");
         assert!(matches!(cfg.nodes[arms[1].1], CfgNode::Emit { .. }));
     }
@@ -814,7 +845,9 @@ mod tests {
             }
         "#;
         let (cfg, _) = extract_ok(src, "C");
-        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else { panic!() };
+        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else {
+            panic!()
+        };
         assert!(arms[0].0.has_opaque());
     }
 
@@ -831,7 +864,9 @@ mod tests {
             }
         "#;
         let (cfg, _) = extract_ok(src, "C");
-        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else { panic!() };
+        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else {
+            panic!()
+        };
         assert_eq!(format!("{}", arms[0].0), "ctx.n > 3");
     }
 
@@ -857,8 +892,12 @@ mod tests {
             }
         "#;
         let (cfg, _) = extract_ok(src, "C");
-        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else { panic!() };
-        let Cond::Cmp { field, value, .. } = &arms[0].0 else { panic!() };
+        let CfgNode::Branch { arms, .. } = &cfg.nodes[cfg.entry] else {
+            panic!()
+        };
+        let Cond::Cmp { field, value, .. } = &arms[0].0 else {
+            panic!()
+        };
         assert_eq!(field.width, 2);
         assert_eq!(*value, 1);
     }

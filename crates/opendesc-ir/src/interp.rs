@@ -41,8 +41,14 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::MissingArg(a) => write!(f, "missing argument `{a}`"),
             InterpError::BadPath(p) => write!(f, "path `{p}` did not resolve"),
-            InterpError::OutOfInput { needed_bits, have_bits } => {
-                write!(f, "descriptor too short: need {needed_bits} bits, have {have_bits}")
+            InterpError::OutOfInput {
+                needed_bits,
+                have_bits,
+            } => {
+                write!(
+                    f,
+                    "descriptor too short: need {needed_bits} bits, have {have_bits}"
+                )
             }
             InterpError::NoState(s) => write!(f, "transition to unknown state `{s}`"),
             InterpError::Rejected => write!(f, "parser rejected the descriptor"),
@@ -188,8 +194,9 @@ pub fn run_desc_parser(
     }
     let desc_param = desc_param
         .ok_or_else(|| InterpError::Unsupported("parser without desc_in param".into()))?;
-    let out_param = out_param
-        .ok_or_else(|| InterpError::Unsupported("parser without out-direction descriptor".into()))?;
+    let out_param = out_param.ok_or_else(|| {
+        InterpError::Unsupported("parser without out-direction descriptor".into())
+    })?;
 
     let states = parser.states.as_ref().expect("checked above");
     let by_name: HashMap<&str, &ast::StateDecl> =
@@ -234,13 +241,9 @@ pub fn run_desc_parser(
                             ast::SelectMatch::Expr(e) => {
                                 all_default = false;
                                 let want = const_eval(e, &checked.types).ok_or_else(|| {
-                                    InterpError::Unsupported(
-                                        "non-constant select match".into(),
-                                    )
+                                    InterpError::Unsupported("non-constant select match".into())
                                 })?;
-                                if scrutinees.get(i.min(scrutinees.len() - 1))
-                                    != Some(&want)
-                                {
+                                if scrutinees.get(i.min(scrutinees.len() - 1)) != Some(&want) {
                                     continue 'cases;
                                 }
                             }
@@ -258,7 +261,11 @@ pub fn run_desc_parser(
                 let descriptor = env
                     .remove(&out_param)
                     .ok_or_else(|| InterpError::BadPath(out_param.clone()))?;
-                return Ok(ParserRun { descriptor, consumed_bits: cursor, trace });
+                return Ok(ParserRun {
+                    descriptor,
+                    consumed_bits: cursor,
+                    trace,
+                });
             }
             "reject" => return Err(InterpError::Rejected),
             other => state_name = other.to_string(),
@@ -338,7 +345,11 @@ impl<'a> Interp<'a> {
                 self.assign(lhs, val, env)?;
                 Ok(true)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = scalar_of(&self.eval(cond, env)?)?;
                 if c != 0 {
                     self.exec_block(&then_blk.stmts, env)
@@ -436,7 +447,12 @@ impl<'a> Interp<'a> {
                     self.reserve(info.width_bits);
                     for f in &info.fields {
                         let val = fields.get(&f.name).copied().unwrap_or(0);
-                        write_bits(&mut self.out_bits, self.bit_len + f.offset_bits, f.width_bits, val);
+                        write_bits(
+                            &mut self.out_bits,
+                            self.bit_len + f.offset_bits,
+                            f.width_bits,
+                            val,
+                        );
                     }
                     self.bit_len += info.width_bits;
                     self.emitted.push(path.join("."));
@@ -456,17 +472,17 @@ impl<'a> Interp<'a> {
         }
         // Maybe the last segment is a header field.
         if path.len() >= 2 {
-            if let Some(parent) = root.get_path(&path_strs(&path[1..path.len() - 1])) {
-                if let Value::Header { header, fields, .. } = parent {
-                    let info = self.checked.types.header(*header);
-                    if let Some(f) = info.field(path[path.len() - 1]) {
-                        let val = fields.get(&f.name).copied().unwrap_or(0);
-                        self.reserve(f.width_bits as u32);
-                        write_bits(&mut self.out_bits, self.bit_len, f.width_bits, val);
-                        self.bit_len += f.width_bits as u32;
-                        self.emitted.push(path.join("."));
-                        return Ok(());
-                    }
+            if let Some(Value::Header { header, fields, .. }) =
+                root.get_path(&path_strs(&path[1..path.len() - 1]))
+            {
+                let info = self.checked.types.header(*header);
+                if let Some(f) = info.field(path[path.len() - 1]) {
+                    let val = fields.get(&f.name).copied().unwrap_or(0);
+                    self.reserve(f.width_bits as u32);
+                    write_bits(&mut self.out_bits, self.bit_len, f.width_bits, val);
+                    self.bit_len += f.width_bits as u32;
+                    self.emitted.push(path.join("."));
+                    return Ok(());
                 }
             }
         }
@@ -519,7 +535,12 @@ impl<'a> Interp<'a> {
         let target = root
             .get_path_mut(&path_strs(&path[1..]))
             .ok_or_else(|| InterpError::BadPath(path.join(".")))?;
-        let Value::Header { header, valid, fields } = target else {
+        let Value::Header {
+            header,
+            valid,
+            fields,
+        } = target
+        else {
             return Err(InterpError::Unsupported("extract into non-header".into()));
         };
         let info = self.checked.types.header(*header);
@@ -543,9 +564,10 @@ impl<'a> Interp<'a> {
 
     fn eval(&self, e: &Expr, env: &BTreeMap<String, Value>) -> Result<Value, InterpError> {
         match &e.kind {
-            ExprKind::Int { value, width } => {
-                Ok(Value::Bits { width: width.unwrap_or(64), value: *value })
-            }
+            ExprKind::Int { value, width } => Ok(Value::Bits {
+                width: width.unwrap_or(64),
+                value: *value,
+            }),
             ExprKind::Bool(b) => Ok(Value::bits(1, *b as u128)),
             ExprKind::Ident(n) => {
                 if let Some(v) = env.get(n) {
@@ -553,7 +575,10 @@ impl<'a> Interp<'a> {
                 }
                 if let Some(c) = self.checked.types.const_(n) {
                     let w = c.ty.bit_width(&self.checked.types).unwrap_or(64);
-                    return Ok(Value::Bits { width: w, value: c.value });
+                    return Ok(Value::Bits {
+                        width: w,
+                        value: c.value,
+                    });
                 }
                 Err(InterpError::BadPath(n.clone()))
             }
@@ -622,8 +647,16 @@ impl<'a> Interp<'a> {
             ExprKind::Binary { op, lhs, rhs } => {
                 let l = self.eval(lhs, env)?;
                 let r = self.eval(rhs, env)?;
-                let (Value::Bits { width: wl, value: a }, Value::Bits { width: wr, value: b }) =
-                    (&l, &r)
+                let (
+                    Value::Bits {
+                        width: wl,
+                        value: a,
+                    },
+                    Value::Bits {
+                        width: wr,
+                        value: b,
+                    },
+                ) = (&l, &r)
                 else {
                     return Err(InterpError::Unsupported("binary on aggregate".into()));
                 };
@@ -689,12 +722,12 @@ impl<'a> Interp<'a> {
         }
         // Assigning to a header field.
         if path.len() >= 2 {
-            if let Some(parent) = root.get_path_mut(&path_strs(&path[1..path.len() - 1])) {
-                if let Value::Header { fields, .. } = parent {
-                    let v = scalar_of(&val)?;
-                    fields.insert(path[path.len() - 1].to_string(), v);
-                    return Ok(());
-                }
+            if let Some(Value::Header { fields, .. }) =
+                root.get_path_mut(&path_strs(&path[1..path.len() - 1]))
+            {
+                let v = scalar_of(&val)?;
+                fields.insert(path[path.len() - 1].to_string(), v);
+                return Ok(());
             }
         }
         Err(InterpError::BadPath(path.join(".")))
@@ -740,10 +773,7 @@ mod tests {
         }
     "#;
 
-    fn e1000_args(
-        checked: &CheckedProgram,
-        use_rss: bool,
-    ) -> HashMap<String, Value> {
+    fn e1000_args(checked: &CheckedProgram, use_rss: bool) -> HashMap<String, Value> {
         let t = &checked.types;
         let mut ctx = Value::struct_of(
             match t.lookup("e1000_ctx_t").unwrap() {
@@ -761,7 +791,9 @@ mod tests {
             },
             t,
         );
-        meta.get_path_mut(&["rss"]).unwrap().set_header_field("rss", 0xAABBCCDD);
+        meta.get_path_mut(&["rss"])
+            .unwrap()
+            .set_header_field("rss", 0xAABBCCDD);
         let ipf = meta.get_path_mut(&["ip_fields"]).unwrap();
         ipf.set_header_field("ip_id", 0x1234);
         ipf.set_header_field("csum", 0xBEEF);
@@ -823,17 +855,38 @@ mod tests {
         let t = &checked.types;
         let mk = |fmt: u128| {
             let mut ctx = Value::struct_of(
-                match t.lookup("ctx_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
+                match t.lookup("ctx_t").unwrap() {
+                    Ty::Struct(id) => id,
+                    _ => panic!(),
+                },
+                t,
+            );
             *ctx.get_path_mut(&["fmt"]).unwrap() = Value::bits(2, fmt);
             let mut m = Value::struct_of(
-                match t.lookup("m_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
+                match t.lookup("m_t").unwrap() {
+                    Ty::Struct(id) => id,
+                    _ => panic!(),
+                },
+                t,
+            );
             m.get_path_mut(&["a"]).unwrap().set_header_field("x", 0x7F);
-            m.get_path_mut(&["b"]).unwrap().set_header_field("y", 0x0102);
+            m.get_path_mut(&["b"])
+                .unwrap()
+                .set_header_field("y", 0x0102);
             HashMap::from([("ctx".to_string(), ctx), ("m".to_string(), m)])
         };
-        assert_eq!(run_deparser(&checked, "C", &mk(0)).unwrap().output, vec![0x7F]);
-        assert_eq!(run_deparser(&checked, "C", &mk(1)).unwrap().output, vec![0x01, 0x02]);
-        assert!(run_deparser(&checked, "C", &mk(2)).unwrap().output.is_empty());
+        assert_eq!(
+            run_deparser(&checked, "C", &mk(0)).unwrap().output,
+            vec![0x7F]
+        );
+        assert_eq!(
+            run_deparser(&checked, "C", &mk(1)).unwrap().output,
+            vec![0x01, 0x02]
+        );
+        assert!(run_deparser(&checked, "C", &mk(2))
+            .unwrap()
+            .output
+            .is_empty());
     }
 
     #[test]
@@ -851,10 +904,19 @@ mod tests {
             }
         "#;
         let (checked, d) = parse_and_check(src);
-        assert!(!d.has_errors(), "{:?}", d.iter().map(|x| x.message.clone()).collect::<Vec<_>>());
+        assert!(
+            !d.has_errors(),
+            "{:?}",
+            d.iter().map(|x| x.message.clone()).collect::<Vec<_>>()
+        );
         let t = &checked.types;
         let mut m = Value::struct_of(
-            match t.lookup("m_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
+            match t.lookup("m_t").unwrap() {
+                Ty::Struct(id) => id,
+                _ => panic!(),
+            },
+            t,
+        );
         m.get_path_mut(&["h"]).unwrap().set_header_field("a", 0xAA);
         m.get_path_mut(&["h"]).unwrap().set_header_field("b", 0xBB);
         let run = run_deparser(&checked, "C", &HashMap::from([("m".to_string(), m)])).unwrap();
@@ -877,14 +939,14 @@ mod tests {
         let (checked, _) = parse_and_check(src);
         let t = &checked.types;
         let mut ctx = Value::struct_of(
-            match t.lookup("ctx_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
+            match t.lookup("ctx_t").unwrap() {
+                Ty::Struct(id) => id,
+                _ => panic!(),
+            },
+            t,
+        );
         *ctx.get_path_mut(&["stop"]).unwrap() = Value::bits(1, 1);
-        let run = run_deparser(
-            &checked,
-            "C",
-            &HashMap::from([("ctx".to_string(), ctx)]),
-        )
-        .unwrap();
+        let run = run_deparser(&checked, "C", &HashMap::from([("ctx".to_string(), ctx)])).unwrap();
         assert!(run.output.is_empty());
     }
 
@@ -912,7 +974,12 @@ mod tests {
     fn ctx_with_size(checked: &CheckedProgram, size: u128) -> HashMap<String, Value> {
         let t = &checked.types;
         let mut ctx = Value::struct_of(
-            match t.lookup("h2c_ctx_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
+            match t.lookup("h2c_ctx_t").unwrap() {
+                Ty::Struct(id) => id,
+                _ => panic!(),
+            },
+            t,
+        );
         *ctx.get_path_mut(&["desc_size"]).unwrap() = Value::bits(8, size);
         HashMap::from([("ctx".to_string(), ctx)])
     }
@@ -1002,12 +1069,24 @@ mod tests {
         assert!(!d.has_errors());
         let t = &checked.types;
         let mut ctx = Value::struct_of(
-            match t.lookup("ctx_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
+            match t.lookup("ctx_t").unwrap() {
+                Ty::Struct(id) => id,
+                _ => panic!(),
+            },
+            t,
+        );
         *ctx.get_path_mut(&["a"]).unwrap() = Value::bits(8, 0xAB);
         *ctx.get_path_mut(&["b"]).unwrap() = Value::bits(8, 0xCD);
         let mut m = Value::struct_of(
-            match t.lookup("m_t").unwrap() { Ty::Struct(id) => id, _ => panic!() }, t);
-        m.get_path_mut(&["h"]).unwrap().set_header_field("v", 0xF00D);
+            match t.lookup("m_t").unwrap() {
+                Ty::Struct(id) => id,
+                _ => panic!(),
+            },
+            t,
+        );
+        m.get_path_mut(&["h"])
+            .unwrap()
+            .set_header_field("v", 0xF00D);
         let run = run_deparser(
             &checked,
             "C",

@@ -7,18 +7,18 @@
 //! and interpreters that *execute* the contract (used by the NIC
 //! simulator so the device and the host share one source of truth).
 pub mod bits;
-pub mod semantics;
-pub mod pred;
 pub mod cfg;
-pub mod path;
-pub mod value;
 pub mod interp;
+pub mod path;
+pub mod pred;
+pub mod semantics;
 pub mod txpath;
+pub mod value;
 
 pub use cfg::{extract, Cfg, CfgNode, EmitField, EmitVertex};
+pub use interp::{run_deparser, run_desc_parser, DeparserRun, InterpError, ParserRun};
 pub use path::{enumerate_paths, CompletionPath, FieldSlot, PathError, DEFAULT_MAX_PATHS};
 pub use pred::{solve, Assignment, CmpOp, Cond, FieldRef};
 pub use semantics::{names, Cost, SemanticId, SemanticInfo, SemanticRegistry};
-pub use interp::{run_deparser, run_desc_parser, DeparserRun, InterpError, ParserRun};
-pub use value::Value;
 pub use txpath::{enumerate_tx_layouts, DescriptorLayout};
+pub use value::Value;

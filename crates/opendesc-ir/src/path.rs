@@ -144,7 +144,9 @@ pub fn enumerate_paths(cfg: &Cfg, max_paths: usize) -> Result<Vec<CompletionPath
     let mut paths = Vec::new();
     let mut guard: Vec<Cond> = Vec::new();
     let mut emits: Vec<usize> = Vec::new();
-    walk(cfg, cfg.entry, &mut guard, &mut emits, &mut paths, max_paths)?;
+    walk(
+        cfg, cfg.entry, &mut guard, &mut emits, &mut paths, max_paths,
+    )?;
     Ok(paths)
 }
 
@@ -357,9 +359,8 @@ mod tests {
     #[test]
     fn path_cap_enforced() {
         // 13 sequential 2-way branches → 8192 paths > 4096 cap.
-        let mut src = String::from(
-            "header a_t { bit<8> x; }\nstruct m_t { a_t a; }\nstruct ctx_t { ",
-        );
+        let mut src =
+            String::from("header a_t { bit<8> x; }\nstruct m_t { a_t a; }\nstruct ctx_t { ");
         for i in 0..13 {
             src.push_str(&format!("bit<1> f{i}; "));
         }
@@ -373,7 +374,12 @@ mod tests {
         let mut reg = SemanticRegistry::with_builtins();
         let cfg = extract(&checked, "C", &mut reg).unwrap();
         let err = enumerate_paths(&cfg, DEFAULT_MAX_PATHS).unwrap_err();
-        assert_eq!(err, PathError::TooManyPaths { limit: DEFAULT_MAX_PATHS });
+        assert_eq!(
+            err,
+            PathError::TooManyPaths {
+                limit: DEFAULT_MAX_PATHS
+            }
+        );
         // A higher cap succeeds.
         assert_eq!(enumerate_paths(&cfg, 10_000).unwrap().len(), 8192);
     }
@@ -396,7 +402,10 @@ mod tests {
         let (paths, reg) = paths_of(E1000_FIG6, "CmptDeparser");
         let p = &paths[1];
         let names: Vec<&str> = p.slots.iter().map(|s| s.name.as_str()).collect();
-        assert!(names.contains(&"ip_fields.csum") || names.contains(&"rss.rss"), "{names:?}");
+        assert!(
+            names.contains(&"ip_fields.csum") || names.contains(&"rss.rss"),
+            "{names:?}"
+        );
         let _ = reg;
     }
 

@@ -299,7 +299,9 @@ fn solve_rec(conds: &[Cond], idx: usize, asn: &mut Assignment) -> bool {
 fn collect_candidates(conds: &[Cond], field: &FieldRef, out: &mut Vec<u128>) {
     for c in conds {
         match c {
-            Cond::Cmp { field: f, value, .. } if f == field => {
+            Cond::Cmp {
+                field: f, value, ..
+            } if f == field => {
                 out.push(*value);
                 out.push(value.wrapping_add(1));
                 out.push(value.wrapping_sub(1));
@@ -320,7 +322,11 @@ mod tests {
     }
 
     fn eq(name: &str, width: u16, v: u128) -> Cond {
-        Cond::Cmp { field: f(name, width), op: CmpOp::Eq, value: v }
+        Cond::Cmp {
+            field: f(name, width),
+            op: CmpOp::Eq,
+            value: v,
+        }
     }
 
     #[test]
@@ -342,7 +348,11 @@ mod tests {
 
     #[test]
     fn solve_negated_equality_picks_witness() {
-        let c = Cond::Cmp { field: f("fmt", 2), op: CmpOp::Ne, value: 0 };
+        let c = Cond::Cmp {
+            field: f("fmt", 2),
+            op: CmpOp::Ne,
+            value: 0,
+        };
         let asn = solve(&[c]).unwrap();
         assert_ne!(asn[&f("fmt", 2)], 0);
         assert!(asn[&f("fmt", 2)] <= 3);
@@ -351,19 +361,31 @@ mod tests {
     #[test]
     fn ne_on_1bit_field_saturated() {
         // bit<1> field != 0 must yield 1; != 1 must yield 0.
-        let c = Cond::Cmp { field: f("b", 1), op: CmpOp::Ne, value: 1 };
+        let c = Cond::Cmp {
+            field: f("b", 1),
+            op: CmpOp::Ne,
+            value: 1,
+        };
         assert_eq!(solve(&[c]).unwrap()[&f("b", 1)], 0);
     }
 
     #[test]
     fn lt_zero_unsatisfiable() {
-        let c = Cond::Cmp { field: f("x", 8), op: CmpOp::Lt, value: 0 };
+        let c = Cond::Cmp {
+            field: f("x", 8),
+            op: CmpOp::Lt,
+            value: 0,
+        };
         assert!(solve(&[c]).is_none());
     }
 
     #[test]
     fn gt_max_unsatisfiable() {
-        let c = Cond::Cmp { field: f("x", 2), op: CmpOp::Gt, value: 3 };
+        let c = Cond::Cmp {
+            field: f("x", 2),
+            op: CmpOp::Gt,
+            value: 3,
+        };
         assert!(solve(&[c]).is_none());
     }
 
@@ -397,14 +419,14 @@ mod tests {
         // Regression: solving `Not(Opaque)` used to recurse forever
         // (negating it reproduces itself).
         let c = Cond::Not(Box::new(Cond::Opaque("hdr.isValid()".into())));
-        assert!(solve(&[c.clone()]).is_none());
+        assert!(solve(std::slice::from_ref(&c)).is_none());
         assert!(solve(&[Cond::And(vec![c, Cond::True])]).is_none());
     }
 
     #[test]
     fn opaque_blocks_solving_but_not_enumeration() {
         let c = Cond::Opaque("hdr.a == hdr.b".into());
-        assert!(solve(&[c.clone()]).is_none());
+        assert!(solve(std::slice::from_ref(&c)).is_none());
         assert!(c.has_opaque());
         assert_eq!(c.eval(&Assignment::new()), None);
     }
@@ -419,7 +441,11 @@ mod tests {
     fn solution_satisfies_all_conds() {
         let conds = vec![
             Cond::Or(vec![eq("fmt", 2, 0), eq("fmt", 2, 1)]),
-            Cond::Cmp { field: f("fmt", 2), op: CmpOp::Ne, value: 0 },
+            Cond::Cmp {
+                field: f("fmt", 2),
+                op: CmpOp::Ne,
+                value: 0,
+            },
             eq("use_ts", 1, 1),
         ];
         let asn = solve(&conds).unwrap();
@@ -433,7 +459,11 @@ mod tests {
     fn display_renders_readably() {
         let c = Cond::And(vec![
             eq("use_rss", 1, 1),
-            Cond::Cmp { field: f("fmt", 2), op: CmpOp::Ne, value: 2 },
+            Cond::Cmp {
+                field: f("fmt", 2),
+                op: CmpOp::Ne,
+                value: 2,
+            },
         ]);
         let s = format!("{c}");
         assert!(s.contains("ctx.use_rss == 1"), "{s}");

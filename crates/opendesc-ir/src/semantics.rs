@@ -24,20 +24,29 @@ pub struct SemanticId(pub u32);
 pub enum Cost {
     /// Finite per-packet cost, ns. A `per_byte` component models
     /// payload-dependent work such as checksums over the packet body.
-    Finite { base_ns: f64, per_byte_ns: f64 },
+    Finite {
+        base_ns: f64,
+        per_byte_ns: f64,
+    },
     Infinite,
 }
 
 impl Cost {
     /// Flat cost helper.
     pub const fn flat(base_ns: f64) -> Cost {
-        Cost::Finite { base_ns, per_byte_ns: 0.0 }
+        Cost::Finite {
+            base_ns,
+            per_byte_ns: 0.0,
+        }
     }
 
     /// Evaluate for an average packet length.
     pub fn eval(&self, avg_pkt_len: u32) -> f64 {
         match self {
-            Cost::Finite { base_ns, per_byte_ns } => base_ns + per_byte_ns * avg_pkt_len as f64,
+            Cost::Finite {
+                base_ns,
+                per_byte_ns,
+            } => base_ns + per_byte_ns * avg_pkt_len as f64,
             Cost::Infinite => f64::INFINITY,
         }
     }
@@ -50,10 +59,16 @@ impl Cost {
 impl fmt::Display for Cost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Cost::Finite { base_ns, per_byte_ns } if *per_byte_ns == 0.0 => {
+            Cost::Finite {
+                base_ns,
+                per_byte_ns,
+            } if *per_byte_ns == 0.0 => {
                 write!(f, "{base_ns}ns")
             }
-            Cost::Finite { base_ns, per_byte_ns } => {
+            Cost::Finite {
+                base_ns,
+                per_byte_ns,
+            } => {
                 write!(f, "{base_ns}ns + {per_byte_ns}ns/B")
             }
             Cost::Infinite => write!(f, "∞"),
@@ -142,7 +157,10 @@ impl SemanticRegistry {
     ///
     /// [`with_builtins`]: SemanticRegistry::with_builtins
     pub fn empty() -> Self {
-        SemanticRegistry { infos: Vec::new(), by_name: HashMap::new() }
+        SemanticRegistry {
+            infos: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// Registry preloaded with the well-known semantics and their default
@@ -161,13 +179,19 @@ impl SemanticRegistry {
             (
                 names::IP_CHECKSUM,
                 16,
-                Cost::Finite { base_ns: 10.0, per_byte_ns: 0.15 },
+                Cost::Finite {
+                    base_ns: 10.0,
+                    per_byte_ns: 0.15,
+                },
                 "IPv4 header checksum (validity or raw value)",
             ),
             (
                 names::L4_CHECKSUM,
                 16,
-                Cost::Finite { base_ns: 12.0, per_byte_ns: 0.25 },
+                Cost::Finite {
+                    base_ns: 12.0,
+                    per_byte_ns: 0.25,
+                },
                 "TCP/UDP checksum over the full payload",
             ),
             (
@@ -195,7 +219,12 @@ impl SemanticRegistry {
                 Cost::flat(55.0),
                 "flow-table tag (software emulates with a hash-table lookup)",
             ),
-            (names::IP_ID, 16, Cost::flat(8.0), "IPv4 identification field"),
+            (
+                names::IP_ID,
+                16,
+                Cost::flat(8.0),
+                "IPv4 identification field",
+            ),
             (
                 names::PAYLOAD_OFFSET,
                 16,
@@ -205,7 +234,10 @@ impl SemanticRegistry {
             (
                 names::KVS_KEY_HASH,
                 32,
-                Cost::Finite { base_ns: 30.0, per_byte_ns: 0.5 },
+                Cost::Finite {
+                    base_ns: 30.0,
+                    per_byte_ns: 0.5,
+                },
                 "hash of the key in a KVS request payload (L5 offload)",
             ),
             (
@@ -214,7 +246,12 @@ impl SemanticRegistry {
                 Cost::flat(25.0),
                 "device-computed steering hint",
             ),
-            (names::RX_STATUS, 16, Cost::flat(2.0), "receive status bitmap"),
+            (
+                names::RX_STATUS,
+                16,
+                Cost::flat(2.0),
+                "receive status bitmap",
+            ),
             (
                 names::CRYPTO_CTX,
                 32,
@@ -236,13 +273,19 @@ impl SemanticRegistry {
             (
                 names::TX_L4_CSUM,
                 16,
-                Cost::Finite { base_ns: 12.0, per_byte_ns: 0.25 },
+                Cost::Finite {
+                    base_ns: 12.0,
+                    per_byte_ns: 0.25,
+                },
                 "L4 checksum insertion on transmit",
             ),
             (
                 names::TX_IP_CSUM,
                 16,
-                Cost::Finite { base_ns: 10.0, per_byte_ns: 0.15 },
+                Cost::Finite {
+                    base_ns: 10.0,
+                    per_byte_ns: 0.15,
+                },
                 "IPv4 header checksum insertion on transmit",
             ),
             (
@@ -254,7 +297,10 @@ impl SemanticRegistry {
             (
                 names::TX_TSO_MSS,
                 16,
-                Cost::Finite { base_ns: 400.0, per_byte_ns: 0.1 },
+                Cost::Finite {
+                    base_ns: 400.0,
+                    per_byte_ns: 0.1,
+                },
                 "TCP segmentation offload (software GSO fallback)",
             ),
         ];
@@ -391,7 +437,10 @@ mod tests {
 
     #[test]
     fn cost_eval_includes_per_byte() {
-        let c = Cost::Finite { base_ns: 10.0, per_byte_ns: 0.5 };
+        let c = Cost::Finite {
+            base_ns: 10.0,
+            per_byte_ns: 0.5,
+        };
         assert_eq!(c.eval(100), 60.0);
         assert!(Cost::Infinite.eval(1).is_infinite());
     }

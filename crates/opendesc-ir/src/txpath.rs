@@ -75,8 +75,10 @@ pub fn enumerate_tx_layouts(
     // resolver over the other params (context + out descriptor).
     let mut desc_param = None;
     for p in &parser.params {
-        if matches!(checked.param_ty(p), Some(Ty::Extern(ExternKind::DescIn | ExternKind::PacketIn)))
-        {
+        if matches!(
+            checked.param_ty(p),
+            Some(Ty::Extern(ExternKind::DescIn | ExternKind::PacketIn))
+        ) {
             desc_param = Some(p.name.name.clone());
         }
     }
@@ -257,10 +259,7 @@ impl<'a> Walker<'a> {
         for &hid in extracted {
             let info = self.checked.types.header(hid);
             for f in &info.fields {
-                let semantic = f
-                    .semantic
-                    .as_deref()
-                    .and_then(|s| self.reg.id(s));
+                let semantic = f.semantic.as_deref().and_then(|s| self.reg.id(s));
                 slots.push(FieldSlot {
                     name: format!("{}.{}", info.name, f.name),
                     source: info.name.clone(),
@@ -287,11 +286,7 @@ impl<'a> Walker<'a> {
     fn resolve_header(&mut self, arg: &ast::Expr) -> Option<opendesc_p4::types::HeaderId> {
         let path = arg.as_path()?;
         // Resolve through params: first segment is a param name.
-        let param = self
-            .parser
-            .params
-            .iter()
-            .find(|p| p.name.name == path[0])?;
+        let param = self.parser.params.iter().find(|p| p.name.name == path[0])?;
         let mut ty = self.checked.param_ty(param)?;
         for seg in &path[1..] {
             ty = match ty {
@@ -307,11 +302,7 @@ impl<'a> Walker<'a> {
 
     fn field_of(&mut self, e: &ast::Expr) -> Option<FieldRef> {
         let path = e.as_path()?;
-        let param = self
-            .parser
-            .params
-            .iter()
-            .find(|p| p.name.name == path[0])?;
+        let param = self.parser.params.iter().find(|p| p.name.name == path[0])?;
         let mut ty = self.checked.param_ty(param)?;
         for seg in &path[1..] {
             ty = match ty {
@@ -366,7 +357,11 @@ mod tests {
 
     fn layouts_of(src: &str, name: &str) -> (Vec<DescriptorLayout>, SemanticRegistry) {
         let (checked, d) = parse_and_check(src);
-        assert!(!d.has_errors(), "{:?}", d.iter().map(|x| x.message.clone()).collect::<Vec<_>>());
+        assert!(
+            !d.has_errors(),
+            "{:?}",
+            d.iter().map(|x| x.message.clone()).collect::<Vec<_>>()
+        );
         let mut reg = SemanticRegistry::with_builtins();
         let l = enumerate_tx_layouts(&checked, name, &mut reg).unwrap();
         (l, reg)

@@ -25,7 +25,11 @@ pub enum Value {
 impl Value {
     /// Scalar constructor.
     pub fn bits(width: u16, value: u128) -> Value {
-        let value = if width >= 128 { value } else { value & ((1u128 << width) - 1) };
+        let value = if width >= 128 {
+            value
+        } else {
+            value & ((1u128 << width) - 1)
+        };
         Value::Bits { width, value }
     }
 
@@ -116,8 +120,20 @@ mod tests {
 
     #[test]
     fn bits_masked_at_construction() {
-        assert_eq!(Value::bits(4, 0xFF), Value::Bits { width: 4, value: 0xF });
-        assert_eq!(Value::bits(128, u128::MAX), Value::Bits { width: 128, value: u128::MAX });
+        assert_eq!(
+            Value::bits(4, 0xFF),
+            Value::Bits {
+                width: 4,
+                value: 0xF
+            }
+        );
+        assert_eq!(
+            Value::bits(128, u128::MAX),
+            Value::Bits {
+                width: 128,
+                value: u128::MAX
+            }
+        );
     }
 
     #[test]
@@ -130,7 +146,9 @@ mod tests {
             "#,
         );
         assert!(!d.has_errors());
-        let Ty::Struct(sid) = checked.types.lookup("outer_t").unwrap() else { panic!() };
+        let Ty::Struct(sid) = checked.types.lookup("outer_t").unwrap() else {
+            panic!()
+        };
         let v = Value::struct_of(sid, &checked.types);
         let h = v.get_path(&["i", "h"]).unwrap();
         assert!(matches!(h, Value::Header { valid: false, .. }));
@@ -155,7 +173,9 @@ mod tests {
             struct s_t { h_t h; }
             "#,
         );
-        let Ty::Struct(sid) = checked.types.lookup("s_t").unwrap() else { panic!() };
+        let Ty::Struct(sid) = checked.types.lookup("s_t").unwrap() else {
+            panic!()
+        };
         let mut v = Value::struct_of(sid, &checked.types);
         v.get_path_mut(&["h"]).unwrap().set_header_field("a", 42);
         assert_eq!(v.get_path(&["h"]).unwrap().header_field("a"), Some(42));

@@ -55,8 +55,10 @@ impl AsniAggregator {
         } else {
             None
         };
-        self.buf.extend_from_slice(&(cmpt.len() as u16).to_be_bytes());
-        self.buf.extend_from_slice(&(frame.len() as u16).to_be_bytes());
+        self.buf
+            .extend_from_slice(&(cmpt.len() as u16).to_be_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u16).to_be_bytes());
         self.buf.extend_from_slice(cmpt);
         self.buf.extend_from_slice(frame);
         self.entries += 1;

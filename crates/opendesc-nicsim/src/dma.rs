@@ -22,7 +22,11 @@ impl Default for DmaConfig {
     fn default() -> Self {
         // Roughly PCIe 3.0 x8 effective: ~7.9 GB/s, ~50 ns per posted
         // write, 8-byte quantization.
-        DmaConfig { bandwidth_gbps: 7.9, per_txn_ns: 50.0, granularity: 8 }
+        DmaConfig {
+            bandwidth_gbps: 7.9,
+            per_txn_ns: 50.0,
+            granularity: 8,
+        }
     }
 }
 
@@ -111,7 +115,11 @@ mod tests {
 
     #[test]
     fn quantization_rounds_up() {
-        let cfg = DmaConfig { bandwidth_gbps: 1.0, per_txn_ns: 0.0, granularity: 8 };
+        let cfg = DmaConfig {
+            bandwidth_gbps: 1.0,
+            per_txn_ns: 0.0,
+            granularity: 8,
+        };
         assert_eq!(cfg.write_cost_ns(1), 8.0);
         assert_eq!(cfg.write_cost_ns(8), 8.0);
         assert_eq!(cfg.write_cost_ns(9), 16.0);

@@ -19,13 +19,16 @@ const ALIGN: u64 = 64;
 
 impl HostMem {
     pub fn new() -> Self {
-        HostMem { bufs: BTreeMap::new(), next_addr: BASE_ADDR }
+        HostMem {
+            bufs: BTreeMap::new(),
+            next_addr: BASE_ADDR,
+        }
     }
 
     /// Register a buffer; returns its DMA address.
     pub fn alloc(&mut self, data: &[u8]) -> u64 {
         let addr = self.next_addr;
-        self.next_addr += ((data.len() as u64).max(1) + ALIGN - 1) / ALIGN * ALIGN + ALIGN;
+        self.next_addr += (data.len() as u64).max(1).div_ceil(ALIGN) * ALIGN + ALIGN;
         self.bufs.insert(addr, data.to_vec());
         addr
     }

@@ -8,28 +8,30 @@
 //! equivalent by tests. Includes descriptor rings, a PCIe/DMA cost model,
 //! an offload engine delegating to the softnic reference implementations,
 //! a deterministic workload generator, and fault injection.
-pub mod dma;
-pub mod ring;
-pub mod offload;
-pub mod models;
-pub mod nic;
-pub mod pktgen;
-pub mod hostmem;
-pub mod tx;
 pub mod aggregate;
+pub mod dma;
+pub mod hostmem;
+pub mod models;
 pub mod multiqueue;
+pub mod nic;
+pub mod offload;
+pub mod pktgen;
+pub mod ring;
 pub mod rxbuf;
 pub mod stream;
+pub mod tx;
 
+pub use aggregate::{AsniAggregator, AsniFrame, AsniIter};
 pub use dma::{DmaConfig, DmaMeter};
-pub use models::{catalog, e1000_legacy, e1000e, ice, ixgbe, mlx5, qdma, qdma_default, NicModel, QdmaLayout};
+pub use hostmem::HostMem;
+pub use models::{
+    catalog, e1000_legacy, e1000e, ice, ixgbe, mlx5, qdma, qdma_default, NicModel, QdmaLayout,
+};
+pub use multiqueue::{MultiQueueNic, SteerPolicy};
 pub use nic::{FaultConfig, NicError, NicStats, SimNic, WritebackMode};
-pub use offload::{MetaRecord, OffloadEngine};
+pub use offload::{DeviceOp, MetaRecord, OffloadEngine, OffloadProgram};
 pub use pktgen::{PktGen, Transport, Workload};
 pub use ring::{DescRing, RingError};
-pub use aggregate::{AsniAggregator, AsniFrame, AsniIter};
-pub use hostmem::HostMem;
-pub use multiqueue::{MultiQueueNic, SteerPolicy};
 pub use rxbuf::RxBufferPool;
 pub use stream::StreamQueue;
 pub use tx::TxStats;

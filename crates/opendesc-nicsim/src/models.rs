@@ -389,9 +389,7 @@ impl QdmaLayout {
 /// completion formats (paper: "fully programmable descriptors of 8, 16,
 /// 32 or 64 bytes"). Returns `None` if any layout exceeds 64 bytes.
 pub fn qdma_contract(layouts: &[QdmaLayout]) -> Option<String> {
-    let mut src = String::from(
-        "// AMD/Xilinx QDMA-style fully programmable completion formats.\n",
-    );
+    let mut src = String::from("// AMD/Xilinx QDMA-style fully programmable completion formats.\n");
     for (i, l) in layouts.iter().enumerate() {
         let class = l.size_class()?;
         src.push_str(&format!("header qdma_cmpt{i}_t {{\n"));
@@ -420,7 +418,9 @@ pub fn qdma_contract(layouts: &[QdmaLayout]) -> Option<String> {
         "control CmptDeparser(cmpt_out cmpt, in qdma_ctx_t ctx, in qdma_meta_t pipe_meta) {\n    apply {\n        switch (ctx.layout_id) {\n",
     );
     for i in 0..layouts.len() {
-        src.push_str(&format!("            {i}: {{ cmpt.emit(pipe_meta.l{i}); }}\n"));
+        src.push_str(&format!(
+            "            {i}: {{ cmpt.emit(pipe_meta.l{i}); }}\n"
+        ));
     }
     src.push_str("            default: { }\n        }\n    }\n}\n");
     src.push_str(
@@ -519,7 +519,14 @@ pub fn qdma_default() -> NicModel {
 
 /// All fixed catalog models (including the default QDMA provisioning).
 pub fn catalog() -> Vec<NicModel> {
-    vec![e1000_legacy(), e1000e(), ixgbe(), ice(), mlx5(), qdma_default()]
+    vec![
+        e1000_legacy(),
+        e1000e(),
+        ixgbe(),
+        ice(),
+        mlx5(),
+        qdma_default(),
+    ]
 }
 
 #[cfg(test)]
@@ -552,7 +559,11 @@ mod tests {
                 p.size_bytes(),
                 m.completion_slot_bytes
             );
-            assert!(p.solve_context().is_some(), "model {}: unsolvable guard", m.name);
+            assert!(
+                p.solve_context().is_some(),
+                "model {}: unsolvable guard",
+                m.name
+            );
         }
         paths.len()
     }
@@ -610,12 +621,11 @@ mod tests {
 
     #[test]
     fn qdma_scales_to_many_layouts() {
-        let layouts: Vec<QdmaLayout> =
-            std::iter::repeat_with(|| {
-                QdmaLayout::new(&[("rss_hash", 32), ("pkt_len", 16), ("flow_tag", 32)])
-            })
-            .take(64)
-            .collect();
+        let layouts: Vec<QdmaLayout> = std::iter::repeat_with(|| {
+            QdmaLayout::new(&[("rss_hash", 32), ("pkt_len", 16), ("flow_tag", 32)])
+        })
+        .take(64)
+        .collect();
         let m = qdma(&layouts).unwrap();
         assert_eq!(check_model(&m), 65);
     }

@@ -20,7 +20,10 @@ pub enum SteerPolicy {
     Rss,
     /// Exact-match on L4 destination port; unmatched traffic goes to
     /// `default` (flow-director / ntuple style).
-    DstPort { table: Vec<(u16, usize)>, default: usize },
+    DstPort {
+        table: Vec<(u16, usize)>,
+        default: usize,
+    },
     /// Round-robin (stress/testing).
     RoundRobin,
 }
@@ -36,13 +39,23 @@ pub struct MultiQueueNic {
 
 impl MultiQueueNic {
     /// Build `n` queues of the same model, `ring` entries each.
-    pub fn new(model: NicModel, n: usize, ring: usize, policy: SteerPolicy) -> Result<Self, NicError> {
+    pub fn new(
+        model: NicModel,
+        n: usize,
+        ring: usize,
+        policy: SteerPolicy,
+    ) -> Result<Self, NicError> {
         assert!(n > 0, "at least one queue");
         let mut queues = Vec::with_capacity(n);
         for _ in 0..n {
             queues.push(SimNic::new(model.clone(), ring)?);
         }
-        Ok(MultiQueueNic { steered: vec![0; queues.len()], queues, policy, rr_next: 0 })
+        Ok(MultiQueueNic {
+            steered: vec![0; queues.len()],
+            queues,
+            policy,
+            rr_next: 0,
+        })
     }
 
     /// Number of queues.
@@ -64,7 +77,9 @@ impl MultiQueueNic {
                 q
             }
             SteerPolicy::DstPort { table, default } => {
-                let port = ParsedFrame::parse(frame).and_then(|p| p.ports()).map(|(_, d)| d);
+                let port = ParsedFrame::parse(frame)
+                    .and_then(|p| p.ports())
+                    .map(|(_, d)| d);
                 match port {
                     Some(d) => table
                         .iter()
@@ -80,7 +95,9 @@ impl MultiQueueNic {
                     .and_then(|p| {
                         let ip = p.ipv4?;
                         Some(match p.ports() {
-                            Some((sp, dp)) => rss_ipv4_l4(&MSFT_RSS_KEY, ip.src(), ip.dst(), sp, dp),
+                            Some((sp, dp)) => {
+                                rss_ipv4_l4(&MSFT_RSS_KEY, ip.src(), ip.dst(), sp, dp)
+                            }
                             None => rss_ipv4(&MSFT_RSS_KEY, ip.src(), ip.dst()),
                         })
                     })
@@ -114,13 +131,16 @@ mod tests {
     use opendesc_ir::Assignment;
 
     fn frames(n: usize) -> Vec<Vec<u8>> {
-        PktGen::new(Workload { flows: 32, ..Workload::default() }).batch(n)
+        PktGen::new(Workload {
+            flows: 32,
+            ..Workload::default()
+        })
+        .batch(n)
     }
 
     #[test]
     fn rss_steering_is_flow_stable_and_spread() {
-        let mut nic =
-            MultiQueueNic::new(models::mlx5(), 4, 1024, SteerPolicy::Rss).unwrap();
+        let mut nic = MultiQueueNic::new(models::mlx5(), 4, 1024, SteerPolicy::Rss).unwrap();
         let fs = frames(400);
         // Same frame always steers identically.
         let q0 = nic.steer(&fs[0]);
@@ -143,10 +163,20 @@ mod tests {
             models::e1000e(),
             3,
             64,
-            SteerPolicy::DstPort { table: vec![(11211, 1), (443, 2)], default: 0 },
+            SteerPolicy::DstPort {
+                table: vec![(11211, 1), (443, 2)],
+                default: 0,
+            },
         )
         .unwrap();
-        let kvs = opendesc_softnic::testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 5, 11211, b"get k\r\n", None);
+        let kvs = opendesc_softnic::testpkt::udp4(
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            5,
+            11211,
+            b"get k\r\n",
+            None,
+        );
         let https = opendesc_softnic::testpkt::tcp4([1, 1, 1, 1], [2, 2, 2, 2], 5, 443, b"", None);
         let other = opendesc_softnic::testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 5, 9999, b"", None);
         assert_eq!(nic.deliver(&kvs).unwrap(), 1);

@@ -11,7 +11,7 @@
 use crate::dma::{DmaConfig, DmaMeter};
 use crate::hostmem::HostMem;
 use crate::models::NicModel;
-use crate::offload::{MetaRecord, OffloadEngine};
+use crate::offload::{MetaRecord, OffloadEngine, OffloadProgram};
 use crate::ring::{DescRing, RingError};
 use opendesc_ir::bits::write_bits;
 use opendesc_ir::interp::run_deparser;
@@ -51,7 +51,11 @@ pub struct FaultConfig {
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, seed: 0x0DE5C }
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            seed: 0x0DE5C,
+        }
     }
 }
 
@@ -99,6 +103,17 @@ pub struct SimNic {
     /// struct mentions).
     pub supported: Vec<SemanticId>,
     engine: OffloadEngine,
+    /// `supported` lowered to device ops, once at construction (kept in
+    /// sync by [`SimNic::new`]; mutating `supported` afterwards requires
+    /// recompiling via [`OffloadProgram::compile`]).
+    offload_prog: OffloadProgram,
+    /// Reusable per-frame offload record (deliver-path scratch).
+    rec_scratch: MetaRecord,
+    /// Reusable completion writeback buffer (deliver-path scratch).
+    wb_scratch: Vec<u8>,
+    /// Recycled frame storage: `receive_into` returns emptied buffers
+    /// here, `deliver` reuses them instead of allocating.
+    frame_pool: Vec<Vec<u8>>,
     context: Assignment,
     active_path: Option<usize>,
     mode: WritebackMode,
@@ -137,12 +152,14 @@ impl SimNic {
             ));
         }
         let mut reg = SemanticRegistry::with_builtins();
-        let cfg = extract(&checked, &model.deparser, &mut reg)
-            .map_err(|d| {
-                NicError::BadContract(
-                    d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; "),
-                )
-            })?;
+        let cfg = extract(&checked, &model.deparser, &mut reg).map_err(|d| {
+            NicError::BadContract(
+                d.iter()
+                    .map(|x| x.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            )
+        })?;
         let paths = enumerate_paths(&cfg, DEFAULT_MAX_PATHS)
             .map_err(|e| NicError::BadContract(e.to_string()))?;
 
@@ -166,6 +183,7 @@ impl SimNic {
 
         let slot = model.completion_slot_bytes.max(1);
         let faults = FaultConfig::default();
+        let offload_prog = OffloadProgram::compile(&reg, &supported);
         let mut nic = SimNic {
             checked,
             reg,
@@ -173,6 +191,10 @@ impl SimNic {
             paths,
             supported,
             engine: OffloadEngine::default(),
+            offload_prog,
+            rec_scratch: MetaRecord::default(),
+            wb_scratch: Vec::new(),
+            frame_pool: Vec::new(),
             context: Assignment::new(),
             active_path: None,
             mode: WritebackMode::default(),
@@ -231,18 +253,16 @@ impl SimNic {
     }
 
     fn refresh_active_path(&mut self) {
-        self.active_path = self.paths.iter().position(|p| {
-            p.guard
-                .iter()
-                .all(|c| c.eval(&self.context) == Some(true))
-        });
+        self.active_path = self
+            .paths
+            .iter()
+            .position(|p| p.guard.iter().all(|c| c.eval(&self.context) == Some(true)));
     }
 
     /// Deliver one frame from the wire. Computes offloads, serializes the
     /// completion per the contract, and posts packet + completion.
     pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
-        if self.faults.drop_chance > 0.0
-            && self.fault_rng.random::<f64>() < self.faults.drop_chance
+        if self.faults.drop_chance > 0.0 && self.fault_rng.random::<f64>() < self.faults.drop_chance
         {
             self.stats.dropped_faults += 1;
             return Ok(());
@@ -252,23 +272,29 @@ impl SimNic {
         if self.rx_pool.enabled && !self.rx_buffer_write(frame) {
             return Ok(());
         }
-        let record = self.engine.process(&self.reg, &self.supported, frame);
-        let mut cmpt = match self.mode {
-            WritebackMode::Fast => match self.active_path {
-                Some(i) => self.fast_writeback(i, &record),
-                None => self.interpret_writeback(&record)?,
-            },
-            WritebackMode::Interpret => self.interpret_writeback(&record)?,
-        };
+        // Offloads into the reusable record: pre-lowered ops, one parse.
+        self.engine
+            .process_program_into(&self.offload_prog, frame, &mut self.rec_scratch);
+        // Serialize the completion into the reusable writeback buffer.
+        match (self.mode, self.active_path) {
+            (WritebackMode::Fast, Some(i)) => {
+                Self::write_fast(&self.paths[i], &self.rec_scratch, &mut self.wb_scratch);
+            }
+            _ => {
+                let out = self.interpret_writeback(&self.rec_scratch)?;
+                self.wb_scratch.clear();
+                self.wb_scratch.extend_from_slice(&out);
+            }
+        }
         if self.faults.corrupt_chance > 0.0
-            && !cmpt.is_empty()
+            && !self.wb_scratch.is_empty()
             && self.fault_rng.random::<f64>() < self.faults.corrupt_chance
         {
-            let idx = self.fault_rng.random_range(0..cmpt.len());
-            cmpt[idx] ^= 1 << self.fault_rng.random_range(0..8);
+            let idx = self.fault_rng.random_range(0..self.wb_scratch.len());
+            self.wb_scratch[idx] ^= 1 << self.fault_rng.random_range(0..8);
             self.stats.corrupted += 1;
         }
-        match self.cq.produce(&cmpt) {
+        match self.cq.produce(&self.wb_scratch) {
             Ok(()) => {}
             Err(RingError::Full) => {
                 self.stats.dropped_ring_full += 1;
@@ -277,9 +303,13 @@ impl SimNic {
             Err(e) => return Err(NicError::Ring(e)),
         }
         self.cq.ring_doorbell();
-        self.dma.record(&self.dma_cfg, cmpt.len() as u32);
+        self.dma.record(&self.dma_cfg, self.wb_scratch.len() as u32);
         if !self.rx_pool.enabled {
-            self.rx_frames.push_back(frame.to_vec());
+            // Copy into a recycled buffer instead of allocating per frame.
+            let mut buf = self.frame_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(frame);
+            self.rx_frames.push_back(buf);
         }
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += frame.len() as u64;
@@ -291,27 +321,65 @@ impl SimNic {
     /// the frame is read back from the posted host-memory buffer (and the
     /// buffer recycled); otherwise from the internal copy queue.
     pub fn receive(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
-        let cmpt = self.cq.consume()?.to_vec();
-        let frame = if self.rx_pool.enabled {
-            self.rx_buffer_read()?
-        } else {
-            self.rx_frames.pop_front()?
+        let mut frame = Vec::new();
+        let mut cmpt = Vec::new();
+        self.receive_into(&mut frame, &mut cmpt)
+            .then_some((frame, cmpt))
+    }
+
+    /// Zero-allocation [`receive`]: fills caller-owned buffers instead of
+    /// returning fresh `Vec`s, so a poll loop recycles its storage across
+    /// packets. The frame buffer's old storage is recycled into the
+    /// NIC-internal frame pool; both buffers are cleared before filling.
+    /// Returns `false` (buffers cleared, contents unspecified) when no
+    /// packet is pending.
+    ///
+    /// [`receive`]: SimNic::receive
+    pub fn receive_into(&mut self, frame: &mut Vec<u8>, cmpt: &mut Vec<u8>) -> bool {
+        let Some(c) = self.cq.consume() else {
+            return false;
         };
-        Some((frame, cmpt))
+        cmpt.clear();
+        cmpt.extend_from_slice(c);
+        if self.rx_pool.enabled {
+            self.rx_buffer_read_into(frame)
+        } else {
+            match self.rx_frames.pop_front() {
+                Some(mut buf) => {
+                    // Hand the queued buffer to the caller and recycle the
+                    // caller's previous storage for a future `deliver`.
+                    std::mem::swap(frame, &mut buf);
+                    buf.clear();
+                    if self.frame_pool.len() < self.cq.capacity() {
+                        self.frame_pool.push(buf);
+                    }
+                    true
+                }
+                None => false,
+            }
+        }
     }
 
     /// Table-driven completion writeback from enumerated layout `i`.
     fn fast_writeback(&self, i: usize, record: &MetaRecord) -> Vec<u8> {
-        let path = &self.paths[i];
-        let mut buf = vec![0u8; path.size_bytes() as usize];
+        let mut buf = Vec::new();
+        Self::write_fast(&self.paths[i], record, &mut buf);
+        buf
+    }
+
+    /// Table-driven writeback into a reusable buffer (associated fn so
+    /// the deliver path can borrow `paths`/`rec_scratch`/`wb_scratch`
+    /// disjointly).
+    fn write_fast(path: &CompletionPath, record: &MetaRecord, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.resize(path.size_bytes() as usize, 0);
         for slot in &path.slots {
             if let Some(sem) = slot.semantic {
                 if let Some(v) = record.get(sem) {
-                    write_bits(&mut buf, slot.offset_bits, slot.width_bits, v);
+                    write_bits(buf, slot.offset_bits, slot.width_bits, v);
                 }
             }
         }
-        buf
     }
 
     /// Reference writeback: interpret the deparser AST.
@@ -354,20 +422,20 @@ impl SimNic {
         for f in &sinfo.fields {
             if let Ty::Header(hid) = f.ty {
                 let hinfo = self.checked.types.header(hid).clone();
-                if let Some(hv) = v.get_path_mut(&[f.name.as_str()]) {
-                    if let Value::Header { valid, fields, .. } = hv {
-                        *valid = true;
-                        for hf in &hinfo.fields {
-                            if let Some(sem_name) = &hf.semantic {
-                                if let Some(id) = self.reg.id(sem_name) {
-                                    if let Some(val) = record.get(id) {
-                                        let masked = if hf.width_bits >= 128 {
-                                            val
-                                        } else {
-                                            val & ((1u128 << hf.width_bits) - 1)
-                                        };
-                                        fields.insert(hf.name.clone(), masked);
-                                    }
+                if let Some(Value::Header { valid, fields, .. }) =
+                    v.get_path_mut(&[f.name.as_str()])
+                {
+                    *valid = true;
+                    for hf in &hinfo.fields {
+                        if let Some(sem_name) = &hf.semantic {
+                            if let Some(id) = self.reg.id(sem_name) {
+                                if let Some(val) = record.get(id) {
+                                    let masked = if hf.width_bits >= 128 {
+                                        val
+                                    } else {
+                                        val & ((1u128 << hf.width_bits) - 1)
+                                    };
+                                    fields.insert(hf.name.clone(), masked);
                                 }
                             }
                         }
@@ -381,7 +449,10 @@ impl SimNic {
     /// Run a frame through the offload engine only (no rings): useful for
     /// tests comparing writeback modes.
     pub fn offload_record(&mut self, frame: &[u8]) -> MetaRecord {
-        self.engine.process(&self.reg, &self.supported, frame)
+        let mut rec = MetaRecord::default();
+        self.engine
+            .process_program_into(&self.offload_prog, frame, &mut rec);
+        rec
     }
 
     /// Serialize a record under both modes (test/diagnostic helper).
@@ -411,7 +482,14 @@ mod tests {
     }
 
     fn frame() -> Vec<u8> {
-        testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 9], 7777, 11211, b"get k1\r\n", Some(0x0064))
+        testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 9],
+            7777,
+            11211,
+            b"get k1\r\n",
+            Some(0x0064),
+        )
     }
 
     #[test]
@@ -453,7 +531,9 @@ mod tests {
             let mut nic = SimNic::new(model.clone(), 16).unwrap();
             // Exercise every solvable path of the model.
             for i in 0..nic.paths.len() {
-                let Some(ctx) = nic.paths[i].solve_context() else { continue };
+                let Some(ctx) = nic.paths[i].solve_context() else {
+                    continue;
+                };
                 nic.configure(ctx).unwrap();
                 let rec = nic.offload_record(&frame());
                 let (interp, fast) = nic.writeback_both(&rec).unwrap();
@@ -517,7 +597,7 @@ mod tests {
 
     #[test]
     fn ring_full_counts_drops() {
-        let mut nic = SimNic::new(models::e1000_legacy(), 2, ).unwrap();
+        let mut nic = SimNic::new(models::e1000_legacy(), 2).unwrap();
         nic.configure(Assignment::new()).unwrap();
         for _ in 0..5 {
             nic.deliver(&frame()).unwrap();
@@ -530,7 +610,11 @@ mod tests {
     fn fault_injection_drops_and_corrupts() {
         let mut nic = SimNic::new(models::e1000_legacy(), 1024).unwrap();
         nic.configure(Assignment::new()).unwrap();
-        nic.set_faults(FaultConfig { drop_chance: 0.3, corrupt_chance: 0.3, seed: 42 });
+        nic.set_faults(FaultConfig {
+            drop_chance: 0.3,
+            corrupt_chance: 0.3,
+            seed: 42,
+        });
         for _ in 0..500 {
             nic.deliver(&frame()).unwrap();
         }

@@ -10,22 +10,39 @@
 
 use opendesc_ir::semantics::{names, SemanticRegistry};
 use opendesc_ir::SemanticId;
-use opendesc_softnic::SoftNic;
-use std::collections::BTreeMap;
+use opendesc_softnic::wire::ParsedFrame;
+use opendesc_softnic::{ShimMemo, ShimOp, SoftNic};
 
 /// Per-packet semantic values, keyed by semantic id.
+///
+/// Backed by a sorted `Vec` rather than a tree: a record holds a handful
+/// of entries and is rebuilt per packet, so a flat array wins on both
+/// lookup and (crucially) `clear`-and-reuse — the deliver hot path keeps
+/// one record allocated for the lifetime of the queue.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetaRecord {
-    values: BTreeMap<SemanticId, u128>,
+    /// Sorted by semantic id.
+    values: Vec<(SemanticId, u128)>,
 }
 
 impl MetaRecord {
     pub fn get(&self, sem: SemanticId) -> Option<u128> {
-        self.values.get(&sem).copied()
+        self.values
+            .binary_search_by_key(&sem, |(s, _)| *s)
+            .ok()
+            .map(|i| self.values[i].1)
     }
 
     pub fn set(&mut self, sem: SemanticId, value: u128) {
-        self.values.insert(sem, value);
+        match self.values.binary_search_by_key(&sem, |(s, _)| *s) {
+            Ok(i) => self.values[i].1 = value,
+            Err(i) => self.values.insert(i, (sem, value)),
+        }
+    }
+
+    /// Drop all entries, keeping the backing storage for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (SemanticId, u128)> + '_ {
@@ -38,6 +55,55 @@ impl MetaRecord {
 
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+}
+
+/// One device-side operation, pre-lowered from a semantic name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceOp {
+    /// Stamp the device clock (device-only state).
+    Timestamp,
+    /// Allocate a crypto-context id (device-only state).
+    CryptoCtx,
+    /// Delegate to the SoftNIC reference implementation.
+    Shim(ShimOp),
+}
+
+/// The device's supported-semantic list lowered to ops, once per queue —
+/// the engine-side twin of the host's compiled shim plan.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadProgram {
+    ops: Vec<(SemanticId, DeviceOp)>,
+}
+
+impl OffloadProgram {
+    /// Lower `supported` against the registry. Names resolve to ops here,
+    /// never again per packet.
+    pub fn compile(reg: &SemanticRegistry, supported: &[SemanticId]) -> OffloadProgram {
+        let ops = supported
+            .iter()
+            .map(|&sem| {
+                let op = match reg.name(sem) {
+                    names::TIMESTAMP => DeviceOp::Timestamp,
+                    names::CRYPTO_CTX => DeviceOp::CryptoCtx,
+                    name => DeviceOp::Shim(ShimOp::from_name(name)),
+                };
+                (sem, op)
+            })
+            .collect();
+        OffloadProgram { ops }
+    }
+
+    pub fn ops(&self) -> &[(SemanticId, DeviceOp)] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
     }
 }
 
@@ -77,33 +143,60 @@ impl OffloadEngine {
 
     /// Compute the values of `supported` semantics for `frame`, advancing
     /// the device clock by the frame's wire time.
+    ///
+    /// One-shot convenience that lowers `supported` per call; the deliver
+    /// hot path compiles an [`OffloadProgram`] once and runs
+    /// [`process_program_into`] instead.
+    ///
+    /// [`process_program_into`]: OffloadEngine::process_program_into
     pub fn process(
         &mut self,
         reg: &SemanticRegistry,
         supported: &[SemanticId],
         frame: &[u8],
     ) -> MetaRecord {
+        let prog = OffloadProgram::compile(reg, supported);
+        let mut rec = MetaRecord::default();
+        self.process_program_into(&prog, frame, &mut rec);
+        rec
+    }
+
+    /// Run a pre-compiled program over one frame into a reusable record,
+    /// advancing the device clock by the frame's wire time.
+    ///
+    /// The frame is parsed once and the view shared by every shim op;
+    /// intra-packet repeats are memoized (mirroring the host-side plan
+    /// execution, so hardware and shims stay value-identical).
+    pub fn process_program_into(
+        &mut self,
+        prog: &OffloadProgram,
+        frame: &[u8],
+        rec: &mut MetaRecord,
+    ) {
         // Wire time: preamble(8) + frame + FCS(4) + IFG(12) bytes.
         let wire_bytes = frame.len() as u64 + 24;
         self.clock_ns += ((wire_bytes * 8) as f64 / self.link_gbps) as u64;
 
-        let mut rec = MetaRecord::default();
-        for &sem in supported {
-            let name = reg.name(sem).to_string();
-            let v = match name.as_str() {
-                names::TIMESTAMP => Some(self.clock_ns as u128),
-                names::CRYPTO_CTX => {
+        rec.clear();
+        let parsed = ParsedFrame::parse(frame);
+        let mut memo = ShimMemo::default();
+        for &(sem, op) in &prog.ops {
+            let v = match op {
+                DeviceOp::Timestamp => Some(self.clock_ns as u128),
+                DeviceOp::CryptoCtx => {
                     let id = self.next_crypto_ctx;
                     self.next_crypto_ctx = self.next_crypto_ctx.wrapping_add(1).max(1);
                     Some(id as u128)
                 }
-                _ => self.soft.compute_by_name(&name, frame).map(|v| v as u128),
+                DeviceOp::Shim(shim) => parsed
+                    .as_ref()
+                    .and_then(|p| self.soft.exec_op(shim, p, frame.len(), &mut memo))
+                    .map(|v| v as u128),
             };
             if let Some(v) = v {
                 rec.set(sem, v);
             }
         }
-        rec
     }
 }
 
@@ -124,7 +217,10 @@ mod tests {
         let sems = ids(&reg, &[names::RSS_HASH, names::PKT_LEN, names::TIMESTAMP]);
         let rec = eng.process(&reg, &sems, &f);
         assert_eq!(rec.len(), 3);
-        assert_eq!(rec.get(reg.id(names::PKT_LEN).unwrap()), Some(f.len() as u128));
+        assert_eq!(
+            rec.get(reg.id(names::PKT_LEN).unwrap()),
+            Some(f.len() as u128)
+        );
         assert!(rec.get(reg.id(names::TIMESTAMP).unwrap()).unwrap() > 1000);
     }
 
@@ -160,6 +256,74 @@ mod tests {
         let sems = ids(&reg, &[names::RSS_HASH, names::VLAN_TCI, names::PKT_LEN]);
         let rec = eng.process(&reg, &sems, &frame);
         assert_eq!(rec.get(reg.id(names::RSS_HASH).unwrap()), None);
+        assert_eq!(rec.get(reg.id(names::VLAN_TCI).unwrap()), None);
+        assert_eq!(rec.get(reg.id(names::PKT_LEN).unwrap()), Some(14));
+    }
+
+    #[test]
+    fn meta_record_set_get_clear() {
+        let mut rec = MetaRecord::default();
+        assert!(rec.is_empty());
+        // Insert out of order; storage stays sorted.
+        rec.set(SemanticId(5), 50);
+        rec.set(SemanticId(1), 10);
+        rec.set(SemanticId(3), 30);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.get(SemanticId(3)), Some(30));
+        assert_eq!(rec.get(SemanticId(2)), None);
+        let ids: Vec<_> = rec.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        // Overwrite, then clear-and-reuse.
+        rec.set(SemanticId(3), 33);
+        assert_eq!(rec.get(SemanticId(3)), Some(33));
+        rec.clear();
+        assert!(rec.is_empty());
+        rec.set(SemanticId(9), 9);
+        assert_eq!(rec.get(SemanticId(9)), Some(9));
+    }
+
+    #[test]
+    fn program_path_matches_one_shot_process() {
+        let reg = SemanticRegistry::with_builtins();
+        let sems: Vec<SemanticId> = reg.iter().map(|(id, _)| id).collect();
+        let prog = OffloadProgram::compile(&reg, &sems);
+        assert_eq!(prog.len(), sems.len());
+        let frames = [
+            testpkt::udp4(
+                [10, 0, 0, 1],
+                [10, 0, 0, 2],
+                1000,
+                2000,
+                b"get k\r\n",
+                Some(7),
+            ),
+            vec![0u8; 14], // non-IP
+        ];
+        for f in &frames {
+            // Engines advance clocks/counters identically on both paths.
+            let mut a = OffloadEngine::new(100.0);
+            let mut b = OffloadEngine::new(100.0);
+            let one_shot = a.process(&reg, &sems, f);
+            let mut rec = MetaRecord::default();
+            b.process_program_into(&prog, f, &mut rec);
+            assert_eq!(one_shot, rec);
+            assert_eq!(a.now_ns(), b.now_ns());
+        }
+    }
+
+    #[test]
+    fn reused_record_carries_nothing_across_frames() {
+        let reg = SemanticRegistry::with_builtins();
+        let sems = ids(&reg, &[names::RSS_HASH, names::VLAN_TCI, names::PKT_LEN]);
+        let prog = OffloadProgram::compile(&reg, &sems);
+        let mut eng = OffloadEngine::default();
+        let mut rec = MetaRecord::default();
+        let tagged = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", Some(0x0ABC));
+        eng.process_program_into(&prog, &tagged, &mut rec);
+        assert_eq!(rec.get(reg.id(names::VLAN_TCI).unwrap()), Some(0x0ABC));
+        // Next frame has no VLAN: the stale entry must not leak through.
+        let plain = vec![0u8; 14];
+        eng.process_program_into(&prog, &plain, &mut rec);
         assert_eq!(rec.get(reg.id(names::VLAN_TCI).unwrap()), None);
         assert_eq!(rec.get(reg.id(names::PKT_LEN).unwrap()), Some(14));
     }

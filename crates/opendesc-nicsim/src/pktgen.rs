@@ -75,7 +75,11 @@ pub struct PktGen {
 impl PktGen {
     pub fn new(wl: Workload) -> Self {
         let rng = SmallRng::seed_from_u64(wl.seed);
-        PktGen { wl, rng, emitted: 0 }
+        PktGen {
+            wl,
+            rng,
+            emitted: 0,
+        }
     }
 
     /// Number of frames generated so far.
@@ -138,13 +142,19 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.next_frame(), b.next_frame());
         }
-        let mut c = PktGen::new(Workload { seed: 99, ..Workload::default() });
+        let mut c = PktGen::new(Workload {
+            seed: 99,
+            ..Workload::default()
+        });
         assert_ne!(a.next_frame(), c.next_frame());
     }
 
     #[test]
     fn frames_parse_and_respect_flow_count() {
-        let mut g = PktGen::new(Workload { flows: 8, ..Workload::default() });
+        let mut g = PktGen::new(Workload {
+            flows: 8,
+            ..Workload::default()
+        });
         let mut tuples = HashSet::new();
         for _ in 0..400 {
             let f = g.next_frame();
@@ -159,7 +169,11 @@ mod tests {
     fn min_size_workload_yields_64b_frames() {
         let mut g = PktGen::new(Workload::min_size(4));
         for _ in 0..20 {
-            assert_eq!(g.next_frame().len(), 60, "14 eth + 20 ip + 8 udp + 18 payload");
+            assert_eq!(
+                g.next_frame().len(),
+                60,
+                "14 eth + 20 ip + 8 udp + 18 payload"
+            );
         }
     }
 
@@ -170,19 +184,29 @@ mod tests {
             let f = g.next_frame();
             let p = ParsedFrame::parse(&f).unwrap();
             let pl = p.l4_payload().unwrap();
-            assert!(pl.starts_with(b"get key:"), "{:?}", String::from_utf8_lossy(pl));
+            assert!(
+                pl.starts_with(b"get key:"),
+                "{:?}",
+                String::from_utf8_lossy(pl)
+            );
             assert_eq!(p.ports().unwrap().1, 11211);
         }
     }
 
     #[test]
     fn vlan_fraction_respected() {
-        let mut g = PktGen::new(Workload { vlan_fraction: 1.0, ..Workload::default() });
+        let mut g = PktGen::new(Workload {
+            vlan_fraction: 1.0,
+            ..Workload::default()
+        });
         for _ in 0..20 {
             let f = g.next_frame();
             assert!(ParsedFrame::parse(&f).unwrap().vlan_tci.is_some());
         }
-        let mut g = PktGen::new(Workload { vlan_fraction: 0.0, ..Workload::default() });
+        let mut g = PktGen::new(Workload {
+            vlan_fraction: 0.0,
+            ..Workload::default()
+        });
         for _ in 0..20 {
             let f = g.next_frame();
             assert!(ParsedFrame::parse(&f).unwrap().vlan_tci.is_none());

@@ -95,7 +95,10 @@ impl DescRing {
     /// [`ring_doorbell`]: DescRing::ring_doorbell
     pub fn produce(&mut self, entry: &[u8]) -> Result<(), RingError> {
         if entry.len() > self.slot_size {
-            return Err(RingError::EntryTooLarge { len: entry.len(), slot: self.slot_size });
+            return Err(RingError::EntryTooLarge {
+                len: entry.len(),
+                slot: self.slot_size,
+            });
         }
         if self.is_full() {
             return Err(RingError::Full);

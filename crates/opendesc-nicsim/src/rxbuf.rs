@@ -66,15 +66,22 @@ impl SimNic {
         true
     }
 
-    /// Host side: read the next filled buffer back and recycle it. Used
-    /// by `receive()` in buffer mode.
-    pub(crate) fn rx_buffer_read(&mut self) -> Option<Vec<u8>> {
-        let (addr, len) = self.rx_pool.filled.pop_front()?;
-        let frame = self.host_mem.read(addr, len)?.to_vec();
+    /// Host side: read the next filled buffer back into `out` (cleared
+    /// first) and recycle the posted buffer. Used by `receive_into()` in
+    /// buffer mode; allocation-free once `out` has capacity.
+    pub(crate) fn rx_buffer_read_into(&mut self, out: &mut Vec<u8>) -> bool {
+        let Some((addr, len)) = self.rx_pool.filled.pop_front() else {
+            return false;
+        };
+        let Some(bytes) = self.host_mem.read(addr, len) else {
+            return false;
+        };
+        out.clear();
+        out.extend_from_slice(bytes);
         // Recycle the buffer at its original capacity.
         let cap = self.host_mem.buf_capacity(addr).unwrap_or(len);
         self.rx_pool.free.push_back((addr, cap));
-        Some(frame)
+        true
     }
 
     /// Buffers currently posted and free.

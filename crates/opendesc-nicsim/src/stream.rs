@@ -43,7 +43,8 @@ impl StreamQueue {
             self.dropped_full += 1;
             return false;
         }
-        self.buf.extend_from_slice(&(frame.len() as u16).to_be_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u16).to_be_bytes());
         self.buf.extend_from_slice(frame);
         self.appended += 1;
         true
@@ -52,6 +53,8 @@ impl StreamQueue {
     /// Host side: next frame, zero-copy (borrow into the stream). Frames
     /// MUST be consumed in order — that is the other defining
     /// limitation (out-of-order processing requires copying out).
+    /// (Lending-iterator shape, so `Iterator` cannot be implemented.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<&[u8]> {
         if self.tail + 2 > self.buf.len() {
             return None;
@@ -84,7 +87,14 @@ mod tests {
     use opendesc_softnic::testpkt;
 
     fn f(n: u8) -> Vec<u8> {
-        testpkt::udp4([10, 0, 0, n], [10, 0, 0, 99], 100 + n as u16, 9, &[n; 16], None)
+        testpkt::udp4(
+            [10, 0, 0, n],
+            [10, 0, 0, 99],
+            100 + n as u16,
+            9,
+            &[n; 16],
+            None,
+        )
     }
 
     #[test]

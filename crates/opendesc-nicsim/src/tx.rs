@@ -88,13 +88,15 @@ impl SimNic {
             for p in &parser.params {
                 let ty = self.checked.param_ty(p);
                 if p.dir == Some(ast::Direction::In)
-                    && !matches!(ty, Some(Ty::Extern(ExternKind::DescIn | ExternKind::PacketIn)))
+                    && !matches!(
+                        ty,
+                        Some(Ty::Extern(ExternKind::DescIn | ExternKind::PacketIn))
+                    )
                 {
                     if let Some(Ty::Struct(sid)) = ty {
                         let mut v = Value::struct_of(sid, &self.checked.types);
                         for (fref, val) in &self.h2c_context {
-                            if fref.path.first().map(String::as_str) != Some(p.name.name.as_str())
-                            {
+                            if fref.path.first().map(String::as_str) != Some(p.name.name.as_str()) {
                                 continue;
                             }
                             let segs: Vec<&str> =
@@ -113,8 +115,12 @@ impl SimNic {
 
         // Harvest semantic-annotated fields from the parsed descriptor.
         let hints = self.harvest_semantics(&run.descriptor);
-        let addr = self.sem_value(&hints, names::BUF_ADDR).ok_or(TxError::BadBuffer)?;
-        let len = self.sem_value(&hints, names::BUF_LEN).ok_or(TxError::BadBuffer)? as usize;
+        let addr = self
+            .sem_value(&hints, names::BUF_ADDR)
+            .ok_or(TxError::BadBuffer)?;
+        let len = self
+            .sem_value(&hints, names::BUF_LEN)
+            .ok_or(TxError::BadBuffer)? as usize;
         let mut frame = self
             .host_mem
             .read(addr as u64, len)
@@ -122,16 +128,25 @@ impl SimNic {
             .to_vec();
 
         // Apply offload hints (same reference code as the host fallback).
-        if self.sem_value(&hints, names::TX_VLAN_INSERT).is_some_and(|v| v != 0) {
+        if self
+            .sem_value(&hints, names::TX_VLAN_INSERT)
+            .is_some_and(|v| v != 0)
+        {
             let tci = self.sem_value(&hints, names::TX_VLAN_INSERT).unwrap() as u16;
             if let Some(tagged) = fixup::insert_vlan(&frame, tci) {
                 frame = tagged;
             }
         }
-        if self.sem_value(&hints, names::TX_IP_CSUM).is_some_and(|v| v != 0) {
+        if self
+            .sem_value(&hints, names::TX_IP_CSUM)
+            .is_some_and(|v| v != 0)
+        {
             fixup::fill_ipv4_checksum(&mut frame);
         }
-        if self.sem_value(&hints, names::TX_L4_CSUM).is_some_and(|v| v != 0) {
+        if self
+            .sem_value(&hints, names::TX_L4_CSUM)
+            .is_some_and(|v| v != 0)
+        {
             fixup::fill_l4_checksum(&mut frame);
         }
         Ok(frame)
@@ -152,7 +167,11 @@ impl SimNic {
                     self.harvest_rec(f, out);
                 }
             }
-            Value::Header { header, valid: true, fields } => {
+            Value::Header {
+                header,
+                valid: true,
+                fields,
+            } => {
                 let info = self.checked.types.header(*header);
                 for hf in &info.fields {
                     if let Some(sem) = hf.semantic.as_deref() {
@@ -210,7 +229,8 @@ mod tests {
         nic.configure_tx(h2c(12));
         let frame = testpkt::udp4([1, 2, 3, 4], [5, 6, 7, 8], 1, 2, b"payload", None);
         let addr = nic.alloc_tx_buf(&frame);
-        nic.post_tx(&qdma_desc(addr, frame.len() as u16, None)).unwrap();
+        nic.post_tx(&qdma_desc(addr, frame.len() as u16, None))
+            .unwrap();
         let sent = nic.process_tx();
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0], frame);
@@ -223,7 +243,8 @@ mod tests {
         nic.configure_tx(h2c(99)); // select has no arm for 99 → reject
         let frame = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", None);
         let addr = nic.alloc_tx_buf(&frame);
-        nic.post_tx(&qdma_desc(addr, frame.len() as u16, None)).unwrap();
+        nic.post_tx(&qdma_desc(addr, frame.len() as u16, None))
+            .unwrap();
         assert!(nic.process_tx().is_empty());
         assert_eq!(nic.tx_stats.parse_rejects, 1);
     }

@@ -67,7 +67,10 @@ pub struct Ident {
 
 impl Ident {
     pub fn new(name: impl Into<String>, span: Span) -> Self {
-        Ident { name: name.into(), span }
+        Ident {
+            name: name.into(),
+            span,
+        }
     }
 }
 
@@ -612,7 +615,10 @@ mod tests {
     #[test]
     fn expr_as_path_rejects_non_paths() {
         let e = Expr {
-            kind: ExprKind::Int { value: 3, width: None },
+            kind: ExprKind::Int {
+                value: 3,
+                width: None,
+            },
             span: Span::default(),
         };
         assert!(e.as_path().is_none());
@@ -626,7 +632,10 @@ mod tests {
                 args: vec![AnnArg::Str("rss_hash".into())],
                 span: Span::default(),
             }],
-            ty: Type { kind: TypeKind::Bit(32), span: Span::default() },
+            ty: Type {
+                kind: TypeKind::Bit(32),
+                span: Span::default(),
+            },
             name: ident("rss"),
             span: Span::default(),
         };

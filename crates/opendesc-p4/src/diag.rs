@@ -79,7 +79,10 @@ impl Diagnostic {
         );
         out.push_str(&format!("{:w$} |\n", "", w = gutter_w));
         out.push_str(&format!("{} | {}\n", lc.line, line));
-        let caret_len = self.span.len().clamp(1, line.len().saturating_sub(lc.col as usize - 1).max(1));
+        let caret_len = self
+            .span
+            .len()
+            .clamp(1, line.len().saturating_sub(lc.col as usize - 1).max(1));
         out.push_str(&format!(
             "{:w$} | {:pad$}{}\n",
             "",
@@ -165,7 +168,8 @@ mod tests {
     #[test]
     fn render_points_at_source() {
         let sm = SourceMap::new("nic.p4", "header h_t {\n    bit<7> x;\n}\n");
-        let d = Diagnostic::error("odd width", Span::new(17, 23)).with_note("widths are fine, actually");
+        let d = Diagnostic::error("odd width", Span::new(17, 23))
+            .with_note("widths are fine, actually");
         let r = d.render(&sm);
         assert!(r.contains("error: odd width"), "{r}");
         assert!(r.contains("nic.p4:2:5"), "{r}");

@@ -9,12 +9,59 @@ use proptest::prelude::*;
 /// Fragments biased toward almost-valid P4, so mutation explores deep
 /// parser states instead of bouncing off the lexer.
 const FRAGMENTS: &[&str] = &[
-    "header", "struct", "control", "parser", "apply", "state", "transition",
-    "select", "if", "else", "switch", "return", "bit", "<", ">", "{", "}",
-    "(", ")", ";", ",", ":", ".", "=", "==", "!=", "&&", "||", "@semantic",
-    "@cost", "\"rss_hash\"", "32", "16w0xFFFF", "x", "ctx", "emit", "extract",
-    "cmpt_out", "desc_in", "in", "out", "accept", "reject", "default",
-    "typedef", "const", "enum", "true", "false", "++", "[", "]", "0b101",
+    "header",
+    "struct",
+    "control",
+    "parser",
+    "apply",
+    "state",
+    "transition",
+    "select",
+    "if",
+    "else",
+    "switch",
+    "return",
+    "bit",
+    "<",
+    ">",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    ":",
+    ".",
+    "=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "@semantic",
+    "@cost",
+    "\"rss_hash\"",
+    "32",
+    "16w0xFFFF",
+    "x",
+    "ctx",
+    "emit",
+    "extract",
+    "cmpt_out",
+    "desc_in",
+    "in",
+    "out",
+    "accept",
+    "reject",
+    "default",
+    "typedef",
+    "const",
+    "enum",
+    "true",
+    "false",
+    "++",
+    "[",
+    "]",
+    "0b101",
 ];
 
 proptest! {

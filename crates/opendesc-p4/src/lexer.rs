@@ -61,7 +61,8 @@ impl<'a> Lexer<'a> {
             }
         }
         let at = self.src.len() as u32;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::point(at)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::point(at)));
     }
 
     fn peek(&self, ahead: usize) -> Option<u8> {
@@ -132,25 +133,35 @@ impl<'a> Lexer<'a> {
                 match (first.value, body.value) {
                     (Some(w), Some(v)) if w > 0 && w <= u16::MAX as u128 => {
                         let width = w as u16;
-                        let value = if width < 128 { v & ((1u128 << width) - 1) } else { v };
+                        let value = if width < 128 {
+                            v & ((1u128 << width) - 1)
+                        } else {
+                            v
+                        };
                         if value != v {
-                            self.diags.push(
-                                Diagnostic::warning(
-                                    format!("literal value {v} truncated to {value} by width {width}"),
-                                    span,
-                                ),
-                            );
+                            self.diags.push(Diagnostic::warning(
+                                format!("literal value {v} truncated to {value} by width {width}"),
+                                span,
+                            ));
                         }
                         self.tokens.push(Token::new(
-                            TokenKind::Int { value, width: Some(width) },
+                            TokenKind::Int {
+                                value,
+                                width: Some(width),
+                            },
                             span,
                         ));
                     }
                     _ => {
                         self.diags
                             .push(Diagnostic::error("malformed width-prefixed literal", span));
-                        self.tokens
-                            .push(Token::new(TokenKind::Int { value: 0, width: None }, span));
+                        self.tokens.push(Token::new(
+                            TokenKind::Int {
+                                value: 0,
+                                width: None,
+                            },
+                            span,
+                        ));
                     }
                 }
                 return;
@@ -159,20 +170,34 @@ impl<'a> Lexer<'a> {
             let span = Span::new(start as u32, self.pos as u32);
             self.diags
                 .push(Diagnostic::error("width prefix missing literal body", span));
-            self.tokens
-                .push(Token::new(TokenKind::Int { value: 0, width: None }, span));
+            self.tokens.push(Token::new(
+                TokenKind::Int {
+                    value: 0,
+                    width: None,
+                },
+                span,
+            ));
             return;
         }
         let span = Span::new(start as u32, self.pos as u32);
         match first.value {
-            Some(v) => self
-                .tokens
-                .push(Token::new(TokenKind::Int { value: v, width: None }, span)),
+            Some(v) => self.tokens.push(Token::new(
+                TokenKind::Int {
+                    value: v,
+                    width: None,
+                },
+                span,
+            )),
             None => {
                 self.diags
                     .push(Diagnostic::error("malformed integer literal", span));
-                self.tokens
-                    .push(Token::new(TokenKind::Int { value: 0, width: None }, span));
+                self.tokens.push(Token::new(
+                    TokenKind::Int {
+                        value: 0,
+                        width: None,
+                    },
+                    span,
+                ));
             }
         }
     }
@@ -202,7 +227,10 @@ impl<'a> Lexer<'a> {
                 break;
             }
             let v = value.unwrap_or(0);
-            match v.checked_mul(radix as u128).and_then(|v| v.checked_add(digit as u128)) {
+            match v
+                .checked_mul(radix as u128)
+                .and_then(|v| v.checked_add(digit as u128))
+            {
                 Some(nv) => value = Some(nv),
                 None => {
                     overflow = true;
@@ -213,8 +241,10 @@ impl<'a> Lexer<'a> {
         }
         if overflow {
             let span = Span::new(self.pos as u32, self.pos as u32);
-            self.diags
-                .push(Diagnostic::error("integer literal overflows 128 bits", span));
+            self.diags.push(Diagnostic::error(
+                "integer literal overflows 128 bits",
+                span,
+            ));
         }
         IntScan { value, radix }
     }
@@ -341,24 +371,78 @@ mod tests {
 
     #[test]
     fn lex_plain_integers() {
-        assert_eq!(kinds("42")[0], Int { value: 42, width: None });
-        assert_eq!(kinds("0x2A")[0], Int { value: 42, width: None });
-        assert_eq!(kinds("0b101010")[0], Int { value: 42, width: None });
-        assert_eq!(kinds("0o52")[0], Int { value: 42, width: None });
-        assert_eq!(kinds("1_000")[0], Int { value: 1000, width: None });
+        assert_eq!(
+            kinds("42")[0],
+            Int {
+                value: 42,
+                width: None
+            }
+        );
+        assert_eq!(
+            kinds("0x2A")[0],
+            Int {
+                value: 42,
+                width: None
+            }
+        );
+        assert_eq!(
+            kinds("0b101010")[0],
+            Int {
+                value: 42,
+                width: None
+            }
+        );
+        assert_eq!(
+            kinds("0o52")[0],
+            Int {
+                value: 42,
+                width: None
+            }
+        );
+        assert_eq!(
+            kinds("1_000")[0],
+            Int {
+                value: 1000,
+                width: None
+            }
+        );
     }
 
     #[test]
     fn lex_width_prefixed_integers() {
-        assert_eq!(kinds("16w0x88A8")[0], Int { value: 0x88A8, width: Some(16) });
-        assert_eq!(kinds("8w255")[0], Int { value: 255, width: Some(8) });
-        assert_eq!(kinds("1w0b1")[0], Int { value: 1, width: Some(1) });
+        assert_eq!(
+            kinds("16w0x88A8")[0],
+            Int {
+                value: 0x88A8,
+                width: Some(16)
+            }
+        );
+        assert_eq!(
+            kinds("8w255")[0],
+            Int {
+                value: 255,
+                width: Some(8)
+            }
+        );
+        assert_eq!(
+            kinds("1w0b1")[0],
+            Int {
+                value: 1,
+                width: Some(1)
+            }
+        );
     }
 
     #[test]
     fn width_prefix_truncates_with_warning() {
         let (toks, diags) = lex("4w255");
-        assert_eq!(toks[0].kind, Int { value: 15, width: Some(4) });
+        assert_eq!(
+            toks[0].kind,
+            Int {
+                value: 15,
+                width: Some(4)
+            }
+        );
         assert!(!diags.has_errors());
         assert_eq!(diags.len(), 1, "expected truncation warning");
     }
@@ -372,7 +456,10 @@ mod tests {
     #[test]
     fn lex_two_char_operators() {
         let k = kinds("== != <= >= && || << >> ++");
-        assert_eq!(k, vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Shl, Shr, PlusPlus, Eof]);
+        assert_eq!(
+            k,
+            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Shl, Shr, PlusPlus, Eof]
+        );
     }
 
     #[test]
@@ -381,7 +468,16 @@ mod tests {
         let k = kinds("bit<32>");
         assert_eq!(
             k,
-            vec![Kw(Keyword::Bit), LAngle, Int { value: 32, width: None }, RAngle, Eof]
+            vec![
+                Kw(Keyword::Bit),
+                LAngle,
+                Int {
+                    value: 32,
+                    width: None
+                },
+                RAngle,
+                Eof
+            ]
         );
     }
 

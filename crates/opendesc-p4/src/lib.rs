@@ -18,15 +18,15 @@
 //! let id = checked.types.header_id("cmpt_t").unwrap();
 //! assert_eq!(checked.types.header(id).width_bytes(), 4);
 //! ```
-pub mod span;
-pub mod diag;
-pub mod token;
-pub mod lexer;
 pub mod ast;
+pub mod diag;
+pub mod lexer;
 pub mod parser;
-pub mod types;
-pub mod typecheck;
 pub mod pretty;
+pub mod span;
+pub mod token;
+pub mod typecheck;
+pub mod types;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use span::{SourceMap, Span};

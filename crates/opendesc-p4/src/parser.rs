@@ -13,7 +13,11 @@ use crate::token::{Keyword as Kw, Token, TokenKind as Tk};
 /// returned set.
 pub fn parse(src: &str) -> (Program, Diagnostics) {
     let (tokens, mut diags) = lex(src);
-    let mut p = Parser { tokens, pos: 0, diags: Diagnostics::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags: Diagnostics::new(),
+    };
     let program = p.parse_program();
     for d in p.diags {
         diags.push(d);
@@ -133,8 +137,14 @@ impl Parser {
                     return;
                 }
                 Tk::Kw(
-                    Kw::Header | Kw::Struct | Kw::Typedef | Kw::Const | Kw::Parser
-                    | Kw::Control | Kw::Extern | Kw::Enum,
+                    Kw::Header
+                    | Kw::Struct
+                    | Kw::Typedef
+                    | Kw::Const
+                    | Kw::Parser
+                    | Kw::Control
+                    | Kw::Extern
+                    | Kw::Enum,
                 ) if depth <= 0 => return,
                 _ => {
                     self.bump();
@@ -195,7 +205,11 @@ impl Parser {
                 }
                 end = self.expect(&Tk::RParen, "to close annotation")?.span;
             }
-            anns.push(Annotation { name, args, span: at.span.to(end) });
+            anns.push(Annotation {
+                name,
+                args,
+                span: at.span.to(end),
+            });
         }
         Ok(anns)
     }
@@ -213,11 +227,16 @@ impl Parser {
             Tk::Kw(Kw::Control) => self.parse_control(annotations).map(Decl::Control),
             Tk::Kw(Kw::Extern) => self.parse_extern(annotations).map(Decl::Extern),
             Tk::Kw(Kw::Table) => {
-                self.diags.push(Diagnostic::error(
-                    "match-action tables are not part of OpenDesc descriptor contracts",
-                    t.span,
-                ).with_note("a contract describes metadata exchange, not forwarding; \
-                             model pipeline results as pipe_meta fields instead"));
+                self.diags.push(
+                    Diagnostic::error(
+                        "match-action tables are not part of OpenDesc descriptor contracts",
+                        t.span,
+                    )
+                    .with_note(
+                        "a contract describes metadata exchange, not forwarding; \
+                             model pipeline results as pipe_meta fields instead",
+                    ),
+                );
                 Err(())
             }
             other => {
@@ -261,24 +280,38 @@ impl Parser {
                     }
                 };
                 let end = self.expect(&Tk::RAngle, "to close `bit<`")?.span;
-                Ok(Type { kind: TypeKind::Bit(w), span: t.span.to(end) })
+                Ok(Type {
+                    kind: TypeKind::Bit(w),
+                    span: t.span.to(end),
+                })
             }
             Tk::Kw(Kw::Bool) => {
                 self.bump();
-                Ok(Type { kind: TypeKind::Bool, span: t.span })
+                Ok(Type {
+                    kind: TypeKind::Bool,
+                    span: t.span,
+                })
             }
             Tk::Kw(Kw::Void) => {
                 self.bump();
-                Ok(Type { kind: TypeKind::Void, span: t.span })
+                Ok(Type {
+                    kind: TypeKind::Void,
+                    span: t.span,
+                })
             }
             Tk::Ident(n) => {
                 let name = n.clone();
                 self.bump();
-                Ok(Type { kind: TypeKind::Named(name), span: t.span })
+                Ok(Type {
+                    kind: TypeKind::Named(name),
+                    span: t.span,
+                })
             }
             other => {
-                self.diags
-                    .push(Diagnostic::error(format!("expected a type, found {other}"), t.span));
+                self.diags.push(Diagnostic::error(
+                    format!("expected a type, found {other}"),
+                    t.span,
+                ));
                 Err(())
             }
         }
@@ -293,7 +326,12 @@ impl Parser {
             let name = self.expect_ident("as field name")?;
             let semi = self.expect(&Tk::Semi, "after field")?;
             let span = ty.span.to(semi.span);
-            fields.push(FieldDecl { annotations, ty, name, span });
+            fields.push(FieldDecl {
+                annotations,
+                ty,
+                name,
+                span,
+            });
         }
         self.expect(&Tk::RBrace, "to close field list")?;
         Ok(fields)
@@ -306,7 +344,12 @@ impl Parser {
         let name = self.expect_ident("as header name")?;
         let fields = self.parse_field_list()?;
         let span = kw.span.to(self.tokens[self.pos - 1].span);
-        Ok(HeaderDecl { annotations, name, fields, span })
+        Ok(HeaderDecl {
+            annotations,
+            name,
+            fields,
+            span,
+        })
     }
 
     fn parse_struct(&mut self, annotations: Vec<Annotation>) -> PResult<StructDecl> {
@@ -314,7 +357,12 @@ impl Parser {
         let name = self.expect_ident("as struct name")?;
         let fields = self.parse_field_list()?;
         let span = kw.span.to(self.tokens[self.pos - 1].span);
-        Ok(StructDecl { annotations, name, fields, span })
+        Ok(StructDecl {
+            annotations,
+            name,
+            fields,
+            span,
+        })
     }
 
     fn parse_typedef(&mut self) -> PResult<TypedefDecl> {
@@ -322,7 +370,11 @@ impl Parser {
         let ty = self.parse_type()?;
         let name = self.expect_ident("as typedef name")?;
         let semi = self.expect(&Tk::Semi, "after typedef")?;
-        Ok(TypedefDecl { ty, name, span: kw.span.to(semi.span) })
+        Ok(TypedefDecl {
+            ty,
+            name,
+            span: kw.span.to(semi.span),
+        })
     }
 
     fn parse_const(&mut self) -> PResult<ConstDecl> {
@@ -332,7 +384,12 @@ impl Parser {
         self.expect(&Tk::Assign, "after constant name")?;
         let value = self.parse_expr()?;
         let semi = self.expect(&Tk::Semi, "after constant")?;
-        Ok(ConstDecl { ty, name, value, span: kw.span.to(semi.span) })
+        Ok(ConstDecl {
+            ty,
+            name,
+            value,
+            span: kw.span.to(semi.span),
+        })
     }
 
     fn parse_enum(&mut self, annotations: Vec<Annotation>) -> PResult<EnumDecl> {
@@ -352,7 +409,13 @@ impl Parser {
             }
         }
         let close = self.expect(&Tk::RBrace, "to close enum")?;
-        Ok(EnumDecl { annotations, repr, name, variants, span: kw.span.to(close.span) })
+        Ok(EnumDecl {
+            annotations,
+            repr,
+            name,
+            variants,
+            span: kw.span.to(close.span),
+        })
     }
 
     fn parse_type_params(&mut self) -> PResult<Vec<Ident>> {
@@ -395,7 +458,12 @@ impl Parser {
                 let ty = self.parse_type()?;
                 let name = self.expect_ident("as parameter name")?;
                 let span = start.to(name.span);
-                params.push(Param { dir, ty, name, span });
+                params.push(Param {
+                    dir,
+                    ty,
+                    name,
+                    span,
+                });
                 if !self.eat(&Tk::Comma) {
                     break;
                 }
@@ -412,7 +480,14 @@ impl Parser {
         let params = self.parse_params()?;
         if self.eat(&Tk::Semi) {
             let span = kw.span.to(self.tokens[self.pos - 1].span);
-            return Ok(ParserDecl { annotations, name, type_params, params, states: None, span });
+            return Ok(ParserDecl {
+                annotations,
+                name,
+                type_params,
+                params,
+                states: None,
+                span,
+            });
         }
         self.expect(&Tk::LBrace, "to open parser body")?;
         let mut states = Vec::new();
@@ -444,7 +519,12 @@ impl Parser {
             stmts.push(self.parse_stmt()?);
         }
         let close = self.expect(&Tk::RBrace, "to close state body")?;
-        Ok(StateDecl { name, stmts, transition, span: kw.span.to(close.span) })
+        Ok(StateDecl {
+            name,
+            stmts,
+            transition,
+            span: kw.span.to(close.span),
+        })
     }
 
     fn parse_transition(&mut self) -> PResult<Transition> {
@@ -479,10 +559,18 @@ impl Parser {
                 self.expect(&Tk::Colon, "after select match")?;
                 let target = self.expect_ident("as transition target")?;
                 let semi = self.expect(&Tk::Semi, "after select case")?;
-                cases.push(SelectCase { matches, target, span: cstart.to(semi.span) });
+                cases.push(SelectCase {
+                    matches,
+                    target,
+                    span: cstart.to(semi.span),
+                });
             }
             let close = self.expect(&Tk::RBrace, "to close select body")?;
-            Ok(Transition::Select { exprs, cases, span: start.to(close.span) })
+            Ok(Transition::Select {
+                exprs,
+                cases,
+                span: start.to(close.span),
+            })
         } else {
             let target = self.expect_ident("as transition target")?;
             self.expect(&Tk::Semi, "after transition")?;
@@ -530,7 +618,12 @@ impl Parser {
                 };
                 let semi = self.expect(&Tk::Semi, "after local variable")?;
                 let span = ty.span.to(semi.span);
-                locals.push(ControlLocal::Var(VarDecl { ty, name, init, span }));
+                locals.push(ControlLocal::Var(VarDecl {
+                    ty,
+                    name,
+                    init,
+                    span,
+                }));
             }
         }
         let close = self.expect(&Tk::RBrace, "to close control body")?;
@@ -551,7 +644,13 @@ impl Parser {
         let params = self.parse_params()?;
         let body = self.parse_block()?;
         let span = kw.span.to(body.span);
-        Ok(ActionDecl { annotations: Vec::new(), name, params, body, span })
+        Ok(ActionDecl {
+            annotations: Vec::new(),
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn parse_extern(&mut self, annotations: Vec<Annotation>) -> PResult<ExternDecl> {
@@ -565,14 +664,24 @@ impl Parser {
                 let params = self.parse_params()?;
                 let semi = self.expect(&Tk::Semi, "after extern method")?;
                 let span = ret.span.to(semi.span);
-                methods.push(ExternMethod { ret, name: mname, params, span });
+                methods.push(ExternMethod {
+                    ret,
+                    name: mname,
+                    params,
+                    span,
+                });
             }
             self.expect(&Tk::RBrace, "to close extern")?;
         } else {
             self.expect(&Tk::Semi, "after extern declaration")?;
         }
         let span = kw.span.to(self.tokens[self.pos - 1].span);
-        Ok(ExternDecl { annotations, name, methods, span })
+        Ok(ExternDecl {
+            annotations,
+            name,
+            methods,
+            span,
+        })
     }
 
     // ----------------------------------------------------------- statements
@@ -584,7 +693,10 @@ impl Parser {
             stmts.push(self.parse_stmt()?);
         }
         let close = self.expect(&Tk::RBrace, "to close block")?;
-        Ok(Block { stmts, span: open.span.to(close.span) })
+        Ok(Block {
+            stmts,
+            span: open.span.to(close.span),
+        })
     }
 
     fn parse_stmt(&mut self) -> PResult<Stmt> {
@@ -595,12 +707,18 @@ impl Parser {
             Tk::Kw(Kw::Return) => {
                 self.bump();
                 let semi = self.expect(&Tk::Semi, "after `return`")?;
-                Ok(Stmt { kind: StmtKind::Return, span: t.span.to(semi.span) })
+                Ok(Stmt {
+                    kind: StmtKind::Return,
+                    span: t.span.to(semi.span),
+                })
             }
             Tk::LBrace => {
                 let b = self.parse_block()?;
                 let span = b.span;
-                Ok(Stmt { kind: StmtKind::Block(b), span })
+                Ok(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                })
             }
             // Local declarations inside blocks: `bit<8> x = ...;`
             Tk::Kw(Kw::Bit) | Tk::Kw(Kw::Bool) => self.parse_var_stmt(),
@@ -613,11 +731,17 @@ impl Parser {
                     let rhs = self.parse_expr()?;
                     let semi = self.expect(&Tk::Semi, "after assignment")?;
                     let span = e.span.to(semi.span);
-                    Ok(Stmt { kind: StmtKind::Assign { lhs: e, rhs }, span })
+                    Ok(Stmt {
+                        kind: StmtKind::Assign { lhs: e, rhs },
+                        span,
+                    })
                 } else {
                     let semi = self.expect(&Tk::Semi, "after expression statement")?;
                     let span = e.span.to(semi.span);
-                    Ok(Stmt { kind: StmtKind::Expr(e), span })
+                    Ok(Stmt {
+                        kind: StmtKind::Expr(e),
+                        span,
+                    })
                 }
             }
         }
@@ -633,7 +757,15 @@ impl Parser {
         };
         let semi = self.expect(&Tk::Semi, "after variable declaration")?;
         let span = ty.span.to(semi.span);
-        Ok(Stmt { kind: StmtKind::Var(VarDecl { ty, name, init, span }), span })
+        Ok(Stmt {
+            kind: StmtKind::Var(VarDecl {
+                ty,
+                name,
+                init,
+                span,
+            }),
+            span,
+        })
     }
 
     fn parse_if(&mut self) -> PResult<Stmt> {
@@ -650,7 +782,10 @@ impl Parser {
                 let nested = self.parse_if()?;
                 let nspan = nested.span;
                 span = span.to(nspan);
-                Some(Block { stmts: vec![nested], span: nspan })
+                Some(Block {
+                    stmts: vec![nested],
+                    span: nspan,
+                })
             } else {
                 let b = self.parse_block()?;
                 span = span.to(b.span);
@@ -659,7 +794,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span })
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            span,
+        })
     }
 
     fn parse_switch(&mut self) -> PResult<Stmt> {
@@ -688,10 +830,17 @@ impl Parser {
             }
             let block = self.parse_block()?;
             let span = cstart.to(block.span);
-            cases.push(SwitchCase { labels, block, span });
+            cases.push(SwitchCase {
+                labels,
+                block,
+                span,
+            });
         }
         let close = self.expect(&Tk::RBrace, "to close switch body")?;
-        Ok(Stmt { kind: StmtKind::Switch { scrutinee, cases }, span: kw.span.to(close.span) })
+        Ok(Stmt {
+            kind: StmtKind::Switch { scrutinee, cases },
+            span: kw.span.to(close.span),
+        })
     }
 
     // ---------------------------------------------------------- expressions
@@ -733,7 +882,11 @@ impl Parser {
             let rhs = self.parse_bin_expr(prec + 1)?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -752,7 +905,13 @@ impl Parser {
             self.bump();
             let expr = self.parse_unary()?;
             let span = t.span.to(expr.span);
-            return Ok(Expr { kind: ExprKind::Unary { op, expr: Box::new(expr) }, span });
+            return Ok(Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    expr: Box::new(expr),
+                },
+                span,
+            });
         }
         self.parse_postfix()
     }
@@ -766,7 +925,10 @@ impl Parser {
                     let member = self.expect_ident("after `.`")?;
                     let span = e.span.to(member.span);
                     e = Expr {
-                        kind: ExprKind::Member { base: Box::new(e), member },
+                        kind: ExprKind::Member {
+                            base: Box::new(e),
+                            member,
+                        },
                         span,
                     };
                 }
@@ -783,7 +945,13 @@ impl Parser {
                     }
                     let close = self.expect(&Tk::RParen, "to close call")?;
                     let span = e.span.to(close.span);
-                    e = Expr { kind: ExprKind::Call { callee: Box::new(e), args }, span };
+                    e = Expr {
+                        kind: ExprKind::Call {
+                            callee: Box::new(e),
+                            args,
+                        },
+                        span,
+                    };
                 }
                 Tk::LBracket => {
                     self.bump();
@@ -816,20 +984,32 @@ impl Parser {
             Tk::Int { value, width } => {
                 let (value, width) = (*value, *width);
                 self.bump();
-                Ok(Expr { kind: ExprKind::Int { value, width }, span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::Int { value, width },
+                    span: t.span,
+                })
             }
             Tk::Kw(Kw::True) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Bool(true), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::Bool(true),
+                    span: t.span,
+                })
             }
             Tk::Kw(Kw::False) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Bool(false), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::Bool(false),
+                    span: t.span,
+                })
             }
             Tk::Ident(n) => {
                 let name = n.clone();
                 self.bump();
-                Ok(Expr { kind: ExprKind::Ident(name), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::Ident(name),
+                    span: t.span,
+                })
             }
             Tk::LParen => {
                 // Either a cast `(bit<8>) e` / `(bool) e` or a grouped expr.
@@ -839,12 +1019,21 @@ impl Parser {
                     self.expect(&Tk::RParen, "to close cast type")?;
                     let expr = self.parse_unary()?;
                     let span = t.span.to(expr.span);
-                    return Ok(Expr { kind: ExprKind::Cast { ty, expr: Box::new(expr) }, span });
+                    return Ok(Expr {
+                        kind: ExprKind::Cast {
+                            ty,
+                            expr: Box::new(expr),
+                        },
+                        span,
+                    });
                 }
                 self.bump();
                 let inner = self.parse_expr()?;
                 let close = self.expect(&Tk::RParen, "to close expression")?;
-                Ok(Expr { kind: inner.kind, span: t.span.to(close.span) })
+                Ok(Expr {
+                    kind: inner.kind,
+                    span: t.span.to(close.span),
+                })
             }
             other => {
                 self.diags.push(Diagnostic::error(
@@ -1052,7 +1241,9 @@ mod tests {
         // `a == 1 && b != 2 || !c` must parse as `((a==1) && (b!=2)) || (!c)`.
         match &c.apply.as_ref().unwrap().stmts[0].kind {
             StmtKind::If { cond, .. } => match &cond.kind {
-                ExprKind::Binary { op: BinOp::Or, lhs, .. } => {
+                ExprKind::Binary {
+                    op: BinOp::Or, lhs, ..
+                } => {
                     assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::And, .. }));
                 }
                 other => panic!("expected `||` at top, got {other:?}"),
@@ -1075,7 +1266,10 @@ mod tests {
         let c = p.control("C").unwrap();
         match &c.apply.as_ref().unwrap().stmts[0].kind {
             StmtKind::Var(v) => {
-                assert!(matches!(v.init.as_ref().unwrap().kind, ExprKind::Cast { .. }));
+                assert!(matches!(
+                    v.init.as_ref().unwrap().kind,
+                    ExprKind::Cast { .. }
+                ));
             }
             other => panic!("expected var, got {other:?}"),
         }
@@ -1114,7 +1308,10 @@ mod tests {
             "#,
         );
         assert!(diags.has_errors());
-        assert!(p.header("ok_t").is_some(), "parser must recover and see ok_t");
+        assert!(
+            p.header("ok_t").is_some(),
+            "parser must recover and see ok_t"
+        );
     }
 
     #[test]
@@ -1151,7 +1348,9 @@ mod tests {
         );
         let c = p.control("C").unwrap();
         match &c.apply.as_ref().unwrap().stmts[0].kind {
-            StmtKind::If { else_blk: Some(b), .. } => {
+            StmtKind::If {
+                else_blk: Some(b), ..
+            } => {
                 assert!(matches!(b.stmts[0].kind, StmtKind::If { .. }));
             }
             other => panic!("expected if/else-if, got {other:?}"),
@@ -1166,9 +1365,7 @@ mod tests {
 
     #[test]
     fn bit_slice_single_index() {
-        let p = parse_ok(
-            "control C(in ctx_t c) { apply { if (c.flags[0] == 1) { return; } } }",
-        );
+        let p = parse_ok("control C(in ctx_t c) { apply { if (c.flags[0] == 1) { return; } } }");
         let ctl = p.control("C").unwrap();
         match &ctl.apply.as_ref().unwrap().stmts[0].kind {
             StmtKind::If { cond, .. } => match &cond.kind {

@@ -59,7 +59,13 @@ fn print_decl(out: &mut String, d: &Decl) {
             let _ = writeln!(out, "typedef {} {};", t.ty.kind, t.name.name);
         }
         Decl::Const(c) => {
-            let _ = writeln!(out, "const {} {} = {};", c.ty.kind, c.name.name, expr(&c.value));
+            let _ = writeln!(
+                out,
+                "const {} {} = {};",
+                c.ty.kind,
+                c.name.name,
+                expr(&c.value)
+            );
         }
         Decl::Enum(e) => {
             anns(out, &e.annotations, "");
@@ -73,7 +79,13 @@ fn print_decl(out: &mut String, d: &Decl) {
         }
         Decl::Parser(p) => {
             anns(out, &p.annotations, "");
-            let _ = write!(out, "parser {}{}({})", p.name.name, tparams(&p.type_params), params(&p.params));
+            let _ = write!(
+                out,
+                "parser {}{}({})",
+                p.name.name,
+                tparams(&p.type_params),
+                params(&p.params)
+            );
             match &p.states {
                 None => out.push_str(";\n"),
                 Some(states) => {
@@ -94,7 +106,13 @@ fn print_decl(out: &mut String, d: &Decl) {
         }
         Decl::Control(c) => {
             anns(out, &c.annotations, "");
-            let _ = write!(out, "control {}{}({})", c.name.name, tparams(&c.type_params), params(&c.params));
+            let _ = write!(
+                out,
+                "control {}{}({})",
+                c.name.name,
+                tparams(&c.type_params),
+                params(&c.params)
+            );
             if c.apply.is_none() && c.locals.is_empty() {
                 out.push_str(";\n");
                 return;
@@ -103,14 +121,25 @@ fn print_decl(out: &mut String, d: &Decl) {
             for local in &c.locals {
                 match local {
                     ControlLocal::Var(v) => {
-                        let init = v.init.as_ref().map(|e| format!(" = {}", expr(e))).unwrap_or_default();
+                        let init = v
+                            .init
+                            .as_ref()
+                            .map(|e| format!(" = {}", expr(e)))
+                            .unwrap_or_default();
                         let _ = writeln!(out, "    {} {}{};", v.ty.kind, v.name.name, init);
                     }
                     ControlLocal::Const(k) => {
-                        let _ = writeln!(out, "    const {} {} = {};", k.ty.kind, k.name.name, expr(&k.value));
+                        let _ = writeln!(
+                            out,
+                            "    const {} {} = {};",
+                            k.ty.kind,
+                            k.name.name,
+                            expr(&k.value)
+                        );
                     }
                     ControlLocal::Action(a) => {
-                        let _ = writeln!(out, "    action {}({}) {{", a.name.name, params(&a.params));
+                        let _ =
+                            writeln!(out, "    action {}({}) {{", a.name.name, params(&a.params));
                         for s in &a.body.stmts {
                             stmt(out, s, 2);
                         }
@@ -134,7 +163,13 @@ fn print_decl(out: &mut String, d: &Decl) {
             } else {
                 let _ = writeln!(out, "extern {} {{", x.name.name);
                 for m in &x.methods {
-                    let _ = writeln!(out, "    {} {}({});", m.ret.kind, m.name.name, params(&m.params));
+                    let _ = writeln!(
+                        out,
+                        "    {} {}({});",
+                        m.ret.kind,
+                        m.name.name,
+                        params(&m.params)
+                    );
                 }
                 out.push_str("}\n");
             }
@@ -202,7 +237,11 @@ fn stmt(out: &mut String, s: &Stmt, depth: usize) {
             let _ = writeln!(out, "{ind}{} = {};", expr(lhs), expr(rhs));
         }
         StmtKind::Var(v) => {
-            let init = v.init.as_ref().map(|e| format!(" = {}", expr(e))).unwrap_or_default();
+            let init = v
+                .init
+                .as_ref()
+                .map(|e| format!(" = {}", expr(e)))
+                .unwrap_or_default();
             let _ = writeln!(out, "{ind}{} {}{};", v.ty.kind, v.name.name, init);
         }
         StmtKind::Return => {
@@ -215,7 +254,11 @@ fn stmt(out: &mut String, s: &Stmt, depth: usize) {
             }
             let _ = writeln!(out, "{ind}}}");
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let _ = writeln!(out, "{ind}if ({}) {{", expr(cond));
             for inner in &then_blk.stmts {
                 stmt(out, inner, depth + 1);
@@ -269,7 +312,10 @@ fn stmt(out: &mut String, s: &Stmt, depth: usize) {
 /// re-parsing).
 pub fn expr(e: &Expr) -> String {
     match &e.kind {
-        ExprKind::Int { value, width: Some(w) } => format!("{w}w{value}"),
+        ExprKind::Int {
+            value,
+            width: Some(w),
+        } => format!("{w}w{value}"),
         ExprKind::Int { value, width: None } => format!("{value}"),
         ExprKind::Bool(b) => format!("{b}"),
         ExprKind::Ident(n) => n.clone(),
@@ -298,8 +344,11 @@ mod tests {
     /// type tables (offsets, widths, semantics) and path-relevant AST.
     fn roundtrip(src: &str) {
         let (a, d1) = parse_and_check(src);
-        assert!(!d1.has_errors(), "original fails: {:?}",
-            d1.iter().map(|x| x.message.clone()).collect::<Vec<_>>());
+        assert!(
+            !d1.has_errors(),
+            "original fails: {:?}",
+            d1.iter().map(|x| x.message.clone()).collect::<Vec<_>>()
+        );
         let printed = print_program(&a.program);
         let (b, d2) = parse_and_check(&printed);
         assert!(
@@ -308,7 +357,12 @@ mod tests {
             d2.iter().map(|x| x.message.clone()).collect::<Vec<_>>()
         );
         // Nominal tables must match modulo source spans.
-        let hdrs = |t: &crate::types::TypeTable| -> Vec<(String, u32, Vec<(String, u32, u16, Option<String>, Option<u64>)>)> {
+        #[allow(clippy::type_complexity)]
+        let hdrs = |t: &crate::types::TypeTable| -> Vec<(
+            String,
+            u32,
+            Vec<(String, u32, u16, Option<String>, Option<u64>)>,
+        )> {
             t.headers
                 .iter()
                 .map(|h| {
@@ -318,7 +372,13 @@ mod tests {
                         h.fields
                             .iter()
                             .map(|f| {
-                                (f.name.clone(), f.offset_bits, f.width_bits, f.semantic.clone(), f.cost)
+                                (
+                                    f.name.clone(),
+                                    f.offset_bits,
+                                    f.width_bits,
+                                    f.semantic.clone(),
+                                    f.cost,
+                                )
                             })
                             .collect(),
                     )
@@ -326,13 +386,23 @@ mod tests {
                 .collect()
         };
         assert_eq!(hdrs(&a.types), hdrs(&b.types), "headers diverge\n{printed}");
-        let structs = |t: &crate::types::TypeTable| -> Vec<(String, Vec<(String, crate::types::Ty)>)> {
-            t.structs
-                .iter()
-                .map(|s| (s.name.clone(), s.fields.iter().map(|f| (f.name.clone(), f.ty)).collect()))
-                .collect()
-        };
-        assert_eq!(structs(&a.types), structs(&b.types), "structs diverge\n{printed}");
+        let structs =
+            |t: &crate::types::TypeTable| -> Vec<(String, Vec<(String, crate::types::Ty)>)> {
+                t.structs
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.name.clone(),
+                            s.fields.iter().map(|f| (f.name.clone(), f.ty)).collect(),
+                        )
+                    })
+                    .collect()
+            };
+        assert_eq!(
+            structs(&a.types),
+            structs(&b.types),
+            "structs diverge\n{printed}"
+        );
         let enums = |t: &crate::types::TypeTable| -> Vec<(String, u16, Vec<String>)> {
             t.enums
                 .iter()
@@ -465,6 +535,9 @@ mod tests {
             "control C(in ctx_t c) { apply { if (c.a == 1 && c.b != 2 || !c.d) { return; } } }",
         );
         let printed = print_program(&p);
-        assert!(printed.contains("(((c.a == 1) && (c.b != 2)) || !(c.d))"), "{printed}");
+        assert!(
+            printed.contains("(((c.a == 1) && (c.b != 2)) || !(c.d))"),
+            "{printed}"
+        );
     }
 }

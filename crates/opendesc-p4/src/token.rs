@@ -76,7 +76,9 @@ impl Keyword {
         }
     }
 
-    /// Look up a keyword from its spelling.
+    /// Look up a keyword from its spelling (inherent: fallible lookup,
+    /// not the `FromStr` trait).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
@@ -124,7 +126,10 @@ pub enum TokenKind {
     Kw(Keyword),
     /// Integer literal, optionally width-prefixed (`16w0x88A8`); the lexer
     /// resolves the value and the optional width.
-    Int { value: u128, width: Option<u16> },
+    Int {
+        value: u128,
+        width: Option<u16>,
+    },
     /// Double-quoted string literal (annotation arguments only).
     Str(String),
     /// `@` introducing an annotation.
@@ -185,7 +190,10 @@ impl fmt::Display for TokenKind {
         match self {
             Ident(s) => write!(f, "identifier `{s}`"),
             Kw(k) => write!(f, "`{}`", k.as_str()),
-            Int { value, width: Some(w) } => write!(f, "`{w}w{value}`"),
+            Int {
+                value,
+                width: Some(w),
+            } => write!(f, "`{w}w{value}`"),
             Int { value, width: None } => write!(f, "`{value}`"),
             Str(s) => write!(f, "\"{s}\""),
             At => write!(f, "`@`"),

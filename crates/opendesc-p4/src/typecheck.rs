@@ -51,7 +51,10 @@ pub fn check(program: Program) -> (CheckedProgram, Diagnostics) {
     cx.collect_types(&program);
     cx.check_bodies(&program);
     (
-        CheckedProgram { program, types: cx.types },
+        CheckedProgram {
+            program,
+            types: cx.types,
+        },
         cx.diags,
     )
 }
@@ -61,7 +64,10 @@ pub fn parse_and_check(src: &str) -> (CheckedProgram, Diagnostics) {
     let (program, mut diags) = crate::parser::parse(src);
     if diags.has_errors() {
         return (
-            CheckedProgram { program, types: TypeTable::default() },
+            CheckedProgram {
+                program,
+                types: TypeTable::default(),
+            },
             diags,
         );
     }
@@ -102,7 +108,10 @@ impl ETy {
     fn is_bits(&self, tt: &TypeTable) -> bool {
         match self {
             ETy::UnsizedInt => true,
-            ETy::Val(t) => matches!(t, Ty::Bit(_) | Ty::Enum(_)) || matches!(t.bit_width(tt), Some(_) if matches!(t, Ty::Bit(_) | Ty::Enum(_))),
+            ETy::Val(t) => {
+                matches!(t, Ty::Bit(_) | Ty::Enum(_))
+                    || t.bit_width(tt).is_some() && matches!(t, Ty::Bit(_) | Ty::Enum(_))
+            }
             ETy::Err => true,
         }
     }
@@ -128,7 +137,10 @@ impl Checker {
     fn declare(&mut self, name: &ast::Ident, ty: Ty) {
         if Self::builtin_extern(&name.name).is_some() {
             self.diags.push(Diagnostic::error(
-                format!("`{}` is a builtin extern type and cannot be redeclared", name.name),
+                format!(
+                    "`{}` is a builtin extern type and cannot be redeclared",
+                    name.name
+                ),
                 name.span,
             ));
             return;
@@ -223,7 +235,10 @@ impl Checker {
                 match resolve_syntactic_ty(&td.ty, &self.types) {
                     Some(ty) => self.declare(&td.name, ty),
                     None => self.diags.push(Diagnostic::error(
-                        format!("typedef `{}` refers to unknown type `{}`", td.name.name, td.ty.kind),
+                        format!(
+                            "typedef `{}` refers to unknown type `{}`",
+                            td.name.name, td.ty.kind
+                        ),
                         td.ty.span,
                     )),
                 }
@@ -248,7 +263,10 @@ impl Checker {
     fn collect_const(&mut self, c: &ast::ConstDecl) {
         let Some(ty) = resolve_syntactic_ty(&c.ty, &self.types) else {
             self.diags.push(Diagnostic::error(
-                format!("constant `{}` has unknown type `{}`", c.name.name, c.ty.kind),
+                format!(
+                    "constant `{}` has unknown type `{}`",
+                    c.name.name, c.ty.kind
+                ),
                 c.ty.span,
             ));
             return;
@@ -293,7 +311,10 @@ impl Checker {
         for f in &h.fields {
             if let Some(_prev) = seen.insert(f.name.name.as_str(), f.span) {
                 self.diags.push(Diagnostic::error(
-                    format!("duplicate field `{}` in header `{}`", f.name.name, h.name.name),
+                    format!(
+                        "duplicate field `{}` in header `{}`",
+                        f.name.name, h.name.name
+                    ),
                     f.name.span,
                 ));
             }
@@ -333,7 +354,7 @@ impl Checker {
             });
             offset += width_bits as u32;
         }
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             self.diags.push(
                 Diagnostic::error(
                     format!(
@@ -359,7 +380,10 @@ impl Checker {
         for f in &s.fields {
             if seen.insert(f.name.name.as_str(), f.span).is_some() {
                 self.diags.push(Diagnostic::error(
-                    format!("duplicate field `{}` in struct `{}`", f.name.name, s.name.name),
+                    format!(
+                        "duplicate field `{}` in struct `{}`",
+                        f.name.name, s.name.name
+                    ),
                     f.name.span,
                 ));
             }
@@ -571,15 +595,17 @@ impl Checker {
 
     fn check_stmt(&mut self, stmt: &ast::Stmt, env: &mut HashMap<String, Ty>) {
         match &stmt.kind {
-            ast::StmtKind::If { cond, then_blk, else_blk } => {
+            ast::StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let cty = self.type_expr(cond, env);
                 if !cty.is_bool() {
                     // P4 habit: `if (x == 1)` is fine, `if (x)` over bits is
                     // not. Match that strictness.
-                    self.diags.push(Diagnostic::error(
-                        "if condition must be boolean",
-                        cond.span,
-                    ));
+                    self.diags
+                        .push(Diagnostic::error("if condition must be boolean", cond.span));
                 }
                 let mut tenv = env.clone();
                 for s in &then_blk.stmts {
@@ -699,10 +725,8 @@ impl Checker {
                 }
                 // Enum type name used as scope (`fmt_t.FULL`) handled in
                 // Member; bare enum type name is an error here.
-                self.diags.push(Diagnostic::error(
-                    format!("unknown name `{n}`"),
-                    e.span,
-                ));
+                self.diags
+                    .push(Diagnostic::error(format!("unknown name `{n}`"), e.span));
                 ETy::Err
             }
             ast::ExprKind::Member { base, member } => {
@@ -860,9 +884,7 @@ impl Checker {
                         lt
                     }
                     Concat => match (lt, rt) {
-                        (ETy::Val(Ty::Bit(a)), ETy::Val(Ty::Bit(b))) => {
-                            ETy::Val(Ty::Bit(a + b))
-                        }
+                        (ETy::Val(Ty::Bit(a)), ETy::Val(Ty::Bit(b))) => ETy::Val(Ty::Bit(a + b)),
                         (ETy::Err, _) | (_, ETy::Err) => ETy::Err,
                         _ => {
                             self.diags.push(Diagnostic::error(
@@ -1046,10 +1068,8 @@ impl Checker {
             ));
             ETy::Err
         } else {
-            self.diags.push(Diagnostic::error(
-                "expression is not callable",
-                callee.span,
-            ));
+            self.diags
+                .push(Diagnostic::error("expression is not callable", callee.span));
             ETy::Err
         }
     }
@@ -1068,63 +1088,63 @@ impl Checker {
 /// Returns `None` when the expression is not a compile-time constant.
 pub fn const_eval(e: &ast::Expr, types: &TypeTable) -> Option<u128> {
     match &e.kind {
-            ast::ExprKind::Int { value, .. } => Some(*value),
-            ast::ExprKind::Bool(b) => Some(*b as u128),
-            ast::ExprKind::Ident(n) => types.const_(n).map(|c| c.value),
-            ast::ExprKind::Member { base, member } => {
-                if let ast::ExprKind::Ident(n) = &base.kind {
-                    if let Some(Ty::Enum(id)) = types.lookup(n) {
-                        return types.enum_(id).variant_value(&member.name);
-                    }
-                }
-                None
-            }
-            ast::ExprKind::Unary { op, expr } => {
-                let v = const_eval(expr, types)?;
-                Some(match op {
-                    ast::UnOp::Not => (v == 0) as u128,
-                    ast::UnOp::BitNot => !v,
-                    ast::UnOp::Neg => v.wrapping_neg(),
-                })
-            }
-            ast::ExprKind::Binary { op, lhs, rhs } => {
-                let a = const_eval(lhs, types)?;
-                let b = const_eval(rhs, types)?;
-                use ast::BinOp::*;
-                Some(match op {
-                    Add => a.wrapping_add(b),
-                    Sub => a.wrapping_sub(b),
-                    Mul => a.wrapping_mul(b),
-                    Div => a.checked_div(b)?,
-                    Mod => a.checked_rem(b)?,
-                    BitAnd => a & b,
-                    BitOr => a | b,
-                    BitXor => a ^ b,
-                    Shl => a.checked_shl(b.try_into().ok()?).unwrap_or(0),
-                    Shr => a.checked_shr(b.try_into().ok()?).unwrap_or(0),
-                    Eq => (a == b) as u128,
-                    Ne => (a != b) as u128,
-                    Lt => (a < b) as u128,
-                    Le => (a <= b) as u128,
-                    Gt => (a > b) as u128,
-                    Ge => (a >= b) as u128,
-                    And => ((a != 0) && (b != 0)) as u128,
-                    Or => ((a != 0) || (b != 0)) as u128,
-                    Concat => return None,
-                })
-            }
-            ast::ExprKind::Cast { ty, expr } => {
-                let v = const_eval(expr, types)?;
-                match &ty.kind {
-                    ast::TypeKind::Bit(w) if *w < 128 => Some(v & ((1u128 << w) - 1)),
-                    ast::TypeKind::Bit(_) => Some(v),
-                    ast::TypeKind::Bool => Some((v != 0) as u128),
-                    _ => None,
+        ast::ExprKind::Int { value, .. } => Some(*value),
+        ast::ExprKind::Bool(b) => Some(*b as u128),
+        ast::ExprKind::Ident(n) => types.const_(n).map(|c| c.value),
+        ast::ExprKind::Member { base, member } => {
+            if let ast::ExprKind::Ident(n) = &base.kind {
+                if let Some(Ty::Enum(id)) = types.lookup(n) {
+                    return types.enum_(id).variant_value(&member.name);
                 }
             }
-            _ => None,
+            None
         }
+        ast::ExprKind::Unary { op, expr } => {
+            let v = const_eval(expr, types)?;
+            Some(match op {
+                ast::UnOp::Not => (v == 0) as u128,
+                ast::UnOp::BitNot => !v,
+                ast::UnOp::Neg => v.wrapping_neg(),
+            })
+        }
+        ast::ExprKind::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs, types)?;
+            let b = const_eval(rhs, types)?;
+            use ast::BinOp::*;
+            Some(match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => a.checked_div(b)?,
+                Mod => a.checked_rem(b)?,
+                BitAnd => a & b,
+                BitOr => a | b,
+                BitXor => a ^ b,
+                Shl => a.checked_shl(b.try_into().ok()?).unwrap_or(0),
+                Shr => a.checked_shr(b.try_into().ok()?).unwrap_or(0),
+                Eq => (a == b) as u128,
+                Ne => (a != b) as u128,
+                Lt => (a < b) as u128,
+                Le => (a <= b) as u128,
+                Gt => (a > b) as u128,
+                Ge => (a >= b) as u128,
+                And => ((a != 0) && (b != 0)) as u128,
+                Or => ((a != 0) || (b != 0)) as u128,
+                Concat => return None,
+            })
+        }
+        ast::ExprKind::Cast { ty, expr } => {
+            let v = const_eval(expr, types)?;
+            match &ty.kind {
+                ast::TypeKind::Bit(w) if *w < 128 => Some(v & ((1u128 << w) - 1)),
+                ast::TypeKind::Bit(_) => Some(v),
+                ast::TypeKind::Bool => Some((v != 0) as u128),
+                _ => None,
+            }
+        }
+        _ => None,
     }
+}
 
 #[cfg(test)]
 mod tests {
@@ -1176,15 +1196,15 @@ mod tests {
         assert_eq!(h.field("rss").unwrap().offset_bits, 0);
         assert_eq!(h.field("vlan").unwrap().offset_bits, 32);
         assert_eq!(h.field("flags").unwrap().offset_bits, 48);
-        assert_eq!(h.field("rss").unwrap().semantic.as_deref(), Some("rss_hash"));
+        assert_eq!(
+            h.field("rss").unwrap().semantic.as_deref(),
+            Some("rss_hash")
+        );
     }
 
     #[test]
     fn non_byte_aligned_header_rejected() {
-        check_err(
-            "header bad_t { bit<7> x; }",
-            "not a whole number of bytes",
-        );
+        check_err("header bad_t { bit<7> x; }", "not a whole number of bytes");
     }
 
     #[test]
@@ -1238,12 +1258,11 @@ mod tests {
 
     #[test]
     fn enum_fits_check() {
-        check_err(
-            "enum bit<1> e_t { A, B, C }",
-            "holds only",
-        );
+        check_err("enum bit<1> e_t { A, B, C }", "holds only");
         let p = check_ok("enum bit<2> e_t { A, B, C }");
-        let Ty::Enum(id) = p.types.lookup("e_t").unwrap() else { panic!() };
+        let Ty::Enum(id) = p.types.lookup("e_t").unwrap() else {
+            panic!()
+        };
         assert_eq!(p.types.enum_(id).variant_value("C"), Some(2));
     }
 

@@ -160,7 +160,10 @@ pub struct EnumInfo {
 impl EnumInfo {
     /// Value of a variant, if it exists.
     pub fn variant_value(&self, name: &str) -> Option<u128> {
-        self.variants.iter().position(|v| v == name).map(|i| i as u128)
+        self.variants
+            .iter()
+            .position(|v| v == name)
+            .map(|i| i as u128)
     }
 }
 

@@ -82,10 +82,20 @@ pub fn calibrate(reg: &mut SemanticRegistry, iters: u32) -> CalibrationReport {
     // payload-dependent semantics stay computable).
     let mut payload = testpkt::kvs_get_payload("calibration:key");
     payload.resize(1200, 0x61);
-    let large = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1111, 11211, &payload, Some(0x0064));
+    let large = testpkt::udp4(
+        [10, 0, 0, 1],
+        [10, 0, 0, 2],
+        1111,
+        11211,
+        &payload,
+        Some(0x0064),
+    );
 
     let mut soft = SoftNic::new();
-    let mut report = CalibrationReport { entries: Vec::new(), iters };
+    let mut report = CalibrationReport {
+        entries: Vec::new(),
+        iters,
+    };
     let sems: Vec<(SemanticId, String, Cost)> = reg
         .iter()
         .map(|(id, info)| (id, info.name.clone(), info.cost))
@@ -103,9 +113,17 @@ pub fn calibrate(reg: &mut SemanticRegistry, iters: u32) -> CalibrationReport {
         let dlen = (large.len() - small.len()) as f64;
         let per_byte_ns = ((t_large - t_small) / dlen).max(0.0);
         let base_ns = (t_small - per_byte_ns * small.len() as f64).max(0.1);
-        let new = Cost::Finite { base_ns, per_byte_ns };
+        let new = Cost::Finite {
+            base_ns,
+            per_byte_ns,
+        };
         reg.set_cost(id, new);
-        report.entries.push(CalibrationEntry { semantic: id, name, old, new });
+        report.entries.push(CalibrationEntry {
+            semantic: id,
+            name,
+            old,
+            new,
+        });
     }
     report
 }
@@ -119,7 +137,11 @@ mod tests {
     fn calibration_updates_finite_costs() {
         let mut reg = SemanticRegistry::with_builtins();
         let report = calibrate(&mut reg, 200);
-        assert!(report.entries.len() >= 8, "most semantics calibrated: {}", report.entries.len());
+        assert!(
+            report.entries.len() >= 8,
+            "most semantics calibrated: {}",
+            report.entries.len()
+        );
         for e in &report.entries {
             assert!(!e.new.is_infinite());
             assert!(e.new.eval(64) > 0.0, "{}: non-positive cost", e.name);
@@ -133,15 +155,22 @@ mod tests {
         let mut reg = SemanticRegistry::with_builtins();
         calibrate(&mut reg, 300);
         let l4 = reg.id(names::L4_CHECKSUM).unwrap();
-        let Cost::Finite { per_byte_ns, .. } = reg.cost(l4) else { panic!() };
+        let Cost::Finite { per_byte_ns, .. } = reg.cost(l4) else {
+            panic!()
+        };
         assert!(
             per_byte_ns > 0.0,
             "L4 checksum must scale with payload, got {per_byte_ns}"
         );
         // Flat semantics stay (nearly) flat.
         let vlan = reg.id(names::VLAN_TCI).unwrap();
-        let Cost::Finite { per_byte_ns: v, .. } = reg.cost(vlan) else { panic!() };
-        assert!(v < per_byte_ns, "vlan ({v}) flatter than l4 csum ({per_byte_ns})");
+        let Cost::Finite { per_byte_ns: v, .. } = reg.cost(vlan) else {
+            panic!()
+        };
+        assert!(
+            v < per_byte_ns,
+            "vlan ({v}) flatter than l4 csum ({per_byte_ns})"
+        );
     }
 
     #[test]

@@ -25,6 +25,73 @@ pub mod ptype {
     pub const ICMP: u16 = 1 << 6;
 }
 
+/// A software semantic lowered to a first-class operation.
+///
+/// The compiled datapath resolves each software accessor to a `ShimOp`
+/// *once*, at compile time, instead of re-dispatching on the semantic's
+/// name for every packet. Executing an op takes a pre-parsed
+/// [`ParsedFrame`] so one parse is shared by every shim on the packet,
+/// and a [`ShimMemo`] so intra-packet repeats (RSS feeding both
+/// `rss_hash` and `queue_hint`) are computed once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimOp {
+    RssHash,
+    IpChecksum,
+    L4Checksum,
+    VlanTci,
+    PktLen,
+    PacketType,
+    IpId,
+    PayloadOffset,
+    FlowTag,
+    KvsKeyHash,
+    QueueHint,
+    RxStatus,
+    /// Semantics software cannot recompute (timestamps, crypto contexts)
+    /// or that no reference implementation exists for.
+    Unsupported,
+}
+
+impl ShimOp {
+    /// Lower a semantic name to its operation. Unknown or
+    /// software-incomputable semantics lower to [`ShimOp::Unsupported`].
+    pub fn from_name(name: &str) -> ShimOp {
+        match name {
+            names::RSS_HASH => ShimOp::RssHash,
+            names::IP_CHECKSUM => ShimOp::IpChecksum,
+            names::L4_CHECKSUM => ShimOp::L4Checksum,
+            names::VLAN_TCI => ShimOp::VlanTci,
+            names::PKT_LEN => ShimOp::PktLen,
+            names::PACKET_TYPE => ShimOp::PacketType,
+            names::IP_ID => ShimOp::IpId,
+            names::PAYLOAD_OFFSET => ShimOp::PayloadOffset,
+            names::FLOW_TAG => ShimOp::FlowTag,
+            names::KVS_KEY_HASH => ShimOp::KvsKeyHash,
+            names::QUEUE_HINT => ShimOp::QueueHint,
+            names::RX_STATUS => ShimOp::RxStatus,
+            _ => ShimOp::Unsupported,
+        }
+    }
+}
+
+/// Per-packet memo shared by the shims of one packet: results that more
+/// than one op may need are computed at most once. Reset (or fresh) per
+/// packet.
+#[derive(Debug, Clone, Default)]
+pub struct ShimMemo {
+    /// RSS over the frame: `None` = not computed yet; `Some(r)` caches
+    /// the result (which may itself be `None` for non-IP frames).
+    rss: Option<Option<u32>>,
+}
+
+impl ShimMemo {
+    /// Clear for the next packet (keeps nothing allocated; exists so
+    /// batch loops read naturally).
+    pub fn reset(&mut self) {
+        self.rss = None;
+    }
+}
+
 /// Checksum-status encoding shared by hardware models and software: the
 /// 16-bit value is `0xFFFF` for "verified good", `0x0000` for "bad", and
 /// anything else is the raw computed checksum (fixed-function NICs differ
@@ -72,19 +139,50 @@ impl SoftNic {
     /// Compute semantic `sem` over `frame`. Returns `None` when the
     /// semantic is software-incomputable (timestamps, crypto contexts) or
     /// the frame lacks the layers it needs.
-    pub fn compute(&mut self, reg: &SemanticRegistry, sem: SemanticId, frame: &[u8]) -> Option<u64> {
-        let name = reg.name(sem).to_string();
-        self.compute_by_name(&name, frame)
+    pub fn compute(
+        &mut self,
+        reg: &SemanticRegistry,
+        sem: SemanticId,
+        frame: &[u8],
+    ) -> Option<u64> {
+        self.compute_by_name(reg.name(sem), frame)
     }
 
     /// Compute a semantic by name (see [`compute`]).
     ///
+    /// One-shot convenience over [`exec_op`]: parses the frame and
+    /// dispatches per call. Hot paths should lower the name with
+    /// [`ShimOp::from_name`] once and run [`exec_op`] against a shared
+    /// parse instead.
+    ///
     /// [`compute`]: SoftNic::compute
+    /// [`exec_op`]: SoftNic::exec_op
     pub fn compute_by_name(&mut self, name: &str, frame: &[u8]) -> Option<u64> {
         let p = ParsedFrame::parse(frame)?;
-        match name {
-            names::RSS_HASH => self.rss(&p).map(|h| h as u64),
-            names::IP_CHECKSUM => {
+        self.exec_op(
+            ShimOp::from_name(name),
+            &p,
+            frame.len(),
+            &mut ShimMemo::default(),
+        )
+    }
+
+    /// Execute one pre-lowered shim op against a pre-parsed frame.
+    ///
+    /// `frame_len` is the full L2 frame length (`pkt_len` reports it even
+    /// though `ParsedFrame` only borrows the frame). `memo` carries
+    /// intra-packet shared results; pass the same memo for every op of one
+    /// packet and a fresh/reset one for the next.
+    pub fn exec_op(
+        &mut self,
+        op: ShimOp,
+        p: &ParsedFrame<'_>,
+        frame_len: usize,
+        memo: &mut ShimMemo,
+    ) -> Option<u64> {
+        match op {
+            ShimOp::RssHash => self.rss_memo(p, memo).map(|h| h as u64),
+            ShimOp::IpChecksum => {
                 let ip = p.ipv4?;
                 Some(if verify_ipv4_checksum(ip.header()) {
                     csum_status::GOOD as u64
@@ -92,35 +190,48 @@ impl SoftNic {
                     csum_status::BAD as u64
                 })
             }
-            names::L4_CHECKSUM => {
+            ShimOp::L4Checksum => {
                 p.ipv4?;
                 p.ports()?;
-                Some(if verify_l4_checksum(&p) {
+                Some(if verify_l4_checksum(p) {
                     csum_status::GOOD as u64
                 } else {
                     csum_status::BAD as u64
                 })
             }
-            names::VLAN_TCI => p.vlan_tci.map(|t| t as u64),
-            names::PKT_LEN => Some(frame.len() as u64),
-            names::PACKET_TYPE => Some(self.packet_type(&p) as u64),
-            names::IP_ID => p.ipv4.map(|ip| ip.ident() as u64),
-            names::PAYLOAD_OFFSET => p.payload_offset().map(|o| o as u64),
-            names::FLOW_TAG => self.flow_tag(&p).map(|t| t as u64),
-            names::KVS_KEY_HASH => kvs_key_hash(p.l4_payload()?).map(|h| h as u64),
-            names::QUEUE_HINT => {
+            ShimOp::VlanTci => p.vlan_tci.map(|t| t as u64),
+            ShimOp::PktLen => Some(frame_len as u64),
+            ShimOp::PacketType => Some(self.packet_type(p) as u64),
+            ShimOp::IpId => p.ipv4.map(|ip| ip.ident() as u64),
+            ShimOp::PayloadOffset => p.payload_offset().map(|o| o as u64),
+            ShimOp::FlowTag => self.flow_tag(p).map(|t| t as u64),
+            ShimOp::KvsKeyHash => kvs_key_hash(p.l4_payload()?).map(|h| h as u64),
+            ShimOp::QueueHint => {
                 // Steering hint: low bits of the RSS hash (RSS++-style).
-                self.rss(&p).map(|h| (h & 0xFF) as u64)
+                self.rss_memo(p, memo).map(|h| (h & 0xFF) as u64)
             }
-            names::RX_STATUS => {
+            ShimOp::RxStatus => {
                 // Bit 0: descriptor done; bit 1: end of packet. Software
                 // receives complete frames, so both are always set.
                 Some(0b11)
             }
-            // Semantics software cannot recompute.
-            names::TIMESTAMP | names::CRYPTO_CTX => None,
-            _ => None,
+            // Semantics software cannot recompute (timestamp, crypto_ctx)
+            // or that have no reference implementation.
+            ShimOp::Unsupported => None,
         }
+    }
+
+    /// Memoized [`rss`]: computed at most once per (`packet`, `memo`)
+    /// even when several ops need it (`rss_hash` + `queue_hint`).
+    ///
+    /// [`rss`]: SoftNic::rss
+    pub fn rss_memo(&self, p: &ParsedFrame<'_>, memo: &mut ShimMemo) -> Option<u32> {
+        if let Some(cached) = memo.rss {
+            return cached;
+        }
+        let r = self.rss(p);
+        memo.rss = Some(r);
+        r
     }
 
     /// Toeplitz RSS over the 4-tuple (falls back to the 2-tuple for
@@ -257,7 +368,9 @@ mod tests {
     #[test]
     fn packet_type_bitmap() {
         let mut sn = SoftNic::new();
-        let udp = sn.compute_by_name(names::PACKET_TYPE, &udp_frame()).unwrap() as u16;
+        let udp = sn
+            .compute_by_name(names::PACKET_TYPE, &udp_frame())
+            .unwrap() as u16;
         assert_eq!(udp, ptype::ETH | ptype::IPV4 | ptype::UDP);
         let f = testpkt::tcp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"", Some(5));
         let tcp = sn.compute_by_name(names::PACKET_TYPE, &f).unwrap() as u16;
@@ -309,7 +422,10 @@ mod tests {
         let mut sn = SoftNic::new();
         assert_eq!(sn.compute_by_name(names::TIMESTAMP, &udp_frame()), None);
         assert_eq!(sn.compute_by_name(names::CRYPTO_CTX, &udp_frame()), None);
-        assert_eq!(sn.compute_by_name("nonexistent_semantic", &udp_frame()), None);
+        assert_eq!(
+            sn.compute_by_name("nonexistent_semantic", &udp_frame()),
+            None
+        );
     }
 
     #[test]
@@ -330,6 +446,52 @@ mod tests {
         let rss = sn.compute_by_name(names::RSS_HASH, &f).unwrap();
         let hint = sn.compute_by_name(names::QUEUE_HINT, &f).unwrap();
         assert_eq!(hint, rss & 0xFF);
+    }
+
+    #[test]
+    fn exec_op_matches_name_dispatch_for_every_semantic() {
+        let reg = SemanticRegistry::with_builtins();
+        let mut by_name = SoftNic::new();
+        let mut by_op = SoftNic::new();
+        let frames = [
+            udp_frame(),
+            testpkt::tcp4([1, 1, 1, 1], [2, 2, 2, 2], 7, 8, b"hi", Some(0x0123)),
+            b"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x86\xddrest".to_vec(),
+        ];
+        for f in &frames {
+            for (_, info) in reg.iter() {
+                let want = by_name.compute_by_name(&info.name, f);
+                let got = ParsedFrame::parse(f).and_then(|p| {
+                    by_op.exec_op(
+                        ShimOp::from_name(&info.name),
+                        &p,
+                        f.len(),
+                        &mut ShimMemo::default(),
+                    )
+                });
+                assert_eq!(got, want, "mismatch for {} on {:02x?}", info.name, &f[..4]);
+            }
+        }
+    }
+
+    #[test]
+    fn memo_shares_rss_between_hash_and_hint() {
+        let sn = SoftNic::new();
+        let f = udp_frame();
+        let p = ParsedFrame::parse(&f).unwrap();
+        let mut memo = ShimMemo::default();
+        let direct = sn.rss(&p);
+        assert_eq!(sn.rss_memo(&p, &mut memo), direct);
+        // Cached result is reused (same value back without recompute).
+        assert_eq!(sn.rss_memo(&p, &mut memo), direct);
+        memo.reset();
+        assert_eq!(sn.rss_memo(&p, &mut memo), direct);
+        // Non-IP frames cache the `None` too.
+        let arp = b"\xff\xff\xff\xff\xff\xff\x00\x01\x02\x03\x04\x05\x08\x06body".to_vec();
+        let p2 = ParsedFrame::parse(&arp).unwrap();
+        let mut memo2 = ShimMemo::default();
+        assert_eq!(sn.rss_memo(&p2, &mut memo2), None);
+        assert_eq!(sn.rss_memo(&p2, &mut memo2), None);
     }
 
     #[test]

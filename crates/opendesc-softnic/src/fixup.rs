@@ -9,12 +9,16 @@ use crate::wire::{ethertype, EthFrame, Ipv4View};
 /// Compute and store the IPv4 header checksum in place. Returns `false`
 /// when the frame has no IPv4 header to fix.
 pub fn fill_ipv4_checksum(frame: &mut [u8]) -> bool {
-    let Some(eth) = EthFrame::new(frame) else { return false };
+    let Some(eth) = EthFrame::new(frame) else {
+        return false;
+    };
     if eth.ethertype() != Some(ethertype::IPV4) {
         return false;
     }
     let l3 = eth.l3_offset();
-    let Some(ip) = Ipv4View::new(&frame[l3..]) else { return false };
+    let Some(ip) = Ipv4View::new(&frame[l3..]) else {
+        return false;
+    };
     let hlen = ip.header_len();
     frame[l3 + 10] = 0;
     frame[l3 + 11] = 0;
@@ -26,12 +30,16 @@ pub fn fill_ipv4_checksum(frame: &mut [u8]) -> bool {
 /// Compute and store the TCP/UDP checksum in place. Returns `false` when
 /// the frame has no recognizable L4 segment.
 pub fn fill_l4_checksum(frame: &mut [u8]) -> bool {
-    let Some(eth) = EthFrame::new(frame) else { return false };
+    let Some(eth) = EthFrame::new(frame) else {
+        return false;
+    };
     if eth.ethertype() != Some(ethertype::IPV4) {
         return false;
     }
     let l3 = eth.l3_offset();
-    let Some(ip) = Ipv4View::new(&frame[l3..]) else { return false };
+    let Some(ip) = Ipv4View::new(&frame[l3..]) else {
+        return false;
+    };
     let proto = ip.protocol();
     let csum_rel = match proto {
         crate::wire::ipproto::TCP => 16,

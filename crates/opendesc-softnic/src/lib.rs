@@ -9,14 +9,14 @@
 //! to its implementation. The NIC simulator reuses these same functions
 //! as its offload engine, so "hardware" and SoftNIC shims agree by
 //! construction.
-pub mod wire;
+pub mod calibrate;
 pub mod checksum;
-pub mod toeplitz;
-pub mod testpkt;
 pub mod engine;
 pub mod fixup;
-pub mod calibrate;
+pub mod testpkt;
+pub mod toeplitz;
+pub mod wire;
 
 pub use calibrate::{calibrate, CalibrationReport};
-pub use engine::{csum_status, kvs_key_hash, ptype, SoftNic};
+pub use engine::{csum_status, kvs_key_hash, ptype, ShimMemo, ShimOp, SoftNic};
 pub use toeplitz::{rss_ipv4, rss_ipv4_l4, toeplitz_hash, MSFT_RSS_KEY};

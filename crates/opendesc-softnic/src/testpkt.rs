@@ -14,7 +14,15 @@ pub fn udp4(
     payload: &[u8],
     vlan_tci: Option<u16>,
 ) -> Vec<u8> {
-    build4(src_ip, dst_ip, ipproto::UDP, src_port, dst_port, payload, vlan_tci)
+    build4(
+        src_ip,
+        dst_ip,
+        ipproto::UDP,
+        src_port,
+        dst_port,
+        payload,
+        vlan_tci,
+    )
 }
 
 /// Build an Ethernet(+optional 802.1Q)/IPv4/TCP frame (fixed 20-byte TCP
@@ -27,7 +35,15 @@ pub fn tcp4(
     payload: &[u8],
     vlan_tci: Option<u16>,
 ) -> Vec<u8> {
-    build4(src_ip, dst_ip, ipproto::TCP, src_port, dst_port, payload, vlan_tci)
+    build4(
+        src_ip,
+        dst_ip,
+        ipproto::TCP,
+        src_port,
+        dst_port,
+        payload,
+        vlan_tci,
+    )
 }
 
 fn build4(

@@ -264,7 +264,13 @@ impl<'a> ParsedFrame<'a> {
                 ipv4 = Some(ip);
             }
         }
-        Some(ParsedFrame { eth, vlan_tci, ipv4, tcp, udp })
+        Some(ParsedFrame {
+            eth,
+            vlan_tci,
+            ipv4,
+            tcp,
+            udp,
+        })
     }
 
     /// The L4 source/destination ports, from whichever transport parsed.
@@ -311,14 +317,7 @@ mod tests {
 
     #[test]
     fn parse_plain_udp_frame() {
-        let f = testpkt::udp4(
-            [10, 0, 0, 1],
-            [10, 0, 0, 2],
-            1234,
-            5678,
-            b"hello",
-            None,
-        );
+        let f = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1234, 5678, b"hello", None);
         let p = ParsedFrame::parse(&f).unwrap();
         assert!(p.vlan_tci.is_none());
         let ip = p.ipv4.unwrap();

@@ -18,7 +18,10 @@ use opendesc::prelude::*;
 
 const SHARDS: usize = 4;
 
-fn run_store(model: opendesc::nicsim::NicModel, requests: u32) -> ([u64; SHARDS], Vec<&'static str>) {
+fn run_store(
+    model: opendesc::nicsim::NicModel,
+    requests: u32,
+) -> ([u64; SHARDS], Vec<&'static str>) {
     let mut reg = SemanticRegistry::with_builtins();
     let intent = Intent::builder("kvs")
         .want(&mut reg, names::KVS_KEY_HASH)
@@ -81,7 +84,10 @@ fn main() {
         // Sharding must be reasonably balanced (hash quality check).
         let max = *shards.iter().max().unwrap() as f64;
         let min = *shards.iter().min().unwrap() as f64;
-        assert!(max / min.max(1.0) < 2.0, "{name}: shard imbalance {max}/{min}");
+        assert!(
+            max / min.max(1.0) < 2.0,
+            "{name}: shard imbalance {max}/{min}"
+        );
         println!();
     }
     println!("identical application logic; the NIC contract decided who computes the hash.");

@@ -29,8 +29,8 @@ fn main() {
 
     println!("Fig. 1 intent:\n{FIG1_INTENT_P4}");
     println!(
-        "{:<14} {:>6} {:>8} {:<34} {}",
-        "NIC", "paths", "cmpt(B)", "hardware-provided", "software-fallback"
+        "{:<14} {:>6} {:>8} {:<34} software-fallback",
+        "NIC", "paths", "cmpt(B)", "hardware-provided"
     );
 
     let mut observed: Vec<Vec<Option<u128>>> = Vec::new();

@@ -31,8 +31,12 @@ fn main() {
         .want(&mut reg, names::RSS_HASH)
         .want(&mut reg, names::PKT_LEN)
         .build();
-    let kvs_compiled = Compiler::default().compile_model(&model, &kvs_intent, &mut reg).unwrap();
-    let bulk_compiled = Compiler::default().compile_model(&model, &bulk_intent, &mut reg).unwrap();
+    let kvs_compiled = Compiler::default()
+        .compile_model(&model, &kvs_intent, &mut reg)
+        .unwrap();
+    let bulk_compiled = Compiler::default()
+        .compile_model(&model, &bulk_intent, &mut reg)
+        .unwrap();
     println!(
         "queue 0 (kvs):  {}B completion, fallbacks: {:?}",
         kvs_compiled.path.size_bytes(),
@@ -50,15 +54,30 @@ fn main() {
         model,
         2,
         1024,
-        SteerPolicy::DstPort { table: vec![(11211, 0)], default: 1 },
+        SteerPolicy::DstPort {
+            table: vec![(11211, 0)],
+            default: 1,
+        },
     )
     .unwrap();
-    nic.queue_mut(0).configure(kvs_compiled.context.clone().unwrap()).unwrap();
-    nic.queue_mut(1).configure(bulk_compiled.context.clone().unwrap()).unwrap();
+    nic.queue_mut(0)
+        .configure(kvs_compiled.context.clone().unwrap())
+        .unwrap();
+    nic.queue_mut(1)
+        .configure(bulk_compiled.context.clone().unwrap())
+        .unwrap();
 
     // Mixed traffic.
-    let mut kvs_gen = PktGen::new(Workload { transport: Transport::KvsGet, flows: 8, ..Workload::default() });
-    let mut bulk_gen = PktGen::new(Workload { flows: 24, seed: 42, ..Workload::default() });
+    let mut kvs_gen = PktGen::new(Workload {
+        transport: Transport::KvsGet,
+        flows: 8,
+        ..Workload::default()
+    });
+    let mut bulk_gen = PktGen::new(Workload {
+        flows: 24,
+        seed: 42,
+        ..Workload::default()
+    });
     for _ in 0..300 {
         nic.deliver(&kvs_gen.next_frame()).unwrap();
         nic.deliver(&bulk_gen.next_frame()).unwrap();
@@ -82,7 +101,10 @@ fn main() {
             keys.insert(h);
         }
     }
-    println!("queue 0 saw {} distinct KVS keys (hash from the NIC's programmable slot)", keys.len());
+    println!(
+        "queue 0 saw {} distinct KVS keys (hash from the NIC's programmable slot)",
+        keys.len()
+    );
 
     let rss_sem = reg.id(names::RSS_HASH).unwrap();
     let mut bulk_drv = OpenDescDriver::attach(bulk_nic, bulk_compiled).unwrap();

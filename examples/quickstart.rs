@@ -6,9 +6,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use opendesc::prelude::*;
 use opendesc::ir::names;
 use opendesc::nicsim::{PktGen, SimNic, Workload};
+use opendesc::prelude::*;
 
 fn main() {
     // 1. The application's intent (paper Fig. 5): it wants the RSS hash
@@ -33,7 +33,10 @@ fn main() {
     println!("{}", compiled.report());
 
     // 4. Generated artifacts.
-    println!("--- generated Rust accessor view ---\n{}", compiled.rust_source());
+    println!(
+        "--- generated Rust accessor view ---\n{}",
+        compiled.rust_source()
+    );
 
     // 5. Attach the generated datapath to a simulated NIC and receive.
     let nic = SimNic::new(model, 256).expect("contract valid");

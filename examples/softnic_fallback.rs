@@ -27,13 +27,16 @@ fn main() {
     let model = models::mlx5();
 
     println!(
-        "{:>10} {:>9} {:>12} {:>12}  {}",
-        "β (ns/B)", "layout", "soft (ns)", "objective", "software fallbacks"
+        "{:>10} {:>9} {:>12} {:>12}  software fallbacks",
+        "β (ns/B)", "layout", "soft (ns)", "objective"
     );
     let mut prev_size = None;
     for beta in [0.01, 0.05, 0.13, 0.5, 1.0, 2.0, 5.0, 10.0] {
         let compiler = Compiler {
-            selector: Selector { beta_ns_per_byte: beta, ..Selector::default() },
+            selector: Selector {
+                beta_ns_per_byte: beta,
+                ..Selector::default()
+            },
         };
         let compiled = compiler
             .compile_model(&model, &intent, &mut reg)

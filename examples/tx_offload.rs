@@ -23,13 +23,24 @@ use opendesc::softnic::wire::ParsedFrame;
 fn main() {
     // A frame whose checksums are deliberately zeroed: someone must fill
     // them before the wire — the question is who.
-    let mut frame = testpkt::udp4([10, 8, 0, 1], [10, 8, 0, 2], 4000, 5000, b"tx offload", None);
+    let mut frame = testpkt::udp4(
+        [10, 8, 0, 1],
+        [10, 8, 0, 2],
+        4000,
+        5000,
+        b"tx offload",
+        None,
+    );
     frame[24] = 0;
     frame[25] = 0; // IP header checksum
     frame[40] = 0;
     frame[41] = 0; // UDP checksum
 
-    let req = TxRequest { l4_csum: true, ip_csum: true, vlan: Some(0x0042) };
+    let req = TxRequest {
+        l4_csum: true,
+        ip_csum: true,
+        vlan: Some(0x0042),
+    };
     let mut wires = Vec::new();
 
     for model in [models::qdma_default(), models::e1000e()] {

@@ -12,8 +12,8 @@
 //! ```
 
 use opendesc::compiler::codegen::ebpf::gen_xdp_filter;
-use opendesc::ebpf::{disasm, verify, Vm, XdpContext};
 use opendesc::ebpf::insn::xdp_action;
+use opendesc::ebpf::{disasm, verify, Vm, XdpContext};
 use opendesc::ir::names;
 use opendesc::nicsim::SimNic;
 use opendesc::prelude::*;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the RX datapath benches and record the perf trajectory.
+#
+#   scripts/bench.sh           full criterion runs (E3, E8, E12) + JSON
+#   scripts/bench.sh --quick   wall-clock quick mode, emits BENCH_e12.json only
+#
+# The JSON record (BENCH_e12.json) is the machine-readable E12 matrix:
+# Mpps + ns/pkt per (model, path) and the e1000e batched-vs-per-packet
+# speedup the PR acceptance criterion tracks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+    quick=1
+fi
+
+if [ "$quick" = 0 ]; then
+    cargo bench -p opendesc-bench --bench e3_datapath_throughput
+    cargo bench -p opendesc-bench --bench e8_batched_accessors
+    cargo bench -p opendesc-bench --bench e12_rx_datapath
+fi
+
+cargo run --release -q -p opendesc-bench --bin e12_json -- BENCH_e12.json

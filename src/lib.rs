@@ -58,7 +58,7 @@ pub use opendesc_softnic as softnic;
 /// Convenience prelude with the most-used types.
 pub mod prelude {
     pub use opendesc_core::{
-        Compiler, CompiledInterface, GenericMbufDriver, Intent, LcdDriver, Objective,
+        CompiledInterface, Compiler, GenericMbufDriver, Intent, LcdDriver, Objective,
         OpenDescDriver, RxPacket, Selector,
     };
     pub use opendesc_ir::{names, Cost, SemanticId, SemanticRegistry};

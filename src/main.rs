@@ -91,7 +91,10 @@ struct Opts {
 
 impl Opts {
     fn parse(args: &[String]) -> Opts {
-        let mut o = Opts { emit: "report".into(), ..Default::default() };
+        let mut o = Opts {
+            emit: "report".into(),
+            ..Default::default()
+        };
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut val = || it.next().cloned();
@@ -128,7 +131,7 @@ fn find_model(name: &str) -> Result<NicModel, String> {
 }
 
 fn cmd_models() -> Result<(), String> {
-    println!("{:<14} {:>9}  {}", "model", "cmpt(B)", "description");
+    println!("{:<14} {:>9}  description", "model", "cmpt(B)");
     for m in models::catalog() {
         println!(
             "{:<14} {:>9}  {}",
@@ -140,7 +143,10 @@ fn cmd_models() -> Result<(), String> {
 
 fn cmd_semantics() -> Result<(), String> {
     let reg = SemanticRegistry::with_builtins();
-    println!("{:<22} {:>6} {:>18}  {}", "semantic", "bits", "software cost", "description");
+    println!(
+        "{:<22} {:>6} {:>18}  description",
+        "semantic", "bits", "software cost"
+    );
     for (_, info) in reg.iter() {
         println!(
             "{:<22} {:>6} {:>18}  {}",
@@ -165,7 +171,10 @@ fn load_contract(o: &Opts) -> Result<(String, String, String), String> {
         let m = find_model(nic)?;
         return Ok((m.p4_source, m.deparser, m.name));
     }
-    let file = o.contract.as_deref().ok_or("--nic or --contract required")?;
+    let file = o
+        .contract
+        .as_deref()
+        .ok_or("--nic or --contract required")?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let dep = o.deparser.clone().unwrap_or_else(|| "CmptDeparser".into());
     Ok((src, dep, file.to_string()))
@@ -177,12 +186,20 @@ fn cmd_paths(o: &Opts) -> Result<(), String> {
     if diags.has_errors() {
         return Err(format!(
             "contract errors:\n{}",
-            diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("\n")
+            diags
+                .iter()
+                .map(|d| d.message.clone())
+                .collect::<Vec<_>>()
+                .join("\n")
         ));
     }
     let mut reg = SemanticRegistry::with_builtins();
-    let cfg = extract(&checked, &deparser, &mut reg)
-        .map_err(|d| d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("\n"))?;
+    let cfg = extract(&checked, &deparser, &mut reg).map_err(|d| {
+        d.iter()
+            .map(|x| x.message.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
     let paths = enumerate_paths(&cfg, DEFAULT_MAX_PATHS).map_err(|e| e.to_string())?;
     println!("{name}: {} completion path(s)\n", paths.len());
     for p in &paths {
@@ -237,11 +254,19 @@ fn cmd_compile(o: &Opts) -> Result<(), String> {
         "dot" => {
             let (checked, _) = parse_and_check(&src);
             let mut reg2 = SemanticRegistry::with_builtins();
-            let cfg = extract(&checked, &deparser, &mut reg2)
-                .map_err(|d| d.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("\n"))?;
+            let cfg = extract(&checked, &deparser, &mut reg2).map_err(|d| {
+                d.iter()
+                    .map(|x| x.message.clone())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })?;
             println!("{}", cfg.to_dot(&reg2));
         }
-        other => return Err(format!("unknown --emit `{other}` (report|rust|c|ebpf|dot|manifest)")),
+        other => {
+            return Err(format!(
+                "unknown --emit `{other}` (report|rust|c|ebpf|dot|manifest)"
+            ))
+        }
     }
     Ok(())
 }
@@ -252,7 +277,11 @@ fn cmd_fmt(o: &Opts) -> Result<(), String> {
     if diags.has_errors() {
         return Err(format!(
             "contract errors:\n{}",
-            diags.iter().map(|d| d.message.clone()).collect::<Vec<_>>().join("\n")
+            diags
+                .iter()
+                .map(|d| d.message.clone())
+                .collect::<Vec<_>>()
+                .join("\n")
         ));
     }
     print!("{}", opendesc::p4::pretty::print_program(&checked.program));

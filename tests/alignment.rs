@@ -168,7 +168,9 @@ fn interpret_mode_matches_fast_mode_through_the_driver() {
             .want(&mut reg, names::VLAN_TCI)
             .build();
         let model = models::mlx5();
-        let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+        let compiled = Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .unwrap();
         let mut nic = SimNic::new(model, 16).unwrap();
         nic.set_mode(mode);
         let mut drv = OpenDescDriver::attach(nic, compiled).unwrap();
@@ -190,7 +192,9 @@ fn accessor_offsets_match_contract_header_layout() {
         .want(&mut reg, names::KVS_KEY_HASH)
         .build();
     let model = models::mlx5();
-    let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+    let compiled = Compiler::default()
+        .compile_model(&model, &intent, &mut reg)
+        .unwrap();
 
     let (checked, d) = opendesc::p4::parse_and_check(&model.p4_source);
     assert!(!d.has_errors());

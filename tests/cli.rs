@@ -34,11 +34,18 @@ fn semantics_lists_alphabet() {
 #[test]
 fn compile_report_shows_fig6_decision() {
     let (stdout, _, ok) = run(&[
-        "compile", "--nic", "e1000e", "--want", "rss_hash,ip_checksum",
+        "compile",
+        "--nic",
+        "e1000e",
+        "--want",
+        "rss_hash,ip_checksum",
     ]);
     assert!(ok);
     assert!(stdout.contains("ctx.use_rss = 0"), "{stdout}");
-    assert!(stdout.contains("Missing features (SoftNIC fallback): rss_hash"), "{stdout}");
+    assert!(
+        stdout.contains("Missing features (SoftNIC fallback): rss_hash"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -89,7 +96,10 @@ fn compile_from_contract_and_intent_files() {
         intent.to_str().unwrap(),
     ]);
     assert!(ok, "{stderr}");
-    assert!(stdout.contains("All requested features provided"), "{stdout}");
+    assert!(
+        stdout.contains("All requested features provided"),
+        "{stdout}"
+    );
 }
 
 #[test]

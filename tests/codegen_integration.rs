@@ -23,7 +23,9 @@ fn frame() -> Vec<u8> {
 fn compile_on(model: opendesc::nicsim::NicModel) -> (OpenDescDriver, SemanticRegistry) {
     let mut reg = SemanticRegistry::with_builtins();
     let intent = Intent::from_p4(opendesc::compiler::FIG1_INTENT_P4, &mut reg).unwrap();
-    let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+    let compiled = Compiler::default()
+        .compile_model(&model, &intent, &mut reg)
+        .unwrap();
     let drv = OpenDescDriver::attach(SimNic::new(model, 16).unwrap(), compiled).unwrap();
     (drv, reg)
 }
@@ -69,8 +71,14 @@ fn generated_rust_and_c_sources_consistent_with_layout() {
     assert!(rust.contains("pub fn rss"), "{rust}");
     assert!(c.contains("ixgbe_rss"), "{c}");
     // Both artifacts agree on the completion size.
-    assert!(rust.contains(&format!("bytes.len() >= {}", drv.iface.accessors.completion_bytes)));
-    assert!(c.contains(&format!("CMPT_SIZE {}", drv.iface.accessors.completion_bytes)));
+    assert!(rust.contains(&format!(
+        "bytes.len() >= {}",
+        drv.iface.accessors.completion_bytes
+    )));
+    assert!(c.contains(&format!(
+        "CMPT_SIZE {}",
+        drv.iface.accessors.completion_bytes
+    )));
 }
 
 #[test]
@@ -92,7 +100,10 @@ fn xdp_filter_pipeline_on_rss_steering() {
     let rss_acc = &rss_acc;
 
     // Learn the hash of flow 0 from one probe packet, then block it.
-    let mut gen = PktGen::new(Workload { flows: 4, ..Workload::default() });
+    let mut gen = PktGen::new(Workload {
+        flows: 4,
+        ..Workload::default()
+    });
     let probe = gen.next_frame();
     drv.deliver(&probe).unwrap();
     let (_, cmpt) = drv.nic.receive().unwrap();
@@ -118,7 +129,10 @@ fn xdp_filter_pipeline_on_rss_steering() {
             assert_eq!(action, xdp_action::PASS);
         }
     }
-    assert!(checked_drops > 10, "the blocked flow appeared: {checked_drops}");
+    assert!(
+        checked_drops > 10,
+        "the blocked flow appeared: {checked_drops}"
+    );
 }
 
 #[test]

@@ -5,8 +5,8 @@
 use opendesc::compiler::{Compiler, Intent};
 use opendesc::ir::SemanticRegistry;
 use opendesc::nicsim::models;
-use opendesc::p4::pretty::print_program;
 use opendesc::p4::parse_and_check;
+use opendesc::p4::pretty::print_program;
 
 #[test]
 fn printed_contracts_compile_identically() {
@@ -18,7 +18,13 @@ fn printed_contracts_compile_identically() {
         let mut reg1 = SemanticRegistry::with_builtins();
         let intent1 = Intent::from_p4(opendesc::compiler::FIG1_INTENT_P4, &mut reg1).unwrap();
         let a = Compiler::default()
-            .compile(&model.p4_source, &model.deparser, &model.name, &intent1, &mut reg1)
+            .compile(
+                &model.p4_source,
+                &model.deparser,
+                &model.name,
+                &intent1,
+                &mut reg1,
+            )
             .unwrap();
 
         let mut reg2 = SemanticRegistry::with_builtins();
@@ -38,7 +44,12 @@ fn printed_contracts_compile_identically() {
                 .map(|x| (x.name.clone(), x.offset_bits, x.width_bits))
                 .collect()
         };
-        assert_eq!(offs(&a), offs(&b), "{}: accessor tables diverge", model.name);
+        assert_eq!(
+            offs(&a),
+            offs(&b),
+            "{}: accessor tables diverge",
+            model.name
+        );
         // Context programming identical.
         assert_eq!(a.context, b.context, "{}", model.name);
     }

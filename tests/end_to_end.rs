@@ -58,9 +58,10 @@ fn identical_metadata_across_all_models() {
     for model in models::catalog() {
         let mut reg = SemanticRegistry::with_builtins();
         let intent = fig1_intent(&mut reg);
-        let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
-        let mut drv =
-            OpenDescDriver::attach(SimNic::new(model, 16).unwrap(), compiled).unwrap();
+        let compiled = Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .unwrap();
+        let mut drv = OpenDescDriver::attach(SimNic::new(model, 16).unwrap(), compiled).unwrap();
         drv.deliver(&frame).unwrap();
         let p = drv.poll().unwrap();
         all.push(p.meta.iter().map(|(_, v)| *v).collect());
@@ -81,7 +82,9 @@ fn datapaths_agree_under_load_on_every_model() {
             .want(&mut reg, names::PKT_LEN)
             .want(&mut reg, names::VLAN_TCI)
             .build();
-        let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+        let compiled = Compiler::default()
+            .compile_model(&model, &intent, &mut reg)
+            .unwrap();
         let ctx = compiled.context.clone().unwrap();
 
         let mut od =
@@ -94,7 +97,10 @@ fn datapaths_agree_under_load_on_every_model() {
         // reads 0 while the software shim reports "absent" — the
         // information-loss inherent to the LCD model, not a divergence
         // of the computed values.
-        let wl = Workload { vlan_fraction: 1.0, ..Workload::default() };
+        let wl = Workload {
+            vlan_fraction: 1.0,
+            ..Workload::default()
+        };
         let mut gen1 = PktGen::new(wl.clone());
         let mut gen2 = PktGen::new(wl);
         for _ in 0..200 {
@@ -114,9 +120,15 @@ fn fault_injection_does_not_break_the_driver() {
     let mut reg = SemanticRegistry::with_builtins();
     let intent = Intent::builder("i").want(&mut reg, names::PKT_LEN).build();
     let model = models::mlx5();
-    let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+    let compiled = Compiler::default()
+        .compile_model(&model, &intent, &mut reg)
+        .unwrap();
     let mut nic = SimNic::new(model, 64).unwrap();
-    nic.set_faults(FaultConfig { drop_chance: 0.2, corrupt_chance: 0.2, seed: 77 });
+    nic.set_faults(FaultConfig {
+        drop_chance: 0.2,
+        corrupt_chance: 0.2,
+        seed: 77,
+    });
     let mut drv = OpenDescDriver::attach(nic, compiled).unwrap();
     let mut gen = PktGen::new(Workload::default());
     let mut received = 0;
@@ -136,9 +148,10 @@ fn ring_backpressure_surfaces_in_stats() {
     let mut reg = SemanticRegistry::with_builtins();
     let intent = Intent::builder("i").want(&mut reg, names::PKT_LEN).build();
     let model = models::e1000_legacy();
-    let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
-    let mut drv =
-        OpenDescDriver::attach(SimNic::new(model, 8).unwrap(), compiled).unwrap();
+    let compiled = Compiler::default()
+        .compile_model(&model, &intent, &mut reg)
+        .unwrap();
+    let mut drv = OpenDescDriver::attach(SimNic::new(model, 8).unwrap(), compiled).unwrap();
     let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", None);
     for _ in 0..20 {
         drv.deliver(&f).unwrap();
@@ -163,7 +176,9 @@ fn qdma_custom_provisioning_end_to_end() {
         .want(&mut reg, names::KVS_KEY_HASH)
         .want(&mut reg, names::RSS_HASH)
         .build();
-    let compiled = Compiler::default().compile_model(&model, &intent, &mut reg).unwrap();
+    let compiled = Compiler::default()
+        .compile_model(&model, &intent, &mut reg)
+        .unwrap();
     assert!(compiled.missing_features().is_empty());
     assert_eq!(compiled.path.size_bytes(), 16, "8+4+2 → 16B class");
 

@@ -52,10 +52,20 @@ fn extern_bearing_contract_compiles() {
         .want(&mut reg, "rss_hash")
         .build();
     let compiled = Compiler::default()
-        .compile(STATEFUL_CONTRACT, "CmptDeparser", "bf-ct", &intent, &mut reg)
+        .compile(
+            STATEFUL_CONTRACT,
+            "CmptDeparser",
+            "bf-ct",
+            &intent,
+            &mut reg,
+        )
         .expect("stateful contract compiles");
     // Only the ct-enabled path provides conn_state; context must enable it.
-    assert!(compiled.missing_features().is_empty(), "{}", compiled.report());
+    assert!(
+        compiled.missing_features().is_empty(),
+        "{}",
+        compiled.report()
+    );
     let ctx = compiled.context.as_ref().unwrap();
     let (f, v) = ctx.iter().next().unwrap();
     assert_eq!(f.dotted(), "ctx.ct_enable");
@@ -110,7 +120,11 @@ fn opaque_validity_condition_degrades_to_manual_context() {
             "isValid guard cannot be solved: {}",
             compiled.report()
         );
-        assert!(compiled.report().contains("MANUAL"), "{}", compiled.report());
+        assert!(
+            compiled.report().contains("MANUAL"),
+            "{}",
+            compiled.report()
+        );
     } else {
         // Alternative legal outcome: the selector preferred the
         // configurable path and fell back to software vlan.

@@ -30,7 +30,11 @@ fn tx_models() -> Vec<opendesc::nicsim::NicModel> {
 fn wire_frames_identical_across_all_tx_models() {
     // Same frame, same offload request, every TX-capable model: the wire
     // bytes must agree no matter who (NIC or driver) does the work.
-    let req = TxRequest { l4_csum: true, ip_csum: true, vlan: Some(0x0999) };
+    let req = TxRequest {
+        l4_csum: true,
+        ip_csum: true,
+        vlan: Some(0x0999),
+    };
     let mut wires = Vec::new();
     for model in tx_models() {
         let mut reg = SemanticRegistry::with_builtins();
@@ -73,7 +77,9 @@ fn wire_frames_identical_across_all_tx_models() {
 fn tx_stats_track_descriptor_flow() {
     let model = models::ice();
     let mut reg = SemanticRegistry::with_builtins();
-    let intent = Intent::builder("t").want(&mut reg, names::TX_IP_CSUM).build();
+    let intent = Intent::builder("t")
+        .want(&mut reg, names::TX_IP_CSUM)
+        .build();
     let compiled = compile_tx(
         &Selector::default(),
         &model.p4_source,
@@ -89,7 +95,10 @@ fn tx_stats_track_descriptor_flow() {
         tx.send(
             &mut nic,
             &zeroed(format!("pkt {i}").as_bytes()),
-            TxRequest { ip_csum: true, ..Default::default() },
+            TxRequest {
+                ip_csum: true,
+                ..Default::default()
+            },
         )
         .unwrap();
     }
@@ -133,7 +142,10 @@ fn qdma_context_steers_descriptor_size() {
         tx.send(
             &mut nic,
             &zeroed(b"steered"),
-            TxRequest { l4_csum: want_offload, ..Default::default() },
+            TxRequest {
+                l4_csum: want_offload,
+                ..Default::default()
+            },
         )
         .unwrap();
         let sent = nic.process_tx();
@@ -158,7 +170,9 @@ fn rx_and_tx_coexist_on_one_nic() {
     let rx = opendesc::compiler::Compiler::default()
         .compile_model(&model, &rx_intent, &mut reg)
         .unwrap();
-    let tx_intent = Intent::builder("tx").want(&mut reg, names::TX_IP_CSUM).build();
+    let tx_intent = Intent::builder("tx")
+        .want(&mut reg, names::TX_IP_CSUM)
+        .build();
     let txc = compile_tx(
         &Selector::default(),
         &model.p4_source,
@@ -181,7 +195,10 @@ fn rx_and_tx_coexist_on_one_nic() {
         tx.send(
             &mut nic,
             &zeroed(format!("out {i}").as_bytes()),
-            TxRequest { ip_csum: true, ..Default::default() },
+            TxRequest {
+                ip_csum: true,
+                ..Default::default()
+            },
         )
         .unwrap();
     }

@@ -1,0 +1,328 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal stand-ins for its external dependencies
+//! (see `vendor/README.md`). This shim really measures: each benchmark
+//! closure is warmed up and then timed over a wall-clock window, and a
+//! `name/id: <ns>/iter (<throughput>)` line is printed per benchmark.
+//! It has no statistical machinery (no outlier analysis, no HTML
+//! reports); measurement windows are scaled down so full bench runs
+//! stay quick. Set `CRITERION_MEASURE_MS` to lengthen the window for
+//! more stable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// (total duration, iterations) accumulated by the last routine.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches/branch predictors settle and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32);
+        let chunk = chunk_iters(per_iter);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measure {
+            let t = Instant::now();
+            for _ in 0..chunk {
+                std::hint::black_box(routine());
+            }
+            total += t.elapsed();
+            iters += chunk;
+        }
+        self.result = Some((total, iters));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32);
+        let chunk = chunk_iters(per_iter);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measure {
+            // Setup cost stays outside the timed region, as in criterion.
+            let inputs: Vec<I> = (0..chunk).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            total += t.elapsed();
+            iters += chunk;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+/// Pick a batch size so each timed chunk is ~1ms, bounding timer overhead.
+fn chunk_iters(per_iter: Option<Duration>) -> u64 {
+    match per_iter {
+        Some(d) if !d.is_zero() => {
+            (Duration::from_millis(1).as_nanos() / d.as_nanos().max(1)).clamp(1, 65536) as u64
+        }
+        _ => 1024,
+    }
+}
+
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(measure_ms()),
+        }
+    }
+}
+
+fn measure_ms() -> u64 {
+    std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this shim sizes runs by time.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Scaled down ~10× (capped) so full suites finish quickly.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = (d / 10).min(Duration::from_millis(200));
+        self
+    }
+
+    /// Scaled down ~10× (capped) so full suites finish quickly.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = (d / 10)
+            .min(Duration::from_millis(500))
+            .max(Duration::from_millis(measure_ms()));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("== bench group: {name}");
+        BenchmarkGroup {
+            c: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.warm_up, self.measure, &id.id, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.c.warm_up, self.c.measure, &label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measure: Duration,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up,
+        measure,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(", {:.2} Melem/s", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(", {:.2} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            eprintln!("{label}: {ns:.1} ns/iter ({iters} iters{rate})");
+        }
+        _ => eprintln!("{label}: no measurement recorded"),
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_sum(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim-selftest");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(BenchmarkId::from_parameter("iter"), |b| {
+            b.iter(|| (0u64..64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("sum", 128), &128u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<u64>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(10));
+        targets = bench_sum
+    }
+
+    #[test]
+    fn group_runs_and_measures() {
+        // Shrink the windows so the self-test stays fast.
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        benches();
+    }
+}

@@ -1,0 +1,578 @@
+//! Offline shim for the subset of the `proptest` 1.x API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal stand-ins for its external dependencies
+//! (see `vendor/README.md`). Unlike a no-op stub, this shim actually
+//! *runs* property tests: strategies sample deterministic pseudo-random
+//! values and each `proptest!` block executes `ProptestConfig::cases`
+//! cases. What it does not do is shrink failing inputs — on failure it
+//! panics with the case number and seed so a failure is still
+//! reproducible (the RNG stream is a pure function of the test name).
+//!
+//! Supported surface (everything the repo's property tests use):
+//! `proptest!` (with optional `#![proptest_config(..)]`), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, integer range
+//! strategies, `Just`, `.prop_map(..)`, `.boxed()`,
+//! `proptest::collection::vec(..)`, and printable-string patterns such
+//! as `"\\PC*"` / `"\\PC{0,8}"`.
+
+pub mod test_runner {
+    /// Error type carried by `proptest!` bodies (`return Ok(())` /
+    /// `Err(TestCaseError::...)`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-test configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the (unshrunk) suite fast
+            // while still exercising each property broadly.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* stream, seeded from the test name so
+    /// every run of a given test sees the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name, optionally XORed with
+            // PROPTEST_SEED for manual exploration.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = s.parse::<u64>() {
+                    h ^= extra;
+                }
+            }
+            TestRng { state: h | 1 }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        #[inline]
+        pub fn next_u128(&mut self) -> u128 {
+            (self.next_u64() as u128) << 64 | self.next_u64() as u128
+        }
+
+        /// Uniform-ish draw in `[0, bound)`; `bound` must be nonzero.
+        #[inline]
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        pub fn seed(&self) -> u64 {
+            self.state
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// Object-safe value generator (subset of `proptest::strategy::Strategy`).
+    ///
+    /// No shrinking: `sample` produces one value per case directly.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                inner: self,
+                f,
+                _out: PhantomData,
+            }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased strategy handle (`proptest::strategy::BoxedStrategy`).
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of `.prop_map(..)`.
+    pub struct Map<S, F, O> {
+        inner: S,
+        f: F,
+        _out: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Result of `.prop_filter(..)` — resamples until the predicate holds.
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}): too many rejects", self.whence);
+        }
+    }
+
+    /// Uniform choice between strategies (backs `prop_oneof!`).
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            assert!(!self.0.is_empty(), "empty prop_oneof!");
+            let idx = rng.below(self.0.len());
+            self.0[idx].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        (self.start as i128 + (rng.next_u128() % span) as i128) as $t
+                    }
+                }
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi as i128 - lo as i128) as u128;
+                        if span == u128::MAX {
+                            return rng.next_u128() as $t;
+                        }
+                        (lo as i128 + (rng.next_u128() % (span + 1)) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {
+            $(
+                impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                    type Value = ($($n::Value,)+);
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$i.sample(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Printable-ASCII string pattern strategy. Supports the patterns
+    /// used in this repo: a char-class escape (treated as "any printable
+    /// ASCII") followed by `*`, `+`, or `{lo,hi}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_repeat_bounds(self);
+            let len = lo + rng.below(hi - lo + 1);
+            (0..len)
+                .map(|_| (0x20 + rng.below(0x5f) as u8) as char)
+                .collect()
+        }
+    }
+
+    fn parse_repeat_bounds(pattern: &str) -> (usize, usize) {
+        if let Some(rest) = pattern.strip_suffix('*') {
+            let _ = rest;
+            return (0, 16);
+        }
+        if pattern.ends_with('+') {
+            return (1, 16);
+        }
+        if let Some(open) = pattern.rfind('{') {
+            if let Some(body) = pattern[open + 1..].strip_suffix('}') {
+                let mut parts = body.splitn(2, ',');
+                let lo = parts.next().and_then(|s| s.trim().parse().ok());
+                let hi = parts.next().and_then(|s| s.trim().parse().ok());
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    return (lo, hi);
+                }
+            }
+        }
+        // No recognized repeat operator: emit a short arbitrary string.
+        (0, 8)
+    }
+
+    /// Marker type returned by `any::<T>()`.
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (`proptest::arbitrary`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+            })*
+        };
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u128()
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u128() as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive element-count bounds (`proptest::collection::SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between the listed strategies. The weighted
+/// `w => strat` form of real proptest is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests. Each test function body runs once per case
+/// with freshly sampled arguments; the body may `return Ok(())` early or
+/// fail via `prop_assert!`-style macros / `Err(TestCaseError::..)`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code, clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let case_seed = rng.seed();
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )*
+                    let outcome = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err(e) => {
+                            panic!(
+                                "proptest {} failed at case {} (seed {:#x}): {}",
+                                stringify!($name), case, case_seed, e
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u8..20, y in -5i64..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategies_apply(v in small_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_vec(items in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..8)) {
+            prop_assert!(!items.is_empty() && items.len() < 8);
+            prop_assert!(items.iter().all(|&b| b == 1 || b == 2));
+            return Ok(());
+        }
+
+        #[test]
+        fn string_patterns(s in "\\PC{2,4}", t in "\\PC*") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(t.len() <= 16);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn any_arrays(bytes in any::<[u8; 4]>(), word in any::<u64>()) {
+            let _ = (bytes, word);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline shim for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal, API-compatible stand-ins for its three
+//! external dependencies (see `vendor/README.md`). This crate provides
+//! `SmallRng` + the `Rng`/`SeedableRng` traits with the same call
+//! surface (`random`, `random_range`, `seed_from_u64`) and deterministic
+//! per-seed output, which is all the simulator and workload generator
+//! rely on.
+
+pub mod rngs {
+    /// A small, fast, non-cryptographic RNG (xorshift64*, splitmix-seeded).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+
+    impl SmallRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+/// Seeding trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        rngs::SmallRng { state: z | 1 }
+    }
+}
+
+/// Types producible by `Rng::random` (stand-in for `StandardUniform`).
+pub trait Standard: Sized {
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! std_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+        })*
+    };
+}
+std_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        // Callers wanting full-width u128 should combine draws; a single
+        // mixed draw is enough for the workloads here.
+        (v as u128) << 64 | v.wrapping_mul(0x9E3779B97F4A7C15) as u128
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        <f64 as Standard>::from_u64(v) as f32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v & 1 == 1
+    }
+}
+
+/// Integer types usable with `random_range` (stand-in for
+/// `rand::distr::uniform::SampleUniform`).
+pub trait SampleUniform: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! uniform_impl {
+    ($($t:ty),*) => {
+        $(impl SampleUniform for $t {
+            #[inline]
+            fn to_i128(self) -> i128 { self as i128 }
+            #[inline]
+            fn from_i128(v: i128) -> Self { v as $t }
+        })*
+    };
+}
+uniform_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by `Rng::random_range`. The blanket impls over any
+/// `SampleUniform` element mirror real rand's shape so integer-literal
+/// inference at call sites (`random_range(0..8)`) behaves identically.
+pub trait SampleRange<T> {
+    fn sample(self, raw: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample(self, raw: u64) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u128;
+        T::from_i128(lo + (raw as u128 % span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample(self, raw: u64) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u128 + 1;
+        T::from_i128(lo + (raw as u128 % span) as i128)
+    }
+}
+
+/// Subset of `rand::Rng`.
+pub trait Rng {
+    fn random<T: Standard>(&mut self) -> T;
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::SmallRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u8 = r.random_range(0u8..3);
+            assert!(v < 3);
+            let w: i64 = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_covers_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..10_000 {
+            let f: f64 = r.random();
+            lo |= f < 0.1;
+            hi |= f > 0.9;
+        }
+        assert!(lo && hi, "samples should spread across [0,1)");
+    }
+}
