@@ -1,0 +1,77 @@
+//! E13 — sharded multi-core RX: aggregate throughput of N parallel
+//! per-queue datapath workers over `MultiQueueNic`-style steering, at
+//! 1/2/4/8 queues on the four NIC models.
+//!
+//! The tentpole measurement for the sharded engine: each worker owns a
+//! `SimNic` queue, an `OpenDescDriver` sharing one `Arc<CompiledRx>`
+//! artifact, and recycled `RxBatch` storage; steering resolves through
+//! the 128-entry RETA and hands its parse + Toeplitz hash downstream.
+//! Aggregate throughput is total packets over the busiest worker's
+//! drain time — the parallel wall clock given one core per worker. On
+//! e1000e, 4 queues must yield ≥ 2× the 1-queue aggregate — asserted
+//! below, not just printed.
+//!
+//! The quick-mode table (also emitted as `BENCH_e13.json` by
+//! `scripts/bench.sh`) is printed first so the rows can be recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use opendesc_bench::e13;
+
+fn bench(c: &mut Criterion) {
+    // Quick-mode matrix first: prints the E13 scaling table and checks
+    // the acceptance ratio.
+    let rows = e13::run_quick(10);
+    println!(
+        "\nE13: sharded RX, {} pkts/round across queues, RSS steering",
+        e13::ROUND
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>14} {:>14}",
+        "model", "queues", "agg Mpps", "max_busy_ns", "sum_busy_ns"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} {:>12.3} {:>14} {:>14}",
+            r.model, r.queues, r.mpps, r.max_busy_ns, r.sum_busy_ns
+        );
+    }
+    let scaling = e13::scaling(&rows, "e1000e", 4, 1);
+    println!("e1000e aggregate scaling 4q vs 1q: {scaling:.2}x");
+    assert!(
+        scaling >= 2.0,
+        "acceptance: >=2x aggregate at 4 queues vs 1 on e1000e (got {scaling:.2}x)"
+    );
+
+    // Criterion timings: one full sequential-harness round per queue
+    // count (the timed quantity is the whole round; per-worker busy
+    // accounting is what the quick-mode table reports).
+    for model in e13::model_matrix() {
+        let mut g = c.benchmark_group(format!("e13/{}", model.name));
+        g.throughput(Throughput::Elements(e13::ROUND as u64));
+        for &q in &e13::QUEUE_COUNTS {
+            g.bench_function(format!("{q}q"), |b| {
+                b.iter_batched(
+                    || {
+                        let eng = e13::engine(&model, q);
+                        let pools = e13::pools(&eng);
+                        (eng, pools)
+                    },
+                    |(mut eng, pools)| eng.run_sequential(&pools),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Quick-mode E13 runner: measures aggregate sharded-RX throughput at
+//! 1/2/4/8 queues on the four models and writes the perf-trajectory
+//! record. Used by `scripts/bench.sh` and the CI smoke step.
+//!
+//! Usage: `e13_json [OUTPUT.json]` (default `BENCH_e13.json`).
+
+use opendesc_bench::e13;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_e13.json".into());
+    let rows = e13::run_quick(10);
+    println!(
+        "E13: sharded RX, {} pkts/round across queues, RSS steering",
+        e13::ROUND
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>14} {:>14}",
+        "model", "queues", "agg Mpps", "max_busy_ns", "sum_busy_ns"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} {:>12.3} {:>14} {:>14}",
+            r.model, r.queues, r.mpps, r.max_busy_ns, r.sum_busy_ns
+        );
+    }
+    let scaling = e13::scaling(&rows, "e1000e", 4, 1);
+    println!("e1000e aggregate scaling 4q vs 1q: {scaling:.2}x");
+    assert!(
+        scaling >= 2.0,
+        "acceptance: sharded RX must scale aggregate throughput >=2x at 4 queues vs 1 on e1000e (got {scaling:.2}x)"
+    );
+    std::fs::write(&path, e13::to_json(&rows)).expect("write bench record");
+    println!("wrote {path}");
+}

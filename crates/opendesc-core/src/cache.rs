@@ -1,0 +1,294 @@
+//! Compile once, run everywhere: shareable compiled artifacts and the
+//! keyed plan cache.
+//!
+//! The compiler's output is immutable after compilation — the accessor
+//! table, the lowered [`RxPlan`](crate::plan::RxPlan), the selected path
+//! and context are all read-only on the datapath. [`CompiledRx`] makes
+//! that explicit: an `Arc`-held artifact that N queues share instead of
+//! holding N copies, and that worker threads can hold concurrently
+//! (`Send + Sync` is asserted at compile time below).
+//!
+//! [`PlanCache`] keys artifacts by what determines them — `(model,
+//! context, intent)` — so N queues with the same intent trigger one
+//! compilation, while queues with *different* intents (the paper's §3
+//! "multiple OpenDesc instances with different intents to obtain
+//! different queues" scenario) each get their own artifact. Identical
+//! requests return pointer-equal `Arc`s.
+
+use crate::compiler::{CompileError, CompiledInterface, Compiler};
+use crate::intent::Intent;
+use opendesc_ir::{Assignment, SemanticRegistry};
+use opendesc_nicsim::models::NicModel;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
+
+/// An immutable, thread-shareable compiled RX interface.
+///
+/// Wraps [`CompiledInterface`] and hides `&mut` access; `Deref` keeps
+/// every `iface.accessors` / `iface.plan` call site working unchanged.
+#[derive(Debug)]
+pub struct CompiledRx {
+    iface: CompiledInterface,
+}
+
+impl CompiledRx {
+    pub fn new(iface: CompiledInterface) -> Self {
+        CompiledRx { iface }
+    }
+
+    /// The wrapped interface (also reachable through `Deref`).
+    pub fn interface(&self) -> &CompiledInterface {
+        &self.iface
+    }
+}
+
+impl Deref for CompiledRx {
+    type Target = CompiledInterface;
+    fn deref(&self) -> &CompiledInterface {
+        &self.iface
+    }
+}
+
+impl From<CompiledInterface> for CompiledRx {
+    fn from(iface: CompiledInterface) -> Self {
+        CompiledRx::new(iface)
+    }
+}
+
+// The whole point of `CompiledRx` is cross-thread sharing; break the
+// build if a future field introduces interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledRx>();
+    assert_send_sync::<PlanCache>();
+};
+
+/// Cache key: everything that determines a compilation's output.
+///
+/// Semantics are keyed by *name* (not `SemanticId`) so the key is stable
+/// across registries; the context override is canonicalized by sorting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    model: String,
+    deparser: String,
+    intent_name: String,
+    /// `(semantic name, field name, width)` per intent field, in order.
+    fields: Vec<(String, String, u16)>,
+    /// Sorted `(dotted field, value)` of the context override, if any.
+    context: Option<Vec<(String, u128)>>,
+}
+
+impl PlanKey {
+    fn new(
+        model: &NicModel,
+        intent: &Intent,
+        context: Option<&Assignment>,
+        reg: &SemanticRegistry,
+    ) -> PlanKey {
+        let fields = intent
+            .fields
+            .iter()
+            .map(|f| {
+                (
+                    reg.name(f.semantic).to_string(),
+                    f.name.clone(),
+                    f.width_bits,
+                )
+            })
+            .collect();
+        let context = context.map(|ctx| {
+            let mut kv: Vec<(String, u128)> = ctx.iter().map(|(f, v)| (f.dotted(), *v)).collect();
+            kv.sort();
+            kv
+        });
+        PlanKey {
+            model: model.name.clone(),
+            deparser: model.deparser.clone(),
+            intent_name: intent.name.clone(),
+            fields,
+            context,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<PlanKey, Arc<CompiledRx>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Keyed plan cache: `(model, context, intent) → Arc<CompiledRx>`.
+///
+/// The lock guards only the map — setup-time state. Queues take their
+/// `Arc` once at attach and the per-packet path never touches the cache.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    compiler: Compiler,
+    inner: Mutex<CacheInner>,
+}
+
+impl PlanCache {
+    pub fn new(compiler: Compiler) -> Self {
+        PlanCache {
+            compiler,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Compiled artifact for `(model, intent)`, compiling at most once:
+    /// repeated calls with an identical request return pointer-equal
+    /// `Arc`s (`Arc::ptr_eq` holds).
+    pub fn get_or_compile(
+        &self,
+        model: &NicModel,
+        intent: &Intent,
+        reg: &mut SemanticRegistry,
+    ) -> Result<Arc<CompiledRx>, CompileError> {
+        self.get_or_compile_with(model, intent, None, reg)
+    }
+
+    /// [`get_or_compile`](PlanCache::get_or_compile) with an explicit
+    /// context override — for queues steered onto a specific completion
+    /// path (or models whose winning guard is opaque and needs manual
+    /// context). The override replaces the compiler-derived context in
+    /// the artifact and participates in the key.
+    pub fn get_or_compile_with(
+        &self,
+        model: &NicModel,
+        intent: &Intent,
+        context: Option<&Assignment>,
+        reg: &mut SemanticRegistry,
+    ) -> Result<Arc<CompiledRx>, CompileError> {
+        let key = PlanKey::new(model, intent, context, reg);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(hit) = inner.map.get(&key) {
+                let hit = Arc::clone(hit);
+                inner.hits += 1;
+                return Ok(hit);
+            }
+        }
+        // Compile outside the lock: compilation is the slow part, and
+        // racing compilers at setup are harmless (last insert wins the
+        // map; both callers get a valid artifact — callers needing
+        // pointer equality call sequentially, as the engine setup does).
+        let mut iface = self.compiler.compile_model(model, intent, reg)?;
+        if let Some(ctx) = context {
+            iface.context = Some(ctx.clone());
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.misses += 1;
+        let arc = inner
+            .map
+            .entry(key)
+            .or_insert_with(|| Arc::new(CompiledRx::new(iface)));
+        Ok(Arc::clone(arc))
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.hits, inner.misses)
+    }
+
+    /// Distinct artifacts held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opendesc_ir::names;
+    use opendesc_nicsim::models;
+
+    fn intent(reg: &mut SemanticRegistry, name: &str, sems: &[&str]) -> Intent {
+        let mut b = Intent::builder(name);
+        for s in sems {
+            b = b.want(reg, s);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_requests_are_pointer_equal() {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let a = cache
+            .get_or_compile(&models::e1000e(), &i, &mut reg)
+            .unwrap();
+        let b = cache
+            .get_or_compile(&models::e1000e(), &i, &mut reg)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same request must share one artifact");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_model_or_intent_miss() {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i1 = intent(&mut reg, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let i2 = intent(&mut reg, "app2", &[names::VLAN_TCI]);
+        let a = cache
+            .get_or_compile(&models::e1000e(), &i1, &mut reg)
+            .unwrap();
+        let b = cache
+            .get_or_compile(&models::mlx5(), &i1, &mut reg)
+            .unwrap();
+        let c = cache
+            .get_or_compile(&models::e1000e(), &i2, &mut reg)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+        // Artifacts genuinely differ.
+        assert_eq!(a.nic_name, "e1000e");
+        assert_eq!(b.nic_name, "mlx5");
+        assert_eq!(c.intent.name, "app2");
+    }
+
+    #[test]
+    fn context_override_participates_in_key_and_artifact() {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let plain = cache.get_or_compile(&models::mlx5(), &i, &mut reg).unwrap();
+        let mut ctx = Assignment::new();
+        ctx.insert(
+            opendesc_ir::pred::FieldRef::new(&["ctx", "cqe_format"], 2),
+            0,
+        );
+        let forced = cache
+            .get_or_compile_with(&models::mlx5(), &i, Some(&ctx), &mut reg)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&plain, &forced));
+        assert_eq!(forced.context.as_ref(), Some(&ctx));
+        // Same override again: cache hit.
+        let again = cache
+            .get_or_compile_with(&models::mlx5(), &i, Some(&ctx), &mut reg)
+            .unwrap();
+        assert!(Arc::ptr_eq(&forced, &again));
+    }
+
+    #[test]
+    fn deref_reaches_interface_fields() {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let rx = cache.get_or_compile(&models::mlx5(), &i, &mut reg).unwrap();
+        // The whole accessor/plan surface is reachable through Deref.
+        assert_eq!(rx.accessors.accessors.len(), 2);
+        assert_eq!(rx.plan.steps.len(), 2);
+        assert_eq!(rx.interface().nic_name, "mlx5");
+    }
+}

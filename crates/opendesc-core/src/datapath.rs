@@ -7,11 +7,13 @@
 //! fields through constant-time accessors, invoking SoftNIC shims only
 //! for semantics the layout does not carry.
 
+use crate::cache::CompiledRx;
 use crate::compiler::CompiledInterface;
 use opendesc_ir::SemanticId;
 use opendesc_nicsim::nic::{NicError, SimNic};
 use opendesc_softnic::wire::ParsedFrame;
 use opendesc_softnic::{ShimMemo, SoftNic};
+use std::sync::Arc;
 
 /// Metadata for one received packet, ordered like the intent's fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +59,9 @@ pub struct RxBatch {
     meta: Vec<Option<u128>>,
     /// Scratch column for the hardware batch reader.
     hwcol: Vec<u128>,
+    /// Steering sideband per packet (device-reported RSS hash), consumed
+    /// to prime the shim memo; recycled like the other columns.
+    hints: Vec<Option<u32>>,
 }
 
 impl RxBatch {
@@ -76,6 +81,7 @@ impl RxBatch {
             cmpts: (0..cap).map(|_| Vec::new()).collect(),
             meta: vec![None; fields * cap],
             hwcol: vec![0; cap],
+            hints: vec![None; cap],
         }
     }
 
@@ -126,19 +132,39 @@ impl RxBatch {
     pub fn column(&self, field: usize) -> &[Option<u128>] {
         &self.meta[field * self.cap..field * self.cap + self.len]
     }
+
+    /// The steering-stage RSS hash delivered with packet `pkt`, if the
+    /// device reported one.
+    pub fn rss_hint(&self, pkt: usize) -> Option<u32> {
+        assert!(pkt < self.len);
+        self.hints[pkt]
+    }
 }
 
 /// A compiled OpenDesc driver bound to a NIC instance.
+///
+/// The compiled interface is held through a shared immutable
+/// [`CompiledRx`]: N queues attached with the same artifact hold one
+/// compilation, not N copies (`iface` still reads like a
+/// `CompiledInterface` via `Deref`).
 pub struct OpenDescDriver {
     pub nic: SimNic,
-    pub iface: CompiledInterface,
+    pub iface: Arc<CompiledRx>,
     soft: SoftNic,
 }
 
 impl OpenDescDriver {
     /// Attach a compiled interface to a NIC: programs the selected
     /// context via the control channel and returns the ready driver.
-    pub fn attach(mut nic: SimNic, iface: CompiledInterface) -> Result<Self, NicError> {
+    pub fn attach(nic: SimNic, iface: CompiledInterface) -> Result<Self, NicError> {
+        Self::attach_shared(nic, Arc::new(CompiledRx::new(iface)))
+    }
+
+    /// [`attach`](OpenDescDriver::attach) over an already-shared
+    /// artifact — the sharded engine's path: every worker's queue
+    /// attaches the same `Arc` (typically from the
+    /// [`PlanCache`](crate::cache::PlanCache)).
+    pub fn attach_shared(mut nic: SimNic, iface: Arc<CompiledRx>) -> Result<Self, NicError> {
         if let Some(ctx) = &iface.context {
             nic.configure(ctx.clone())?;
         }
@@ -156,11 +182,18 @@ impl OpenDescDriver {
 
     /// Host-side: poll one packet with its requested metadata.
     pub fn poll(&mut self) -> Option<RxPacket> {
-        let (frame, cmpt) = self.nic.receive()?;
-        let values = self
-            .iface
-            .plan
-            .execute(&self.iface.accessors, &mut self.soft, &frame, &cmpt);
+        let mut frame = Vec::new();
+        let mut cmpt = Vec::new();
+        let side = self.nic.receive_into_hinted(&mut frame, &mut cmpt)?;
+        let mut values = vec![None; self.iface.plan.steps.len()];
+        self.iface.plan.execute_into_primed(
+            &self.iface.accessors,
+            &mut self.soft,
+            &frame,
+            &cmpt,
+            side.rss_hint,
+            &mut values,
+        );
         let meta = self
             .iface
             .accessors
@@ -207,14 +240,16 @@ impl OpenDescDriver {
             self.iface.accessors.accessors.len(),
             "batch was built for a different interface"
         );
-        // Drain the rings into recycled frame/completion storage.
+        // Drain the rings into recycled frame/completion storage,
+        // keeping each packet's steering sideband alongside it.
         let mut n = 0;
         while n < batch.cap {
-            if !self
+            match self
                 .nic
-                .receive_into(&mut batch.frames[n], &mut batch.cmpts[n])
+                .receive_into_hinted(&mut batch.frames[n], &mut batch.cmpts[n])
             {
-                break;
+                Some(side) => batch.hints[n] = side.rss_hint,
+                None => break,
             }
             n += 1;
         }
@@ -230,12 +265,17 @@ impl OpenDescDriver {
                 batch.meta[base + pkt] = Some(batch.hwcol[pkt]);
             }
         }
-        // Software fields: parse each frame once, share it across shims.
+        // Software fields: parse each frame once, share it across shims;
+        // a device-reported hash primes the memo so software RSS steps
+        // are lookups, not Toeplitz runs.
         if plan.needs_parse() {
             for pkt in 0..n {
                 let frame = &batch.frames[pkt];
                 let parsed = ParsedFrame::parse(frame);
                 let mut memo = ShimMemo::default();
+                if let Some(h) = batch.hints[pkt] {
+                    memo.prime_rss(h);
+                }
                 for &(acc_idx, op) in &plan.sw {
                     batch.meta[acc_idx * batch.cap + pkt] = parsed
                         .as_ref()

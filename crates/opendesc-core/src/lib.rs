@@ -25,6 +25,7 @@
 //! ```
 pub mod accessor;
 pub mod baseline;
+pub mod cache;
 pub mod codegen;
 pub mod compiler;
 pub mod datapath;
@@ -33,10 +34,12 @@ pub mod hook;
 pub mod intent;
 pub mod plan;
 pub mod select;
+pub mod shard;
 pub mod tx;
 
 pub use accessor::{Accessor, AccessorKind, AccessorSet};
 pub use baseline::{GenericMbuf, GenericMbufDriver, LcdDriver};
+pub use cache::{CompiledRx, PlanCache};
 pub use compiler::{CompileError, CompiledInterface, Compiler};
 pub use datapath::{OpenDescDriver, RxBatch, RxPacket};
 pub use equiv::{capabilities, diff, intent_equivalent, ContractDiff, IntentEquivalence};
@@ -44,4 +47,5 @@ pub use hook::{HookDriver, HookStats, HookVerdict};
 pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
 pub use plan::{PlanStep, RxPlan};
 pub use select::{Objective, PathScore, SelectError, Selection, Selector};
+pub use shard::{DrainedPacket, RxWorker, ShardError, ShardReport, ShardedRx, WorkerStats};
 pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};

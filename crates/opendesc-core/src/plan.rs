@@ -79,6 +79,23 @@ impl RxPlan {
         cmpt: &[u8],
         out: &mut [Option<u128>],
     ) {
+        self.execute_into_primed(set, soft, frame, cmpt, None, out)
+    }
+
+    /// [`execute_into`](RxPlan::execute_into) with the completion's RSS
+    /// sideband primed into the shim memo: when the device already
+    /// reports the Toeplitz hash (real NICs do, the simulator's steering
+    /// stage does), software `rss_hash`/`queue_hint` steps become memo
+    /// hits instead of recomputing the hash over the key.
+    pub fn execute_into_primed(
+        &self,
+        set: &AccessorSet,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        rss_hint: Option<u32>,
+        out: &mut [Option<u128>],
+    ) {
         debug_assert!(out.len() >= self.steps.len());
         let parsed = if self.needs_parse() {
             ParsedFrame::parse(frame)
@@ -86,6 +103,9 @@ impl RxPlan {
             None
         };
         let mut memo = ShimMemo::default();
+        if let Some(h) = rss_hint {
+            memo.prime_rss(h);
+        }
         for step in &self.steps {
             match *step {
                 PlanStep::Hardware { acc_idx } => {
@@ -198,6 +218,39 @@ mod tests {
                 PlanStep::Software { .. } => assert!(v.is_none()),
             }
         }
+    }
+
+    #[test]
+    fn primed_execution_matches_unprimed_with_true_hash() {
+        // When the sideband hint is the hash the device truly computed
+        // (the only case the datapath produces), priming must be
+        // invisible in the output — it only skips the recompute.
+        let iface = compiled_for(models::e1000e());
+        let frame = testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            4242,
+            11211,
+            &testpkt::kvs_get_payload("primed:key"),
+            None,
+        );
+        let cmpt = vec![0u8; iface.accessors.completion_bytes as usize];
+        let mut soft = SoftNic::new();
+        let h = soft.compute_by_name(names::RSS_HASH, &frame).unwrap() as u32;
+        let mut plain = vec![None; iface.plan.steps.len()];
+        let mut primed = vec![None; iface.plan.steps.len()];
+        iface
+            .plan
+            .execute_into(&iface.accessors, &mut soft, &frame, &cmpt, &mut plain);
+        iface.plan.execute_into_primed(
+            &iface.accessors,
+            &mut soft,
+            &frame,
+            &cmpt,
+            Some(h),
+            &mut primed,
+        );
+        assert_eq!(plain, primed);
     }
 
     #[test]

@@ -27,11 +27,33 @@ pub use hostmem::HostMem;
 pub use models::{
     catalog, e1000_legacy, e1000e, ice, ixgbe, mlx5, qdma, qdma_default, NicModel, QdmaLayout,
 };
-pub use multiqueue::{MultiQueueNic, SteerPolicy};
-pub use nic::{FaultConfig, NicError, NicStats, SimNic, WritebackMode};
+pub use multiqueue::{
+    CachePadded, MultiQueueNic, SteerPolicy, SteerStats, SteerVerdict, Steerer, RETA_SIZE,
+};
+pub use nic::{FaultConfig, NicError, NicStats, RxSideband, SimNic, WritebackMode};
 pub use offload::{DeviceOp, MetaRecord, OffloadEngine, OffloadProgram};
-pub use pktgen::{PktGen, Transport, Workload};
+pub use pktgen::{PktGen, ShardFrame, ShardedPktGen, Transport, Workload};
 pub use ring::{DescRing, RingError};
 pub use rxbuf::RxBufferPool;
 pub use stream::StreamQueue;
 pub use tx::TxStats;
+
+// Send audit for the sharded RX engine (tentpole requirement): every
+// piece of device state a worker thread takes ownership of must cross
+// the thread boundary. All of these are plain owned data — no `Rc`, no
+// `RefCell`/`Cell`, no raw pointers — and this block turns any future
+// regression into a compile error. `Steerer` is additionally `Sync`
+// because one instance is *shared by reference* across all workers.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<DescRing>();
+    assert_send::<HostMem>();
+    assert_send::<RxBufferPool>();
+    assert_send::<SimNic>();
+    assert_send::<MultiQueueNic>();
+    assert_send::<OffloadEngine>();
+    assert_send::<ShardedPktGen>();
+    assert_sync::<Steerer>();
+    assert_sync::<CachePadded<u64>>();
+};

@@ -7,16 +7,58 @@
 //! but programmed with its own context (its own completion layout). The
 //! device steers arriving frames to queues by RSS, by an exact-match
 //! port table (flow-director style), or round-robin.
+//!
+//! Steering itself lives in [`Steerer`], an immutable value computed once
+//! at configuration time: RSS resolves through a real-NIC-style 128-entry
+//! RETA indirection table instead of a per-frame modulo, and the verdict
+//! carries the frame parse and Toeplitz hash forward so neither is
+//! recomputed by the queue's offload engine or the host's shim plan. The
+//! sharded RX engine shares the same `Steerer` across worker threads
+//! (it is `Send + Sync`), which is what keeps parallel steering
+//! bit-identical to the sequential device.
 
 use crate::models::NicModel;
 use crate::nic::{NicError, SimNic};
 use opendesc_softnic::wire::ParsedFrame;
 use opendesc_softnic::{rss_ipv4, rss_ipv4_l4, MSFT_RSS_KEY};
+use std::ops::{Deref, DerefMut};
+
+/// A value padded out to its own cache line.
+///
+/// Diagnostics counters on the hot path must not create false sharing
+/// once queues are drained by parallel workers: each worker's cells live
+/// on lines no other worker writes. `align(64)` covers the common x86/arm
+/// line size; on wider-line parts two cells may share, which costs
+/// nothing in correctness.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    pub value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 /// How the device picks a queue for an arriving frame.
 #[derive(Debug, Clone)]
 pub enum SteerPolicy {
-    /// Toeplitz RSS over the flow tuple, modulo queue count.
+    /// Toeplitz RSS over the flow tuple, resolved through the RETA.
     Rss,
     /// Exact-match on L4 destination port; unmatched traffic goes to
     /// `default` (flow-director / ntuple style).
@@ -28,13 +70,136 @@ pub enum SteerPolicy {
     RoundRobin,
 }
 
+/// Entries in the RSS redirection table. Real 82599/mlx5-class devices
+/// use 128 (or a small multiple); the hash indexes the table with its low
+/// bits and the table entry names the queue, so re-balancing rewrites the
+/// table — never the per-frame path.
+pub const RETA_SIZE: usize = 128;
+
+/// Everything the steering stage learned about one frame. The parse and
+/// hash ride along so downstream stages (offload engine, host shim plan)
+/// reuse instead of recompute — the device pipeline parses once.
+#[derive(Debug)]
+pub struct SteerVerdict<'f> {
+    /// Queue the frame steers to.
+    pub queue: usize,
+    /// The steering-time parse (absent only for unparseable frames).
+    pub parsed: Option<ParsedFrame<'f>>,
+    /// The steering-time Toeplitz hash (RSS policy, IP frames only).
+    pub rss: Option<u32>,
+}
+
+/// Immutable steering state, built once when the queue set is configured.
+///
+/// `Steerer` is deliberately free of interior mutability so one instance
+/// can be shared by reference across worker threads; the only stateful
+/// policy (round-robin) takes its cursor as an explicit argument
+/// (`idx`), which also makes sharded steering reproducible: frame `i` of
+/// a stream steers identically no matter which worker asks.
+#[derive(Debug, Clone)]
+pub struct Steerer {
+    policy: SteerPolicy,
+    /// RSS redirection table: `reta[hash & (RETA_SIZE-1)]` names the
+    /// queue. Computed once here; per-frame steering is a mask + load.
+    reta: [u16; RETA_SIZE],
+    queues: usize,
+}
+
+impl Steerer {
+    /// Build steering state for `queues` queues under `policy`. The RETA
+    /// is filled round-robin (`i % queues`), the standard reset layout.
+    pub fn new(policy: SteerPolicy, queues: usize) -> Steerer {
+        assert!(queues > 0, "at least one queue");
+        let mut reta = [0u16; RETA_SIZE];
+        for (i, e) in reta.iter_mut().enumerate() {
+            *e = (i % queues) as u16;
+        }
+        Steerer {
+            policy,
+            reta,
+            queues,
+        }
+    }
+
+    /// Number of queues steered across.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &SteerPolicy {
+        &self.policy
+    }
+
+    /// The redirection table (diagnostics / tests).
+    pub fn reta(&self) -> &[u16; RETA_SIZE] {
+        &self.reta
+    }
+
+    /// Steer frame `idx` of a stream. `idx` only matters for round-robin
+    /// (the cursor); content-based policies ignore it, so any caller that
+    /// knows a frame's stream position steers it identically — the
+    /// property sharded per-queue generators rely on.
+    pub fn steer<'f>(&self, idx: u64, frame: &'f [u8]) -> SteerVerdict<'f> {
+        let parsed = ParsedFrame::parse(frame);
+        match &self.policy {
+            SteerPolicy::RoundRobin => SteerVerdict {
+                queue: (idx % self.queues as u64) as usize,
+                parsed,
+                rss: None,
+            },
+            SteerPolicy::DstPort { table, default } => {
+                let port = parsed.as_ref().and_then(|p| p.ports()).map(|(_, d)| d);
+                let queue = match port {
+                    Some(d) => table
+                        .iter()
+                        .find(|(p, _)| *p == d)
+                        .map(|(_, q)| *q)
+                        .unwrap_or(*default),
+                    None => *default,
+                }
+                .min(self.queues - 1);
+                SteerVerdict {
+                    queue,
+                    parsed,
+                    rss: None,
+                }
+            }
+            SteerPolicy::Rss => {
+                let rss = parsed.as_ref().and_then(|p| {
+                    let ip = p.ipv4?;
+                    Some(match p.ports() {
+                        Some((sp, dp)) => rss_ipv4_l4(&MSFT_RSS_KEY, ip.src(), ip.dst(), sp, dp),
+                        None => rss_ipv4(&MSFT_RSS_KEY, ip.src(), ip.dst()),
+                    })
+                });
+                let queue = match rss {
+                    Some(h) => self.reta[h as usize & (RETA_SIZE - 1)] as usize,
+                    None => 0,
+                };
+                SteerVerdict { queue, parsed, rss }
+            }
+        }
+    }
+}
+
+/// Per-queue steering diagnostics. Lives inside a [`CachePadded`] cell so
+/// counting a frame never dirties a line another queue's worker reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteerStats {
+    /// Frames steered to this queue.
+    pub steered: u64,
+}
+
 /// A NIC with several independently configured receive queues.
 pub struct MultiQueueNic {
     pub queues: Vec<SimNic>,
-    policy: SteerPolicy,
-    rr_next: usize,
-    /// Frames steered per queue (diagnostics).
-    pub steered: Vec<u64>,
+    steerer: Steerer,
+    /// Round-robin cursor on its own line (it is written per frame; the
+    /// per-queue stat cells must not share it).
+    rr: CachePadded<u64>,
+    /// Frames steered per queue, one padded cell per queue.
+    stats: Vec<CachePadded<SteerStats>>,
 }
 
 impl MultiQueueNic {
@@ -51,10 +216,10 @@ impl MultiQueueNic {
             queues.push(SimNic::new(model.clone(), ring)?);
         }
         Ok(MultiQueueNic {
-            steered: vec![0; queues.len()],
+            stats: (0..n).map(|_| CachePadded::default()).collect(),
+            steerer: Steerer::new(policy, n),
+            rr: CachePadded::default(),
             queues,
-            policy,
-            rr_next: 0,
         })
     }
 
@@ -67,58 +232,62 @@ impl MultiQueueNic {
         self.queues.is_empty()
     }
 
-    /// The queue an arriving frame steers to under the current policy.
-    pub fn steer(&mut self, frame: &[u8]) -> usize {
-        let n = self.queues.len();
-        match &self.policy {
+    /// The immutable steering state (shareable across worker threads).
+    pub fn steerer(&self) -> &Steerer {
+        &self.steerer
+    }
+
+    /// Round-robin cursor advance: only that policy consumes stream
+    /// positions, preserving the historical "steer() cycles" behaviour.
+    fn next_index(&mut self) -> u64 {
+        match self.steerer.policy() {
             SteerPolicy::RoundRobin => {
-                let q = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
-                q
+                let i = self.rr.value;
+                self.rr.value += 1;
+                i
             }
-            SteerPolicy::DstPort { table, default } => {
-                let port = ParsedFrame::parse(frame)
-                    .and_then(|p| p.ports())
-                    .map(|(_, d)| d);
-                match port {
-                    Some(d) => table
-                        .iter()
-                        .find(|(p, _)| *p == d)
-                        .map(|(_, q)| *q)
-                        .unwrap_or(*default),
-                    None => *default,
-                }
-                .min(n - 1)
-            }
-            SteerPolicy::Rss => {
-                let h = ParsedFrame::parse(frame)
-                    .and_then(|p| {
-                        let ip = p.ipv4?;
-                        Some(match p.ports() {
-                            Some((sp, dp)) => {
-                                rss_ipv4_l4(&MSFT_RSS_KEY, ip.src(), ip.dst(), sp, dp)
-                            }
-                            None => rss_ipv4(&MSFT_RSS_KEY, ip.src(), ip.dst()),
-                        })
-                    })
-                    .unwrap_or(0);
-                (h as usize) % n
-            }
+            _ => 0,
         }
     }
 
-    /// Deliver one frame from the wire into whichever queue it steers to.
-    /// Returns the queue index.
+    /// The queue an arriving frame steers to under the current policy.
+    pub fn steer(&mut self, frame: &[u8]) -> usize {
+        let idx = self.next_index();
+        self.steerer.steer(idx, frame).queue
+    }
+
+    /// Deliver one frame from the wire into whichever queue it steers to,
+    /// handing the steering-time parse and hash to the queue so neither
+    /// is recomputed. Returns the queue index.
     pub fn deliver(&mut self, frame: &[u8]) -> Result<usize, NicError> {
-        let q = self.steer(frame);
-        self.queues[q].deliver(frame)?;
-        self.steered[q] += 1;
-        Ok(q)
+        let idx = self.next_index();
+        let v = self.steerer.steer(idx, frame);
+        self.queues[v.queue].deliver_steered(frame, v.parsed.as_ref(), v.rss)?;
+        self.stats[v.queue].value.steered += 1;
+        Ok(v.queue)
+    }
+
+    /// Frames steered to queue `q` so far.
+    pub fn steered(&self, q: usize) -> u64 {
+        self.stats[q].steered
+    }
+
+    /// Steering counts for every queue (coordinator aggregation view).
+    pub fn steered_counts(&self) -> Vec<u64> {
+        self.stats.iter().map(|c| c.steered).collect()
     }
 
     /// Mutable access to one queue (for configuration / host polling).
     pub fn queue_mut(&mut self, i: usize) -> &mut SimNic {
         &mut self.queues[i]
+    }
+
+    /// Tear the NIC apart into its queues, for handing each to a worker
+    /// thread (the sharded RX engine's ownership model: one queue, one
+    /// worker, no sharing). The steerer should be taken with
+    /// [`steerer`](MultiQueueNic::steerer) first if steering continues.
+    pub fn into_queues(self) -> Vec<SimNic> {
+        self.queues
     }
 }
 
@@ -151,10 +320,41 @@ mod tests {
             nic.deliver(f).unwrap();
         }
         // All queues see some traffic (32 flows over 4 queues).
-        for (i, n) in nic.steered.iter().enumerate() {
-            assert!(*n > 0, "queue {i} starved: {:?}", nic.steered);
+        for (i, n) in nic.steered_counts().iter().enumerate() {
+            assert!(*n > 0, "queue {i} starved: {:?}", nic.steered_counts());
         }
-        assert_eq!(nic.steered.iter().sum::<u64>(), 400);
+        assert_eq!(nic.steered_counts().iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn reta_is_roundrobin_and_drives_rss_steering() {
+        let nic = MultiQueueNic::new(models::mlx5(), 3, 64, SteerPolicy::Rss).unwrap();
+        let st = nic.steerer();
+        assert_eq!(st.reta().len(), RETA_SIZE);
+        for (i, e) in st.reta().iter().enumerate() {
+            assert_eq!(*e as usize, i % 3, "reset RETA is round-robin");
+        }
+        // Steering == hash → RETA lookup, no per-frame modulo over n.
+        for f in frames(50) {
+            let v = st.steer(0, &f);
+            let h = v.rss.expect("generated frames are IPv4");
+            assert_eq!(v.queue, st.reta()[h as usize & (RETA_SIZE - 1)] as usize);
+        }
+    }
+
+    #[test]
+    fn steer_verdict_carries_parse_and_hash() {
+        let st = Steerer::new(SteerPolicy::Rss, 2);
+        let f = frames(1).remove(0);
+        let v = st.steer(0, &f);
+        assert!(v.parsed.is_some(), "steering parse rides along");
+        assert!(v.rss.is_some());
+        // Non-IP garbage: queue 0, no parse-derived state.
+        let garbage = vec![0u8; 6];
+        let v = st.steer(0, &garbage);
+        assert_eq!(v.queue, 0);
+        assert!(v.parsed.is_none());
+        assert!(v.rss.is_none());
     }
 
     #[test]
@@ -213,5 +413,35 @@ mod tests {
         let (_, c1) = nic.queue_mut(1).receive().unwrap();
         assert_eq!(c0.len(), 8, "mini CQE on queue 0");
         assert_eq!(c1.len(), 64, "full CQE on queue 1");
+    }
+
+    #[test]
+    fn into_queues_hands_out_ownership() {
+        let mut nic = MultiQueueNic::new(models::e1000e(), 2, 16, SteerPolicy::Rss).unwrap();
+        for f in frames(8) {
+            nic.deliver(&f).unwrap();
+        }
+        let steered = nic.steered_counts();
+        let mut queues = nic.into_queues();
+        assert_eq!(queues.len(), 2);
+        for (q, nic) in queues.iter_mut().enumerate() {
+            let mut got = 0u64;
+            while nic.receive().is_some() {
+                got += 1;
+            }
+            assert_eq!(got, steered[q], "queue {q} pending == steered");
+        }
+    }
+
+    #[test]
+    fn cache_padded_cells_do_not_share_lines() {
+        assert!(std::mem::align_of::<CachePadded<SteerStats>>() >= 64);
+        assert!(std::mem::size_of::<CachePadded<SteerStats>>() >= 64);
+        let cells: Vec<CachePadded<SteerStats>> = (0..4).map(|_| CachePadded::default()).collect();
+        for w in cells.windows(2) {
+            let a = &w[0] as *const _ as usize;
+            let b = &w[1] as *const _ as usize;
+            assert!(b - a >= 64, "adjacent cells {a:#x}/{b:#x} share a line");
+        }
     }
 }

@@ -22,6 +22,7 @@ use opendesc_ir::{
 };
 use opendesc_p4::typecheck::{parse_and_check, CheckedProgram};
 use opendesc_p4::types::Ty;
+use opendesc_softnic::wire::ParsedFrame;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -92,6 +93,15 @@ impl fmt::Display for NicError {
 
 impl std::error::Error for NicError {}
 
+/// Sideband metadata the device carries alongside a completion: state the
+/// steering stage already computed that the host plan can trust instead
+/// of recomputing (the descriptor-reported-hash idiom of real NICs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RxSideband {
+    /// Toeplitz hash computed at steering time (RSS policy, IP frames).
+    pub rss_hint: Option<u32>,
+}
+
 /// A simulated NIC receive queue executing an OpenDesc contract.
 pub struct SimNic {
     pub model: NicModel,
@@ -125,6 +135,10 @@ pub struct SimNic {
     fault_rng: SmallRng,
     /// Received frames pending host pickup, parallel to completions.
     rx_frames: std::collections::VecDeque<Vec<u8>>,
+    /// Steering sideband in lockstep with the completion ring: one entry
+    /// per successfully produced completion, consumed by
+    /// [`SimNic::receive_into_hinted`].
+    rx_hints: std::collections::VecDeque<RxSideband>,
     /// Transmit descriptor ring (host → device).
     pub tx_ring: DescRing,
     /// DMA-visible buffer pool TX descriptors point into.
@@ -205,6 +219,7 @@ impl SimNic {
             fault_rng: SmallRng::seed_from_u64(faults.seed),
             faults,
             rx_frames: std::collections::VecDeque::new(),
+            rx_hints: std::collections::VecDeque::new(),
             tx_ring: DescRing::new(ring_entries, 64),
             host_mem: HostMem::new(),
             h2c_context: Assignment::new(),
@@ -262,6 +277,21 @@ impl SimNic {
     /// Deliver one frame from the wire. Computes offloads, serializes the
     /// completion per the contract, and posts packet + completion.
     pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
+        self.deliver_steered(frame, None, None)
+    }
+
+    /// [`deliver`](SimNic::deliver) with steering-stage state handed down:
+    /// `parsed` is the steering-time frame parse (reused by the offload
+    /// engine instead of re-parsing) and `rss_hint` the steering-time
+    /// Toeplitz hash (primed into the shim memo, and carried to the host
+    /// as completion sideband). Passing `None` for both is exactly
+    /// `deliver` — the single-queue path pays the parse itself.
+    pub fn deliver_steered(
+        &mut self,
+        frame: &[u8],
+        parsed: Option<&ParsedFrame<'_>>,
+        rss_hint: Option<u32>,
+    ) -> Result<(), NicError> {
         if self.faults.drop_chance > 0.0 && self.fault_rng.random::<f64>() < self.faults.drop_chance
         {
             self.stats.dropped_faults += 1;
@@ -272,9 +302,15 @@ impl SimNic {
         if self.rx_pool.enabled && !self.rx_buffer_write(frame) {
             return Ok(());
         }
-        // Offloads into the reusable record: pre-lowered ops, one parse.
-        self.engine
-            .process_program_into(&self.offload_prog, frame, &mut self.rec_scratch);
+        // Offloads into the reusable record: pre-lowered ops, one parse
+        // (zero when the steering stage already did it).
+        self.engine.process_program_with(
+            &self.offload_prog,
+            frame,
+            parsed,
+            rss_hint,
+            &mut self.rec_scratch,
+        );
         // Serialize the completion into the reusable writeback buffer.
         match (self.mode, self.active_path) {
             (WritebackMode::Fast, Some(i)) => {
@@ -303,6 +339,8 @@ impl SimNic {
             Err(e) => return Err(NicError::Ring(e)),
         }
         self.cq.ring_doorbell();
+        // Sideband rides in lockstep with the completion just produced.
+        self.rx_hints.push_back(RxSideband { rss_hint });
         self.dma.record(&self.dma_cfg, self.wb_scratch.len() as u32);
         if !self.rx_pool.enabled {
             // Copy into a recycled buffer instead of allocating per frame.
@@ -336,12 +374,24 @@ impl SimNic {
     ///
     /// [`receive`]: SimNic::receive
     pub fn receive_into(&mut self, frame: &mut Vec<u8>, cmpt: &mut Vec<u8>) -> bool {
-        let Some(c) = self.cq.consume() else {
-            return false;
-        };
+        self.receive_into_hinted(frame, cmpt).is_some()
+    }
+
+    /// [`receive_into`](SimNic::receive_into) that also surfaces the
+    /// steering sideband for the popped completion, so the host plan can
+    /// prime its shim memo with the device-computed hash instead of
+    /// rerunning Toeplitz. Returns `None` when no packet is pending.
+    pub fn receive_into_hinted(
+        &mut self,
+        frame: &mut Vec<u8>,
+        cmpt: &mut Vec<u8>,
+    ) -> Option<RxSideband> {
+        let c = self.cq.consume()?;
         cmpt.clear();
         cmpt.extend_from_slice(c);
-        if self.rx_pool.enabled {
+        // The sideband queue is produced in lockstep with `cq`.
+        let sideband = self.rx_hints.pop_front().unwrap_or_default();
+        let ok = if self.rx_pool.enabled {
             self.rx_buffer_read_into(frame)
         } else {
             match self.rx_frames.pop_front() {
@@ -357,7 +407,8 @@ impl SimNic {
                 }
                 None => false,
             }
-        }
+        };
+        ok.then_some(sideband)
     }
 
     /// Table-driven completion writeback from enumerated layout `i`.
@@ -465,6 +516,17 @@ impl SimNic {
         Ok((interp, fast))
     }
 }
+
+// Send audit for the sharded RX engine: a worker thread takes exclusive
+// ownership of one queue, so the whole device state must cross threads.
+// Everything inside is plain owned data (no `Rc`, no interior
+// mutability); this breaks the build if a future field changes that.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SimNic>();
+    assert_send::<RxSideband>();
+    assert_send::<NicStats>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -645,6 +707,70 @@ mod tests {
         assert!(names_.contains(&"ip_checksum"));
         assert!(names_.contains(&"vlan_tci"));
         assert!(!names_.contains(&"rss_hash"), "legacy e1000 has no RSS");
+    }
+
+    #[test]
+    fn steered_delivery_matches_plain_and_surfaces_hint() {
+        // Same frame through `deliver` and through `deliver_steered` with
+        // the steering parse + hash: bit-identical completions, and the
+        // hinted receive surfaces the hash only for the steered one.
+        let f = frame();
+        let parsed = ParsedFrame::parse(&f).unwrap();
+        let ip = parsed.ipv4.unwrap();
+        let (sp, dp) = parsed.ports().unwrap();
+        let h = opendesc_softnic::rss_ipv4_l4(
+            &opendesc_softnic::MSFT_RSS_KEY,
+            ip.src(),
+            ip.dst(),
+            sp,
+            dp,
+        );
+
+        let mut plain = SimNic::new(models::e1000e(), 16).unwrap();
+        plain.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        plain.deliver(&f).unwrap();
+
+        let mut steered = SimNic::new(models::e1000e(), 16).unwrap();
+        steered.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        steered.deliver_steered(&f, Some(&parsed), Some(h)).unwrap();
+
+        let (mut pf, mut pc) = (Vec::new(), Vec::new());
+        let side_plain = plain.receive_into_hinted(&mut pf, &mut pc).unwrap();
+        let (mut sf, mut sc) = (Vec::new(), Vec::new());
+        let side_steered = steered.receive_into_hinted(&mut sf, &mut sc).unwrap();
+        assert_eq!(pc, sc, "completion bytes must not depend on hint path");
+        assert_eq!(pf, sf);
+        assert_eq!(side_plain.rss_hint, None);
+        assert_eq!(side_steered.rss_hint, Some(h));
+    }
+
+    #[test]
+    fn hint_queue_stays_in_lockstep_across_ring_full_drops() {
+        // Ring of 2: third delivery drops at `produce` and must push no
+        // sideband, or later hints would pair with the wrong completion.
+        let mut nic = SimNic::new(models::e1000e(), 2).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        let f = frame();
+        nic.deliver_steered(&f, None, Some(1)).unwrap();
+        nic.deliver_steered(&f, None, Some(2)).unwrap();
+        nic.deliver_steered(&f, None, Some(3)).unwrap(); // dropped: full
+        assert_eq!(nic.stats.dropped_ring_full, 1);
+        let (mut fr, mut c) = (Vec::new(), Vec::new());
+        assert_eq!(
+            nic.receive_into_hinted(&mut fr, &mut c).unwrap().rss_hint,
+            Some(1)
+        );
+        // Ring freed one slot; deliver another with a fresh hint.
+        nic.deliver_steered(&f, None, Some(4)).unwrap();
+        assert_eq!(
+            nic.receive_into_hinted(&mut fr, &mut c).unwrap().rss_hint,
+            Some(2)
+        );
+        assert_eq!(
+            nic.receive_into_hinted(&mut fr, &mut c).unwrap().rss_hint,
+            Some(4),
+            "dropped frame's hint must not appear"
+        );
     }
 
     #[test]

@@ -173,13 +173,45 @@ impl OffloadEngine {
         frame: &[u8],
         rec: &mut MetaRecord,
     ) {
+        self.process_program_with(prog, frame, None, None, rec);
+    }
+
+    /// [`process_program_into`] with work the steering stage already did:
+    /// a multi-queue NIC parses the frame and runs Toeplitz RSS to pick a
+    /// queue, and a real pipeline never repeats either — pass the parse
+    /// as `steer_parsed` and the hash as `rss_hint` and this engine reuses
+    /// both instead of recomputing. `steer_parsed = None` parses here;
+    /// `rss_hint = None` leaves RSS to the shim. The hint must come from
+    /// the same key/tuple rules as the reference implementation (true for
+    /// [`crate::multiqueue::Steerer`], which delegates to the softnic
+    /// Toeplitz over the default key).
+    ///
+    /// [`process_program_into`]: OffloadEngine::process_program_into
+    pub fn process_program_with(
+        &mut self,
+        prog: &OffloadProgram,
+        frame: &[u8],
+        steer_parsed: Option<&ParsedFrame<'_>>,
+        rss_hint: Option<u32>,
+        rec: &mut MetaRecord,
+    ) {
         // Wire time: preamble(8) + frame + FCS(4) + IFG(12) bytes.
         let wire_bytes = frame.len() as u64 + 24;
         self.clock_ns += ((wire_bytes * 8) as f64 / self.link_gbps) as u64;
 
         rec.clear();
-        let parsed = ParsedFrame::parse(frame);
+        let local;
+        let parsed = match steer_parsed {
+            Some(p) => Some(p),
+            None => {
+                local = ParsedFrame::parse(frame);
+                local.as_ref()
+            }
+        };
         let mut memo = ShimMemo::default();
+        if let Some(h) = rss_hint {
+            memo.prime_rss(h);
+        }
         for &(sem, op) in &prog.ops {
             let v = match op {
                 DeviceOp::Timestamp => Some(self.clock_ns as u128),
@@ -189,7 +221,6 @@ impl OffloadEngine {
                     Some(id as u128)
                 }
                 DeviceOp::Shim(shim) => parsed
-                    .as_ref()
                     .and_then(|p| self.soft.exec_op(shim, p, frame.len(), &mut memo))
                     .map(|v| v as u128),
             };
@@ -309,6 +340,33 @@ mod tests {
             assert_eq!(one_shot, rec);
             assert_eq!(a.now_ns(), b.now_ns());
         }
+    }
+
+    #[test]
+    fn steer_reuse_path_matches_fresh_parse() {
+        // Handing the engine the steering stage's parse + RSS hash must
+        // be observationally identical to parsing/hashing from scratch.
+        let reg = SemanticRegistry::with_builtins();
+        let sems: Vec<SemanticId> = reg.iter().map(|(id, _)| id).collect();
+        let prog = OffloadProgram::compile(&reg, &sems);
+        let f = testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000,
+            2000,
+            b"get k\r\n",
+            Some(7),
+        );
+        let parsed = ParsedFrame::parse(&f).unwrap();
+        let hint = SoftNic::new().rss(&parsed);
+        let mut a = OffloadEngine::new(100.0);
+        let mut b = OffloadEngine::new(100.0);
+        let mut ra = MetaRecord::default();
+        let mut rb = MetaRecord::default();
+        a.process_program_into(&prog, &f, &mut ra);
+        b.process_program_with(&prog, &f, Some(&parsed), hint, &mut rb);
+        assert_eq!(ra, rb, "steer-reuse diverged from fresh parse");
+        assert_eq!(a.now_ns(), b.now_ns());
     }
 
     #[test]

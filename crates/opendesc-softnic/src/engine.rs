@@ -90,6 +90,17 @@ impl ShimMemo {
     pub fn reset(&mut self) {
         self.rss = None;
     }
+
+    /// Seed the RSS slot with a hash computed elsewhere — the steering
+    /// stage of a multi-queue NIC already ran Toeplitz over the flow
+    /// tuple, and a real device reports that hash in the completion, so
+    /// the host shims must not pay for it again. Only prime with a value
+    /// produced by the *same* key and tuple rules as [`SoftNic::rss`]
+    /// (the default MSFT key), or shim outputs will diverge from the
+    /// reference.
+    pub fn prime_rss(&mut self, rss: u32) {
+        self.rss = Some(Some(rss));
+    }
 }
 
 /// Checksum-status encoding shared by hardware models and software: the
@@ -309,6 +320,17 @@ pub fn kvs_key_hash(payload: &[u8]) -> Option<u32> {
     Some(h)
 }
 
+// Send audit (sharded RX engine): every worker thread owns its own
+// `SoftNic` + `ShimMemo`, so both must be `Send`. The flow table is a
+// plain owned `HashMap` and the RSS key an inline array — nothing holds
+// interior mutability or shared references. Checked at compile time so a
+// future field can't silently break the multi-core datapath.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SoftNic>();
+    assert_send::<ShimMemo>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +514,24 @@ mod tests {
         let mut memo2 = ShimMemo::default();
         assert_eq!(sn.rss_memo(&p2, &mut memo2), None);
         assert_eq!(sn.rss_memo(&p2, &mut memo2), None);
+    }
+
+    #[test]
+    fn primed_memo_is_trusted_and_skips_recompute() {
+        let sn = SoftNic::new();
+        let f = udp_frame();
+        let p = ParsedFrame::parse(&f).unwrap();
+        let want = sn.rss(&p).unwrap();
+        let mut memo = ShimMemo::default();
+        memo.prime_rss(want);
+        assert_eq!(sn.rss_memo(&p, &mut memo), Some(want));
+        // Priming is the caller's contract: whatever was primed is what
+        // the shims observe (no silent recompute).
+        let mut wrong = ShimMemo::default();
+        wrong.prime_rss(0xDEAD_BEEF);
+        assert_eq!(sn.rss_memo(&p, &mut wrong), Some(0xDEAD_BEEF));
+        wrong.reset();
+        assert_eq!(sn.rss_memo(&p, &mut wrong), Some(want));
     }
 
     #[test]

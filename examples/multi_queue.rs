@@ -83,13 +83,13 @@ fn main() {
         nic.deliver(&bulk_gen.next_frame()).unwrap();
         nic.deliver(&bulk_gen.next_frame()).unwrap();
     }
-    println!("\nsteering: {:?} frames per queue", nic.steered);
-    assert_eq!(nic.steered[0], 300);
-    assert_eq!(nic.steered[1], 600);
+    println!("\nsteering: {:?} frames per queue", nic.steered_counts());
+    assert_eq!(nic.steered(0), 300);
+    assert_eq!(nic.steered(1), 600);
 
     // Each queue polls through its own compiled driver. (The queues are
     // moved out of the steering shell once the wire side is done.)
-    let mut queues = nic.queues;
+    let mut queues = nic.into_queues();
     let bulk_nic = queues.pop().unwrap();
     let kvs_nic = queues.pop().unwrap();
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Run the RX datapath benches and record the perf trajectory.
 #
-#   scripts/bench.sh           full criterion runs (E3, E8, E12) + JSON
-#   scripts/bench.sh --quick   wall-clock quick mode, emits BENCH_e12.json only
+#   scripts/bench.sh           full criterion runs (E3, E8, E12, E13) + JSON
+#   scripts/bench.sh --quick   wall-clock quick mode, emits BENCH_e12.json
+#                              and BENCH_e13.json only
 #
-# The JSON record (BENCH_e12.json) is the machine-readable E12 matrix:
-# Mpps + ns/pkt per (model, path) and the e1000e batched-vs-per-packet
-# speedup the PR acceptance criterion tracks.
+# The JSON records are the machine-readable matrices:
+#   BENCH_e12.json  Mpps + ns/pkt per (model, path) and the e1000e
+#                   batched-vs-per-packet speedup (PR 1 acceptance).
+#   BENCH_e13.json  aggregate Mpps per (model, queue count) and the
+#                   e1000e 4-queue-vs-1 scaling ratio (PR 3 acceptance);
+#                   the emitter asserts the >=2x floor itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +23,8 @@ if [ "$quick" = 0 ]; then
     cargo bench -p opendesc-bench --bench e3_datapath_throughput
     cargo bench -p opendesc-bench --bench e8_batched_accessors
     cargo bench -p opendesc-bench --bench e12_rx_datapath
+    cargo bench -p opendesc-bench --bench e13_sharded_rx
 fi
 
 cargo run --release -q -p opendesc-bench --bin e12_json -- BENCH_e12.json
+cargo run --release -q -p opendesc-bench --bin e13_json -- BENCH_e13.json
