@@ -1,0 +1,83 @@
+//! E14 — goodput under injected device faults and watchdog recovery.
+//!
+//! The self-healing RX tentpole measurement: the E12 batched drain at
+//! the production-default `Structural` validation, against a device
+//! injecting every metadata-fault class (corruption, torn/truncated
+//! writebacks, duplicates, stale generation tags, lost doorbells,
+//! transient hangs) at a uniform per-class rate. The series quantifies what validation + degraded
+//! re-serves + watchdog resets cost at 0/1/5/10% fault rates; the
+//! recovery measurement counts the polls a fully wedged queue (100%
+//! doorbell loss) needs to come back.
+//!
+//! Ring filling and fault configuration run in the setup phase; the
+//! timed region is the host-side drain only. The quick-mode table
+//! (also emitted as `BENCH_e14.json` by `scripts/bench.sh`) is printed
+//! first so the rows can be recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use opendesc_bench::e14;
+use opendesc_nicsim::models;
+
+fn bench(c: &mut Criterion) {
+    let rows = e14::run_quick(10);
+    println!(
+        "\nE14: goodput under device faults, {} pkts/round, Structural validation",
+        e14::ROUND
+    );
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>9} {:>7}",
+        "model", "rate", "Mpps", "discarded", "degraded", "resets"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>6.2} {:>10.3} {:>10} {:>9} {:>7}",
+            r.model, r.rate, r.goodput_mpps, r.discarded, r.degraded, r.watchdog_resets
+        );
+    }
+    let recovery = e14::recovery_polls(models::e1000e());
+    println!("e1000e recovery after wedged doorbells: {recovery} polls");
+    assert!(
+        recovery <= 16,
+        "acceptance: watchdog must un-wedge a dead queue within 16 polls (took {recovery})"
+    );
+
+    // Criterion timings: the drain at each fault rate, e1000e (the
+    // software-shim-heavy model where degraded re-serves cost most).
+    let frames = opendesc_bench::e12::traffic(e14::ROUND);
+    let mut g = c.benchmark_group("e14/e1000e");
+    g.throughput(Throughput::Elements(e14::ROUND as u64));
+    for &rate in &e14::FAULT_RATES {
+        g.bench_function(format!("rate_{rate:.2}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut drv = e14::driver(models::e1000e(), e14::ROUND * 4);
+                    drv.nic.set_faults(e14::fault_config(rate, 14)).unwrap();
+                    for f in &frames {
+                        drv.deliver(f).unwrap();
+                    }
+                    let batch = drv.make_batch(e14::BATCH_CAP);
+                    (drv, batch)
+                },
+                |(mut drv, mut batch)| {
+                    let mut n = 0u64;
+                    let mut empties = 0u32;
+                    while empties < 16 {
+                        let got = drv.poll_batch_into(&mut batch);
+                        if got == 0 {
+                            empties += 1;
+                        } else {
+                            empties = 0;
+                            n += got as u64;
+                        }
+                    }
+                    n
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

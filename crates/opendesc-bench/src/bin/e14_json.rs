@@ -1,0 +1,55 @@
+//! Quick-mode E14 runner: measures goodput under injected device
+//! faults (per-class rates 0/1/5/10%) on the four models at the
+//! production-default `Structural` validation, measures the watchdog
+//! recovery time on e1000e, and writes the perf-trajectory record.
+//! Used by `scripts/bench.sh` and the CI smoke step.
+//!
+//! Usage: `e14_json [OUTPUT.json]` (default `BENCH_e14.json`).
+
+use opendesc_bench::e14;
+use opendesc_nicsim::models;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_e14.json".into());
+    let rows = e14::run_quick(10);
+    println!(
+        "E14: goodput under device faults, {} pkts/round, Structural validation",
+        e14::ROUND
+    );
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>10} {:>9} {:>7}",
+        "model", "rate", "Mpps", "delivered", "discarded", "degraded", "resets"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>6.2} {:>10.3} {:>10} {:>10} {:>9} {:>7}",
+            r.model,
+            r.rate,
+            r.goodput_mpps,
+            r.delivered,
+            r.discarded,
+            r.degraded,
+            r.watchdog_resets
+        );
+    }
+    for r in &rows {
+        assert!(
+            r.delivered > 0,
+            "acceptance: {} at rate {:.2} delivered nothing",
+            r.model,
+            r.rate
+        );
+    }
+    let recovery = e14::recovery_polls(models::e1000e());
+    println!("e1000e recovery after wedged doorbells: {recovery} polls");
+    assert!(
+        recovery <= 16,
+        "acceptance: watchdog must un-wedge a dead queue within 16 polls (took {recovery})"
+    );
+    let retention = e14::retention(&rows, "e1000e", 0.10);
+    println!("e1000e goodput retention at 10% faults: {retention:.3}");
+    std::fs::write(&path, e14::to_json(&rows, recovery)).expect("write bench record");
+    println!("wrote {path}");
+}

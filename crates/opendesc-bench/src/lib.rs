@@ -485,6 +485,249 @@ pub mod e13 {
     }
 }
 
+/// E14 — goodput under injected device faults and watchdog recovery
+/// time, shared by the criterion bench and the quick-mode JSON emitter
+/// (`scripts/bench.sh` → `BENCH_e14.json`).
+///
+/// Goodput: the E12 batched drain at the production-default
+/// `Structural` validation, on a device injecting every metadata-fault
+/// class (corruption, torn and truncated writebacks, duplicates, stale
+/// generation tags, lost doorbells, transient hangs) at a uniform
+/// per-class rate. Delivered packets per unit of drain time — discarded
+/// replays, degraded re-serves, and watchdog resets all eat into the
+/// same clock, so the series is the end-to-end price of self-healing at
+/// each fault rate, and the zero-fault row is E12's batched column plus
+/// the admission/validation overhead.
+///
+/// Recovery: with doorbell loss at 100%, every completion is written
+/// but never published; the metric is how many empty polls the queue
+/// needs before the watchdog's ring reset republishes them (bounded by
+/// `stall_polls` by construction, measured rather than assumed).
+pub mod e14 {
+    use super::e12;
+    use opendesc_core::{Compiler, Intent, OpenDescDriver, RxBatch, ValidationMode};
+    use opendesc_ir::{names, SemanticRegistry};
+    use opendesc_nicsim::{models, FaultConfig, NicModel, SimNic};
+    use std::time::Instant;
+
+    /// Per-class fault rates of the goodput series.
+    pub const FAULT_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+    /// Packets fed per measured round.
+    pub const ROUND: usize = 256;
+    /// Batch capacity of the drain (as in E12).
+    pub const BATCH_CAP: usize = 32;
+
+    /// Same field mix as E12/E13 so the zero-fault row is directly
+    /// comparable to E12's batched column (plus the validation cost).
+    pub fn intent(reg: &mut SemanticRegistry) -> Intent {
+        Intent::builder("e14-faults")
+            .want(reg, names::RSS_HASH)
+            .want(reg, names::QUEUE_HINT)
+            .want(reg, names::VLAN_TCI)
+            .want(reg, names::PKT_LEN)
+            .want(reg, names::PACKET_TYPE)
+            .want(reg, names::PAYLOAD_OFFSET)
+            .want(reg, names::KVS_KEY_HASH)
+            .want(reg, names::IP_CHECKSUM)
+            .build()
+    }
+
+    /// The four models of the E14 matrix.
+    pub fn model_matrix() -> Vec<NicModel> {
+        vec![
+            models::e1000e(),
+            models::ixgbe(),
+            models::mlx5(),
+            models::qdma_default(),
+        ]
+    }
+
+    /// Every metadata-fault class at rate `r` (drops excluded: a frame
+    /// the device never completes says nothing about the host's fault
+    /// handling cost). Deterministic under `seed`.
+    pub fn fault_config(r: f64, seed: u64) -> FaultConfig {
+        FaultConfig::builder()
+            .corrupt_chance(r)
+            .torn_chance(r)
+            .truncate_chance(r)
+            .duplicate_chance(r)
+            .stale_gen_chance(r)
+            .doorbell_loss_chance(r)
+            .hang(r, 2)
+            .seed(seed)
+            .build()
+            .expect("rates are probabilities")
+    }
+
+    /// Compile the E14 intent on `model` and attach a driver at the
+    /// production-default `Structural` validation mode.
+    pub fn driver(model: NicModel, ring: usize) -> OpenDescDriver {
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg);
+        let compiled = Compiler::default()
+            .compile_model(&model, &i, &mut reg)
+            .expect("e14 intent compiles");
+        let nic = SimNic::new(model, ring).expect("model valid");
+        let drv = OpenDescDriver::attach(nic, compiled).expect("context programs");
+        debug_assert_eq!(drv.validation_mode(), ValidationMode::Structural);
+        drv
+    }
+
+    /// One measured row of the E14 matrix.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        pub model: String,
+        /// Per-class fault rate.
+        pub rate: f64,
+        /// Delivered (good) packets per microsecond of drain time.
+        pub goodput_mpps: f64,
+        pub delivered: u64,
+        /// Replays + stale tags the host discarded.
+        pub discarded: u64,
+        /// Packets re-served through the all-software degraded path.
+        pub degraded: u64,
+        pub watchdog_resets: u64,
+    }
+
+    /// Batched drain with trailing empty polls so the watchdog can
+    /// republish doorbell-hidden completions inside the timed region.
+    fn drain(drv: &mut OpenDescDriver, batch: &mut RxBatch) -> u64 {
+        let mut n = 0u64;
+        let mut empties = 0u32;
+        while empties < 16 {
+            let got = drv.poll_batch_into(batch);
+            if got == 0 {
+                empties += 1;
+            } else {
+                empties = 0;
+                n += got as u64;
+            }
+        }
+        n
+    }
+
+    /// Run the goodput matrix: 4 models × `FAULT_RATES`, best-of-round
+    /// timing (min-estimator, as in E12). Only the drain is timed.
+    pub fn run_quick(rounds: usize) -> Vec<Row> {
+        let frames = e12::traffic(ROUND);
+        let mut rows = Vec::new();
+        for model in model_matrix() {
+            for &rate in &FAULT_RATES {
+                // Duplicates can double completions: ring holds 2 rounds
+                // plus headroom.
+                let mut drv = driver(model.clone(), ROUND * 4);
+                let mut batch = drv.make_batch(BATCH_CAP);
+                let mut best = f64::INFINITY;
+                let mut delivered = 0u64;
+                for round in 0..=rounds {
+                    drv.nic
+                        .set_faults(fault_config(rate, 14 + round as u64))
+                        .expect("valid fault config");
+                    for f in &frames {
+                        drv.deliver(f).expect("ring sized for the round");
+                    }
+                    let t = Instant::now();
+                    let n = drain(&mut drv, &mut batch);
+                    let ns = t.elapsed().as_nanos() as f64;
+                    if round > 0 {
+                        delivered += n;
+                        if n > 0 && ns / n as f64 <= best {
+                            best = ns / n as f64;
+                        }
+                    }
+                }
+                let v = drv.validation_stats();
+                rows.push(Row {
+                    model: model.name.clone(),
+                    rate,
+                    goodput_mpps: if best.is_finite() { 1e3 / best } else { 0.0 },
+                    delivered,
+                    discarded: v.duplicates + v.stale,
+                    degraded: v.degraded_packets,
+                    watchdog_resets: drv.watchdog_resets(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Recovery-time measurement on one model: wedge the queue with
+    /// 100% doorbell loss, stop the faults, and count the polls until
+    /// the first packet comes back. With `WatchdogConfig::default()`
+    /// the first reset fires after `stall_polls` empty polls, so the
+    /// expected value is `stall_polls + 1`.
+    pub fn recovery_polls(model: NicModel) -> u64 {
+        let mut drv = driver(model, 64);
+        drv.nic
+            .set_faults(
+                FaultConfig::builder()
+                    .doorbell_loss_chance(1.0)
+                    .seed(14)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        for f in e12::traffic(8) {
+            drv.deliver(&f).unwrap();
+        }
+        drv.nic.set_faults(FaultConfig::default()).unwrap();
+        let mut polls = 0u64;
+        loop {
+            polls += 1;
+            if drv.poll().is_some() {
+                return polls;
+            }
+            assert!(polls < 1024, "queue never recovered");
+        }
+    }
+
+    /// Goodput retained at `rate` relative to the zero-fault row.
+    pub fn retention(rows: &[Row], model: &str, rate: f64) -> f64 {
+        let find = |r: f64| {
+            rows.iter()
+                .find(|row| row.model == model && (row.rate - r).abs() < 1e-12)
+                .map(|row| row.goodput_mpps)
+                .unwrap_or(f64::NAN)
+        };
+        find(rate) / find(0.0)
+    }
+
+    /// Hand-formatted JSON (no serde in the tree): the perf-trajectory
+    /// record `scripts/bench.sh` writes to `BENCH_e14.json`.
+    pub fn to_json(rows: &[Row], recovery_polls_e1000e: u64) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e14_fault_recovery\",\n");
+        s.push_str("  \"unit\": \"Mpps goodput\",\n");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"model\": \"{}\", \"rate\": {:.2}, \"goodput_mpps\": {:.4}, \"delivered\": {}, \"discarded\": {}, \"degraded\": {}, \"watchdog_resets\": {}}}{}\n",
+                r.model,
+                r.rate,
+                r.goodput_mpps,
+                r.delivered,
+                r.discarded,
+                r.degraded,
+                r.watchdog_resets,
+                sep
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"goodput_retention_10pct_e1000e\": {:.3},\n",
+            retention(rows, "e1000e", 0.10)
+        ));
+        s.push_str(&format!(
+            "  \"recovery_polls_e1000e\": {}\n",
+            recovery_polls_e1000e
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +787,67 @@ mod tests {
         let json = e13::to_json(&rows);
         assert!(json.contains("\"experiment\": \"e13_sharded_rx\""));
         assert!(json.contains("scaling_4q_vs_1q_e1000e"));
+    }
+
+    #[test]
+    fn e14_faulted_drain_delivers_and_emits_json() {
+        // One small faulted round per model: the drain must deliver
+        // packets despite every fault class firing, the validator must
+        // observe the injected faults, and the recovery measurement must
+        // stay within the watchdog's bound. JSON carries the headline
+        // keys the smoke assertion reads.
+        for model in e14::model_matrix() {
+            let name = model.name.clone();
+            let mut drv = e14::driver(model, 256);
+            drv.nic.set_faults(e14::fault_config(0.10, 14)).unwrap();
+            for f in e12::traffic(48) {
+                drv.deliver(&f).unwrap();
+            }
+            let mut batch = drv.make_batch(e14::BATCH_CAP);
+            let mut delivered = 0u64;
+            let mut empties = 0u32;
+            while empties < 16 {
+                let got = drv.poll_batch_into(&mut batch);
+                if got == 0 {
+                    empties += 1;
+                } else {
+                    empties = 0;
+                    delivered += got as u64;
+                }
+            }
+            assert!(delivered > 0, "{name}: faulted drain delivered nothing");
+            assert!(
+                drv.validation_stats().faults() + drv.nic.stats.injected_faults() > 0,
+                "{name}: 10% per-class rates injected nothing"
+            );
+        }
+        let recovery = e14::recovery_polls(opendesc_nicsim::models::e1000e());
+        assert!(recovery <= 16, "recovery took {recovery} polls");
+        let rows = vec![
+            e14::Row {
+                model: "e1000e".into(),
+                rate: 0.0,
+                goodput_mpps: 4.0,
+                delivered: 100,
+                discarded: 0,
+                degraded: 0,
+                watchdog_resets: 0,
+            },
+            e14::Row {
+                model: "e1000e".into(),
+                rate: 0.10,
+                goodput_mpps: 3.0,
+                delivered: 90,
+                discarded: 5,
+                degraded: 8,
+                watchdog_resets: 1,
+            },
+        ];
+        assert!((e14::retention(&rows, "e1000e", 0.10) - 0.75).abs() < 1e-9);
+        let json = e14::to_json(&rows, recovery);
+        assert!(json.contains("\"experiment\": \"e14_fault_recovery\""));
+        assert!(json.contains("goodput_retention_10pct_e1000e"));
+        assert!(json.contains("recovery_polls_e1000e"));
     }
 
     #[test]

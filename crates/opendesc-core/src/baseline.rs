@@ -238,11 +238,15 @@ mod tests {
         let (_, _, mut lcd) = compiled_pair();
         // Even with fault-corrupted completions the LCD values are
         // unaffected (it never reads them).
-        lcd.nic.set_faults(opendesc_nicsim::FaultConfig {
-            drop_chance: 0.0,
-            corrupt_chance: 1.0,
-            seed: 3,
-        });
+        lcd.nic
+            .set_faults(
+                opendesc_nicsim::FaultConfig::builder()
+                    .corrupt_chance(1.0)
+                    .seed(3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
         lcd.deliver(&frame()).unwrap();
         let pkt = lcd.poll().unwrap();
         let mut soft = SoftNic::new();

@@ -17,6 +17,7 @@
 
 use crate::compiler::{CompileError, CompiledInterface, Compiler};
 use crate::intent::Intent;
+use crate::robust::ValidatorSpec;
 use opendesc_ir::{Assignment, SemanticRegistry};
 use opendesc_nicsim::models::NicModel;
 use std::collections::HashMap;
@@ -30,16 +31,25 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct CompiledRx {
     iface: CompiledInterface,
+    /// Layout-derived completion validator, computed once here so N
+    /// queues sharing the artifact share one spec.
+    validator: ValidatorSpec,
 }
 
 impl CompiledRx {
     pub fn new(iface: CompiledInterface) -> Self {
-        CompiledRx { iface }
+        let validator = ValidatorSpec::derive(&iface.accessors, &iface.reg);
+        CompiledRx { iface, validator }
     }
 
     /// The wrapped interface (also reachable through `Deref`).
     pub fn interface(&self) -> &CompiledInterface {
         &self.iface
+    }
+
+    /// The layout-derived completion validator spec.
+    pub fn validator(&self) -> &ValidatorSpec {
+        &self.validator
     }
 }
 

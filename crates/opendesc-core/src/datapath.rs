@@ -9,6 +9,12 @@
 
 use crate::cache::CompiledRx;
 use crate::compiler::CompiledInterface;
+use crate::plan::RxPlan;
+use crate::robust::{
+    HealthConfig, HealthState, QueueHealth, SeqTracker, SeqVerdict, ValidationMode,
+    ValidationStats, Watchdog, WatchdogConfig,
+};
+use opendesc_ir::bits::width_mask;
 use opendesc_ir::SemanticId;
 use opendesc_nicsim::nic::{NicError, SimNic};
 use opendesc_softnic::wire::ParsedFrame;
@@ -62,6 +68,10 @@ pub struct RxBatch {
     /// Steering sideband per packet (device-reported RSS hash), consumed
     /// to prime the shim memo; recycled like the other columns.
     hints: Vec<Option<u32>>,
+    /// Truncated-completion flag per packet: these records are shorter
+    /// than the layout promises, must never reach a hardware accessor
+    /// (which would read past the end), and are served degraded.
+    short: Vec<bool>,
 }
 
 impl RxBatch {
@@ -82,6 +92,7 @@ impl RxBatch {
             meta: vec![None; fields * cap],
             hwcol: vec![0; cap],
             hints: vec![None; cap],
+            short: vec![false; cap],
         }
     }
 
@@ -141,16 +152,43 @@ impl RxBatch {
     }
 }
 
+/// How one packet (or one batch) should be executed, chosen from the
+/// validation mode and the queue's current health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// Hardware reads trusted (structural checks still run in
+    /// `Structural` mode).
+    Trusted,
+    /// Hardware reads cross-checked field-by-field against the SoftNIC
+    /// (compare-and-repair).
+    Verified,
+    /// Completion untrusted and never read; everything recomputable is
+    /// recomputed from frame bytes.
+    Degraded,
+}
+
 /// A compiled OpenDesc driver bound to a NIC instance.
 ///
 /// The compiled interface is held through a shared immutable
 /// [`CompiledRx`]: N queues attached with the same artifact hold one
 /// compilation, not N copies (`iface` still reads like a
 /// `CompiledInterface` via `Deref`).
+///
+/// The driver distrusts the device's *behavior*, not just its layout
+/// (see [`crate::robust`]): completions pass sequence and length
+/// admission, hardware fields are validated per [`ValidationMode`], and
+/// a per-queue [`HealthState`] plus [`Watchdog`] drive degraded-mode
+/// execution and ring-reset recovery. At the default `Structural` mode
+/// an honest device runs the exact pre-validator fast path.
 pub struct OpenDescDriver {
     pub nic: SimNic,
     pub iface: Arc<CompiledRx>,
     soft: SoftNic,
+    mode: ValidationMode,
+    seq: SeqTracker,
+    vstats: ValidationStats,
+    health: HealthState,
+    watchdog: Watchdog,
 }
 
 impl OpenDescDriver {
@@ -172,37 +210,211 @@ impl OpenDescDriver {
             nic,
             iface,
             soft: SoftNic::new(),
+            mode: ValidationMode::default(),
+            seq: SeqTracker::default(),
+            vstats: ValidationStats::default(),
+            health: HealthState::default(),
+            watchdog: Watchdog::default(),
         })
     }
 
-    /// Wire-side: deliver a frame into the NIC.
+    /// Wire-side: deliver a frame into the NIC. Feeds the watchdog's
+    /// outstanding-work counter.
     pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
+        self.watchdog.note_fed(1);
         self.nic.deliver(frame)
     }
 
+    /// [`deliver`](OpenDescDriver::deliver) with steering-stage state
+    /// handed down (the sharded engine's path), also fed to the
+    /// watchdog.
+    pub fn deliver_steered(
+        &mut self,
+        frame: &[u8],
+        parsed: Option<&ParsedFrame<'_>>,
+        rss_hint: Option<u32>,
+    ) -> Result<(), NicError> {
+        self.watchdog.note_fed(1);
+        self.nic.deliver_steered(frame, parsed, rss_hint)
+    }
+
+    /// How strictly hardware fields are validated (default:
+    /// [`ValidationMode::Structural`]).
+    pub fn validation_mode(&self) -> ValidationMode {
+        self.mode
+    }
+
+    pub fn set_validation_mode(&mut self, mode: ValidationMode) {
+        self.mode = mode;
+    }
+
+    /// Current queue health.
+    pub fn health(&self) -> QueueHealth {
+        self.health.health()
+    }
+
+    /// Health-machine transitions taken so far.
+    pub fn health_transitions(&self) -> u64 {
+        self.health.transitions
+    }
+
+    /// Cumulative validation counters.
+    pub fn validation_stats(&self) -> ValidationStats {
+        self.vstats
+    }
+
+    /// Ring resets the watchdog has requested.
+    pub fn watchdog_resets(&self) -> u64 {
+        self.watchdog.resets
+    }
+
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        self.health = HealthState::with_config(cfg);
+    }
+
+    pub fn set_watchdog_config(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = Watchdog::with_config(cfg);
+    }
+
+    /// Watchdog-declared stall: reset/re-arm the ring (republishes lost
+    /// doorbells, clears wedged writeback state) and revoke trust.
+    fn recover(&mut self) {
+        self.nic.reset_queue();
+        self.health.on_fault();
+    }
+
+    /// Admit one consumed completion's sequence tag, updating the
+    /// watchdog's ledger (a replay proves liveness but consumed no fed
+    /// frame, so it must not mask hidden completions as progress).
+    /// `true` = deliver, `false` = discard (duplicate or stale
+    /// writeback).
+    fn admit_seq(&mut self, seq: u64) -> bool {
+        if self.mode == ValidationMode::Off {
+            self.watchdog.note_progress(1);
+            return true;
+        }
+        match self.seq.admit(seq) {
+            SeqVerdict::Fresh => {
+                self.watchdog.note_progress(1);
+                true
+            }
+            SeqVerdict::Duplicate => {
+                self.watchdog.note_alive();
+                self.vstats.duplicates += 1;
+                self.health.on_fault();
+                false
+            }
+            SeqVerdict::Stale => {
+                // The stale tag occupied (and its consume retired) a
+                // slot a fed frame produced: progress, just unusable.
+                self.watchdog.note_progress(1);
+                self.vstats.stale += 1;
+                self.health.on_fault();
+                false
+            }
+        }
+    }
+
+    /// The execution strategy the current mode + health call for.
+    fn disposition(&self) -> Disposition {
+        match (self.mode, self.health.health()) {
+            (ValidationMode::Off, _) => Disposition::Trusted,
+            (_, QueueHealth::Degraded) => Disposition::Degraded,
+            (ValidationMode::Full, _) | (_, QueueHealth::Recovering) => Disposition::Verified,
+            (ValidationMode::Structural, QueueHealth::Healthy) => Disposition::Trusted,
+        }
+    }
+
+    /// Execute one admitted packet into `values`, applying the
+    /// truncation guard, the mode/health disposition, and structural
+    /// checks; updates validation stats and health.
+    fn execute_checked(
+        &mut self,
+        frame: &[u8],
+        cmpt: &[u8],
+        rss_hint: Option<u32>,
+        values: &mut [Option<u128>],
+    ) {
+        let iface = Arc::clone(&self.iface);
+        let plan = &iface.plan;
+        let set = &iface.accessors;
+        let spec = iface.validator();
+        // Truncated writeback: shorter than the layout promises; no
+        // accessor may touch it (reads would run past the end).
+        if self.mode != ValidationMode::Off && cmpt.len() < spec.expected_len {
+            self.vstats.truncated += 1;
+            self.health.on_fault();
+            plan.execute_degraded(&mut self.soft, frame, values);
+            self.vstats.degraded_packets += 1;
+            self.vstats.accepted += 1;
+            return;
+        }
+        match self.disposition() {
+            Disposition::Degraded => {
+                plan.execute_degraded(&mut self.soft, frame, values);
+                self.vstats.degraded_packets += 1;
+                self.health.on_clean();
+            }
+            Disposition::Verified => {
+                let repaired = plan.execute_verified(set, &mut self.soft, frame, cmpt, values);
+                if repaired > 0 {
+                    self.vstats.repaired_fields += repaired as u64;
+                    self.health.on_fault();
+                } else {
+                    self.health.on_clean();
+                }
+            }
+            Disposition::Trusted => {
+                plan.execute_into_primed(set, &mut self.soft, frame, cmpt, rss_hint, values);
+                if self.mode == ValidationMode::Off {
+                    return;
+                }
+                if spec.check_values(frame.len(), |i| values[i]).is_some() {
+                    self.vstats.structural_failures += 1;
+                    self.health.on_fault();
+                    plan.execute_degraded(&mut self.soft, frame, values);
+                    self.vstats.degraded_packets += 1;
+                } else {
+                    self.health.on_clean();
+                }
+            }
+        }
+        self.vstats.accepted += 1;
+    }
+
     /// Host-side: poll one packet with its requested metadata.
+    ///
+    /// Runs the full admission pipeline: duplicated/stale completions
+    /// are discarded (the loop keeps polling), truncated or failing
+    /// completions are re-served through degraded execution, and an
+    /// empty poll with work outstanding feeds the watchdog — when it
+    /// trips, the ring is reset/re-armed and polling retries once.
     pub fn poll(&mut self) -> Option<RxPacket> {
         let mut frame = Vec::new();
         let mut cmpt = Vec::new();
-        let side = self.nic.receive_into_hinted(&mut frame, &mut cmpt)?;
-        let mut values = vec![None; self.iface.plan.steps.len()];
-        self.iface.plan.execute_into_primed(
-            &self.iface.accessors,
-            &mut self.soft,
-            &frame,
-            &cmpt,
-            side.rss_hint,
-            &mut values,
-        );
-        let meta = self
-            .iface
-            .accessors
-            .accessors
-            .iter()
-            .zip(values)
-            .map(|(a, v)| (a.semantic, v))
-            .collect();
-        Some(RxPacket { frame, meta })
+        loop {
+            let Some(side) = self.nic.receive_into_hinted(&mut frame, &mut cmpt) else {
+                if self.watchdog.observe_empty() {
+                    self.recover();
+                    continue;
+                }
+                return None;
+            };
+            if !self.admit_seq(side.seq) {
+                continue;
+            }
+            let mut values = vec![None; self.iface.plan.steps.len()];
+            self.execute_checked(&frame, &cmpt, side.rss_hint, &mut values);
+            let meta = self
+                .iface
+                .accessors
+                .accessors
+                .iter()
+                .zip(values)
+                .map(|(a, v)| (a.semantic, v))
+                .collect();
+            return Some(RxPacket { frame, meta });
+        }
     }
 
     /// Poll up to `n` packets.
@@ -231,7 +443,9 @@ impl OpenDescDriver {
     /// fields via the compiled shim plan (one parse per packet, memoized
     /// intra-packet repeats). Returns the number of packets received.
     ///
-    /// Produces bit-identical metadata to calling [`poll`] per packet.
+    /// Runs the same admission pipeline as [`poll`] (sequence discard,
+    /// truncation guard, mode/health disposition, watchdog) and produces
+    /// bit-identical metadata to calling [`poll`] per packet.
     ///
     /// [`poll`]: OpenDescDriver::poll
     pub fn poll_batch_into(&mut self, batch: &mut RxBatch) -> usize {
@@ -240,51 +454,242 @@ impl OpenDescDriver {
             self.iface.accessors.accessors.len(),
             "batch was built for a different interface"
         );
-        // Drain the rings into recycled frame/completion storage,
-        // keeping each packet's steering sideband alongside it.
+        let mut n = self.drain_batch(batch);
+        if n == 0 && self.watchdog.observe_empty() {
+            // Stall declared: reset/re-arm and retry once — the re-arm
+            // republishes completions a lost doorbell was hiding.
+            self.recover();
+            n = self.drain_batch(batch);
+        }
+        if n > 0 {
+            self.fill_batch(batch);
+        }
+        n
+    }
+
+    /// Drain the rings into recycled frame/completion storage, keeping
+    /// each packet's steering sideband and truncation flag alongside it;
+    /// duplicated/stale completions are discarded here.
+    fn drain_batch(&mut self, batch: &mut RxBatch) -> usize {
+        let expected_len = self.iface.validator().expected_len;
         let mut n = 0;
         while n < batch.cap {
-            match self
+            let Some(side) = self
                 .nic
                 .receive_into_hinted(&mut batch.frames[n], &mut batch.cmpts[n])
-            {
-                Some(side) => batch.hints[n] = side.rss_hint,
-                None => break,
+            else {
+                break;
+            };
+            if !self.admit_seq(side.seq) {
+                continue;
+            }
+            batch.hints[n] = side.rss_hint;
+            let short = self.mode != ValidationMode::Off && batch.cmpts[n].len() < expected_len;
+            batch.short[n] = short;
+            if short {
+                self.vstats.truncated += 1;
+                self.health.on_fault();
             }
             n += 1;
         }
         batch.len = n;
-
-        let plan = &self.iface.plan;
-        let set = &self.iface.accessors;
-        // Hardware fields: one column at a time across the whole batch.
-        for &acc_idx in &plan.hw {
-            set.read_column(acc_idx, &batch.cmpts[..n], &mut batch.hwcol[..n]);
-            let base = acc_idx * batch.cap;
-            for pkt in 0..n {
-                batch.meta[base + pkt] = Some(batch.hwcol[pkt]);
-            }
-        }
-        // Software fields: parse each frame once, share it across shims;
-        // a device-reported hash primes the memo so software RSS steps
-        // are lookups, not Toeplitz runs.
-        if plan.needs_parse() {
-            for pkt in 0..n {
-                let frame = &batch.frames[pkt];
-                let parsed = ParsedFrame::parse(frame);
-                let mut memo = ShimMemo::default();
-                if let Some(h) = batch.hints[pkt] {
-                    memo.prime_rss(h);
-                }
-                for &(acc_idx, op) in &plan.sw {
-                    batch.meta[acc_idx * batch.cap + pkt] = parsed
-                        .as_ref()
-                        .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
-                        .map(|v| v as u128);
-                }
-            }
-        }
         n
+    }
+
+    /// Fill the metadata columns of a drained batch. The disposition is
+    /// chosen once from the health at entry; structural failures inside
+    /// the batch re-serve that packet degraded and demote health for the
+    /// *next* batch.
+    fn fill_batch(&mut self, batch: &mut RxBatch) {
+        let iface = Arc::clone(&self.iface);
+        let plan = &iface.plan;
+        let set = &iface.accessors;
+        let spec = iface.validator();
+        let n = batch.len;
+        let cap = batch.cap;
+        let fields = batch.sems.len();
+        match self.disposition() {
+            Disposition::Degraded => {
+                for pkt in 0..n {
+                    degrade_one(
+                        plan,
+                        &mut self.soft,
+                        fields,
+                        cap,
+                        pkt,
+                        &batch.frames[pkt],
+                        &mut batch.meta,
+                    );
+                    self.vstats.degraded_packets += 1;
+                    self.vstats.accepted += 1;
+                    if !batch.short[pkt] {
+                        self.health.on_clean();
+                    }
+                }
+            }
+            Disposition::Verified => {
+                for pkt in 0..n {
+                    if batch.short[pkt] {
+                        degrade_one(
+                            plan,
+                            &mut self.soft,
+                            fields,
+                            cap,
+                            pkt,
+                            &batch.frames[pkt],
+                            &mut batch.meta,
+                        );
+                        self.vstats.degraded_packets += 1;
+                        self.vstats.accepted += 1;
+                        continue;
+                    }
+                    let frame = &batch.frames[pkt];
+                    let parsed = ParsedFrame::parse(frame);
+                    let mut memo = ShimMemo::default();
+                    for &acc_idx in &plan.hw {
+                        batch.meta[acc_idx * cap + pkt] =
+                            Some(set.accessors[acc_idx].read(&batch.cmpts[pkt]));
+                    }
+                    let mut repaired = 0u32;
+                    for &(acc_idx, op) in &plan.hw_check {
+                        let want = parsed
+                            .as_ref()
+                            .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
+                            .map(|v| width_mask(set.accessors[acc_idx].width_bits) & v as u128);
+                        if let Some(w) = want {
+                            let slot = &mut batch.meta[acc_idx * cap + pkt];
+                            if *slot != Some(w) {
+                                *slot = Some(w);
+                                repaired += 1;
+                            }
+                        }
+                    }
+                    for &(acc_idx, op) in &plan.sw {
+                        batch.meta[acc_idx * cap + pkt] = parsed
+                            .as_ref()
+                            .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
+                            .map(|v| v as u128);
+                    }
+                    if repaired > 0 {
+                        self.vstats.repaired_fields += repaired as u64;
+                        self.health.on_fault();
+                    } else {
+                        self.health.on_clean();
+                    }
+                    self.vstats.accepted += 1;
+                }
+            }
+            Disposition::Trusted => {
+                let any_short = batch.short[..n].iter().any(|s| *s);
+                // Hardware fields: one column at a time across the whole
+                // batch; truncated records fall back to per-packet guarded
+                // reads (`None` for the short ones).
+                for &acc_idx in &plan.hw {
+                    let base = acc_idx * cap;
+                    if any_short {
+                        for pkt in 0..n {
+                            batch.meta[base + pkt] = if batch.short[pkt] {
+                                None
+                            } else {
+                                Some(set.accessors[acc_idx].read(&batch.cmpts[pkt]))
+                            };
+                        }
+                    } else {
+                        set.read_column(acc_idx, &batch.cmpts[..n], &mut batch.hwcol[..n]);
+                        for pkt in 0..n {
+                            batch.meta[base + pkt] = Some(batch.hwcol[pkt]);
+                        }
+                    }
+                }
+                // Software fields: parse each frame once, share it across
+                // shims; a device-reported hash primes the memo so
+                // software RSS steps are lookups, not Toeplitz runs.
+                if plan.needs_parse() {
+                    for pkt in 0..n {
+                        if batch.short[pkt] {
+                            continue;
+                        }
+                        let frame = &batch.frames[pkt];
+                        let parsed = ParsedFrame::parse(frame);
+                        let mut memo = ShimMemo::default();
+                        if let Some(h) = batch.hints[pkt] {
+                            memo.prime_rss(h);
+                        }
+                        for &(acc_idx, op) in &plan.sw {
+                            batch.meta[acc_idx * cap + pkt] = parsed
+                                .as_ref()
+                                .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
+                                .map(|v| v as u128);
+                        }
+                    }
+                }
+                if self.mode == ValidationMode::Off {
+                    return;
+                }
+                for pkt in 0..n {
+                    if batch.short[pkt] {
+                        degrade_one(
+                            plan,
+                            &mut self.soft,
+                            fields,
+                            cap,
+                            pkt,
+                            &batch.frames[pkt],
+                            &mut batch.meta,
+                        );
+                        self.vstats.degraded_packets += 1;
+                        self.vstats.accepted += 1;
+                        continue;
+                    }
+                    let frame_len = batch.frames[pkt].len();
+                    let fail = spec
+                        .check_values(frame_len, |i| batch.meta[i * cap + pkt])
+                        .is_some();
+                    if fail {
+                        self.vstats.structural_failures += 1;
+                        self.health.on_fault();
+                        degrade_one(
+                            plan,
+                            &mut self.soft,
+                            fields,
+                            cap,
+                            pkt,
+                            &batch.frames[pkt],
+                            &mut batch.meta,
+                        );
+                        self.vstats.degraded_packets += 1;
+                    } else {
+                        self.health.on_clean();
+                    }
+                    self.vstats.accepted += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Degraded-mode recomputation of one batched packet: clear every field
+/// slot, then fill the recomputable ones from frame bytes (same contract
+/// as [`RxPlan::execute_degraded`], on column-major storage).
+fn degrade_one(
+    plan: &RxPlan,
+    soft: &mut SoftNic,
+    fields: usize,
+    cap: usize,
+    pkt: usize,
+    frame: &[u8],
+    meta: &mut [Option<u128>],
+) {
+    for f in 0..fields {
+        meta[f * cap + pkt] = None;
+    }
+    let parsed = ParsedFrame::parse(frame);
+    let mut memo = ShimMemo::default();
+    for &(acc_idx, op) in &plan.degraded {
+        meta[acc_idx * cap + pkt] = parsed
+            .as_ref()
+            .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+            .map(|v| v as u128);
     }
 }
 
@@ -433,6 +838,173 @@ mod tests {
     fn poll_empty_returns_none() {
         let (mut drv, _) = driver_for(models::mlx5());
         assert!(drv.poll().is_none());
+    }
+
+    fn faults(b: opendesc_nicsim::FaultConfigBuilder) -> opendesc_nicsim::FaultConfig {
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn duplicated_completions_are_discarded_once() {
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, reg) = driver_for(models::e1000e());
+        drv.nic
+            .set_faults(faults(FaultConfig::builder().duplicate_chance(1.0).seed(5)))
+            .unwrap();
+        drv.deliver(&kvs_frame("dup:key")).unwrap();
+        let pkt = drv.poll().expect("the original completion is delivered");
+        let vlan = reg.id(names::VLAN_TCI).unwrap();
+        assert_eq!(pkt.get(vlan), Some(0x0123));
+        // The replay is discarded inside the poll loop, not delivered.
+        assert!(drv.poll().is_none());
+        assert_eq!(drv.validation_stats().duplicates, 1);
+        assert_eq!(drv.health(), crate::robust::QueueHealth::Degraded);
+    }
+
+    #[test]
+    fn truncated_completions_are_served_degraded_not_panicking() {
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, reg) = driver_for(models::e1000e());
+        drv.nic
+            .set_faults(faults(FaultConfig::builder().truncate_chance(1.0).seed(7)))
+            .unwrap();
+        drv.deliver(&kvs_frame("trunc:key")).unwrap();
+        let pkt = drv.poll().expect("truncated records still deliver");
+        // Every FIG1 field is software-recomputable, so degraded
+        // execution produces all of them — correct-or-absent, no reads
+        // of the short record.
+        for name in [
+            names::RSS_HASH,
+            names::VLAN_TCI,
+            names::IP_CHECKSUM,
+            names::KVS_KEY_HASH,
+        ] {
+            let id = reg.id(name).unwrap();
+            assert!(pkt.get(id).is_some(), "{name} missing in degraded mode");
+        }
+        assert_eq!(pkt.get(reg.id(names::VLAN_TCI).unwrap()), Some(0x0123));
+        let s = drv.validation_stats();
+        assert_eq!(s.truncated, 1);
+        assert_eq!(s.degraded_packets, 1);
+    }
+
+    #[test]
+    fn lost_doorbell_recovers_via_watchdog_reset() {
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, reg) = driver_for(models::e1000e());
+        drv.nic
+            .set_faults(faults(
+                FaultConfig::builder().doorbell_loss_chance(1.0).seed(9),
+            ))
+            .unwrap();
+        drv.deliver(&kvs_frame("lost:key")).unwrap();
+        // The completion exists but was never published; empty polls
+        // accumulate until the watchdog trips (default: 3) and the
+        // reset/re-arm republishes it within the same poll call.
+        let mut polls = 0;
+        let pkt = loop {
+            polls += 1;
+            assert!(polls <= 8, "watchdog never recovered the queue");
+            if let Some(p) = drv.poll() {
+                break p;
+            }
+        };
+        assert_eq!(pkt.get(reg.id(names::VLAN_TCI).unwrap()), Some(0x0123));
+        assert_eq!(drv.watchdog_resets(), 1);
+        assert_eq!(drv.nic.stats.resets, 1);
+    }
+
+    #[test]
+    fn full_mode_repairs_corrupted_hardware_fields() {
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, _) = driver_for(models::e1000e());
+        drv.set_validation_mode(crate::robust::ValidationMode::Full);
+        drv.nic
+            .set_faults(faults(FaultConfig::builder().corrupt_chance(1.0).seed(13)))
+            .unwrap();
+        // Reference values from an honest driver seeing the same frames.
+        let (mut clean, _) = driver_for(models::e1000e());
+        for i in 0..20 {
+            let f = kvs_frame(&format!("fix:{i}"));
+            drv.deliver(&f).unwrap();
+            clean.deliver(&f).unwrap();
+            let got = drv.poll().unwrap();
+            let want = clean.poll().unwrap();
+            assert_eq!(got.meta, want.meta, "packet {i} survived corruption wrong");
+        }
+        assert!(
+            drv.validation_stats().repaired_fields > 0,
+            "20 corrupted completions should hit at least one checked field"
+        );
+    }
+
+    #[test]
+    fn health_walks_back_to_healthy_after_faults_stop() {
+        use crate::robust::{HealthConfig, QueueHealth};
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, _) = driver_for(models::e1000e());
+        drv.set_health_config(HealthConfig {
+            degraded_clean: 2,
+            recovering_clean: 2,
+        });
+        drv.nic
+            .set_faults(faults(
+                FaultConfig::builder().duplicate_chance(1.0).seed(21),
+            ))
+            .unwrap();
+        drv.deliver(&kvs_frame("sick")).unwrap();
+        drv.poll().unwrap();
+        assert!(drv.poll().is_none(), "replay discarded");
+        assert_eq!(drv.health(), QueueHealth::Degraded);
+        // Faults stop; clean traffic rebuilds trust through Recovering.
+        drv.nic.set_faults(FaultConfig::default()).unwrap();
+        for i in 0..6 {
+            drv.deliver(&kvs_frame(&format!("well:{i}"))).unwrap();
+            drv.poll().unwrap();
+        }
+        assert_eq!(drv.health(), QueueHealth::Healthy);
+        let s = drv.validation_stats();
+        assert!(s.degraded_packets >= 2, "degraded streak executed software");
+    }
+
+    #[test]
+    fn batched_poll_runs_the_same_admission_pipeline() {
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, reg) = driver_for(models::e1000e());
+        drv.nic
+            .set_faults(faults(
+                FaultConfig::builder().duplicate_chance(1.0).seed(23),
+            ))
+            .unwrap();
+        for i in 0..3 {
+            drv.deliver(&kvs_frame(&format!("b:{i}"))).unwrap();
+        }
+        let mut batch = drv.make_batch(8);
+        assert_eq!(drv.poll_batch_into(&mut batch), 3, "replays are discarded");
+        assert_eq!(drv.validation_stats().duplicates, 3);
+        let vlan = reg.id(names::VLAN_TCI).unwrap();
+        for pkt in 0..3 {
+            // Served degraded (trust was revoked mid-drain) but still
+            // correct: recomputable fields match the wire truth.
+            assert_eq!(batch.get(pkt, vlan), Some(0x0123));
+        }
+    }
+
+    #[test]
+    fn validation_off_skips_admission_and_checks() {
+        use opendesc_nicsim::FaultConfig;
+        let (mut drv, _) = driver_for(models::e1000e());
+        drv.set_validation_mode(crate::robust::ValidationMode::Off);
+        drv.nic
+            .set_faults(faults(
+                FaultConfig::builder().duplicate_chance(1.0).seed(25),
+            ))
+            .unwrap();
+        drv.deliver(&kvs_frame("off")).unwrap();
+        assert!(drv.poll().is_some());
+        assert!(drv.poll().is_some(), "replay delivered verbatim when Off");
+        assert_eq!(drv.validation_stats(), Default::default());
+        assert_eq!(drv.health(), crate::robust::QueueHealth::Healthy);
     }
 
     #[test]

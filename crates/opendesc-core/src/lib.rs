@@ -33,6 +33,7 @@ pub mod equiv;
 pub mod hook;
 pub mod intent;
 pub mod plan;
+pub mod robust;
 pub mod select;
 pub mod shard;
 pub mod tx;
@@ -46,6 +47,13 @@ pub use equiv::{capabilities, diff, intent_equivalent, ContractDiff, IntentEquiv
 pub use hook::{HookDriver, HookStats, HookVerdict};
 pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
 pub use plan::{PlanStep, RxPlan};
+pub use robust::{
+    FieldCheck, HealthConfig, HealthState, QueueHealth, SeqTracker, SeqVerdict, ValidationMode,
+    ValidationStats, ValidatorSpec, Watchdog, WatchdogConfig,
+};
 pub use select::{Objective, PathScore, SelectError, Selection, Selector};
-pub use shard::{DrainedPacket, RxWorker, ShardError, ShardReport, ShardedRx, WorkerStats};
+pub use shard::{
+    DrainedPacket, EngineHealthReport, QueueHealthReport, RxWorker, ShardError, ShardReport,
+    ShardedRx, WorkerStats,
+};
 pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};

@@ -11,6 +11,7 @@
 //! `rss_hash` and `queue_hint` is computed a single time).
 
 use crate::accessor::{AccessorKind, AccessorSet};
+use opendesc_ir::bits::width_mask;
 use opendesc_ir::semantics::SemanticRegistry;
 use opendesc_softnic::wire::ParsedFrame;
 use opendesc_softnic::{ShimMemo, ShimOp, SoftNic};
@@ -34,6 +35,15 @@ pub struct RxPlan {
     pub hw: Vec<usize>,
     /// `(accessor index, op)` of the software steps.
     pub sw: Vec<(usize, ShimOp)>,
+    /// Every accessor the SoftNIC can recompute from frame bytes —
+    /// hardware and software steps alike. This is the degraded-mode
+    /// execution list: when the completion cannot be trusted, these ops
+    /// produce every recomputable value without reading it.
+    pub degraded: Vec<(usize, ShimOp)>,
+    /// Hardware steps with a software reference — the verify-mode
+    /// cross-check list (subset of `hw`; device-only semantics like
+    /// timestamps have no reference and cannot be checked).
+    pub hw_check: Vec<(usize, ShimOp)>,
 }
 
 impl RxPlan {
@@ -43,20 +53,34 @@ impl RxPlan {
         let mut steps = Vec::with_capacity(set.accessors.len());
         let mut hw = Vec::new();
         let mut sw = Vec::new();
+        let mut degraded = Vec::new();
+        let mut hw_check = Vec::new();
         for (acc_idx, a) in set.accessors.iter().enumerate() {
+            let op = ShimOp::from_name(reg.name(a.semantic));
             match a.kind {
                 AccessorKind::Hardware => {
                     steps.push(PlanStep::Hardware { acc_idx });
                     hw.push(acc_idx);
+                    if op != ShimOp::Unsupported {
+                        hw_check.push((acc_idx, op));
+                    }
                 }
                 AccessorKind::Software => {
-                    let op = ShimOp::from_name(reg.name(a.semantic));
                     steps.push(PlanStep::Software { acc_idx, op });
                     sw.push((acc_idx, op));
                 }
             }
+            if op != ShimOp::Unsupported {
+                degraded.push((acc_idx, op));
+            }
         }
-        RxPlan { steps, hw, sw }
+        RxPlan {
+            steps,
+            hw,
+            sw,
+            degraded,
+            hw_check,
+        }
     }
 
     /// Whether any step needs the frame parsed (pure-hardware plans skip
@@ -119,6 +143,72 @@ impl RxPlan {
                 }
             }
         }
+    }
+
+    /// Degraded-mode execution: the completion is untrusted and never
+    /// read. Every software-recomputable field — including those the
+    /// layout normally provides in hardware — is recomputed from the
+    /// frame; device-only fields (timestamps, crypto contexts) come out
+    /// `None`. Correct-or-absent, never garbage. The shim memo is *not*
+    /// primed: the device sideband is as untrusted as the completion.
+    pub fn execute_degraded(&self, soft: &mut SoftNic, frame: &[u8], out: &mut [Option<u128>]) {
+        debug_assert!(out.len() >= self.steps.len());
+        for slot in out[..self.steps.len()].iter_mut() {
+            *slot = None;
+        }
+        let parsed = ParsedFrame::parse(frame);
+        let mut memo = ShimMemo::default();
+        for &(acc_idx, op) in &self.degraded {
+            out[acc_idx] = parsed
+                .as_ref()
+                .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+                .map(|v| v as u128);
+        }
+    }
+
+    /// Verified execution: hardware fields are read from the completion
+    /// *and* cross-checked against the SoftNIC reference; on mismatch
+    /// the software value wins (masked to the slot width, since that is
+    /// all the hardware field could ever carry). Software steps run
+    /// unprimed. Returns how many hardware fields were repaired.
+    pub fn execute_verified(
+        &self,
+        set: &AccessorSet,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        out: &mut [Option<u128>],
+    ) -> u32 {
+        debug_assert!(out.len() >= self.steps.len());
+        let parsed = if !self.sw.is_empty() || !self.hw_check.is_empty() {
+            ParsedFrame::parse(frame)
+        } else {
+            None
+        };
+        let mut memo = ShimMemo::default();
+        for &acc_idx in &self.hw {
+            out[acc_idx] = Some(set.accessors[acc_idx].read(cmpt));
+        }
+        let mut repaired = 0;
+        for &(acc_idx, op) in &self.hw_check {
+            let want = parsed
+                .as_ref()
+                .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+                .map(|v| width_mask(set.accessors[acc_idx].width_bits) & v as u128);
+            if let Some(w) = want {
+                if out[acc_idx] != Some(w) {
+                    out[acc_idx] = Some(w);
+                    repaired += 1;
+                }
+            }
+        }
+        for &(acc_idx, op) in &self.sw {
+            out[acc_idx] = parsed
+                .as_ref()
+                .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+                .map(|v| v as u128);
+        }
+        repaired
     }
 
     /// Allocating convenience over [`execute_into`].

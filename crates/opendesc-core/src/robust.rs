@@ -1,0 +1,624 @@
+//! Self-healing RX: completion validation, queue health, and the stall
+//! watchdog.
+//!
+//! The paper's premise is that hosts must not blindly trust a device's
+//! metadata layout; this module extends that distrust from *layout* to
+//! *behavior*. A [`ValidatorSpec`] is derived once per compiled artifact
+//! from the same layout knowledge the accessors come from: the expected
+//! completion length and cheap structural invariants on hardware fields
+//! (a length field must equal the frame length, a checksum status must
+//! be a status code, a DD bit must be set). At runtime the driver runs
+//! three concentric rings of defense:
+//!
+//! 1. **ring admission** — every completion's sequence tag goes through
+//!    a [`SeqTracker`], discarding duplicated and stale writebacks, and
+//!    a length check rejects truncated records before any accessor can
+//!    read past the end;
+//! 2. **field validation** — per [`ValidationMode`], either the cheap
+//!    structural checks (`Structural`, the default) or a full SoftNIC
+//!    cross-check of every recomputable hardware field (`Full`);
+//! 3. **degraded execution** — on any failure the packet is re-executed
+//!    through the SoftNIC shims ([`RxPlan::execute_degraded`]), so the
+//!    application still observes correct (or absent) values, never
+//!    garbage.
+//!
+//! A [`HealthState`] machine aggregates the evidence per queue:
+//! `Healthy` trusts the device and runs the cheap path; any fault drops
+//! to `Degraded` (all-software execution); a clean streak promotes to
+//! `Recovering` (hardware reads re-enabled but every field verified);
+//! a verified-clean streak restores `Healthy`. Separately, a
+//! [`Watchdog`] compares frames fed against completions polled and —
+//! after a bounded-backoff run of empty polls with work outstanding —
+//! requests a ring reset/re-arm, which un-wedges hung queues and
+//! republishes lost doorbells.
+//!
+//! [`RxPlan::execute_degraded`]: crate::plan::RxPlan::execute_degraded
+
+use crate::accessor::{AccessorKind, AccessorSet};
+use opendesc_ir::bits::width_mask;
+use opendesc_ir::{names, SemanticRegistry};
+use opendesc_softnic::{csum_status, ptype, rx_status};
+
+/// How deeply the driver checks hardware-provided completion fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// Trust the device byte-for-byte (the pre-validator behavior).
+    /// Sequence and length admission are skipped too.
+    Off,
+    /// Ring admission plus layout-derived structural checks on hardware
+    /// fields — O(checked fields) comparisons, no recomputation.
+    #[default]
+    Structural,
+    /// Ring admission plus a SoftNIC cross-check of every recomputable
+    /// hardware field on every packet (compare-and-repair).
+    Full,
+}
+
+/// One structural invariant on a hardware accessor's value, derivable
+/// from the field's semantic alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldCheck {
+    /// `pkt_len` must equal the delivered frame's length.
+    PktLen,
+    /// Checksum status must be a status code (GOOD or BAD).
+    CsumStatus,
+    /// Descriptor-done and end-of-packet bits must both be set.
+    RxStatus,
+    /// The packet-type bitmap must have the Ethernet bit set (every
+    /// delivered frame was received on Ethernet).
+    PacketType,
+}
+
+/// Layout-derived validation spec: computed once per compiled artifact
+/// (inside [`CompiledRx`](crate::cache::CompiledRx)) and shared
+/// read-only by every queue running that artifact.
+#[derive(Debug, Clone, Default)]
+pub struct ValidatorSpec {
+    /// Completion length the layout promises; shorter records are
+    /// truncated writebacks and must not reach the accessors (which
+    /// would panic reading past the end).
+    pub expected_len: usize,
+    /// `(accessor index, slot width, check)` per checkable hardware
+    /// accessor.
+    pub checks: Vec<(usize, u16, FieldCheck)>,
+}
+
+impl ValidatorSpec {
+    /// Derive the spec from a compiled accessor set.
+    pub fn derive(set: &AccessorSet, reg: &SemanticRegistry) -> ValidatorSpec {
+        let mut checks = Vec::new();
+        for (i, a) in set.accessors.iter().enumerate() {
+            if a.kind != AccessorKind::Hardware {
+                continue;
+            }
+            let check = match reg.name(a.semantic) {
+                names::PKT_LEN => Some(FieldCheck::PktLen),
+                names::IP_CHECKSUM | names::L4_CHECKSUM => Some(FieldCheck::CsumStatus),
+                names::RX_STATUS => Some(FieldCheck::RxStatus),
+                names::PACKET_TYPE => Some(FieldCheck::PacketType),
+                _ => None,
+            };
+            if let Some(c) = check {
+                checks.push((i, a.width_bits, c));
+            }
+        }
+        ValidatorSpec {
+            expected_len: set.completion_bytes as usize,
+            checks,
+        }
+    }
+
+    /// Evaluate the structural checks against extracted values (`get`
+    /// maps accessor index → value, however the caller stores them).
+    /// Returns the first failing check, or `None` when all pass.
+    ///
+    /// An all-zero value always passes: completion slots default to zero
+    /// when the device's offload engine produced nothing for them (a
+    /// garbage frame that does not parse, a checksum status on a non-IP
+    /// frame), so zero is an honest "field not produced" — only a
+    /// *wrong nonzero* value is structurally impossible. A device lying
+    /// with zeros is the `Full` cross-check's tier to catch.
+    pub fn check_values(
+        &self,
+        frame_len: usize,
+        get: impl Fn(usize) -> Option<u128>,
+    ) -> Option<FieldCheck> {
+        for &(i, width, c) in &self.checks {
+            let Some(v) = get(i) else { continue };
+            if v == 0 {
+                continue;
+            }
+            let ok = match c {
+                FieldCheck::PktLen => v == frame_len as u128 & width_mask(width),
+                FieldCheck::CsumStatus => {
+                    v == csum_status::GOOD as u128 || v == csum_status::BAD as u128
+                }
+                FieldCheck::RxStatus => {
+                    let want = (rx_status::DD | rx_status::EOP) as u128 & width_mask(width);
+                    v & want == want
+                }
+                FieldCheck::PacketType => v & ptype::ETH as u128 != 0,
+            };
+            if !ok {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+/// Verdict of admitting one completion's sequence tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// The expected next tag: a fresh completion.
+    Fresh,
+    /// The previous tag again: a duplicated writeback — discard.
+    Duplicate,
+    /// Any other tag: a stale-generation writeback — discard. The slot
+    /// was still consumed, so expectation advances past it.
+    Stale,
+}
+
+/// Ring-sequence admission: an honest device tags completions with
+/// consecutive sequence numbers; replays and stale generations stick
+/// out.
+///
+/// The tracker must stay in sync across *combinations* of faults, not
+/// just single ones — a replay of a stale-generation tag must not
+/// advance expectation twice (the tracker would run permanently ahead
+/// and discard every later completion), so duplicates are recognized by
+/// the last admitted tag, whatever it was. A tag a short distance
+/// *ahead* means the host missed tags (e.g. validation enabled mid
+/// stream); the tracker resyncs forward rather than flagging every
+/// subsequent completion.
+#[derive(Debug, Default)]
+pub struct SeqTracker {
+    expect: u64,
+    /// Tag of the last admitted completion: the device's replays are
+    /// back-to-back in ring order, so a repeat of exactly this tag is a
+    /// duplicate regardless of how alien the tag itself was.
+    last: Option<u64>,
+}
+
+impl SeqTracker {
+    /// How far ahead a tag may jump and still be treated as the host
+    /// falling behind (resync forward) rather than device garbage.
+    const RESYNC_WINDOW: u64 = 1 << 16;
+
+    /// Admit the next consumed completion's tag.
+    pub fn admit(&mut self, seq: u64) -> SeqVerdict {
+        if seq == self.expect {
+            self.expect = self.expect.wrapping_add(1);
+            self.last = Some(seq);
+            SeqVerdict::Fresh
+        } else if self.last == Some(seq) {
+            // A re-DMA of the completion just admitted; expectation
+            // already accounts for its slot.
+            SeqVerdict::Duplicate
+        } else {
+            let ahead = seq.wrapping_sub(self.expect);
+            if ahead < Self::RESYNC_WINDOW {
+                // Plausibly the host missed tags; realign.
+                self.expect = seq.wrapping_add(1);
+            } else {
+                // A stale (or otherwise alien) generation occupied the
+                // slot that would have carried the expected tag; skip
+                // past that one slot.
+                self.expect = self.expect.wrapping_add(1);
+            }
+            self.last = Some(seq);
+            SeqVerdict::Stale
+        }
+    }
+
+    /// The next tag a fresh completion should carry.
+    pub fn expected(&self) -> u64 {
+        self.expect
+    }
+}
+
+/// Counters of the host-side validation pipeline (one per queue).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationStats {
+    /// Completions admitted and delivered.
+    pub accepted: u64,
+    /// Completions shorter than the layout, served degraded.
+    pub truncated: u64,
+    /// Replayed completions discarded by sequence.
+    pub duplicates: u64,
+    /// Stale-generation completions discarded by sequence.
+    pub stale: u64,
+    /// Structural check failures (packet re-served degraded).
+    pub structural_failures: u64,
+    /// Hardware fields repaired by the full cross-check.
+    pub repaired_fields: u64,
+    /// Packets executed through the all-software degraded path.
+    pub degraded_packets: u64,
+}
+
+impl ValidationStats {
+    /// Faults the validator observed (not counting repairs, which are a
+    /// consequence).
+    pub fn faults(&self) -> u64 {
+        self.truncated + self.duplicates + self.stale + self.structural_failures
+    }
+
+    pub fn merge(&mut self, other: &ValidationStats) {
+        self.accepted += other.accepted;
+        self.truncated += other.truncated;
+        self.duplicates += other.duplicates;
+        self.stale += other.stale;
+        self.structural_failures += other.structural_failures;
+        self.repaired_fields += other.repaired_fields;
+        self.degraded_packets += other.degraded_packets;
+    }
+
+    /// Counter deltas since `base` (per-round reporting over cumulative
+    /// driver counters).
+    pub fn since(&self, base: &ValidationStats) -> ValidationStats {
+        ValidationStats {
+            accepted: self.accepted - base.accepted,
+            truncated: self.truncated - base.truncated,
+            duplicates: self.duplicates - base.duplicates,
+            stale: self.stale - base.stale,
+            structural_failures: self.structural_failures - base.structural_failures,
+            repaired_fields: self.repaired_fields - base.repaired_fields,
+            degraded_packets: self.degraded_packets - base.degraded_packets,
+        }
+    }
+}
+
+/// Per-queue health. Ordering is by severity, so the sharded layer's
+/// "worst across queues" is `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum QueueHealth {
+    /// Device trusted; cheap validation only.
+    #[default]
+    Healthy,
+    /// Rebuilding trust: hardware reads re-enabled but every
+    /// recomputable field is verified against the SoftNIC.
+    Recovering,
+    /// Device distrusted; every packet executes through SoftNIC shims.
+    Degraded,
+}
+
+/// Thresholds of the health state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Clean packets in `Degraded` before attempting `Recovering`.
+    pub degraded_clean: u32,
+    /// Verified-clean packets in `Recovering` before `Healthy`.
+    pub recovering_clean: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degraded_clean: 32,
+            recovering_clean: 32,
+        }
+    }
+}
+
+/// The per-queue health state machine:
+///
+/// ```text
+///            any fault                 any fault
+///   Healthy ──────────▶ Degraded ◀──────────── Recovering
+///      ▲                   │                        │
+///      │                   │ degraded_clean         │
+///      │                   ▼                        │
+///      └─── recovering_clean ◀── Recovering ◀───────┘
+/// ```
+///
+/// "Fault" is anything the validator catches (discard, truncation,
+/// structural failure, repaired field) or a watchdog-declared stall;
+/// "clean" is a packet that passed every check its mode ran.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    health: QueueHealth,
+    /// Consecutive clean packets in the current state.
+    streak: u32,
+    cfg: HealthConfig,
+    /// State transitions taken (diagnostic).
+    pub transitions: u64,
+}
+
+impl HealthState {
+    pub fn with_config(cfg: HealthConfig) -> HealthState {
+        HealthState {
+            cfg,
+            ..HealthState::default()
+        }
+    }
+
+    pub fn health(&self) -> QueueHealth {
+        self.health
+    }
+
+    /// Record a fault: trust is revoked until clean streaks rebuild it.
+    pub fn on_fault(&mut self) {
+        self.streak = 0;
+        if self.health != QueueHealth::Degraded {
+            self.health = QueueHealth::Degraded;
+            self.transitions += 1;
+        }
+    }
+
+    /// Record a packet that passed every check its mode ran.
+    pub fn on_clean(&mut self) {
+        self.streak = self.streak.saturating_add(1);
+        match self.health {
+            QueueHealth::Degraded if self.streak >= self.cfg.degraded_clean => {
+                self.health = QueueHealth::Recovering;
+                self.streak = 0;
+                self.transitions += 1;
+            }
+            QueueHealth::Recovering if self.streak >= self.cfg.recovering_clean => {
+                self.health = QueueHealth::Healthy;
+                self.streak = 0;
+                self.transitions += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Consecutive empty polls (with work outstanding) before the first
+    /// reset.
+    pub stall_polls: u32,
+    /// Bounded backoff: the threshold doubles per consecutive reset, up
+    /// to `stall_polls << max_backoff_shift`.
+    pub max_backoff_shift: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_polls: 3,
+            max_backoff_shift: 6,
+        }
+    }
+}
+
+/// Poll-progress heartbeat per queue: frames fed in vs. completions
+/// observed out. A run of empty polls with work outstanding means the
+/// queue stalled (hung writeback engine, lost doorbell); after a
+/// bounded-backoff threshold the watchdog requests a ring reset/re-arm.
+#[derive(Debug, Default)]
+pub struct Watchdog {
+    cfg: WatchdogConfigInner,
+    /// Frames fed toward this queue.
+    fed: u64,
+    /// Completions observed (including ones later discarded — observing
+    /// *anything* proves the queue is alive).
+    polled: u64,
+    /// Consecutive empty polls with work outstanding.
+    idle: u32,
+    /// Current backoff exponent (reset on progress).
+    backoff_shift: u32,
+    /// Resets requested so far.
+    pub resets: u64,
+}
+
+/// Newtype so `Watchdog::default()` picks up `WatchdogConfig::default`.
+#[derive(Debug, Default)]
+struct WatchdogConfigInner(WatchdogConfig);
+
+impl Watchdog {
+    pub fn with_config(cfg: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            cfg: WatchdogConfigInner(cfg),
+            ..Watchdog::default()
+        }
+    }
+
+    /// A frame was fed toward the queue.
+    pub fn note_fed(&mut self, n: u64) {
+        self.fed += n;
+    }
+
+    /// Completions were observed: the queue is alive and `n` fed frames
+    /// are accounted for. Clamped at `fed`: every consumed completion
+    /// maps to a fed frame (replays go through [`note_alive`]), so the
+    /// only way past `fed` is re-counting work a reset already forgave —
+    /// and letting that credit stand would mask the next hidden
+    /// completion from [`observe_empty`].
+    ///
+    /// [`note_alive`]: Watchdog::note_alive
+    /// [`observe_empty`]: Watchdog::observe_empty
+    pub fn note_progress(&mut self, n: u64) {
+        self.polled = (self.polled + n).min(self.fed);
+        self.idle = 0;
+        self.backoff_shift = 0;
+    }
+
+    /// Something was observed that proves the queue alive but consumed
+    /// no fed frame (a replayed completion). Resets the stall counters
+    /// without touching the outstanding-work ledger — a duplicate must
+    /// not mask a genuinely hidden completion.
+    pub fn note_alive(&mut self) {
+        self.idle = 0;
+        self.backoff_shift = 0;
+    }
+
+    /// An empty poll happened. Returns `true` when the caller should
+    /// reset/re-arm the queue now.
+    pub fn observe_empty(&mut self) -> bool {
+        if self.fed <= self.polled {
+            // Nothing outstanding: emptiness is the expected state.
+            self.idle = 0;
+            return false;
+        }
+        self.idle += 1;
+        let shift = self.backoff_shift.min(self.cfg.0.max_backoff_shift);
+        let threshold = self.cfg.0.stall_polls << shift;
+        if self.idle < threshold {
+            return false;
+        }
+        self.idle = 0;
+        self.backoff_shift = (self.backoff_shift + 1).min(self.cfg.0.max_backoff_shift);
+        self.resets += 1;
+        // Whatever the reset cannot republish was genuinely lost on the
+        // device (fault drops, hangs); stop counting it as outstanding
+        // or every later empty poll would re-trip the watchdog.
+        self.polled = self.fed;
+        true
+    }
+
+    /// Frames fed but not yet observed (saturating: resets forgive).
+    pub fn outstanding(&self) -> u64 {
+        self.fed.saturating_sub(self.polled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use crate::intent::Intent;
+    use opendesc_nicsim::models;
+
+    #[test]
+    fn seq_tracker_admits_fresh_flags_duplicate_and_stale() {
+        let mut t = SeqTracker::default();
+        assert_eq!(t.admit(0), SeqVerdict::Fresh);
+        assert_eq!(t.admit(1), SeqVerdict::Fresh);
+        assert_eq!(t.admit(1), SeqVerdict::Duplicate);
+        assert_eq!(t.admit(2), SeqVerdict::Fresh);
+        // A stale generation consumed the slot the tag-3 completion
+        // would have used; after skipping it, the stream re-syncs.
+        assert_eq!(t.admit(3u64.wrapping_sub(64)), SeqVerdict::Stale);
+        assert_eq!(t.admit(4), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn seq_tracker_survives_replayed_stale_tags_without_desync() {
+        // A duplicated *stale* writeback must not advance expectation
+        // twice — that would leave the tracker permanently ahead,
+        // discarding every honest completion that follows.
+        let mut t = SeqTracker::default();
+        assert_eq!(t.admit(0), SeqVerdict::Fresh);
+        assert_eq!(t.admit(1), SeqVerdict::Fresh);
+        let stale = 2u64.wrapping_sub(64);
+        assert_eq!(t.admit(stale), SeqVerdict::Stale);
+        assert_eq!(t.admit(stale), SeqVerdict::Duplicate, "replay of the stale");
+        // The honest stream resumes with zero further loss.
+        assert_eq!(t.admit(3), SeqVerdict::Fresh);
+        assert_eq!(t.admit(4), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn seq_tracker_resyncs_when_the_host_fell_behind() {
+        // Tags slightly ahead (host enabled validation mid-stream) must
+        // realign instead of flagging every later completion stale.
+        let mut t = SeqTracker::default();
+        assert_eq!(t.admit(10), SeqVerdict::Stale);
+        assert_eq!(t.admit(11), SeqVerdict::Fresh);
+        assert_eq!(t.admit(12), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn health_machine_walks_degraded_recovering_healthy() {
+        let mut h = HealthState::with_config(HealthConfig {
+            degraded_clean: 2,
+            recovering_clean: 3,
+        });
+        assert_eq!(h.health(), QueueHealth::Healthy);
+        h.on_fault();
+        assert_eq!(h.health(), QueueHealth::Degraded);
+        h.on_clean();
+        h.on_clean();
+        assert_eq!(h.health(), QueueHealth::Recovering);
+        // A fault during recovery revokes trust again.
+        h.on_fault();
+        assert_eq!(h.health(), QueueHealth::Degraded);
+        for _ in 0..2 {
+            h.on_clean();
+        }
+        for _ in 0..3 {
+            h.on_clean();
+        }
+        assert_eq!(h.health(), QueueHealth::Healthy);
+        assert_eq!(h.transitions, 5);
+    }
+
+    #[test]
+    fn health_severity_orders_for_worst_of() {
+        assert!(QueueHealth::Degraded > QueueHealth::Recovering);
+        assert!(QueueHealth::Recovering > QueueHealth::Healthy);
+    }
+
+    #[test]
+    fn watchdog_trips_after_threshold_and_backs_off() {
+        let mut w = Watchdog::with_config(WatchdogConfig {
+            stall_polls: 2,
+            max_backoff_shift: 2,
+        });
+        // No work outstanding: empty polls never trip.
+        for _ in 0..10 {
+            assert!(!w.observe_empty());
+        }
+        w.note_fed(5);
+        assert!(!w.observe_empty());
+        assert!(w.observe_empty(), "second empty poll hits the threshold");
+        assert_eq!(w.resets, 1);
+        assert_eq!(w.outstanding(), 0, "reset forgives lost frames");
+        // Next stall needs a doubled run of empty polls.
+        w.note_fed(1);
+        assert!(!w.observe_empty());
+        assert!(!w.observe_empty());
+        assert!(!w.observe_empty());
+        assert!(w.observe_empty());
+        assert_eq!(w.resets, 2);
+        // Progress resets the backoff.
+        w.note_fed(2);
+        w.note_progress(2);
+        w.note_fed(1);
+        assert!(!w.observe_empty());
+        assert!(w.observe_empty(), "threshold back at stall_polls");
+    }
+
+    #[test]
+    fn validator_spec_derives_checks_from_the_layout() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::builder("v")
+            .want(&mut reg, names::PKT_LEN)
+            .want(&mut reg, names::IP_CHECKSUM)
+            .want(&mut reg, names::RSS_HASH)
+            .build();
+        // e1000e csum path provides pkt_len + ip_checksum in hardware.
+        let iface = Compiler::default()
+            .compile_model(&models::e1000e(), &intent, &mut reg)
+            .unwrap();
+        let spec = ValidatorSpec::derive(&iface.accessors, &iface.reg);
+        assert_eq!(spec.expected_len, iface.accessors.completion_bytes as usize);
+        let kinds: Vec<FieldCheck> = spec.checks.iter().map(|(_, _, c)| *c).collect();
+        assert!(kinds.contains(&FieldCheck::PktLen));
+        assert!(kinds.contains(&FieldCheck::CsumStatus));
+
+        // A pkt_len that matches passes; one that lies fails.
+        let len_idx = spec
+            .checks
+            .iter()
+            .find(|(_, _, c)| *c == FieldCheck::PktLen)
+            .unwrap()
+            .0;
+        let ok = spec.check_values(100, |i| (i == len_idx).then_some(100));
+        assert_eq!(ok, None);
+        let bad = spec.check_values(100, |i| (i == len_idx).then_some(99));
+        assert_eq!(bad, Some(FieldCheck::PktLen));
+        // A bad csum status code fails.
+        let csum_idx = spec
+            .checks
+            .iter()
+            .find(|(_, _, c)| *c == FieldCheck::CsumStatus)
+            .unwrap()
+            .0;
+        let bad = spec.check_values(100, |i| (i == csum_idx).then_some(0x1234));
+        assert_eq!(bad, Some(FieldCheck::CsumStatus));
+    }
+}

@@ -28,10 +28,11 @@ use crate::cache::{CompiledRx, PlanCache};
 use crate::compiler::CompileError;
 use crate::datapath::{OpenDescDriver, RxBatch};
 use crate::intent::Intent;
+use crate::robust::{QueueHealth, ValidationStats};
 use opendesc_ir::SemanticRegistry;
 use opendesc_nicsim::models::NicModel;
 use opendesc_nicsim::multiqueue::{CachePadded, SteerPolicy, Steerer};
-use opendesc_nicsim::nic::{NicError, SimNic};
+use opendesc_nicsim::nic::{NicError, NicStats, SimNic};
 use opendesc_nicsim::pktgen::ShardFrame;
 use opendesc_softnic::wire::ParsedFrame;
 use std::fmt;
@@ -85,6 +86,13 @@ pub struct WorkerStats {
     /// Nanoseconds spent inside drain sections (host datapath only; the
     /// wire-side feed is excluded).
     pub busy_ns: u64,
+    /// Validator counter deltas for this round (since the last
+    /// `reset_stats`).
+    pub validation: ValidationStats,
+    /// Watchdog resets requested this round.
+    pub watchdog_resets: u64,
+    /// Queue health at the time the stats were read.
+    pub health: QueueHealth,
 }
 
 /// One queue + its driver + its recycled batch + its padded stat cell.
@@ -94,6 +102,10 @@ pub struct RxWorker {
     drv: OpenDescDriver,
     batch: RxBatch,
     stats: CachePadded<WorkerStats>,
+    /// Validator/watchdog baselines at the last `reset_stats`, so each
+    /// round reports deltas over the driver's cumulative counters.
+    vbase: ValidationStats,
+    rbase: u64,
 }
 
 impl RxWorker {
@@ -104,6 +116,8 @@ impl RxWorker {
             drv,
             batch,
             stats: CachePadded::default(),
+            vbase: ValidationStats::default(),
+            rbase: 0,
         }
     }
 
@@ -112,13 +126,25 @@ impl RxWorker {
         &self.drv.iface
     }
 
-    /// This worker's counters.
+    /// This worker's counters, with validator deltas and current health
+    /// folded in.
     pub fn stats(&self) -> WorkerStats {
-        self.stats.value
+        let mut s = self.stats.value;
+        s.validation = self.drv.validation_stats().since(&self.vbase);
+        s.watchdog_resets = self.drv.watchdog_resets() - self.rbase;
+        s.health = self.drv.health();
+        s
+    }
+
+    /// This worker's queue health right now.
+    pub fn health(&self) -> QueueHealth {
+        self.drv.health()
     }
 
     fn reset_stats(&mut self) {
         self.stats.value = WorkerStats::default();
+        self.vbase = self.drv.validation_stats();
+        self.rbase = self.drv.watchdog_resets();
     }
 
     /// Feed `pool` into the owned queue and drain it through the
@@ -132,8 +158,9 @@ impl RxWorker {
         for chunk in pool.chunks(cap) {
             for sf in chunk {
                 let parsed = ParsedFrame::parse(&sf.bytes);
+                // Through the driver wrapper so the watchdog sees the
+                // fed count (its outstanding-work heartbeat).
                 self.drv
-                    .nic
                     .deliver_steered(&sf.bytes, parsed.as_ref(), sf.rss)
                     .expect("configured queue accepts steered frames");
                 self.stats.value.steered += 1;
@@ -212,6 +239,63 @@ impl ShardReport {
             return 0.0;
         }
         self.total_packets() as f64 * 1e3 / ns as f64
+    }
+
+    /// Worst queue health observed across workers this round.
+    pub fn worst_health(&self) -> QueueHealth {
+        self.per_worker
+            .iter()
+            .map(|w| w.health)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Validator counters merged across workers this round.
+    pub fn merged_validation(&self) -> ValidationStats {
+        let mut v = ValidationStats::default();
+        for w in &self.per_worker {
+            v.merge(&w.validation);
+        }
+        v
+    }
+}
+
+/// One queue's slice of the engine health report.
+#[derive(Debug, Clone)]
+pub struct QueueHealthReport {
+    pub queue: usize,
+    /// Health-machine state right now.
+    pub health: QueueHealth,
+    /// Cumulative host-side validation counters.
+    pub validation: ValidationStats,
+    /// Cumulative watchdog-requested ring resets.
+    pub watchdog_resets: u64,
+    /// The device's own counters for this queue — including the faults
+    /// it injected, so host-observed and device-injected numbers sit
+    /// side by side.
+    pub nic: NicStats,
+}
+
+/// Engine-wide health: per-queue detail plus merged device and
+/// validator counters (see [`ShardedRx::health_report`]).
+#[derive(Debug, Clone)]
+pub struct EngineHealthReport {
+    pub queues: Vec<QueueHealthReport>,
+    /// Device counters merged across queues.
+    pub nic: NicStats,
+    /// Host validator counters merged across queues.
+    pub validation: ValidationStats,
+}
+
+impl EngineHealthReport {
+    /// Worst queue health — the engine is only as trustworthy as its
+    /// sickest queue.
+    pub fn worst(&self) -> QueueHealth {
+        self.queues
+            .iter()
+            .map(|q| q.health)
+            .max()
+            .unwrap_or_default()
     }
 }
 
@@ -299,10 +383,38 @@ impl ShardedRx {
         let v = self.steerer.steer(idx, frame);
         self.workers[v.queue]
             .drv
-            .nic
             .deliver_steered(frame, v.parsed.as_ref(), v.rss)?;
         self.workers[v.queue].stats.value.steered += 1;
         Ok(v.queue)
+    }
+
+    /// Per-queue health and fault accounting plus the engine-wide merged
+    /// view — the operator's "is the device lying to me" dashboard.
+    /// Validator counters here are cumulative (driver lifetime), unlike
+    /// the per-round deltas in [`WorkerStats`].
+    pub fn health_report(&self) -> EngineHealthReport {
+        let queues: Vec<QueueHealthReport> = self
+            .workers
+            .iter()
+            .map(|w| QueueHealthReport {
+                queue: w.queue,
+                health: w.drv.health(),
+                validation: w.drv.validation_stats(),
+                watchdog_resets: w.drv.watchdog_resets(),
+                nic: w.drv.nic.stats.clone(),
+            })
+            .collect();
+        let mut nic = NicStats::default();
+        let mut validation = ValidationStats::default();
+        for q in &queues {
+            nic.merge(&q.nic);
+            validation.merge(&q.validation);
+        }
+        EngineHealthReport {
+            queues,
+            nic,
+            validation,
+        }
     }
 
     /// One parallel round: worker `q` pumps `pools[q]` on its own scoped
@@ -489,6 +601,57 @@ mod tests {
             assert_eq!(p.packets, w.packets);
             assert_eq!(p.steered, w.steered);
         }
+    }
+
+    #[test]
+    fn health_report_merges_device_and_host_views() {
+        use opendesc_nicsim::FaultConfig;
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg);
+        let mut eng = ShardedRx::new_uniform(
+            &cache,
+            &models::e1000e(),
+            &i,
+            &mut reg,
+            2,
+            256,
+            SteerPolicy::RoundRobin,
+            16,
+        )
+        .unwrap();
+        // Only queue 1 misbehaves: replays every completion.
+        eng.workers_mut()[1]
+            .driver_mut()
+            .nic
+            .set_faults(
+                FaultConfig::builder()
+                    .duplicate_chance(1.0)
+                    .seed(3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let frames = opendesc_nicsim::PktGen::new(Workload::default()).batch(40);
+        for f in &frames {
+            eng.deliver(f).unwrap();
+        }
+        let drained: usize = eng
+            .drain_collect_parallel()
+            .iter()
+            .map(|per_q| per_q.len())
+            .sum();
+        assert_eq!(drained, 40, "replays are discarded, originals delivered");
+        let report = eng.health_report();
+        assert_eq!(report.queues[0].health, QueueHealth::Healthy);
+        assert_eq!(report.queues[0].validation.duplicates, 0);
+        assert_eq!(report.queues[1].health, QueueHealth::Degraded);
+        assert!(report.queues[1].validation.duplicates > 0);
+        assert_eq!(report.worst(), QueueHealth::Degraded);
+        // Device-injected and host-caught numbers line up in the merged
+        // view: every injected duplicate was discarded by a validator.
+        assert_eq!(report.nic.duplicated, report.validation.duplicates);
+        assert!(report.nic.injected_faults() > 0);
     }
 
     #[test]

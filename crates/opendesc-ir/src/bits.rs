@@ -7,6 +7,17 @@
 //! `width_bits = 8` spans the low nibble of byte 1 and the high nibble of
 //! byte 2.
 
+/// All-ones mask of a field's width: the value domain a `width_bits`
+/// hardware slot can carry.
+#[inline]
+pub fn width_mask(width: u16) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
 /// Write `width` bits of `value` into `buf` starting at absolute bit
 /// offset `offset`. Bits beyond `width` in `value` are ignored.
 ///

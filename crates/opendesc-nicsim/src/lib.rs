@@ -30,7 +30,9 @@ pub use models::{
 pub use multiqueue::{
     CachePadded, MultiQueueNic, SteerPolicy, SteerStats, SteerVerdict, Steerer, RETA_SIZE,
 };
-pub use nic::{FaultConfig, NicError, NicStats, RxSideband, SimNic, WritebackMode};
+pub use nic::{
+    FaultConfig, FaultConfigBuilder, NicError, NicStats, RxSideband, SimNic, WritebackMode,
+};
 pub use offload::{DeviceOp, MetaRecord, OffloadEngine, OffloadProgram};
 pub use pktgen::{PktGen, ShardFrame, ShardedPktGen, Transport, Workload};
 pub use ring::{DescRing, RingError};

@@ -282,6 +282,29 @@ impl MultiQueueNic {
         &mut self.queues[i]
     }
 
+    /// Device-side counters merged across every queue — the whole-NIC
+    /// view of delivered frames and injected faults.
+    pub fn merged_stats(&self) -> crate::nic::NicStats {
+        let mut total = crate::nic::NicStats::default();
+        for q in &self.queues {
+            total.merge(&q.stats);
+        }
+        total
+    }
+
+    /// Configure fault injection on every queue, deriving each queue's
+    /// RNG seed from `faults.seed` plus its index so queues fault
+    /// independently but the whole device is deterministic.
+    pub fn set_faults_all(&mut self, faults: crate::nic::FaultConfig) -> Result<(), NicError> {
+        faults.validate()?;
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            let mut per_queue = faults;
+            per_queue.seed = faults.seed.wrapping_add(i as u64);
+            q.set_faults(per_queue)?;
+        }
+        Ok(())
+    }
+
     /// Tear the NIC apart into its queues, for handing each to a worker
     /// thread (the sharded RX engine's ownership model: one queue, one
     /// worker, no sharing). The steerer should be taken with

@@ -40,13 +40,46 @@ pub enum WritebackMode {
 }
 
 /// Fault injection knobs (in the smoltcp spirit: exercise the unhappy
-/// paths deterministically).
+/// paths deterministically). Every class defaults off; prefer
+/// [`FaultConfig::builder`] so adding fault classes never changes the
+/// behavior of existing configurations.
+///
+/// Probabilities outside \[0,1\] are rejected by
+/// [`validate`](FaultConfig::validate) (and therefore by
+/// [`SimNic::set_faults`] and the builder) — out-of-range values would
+/// silently saturate in the rand comparison instead of failing loudly.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {
     /// Probability \[0,1\] of dropping a frame before processing.
     pub drop_chance: f64,
-    /// Probability \[0,1\] of flipping one byte of the completion record.
+    /// Probability \[0,1\] of flipping one bit of the completion record.
     pub corrupt_chance: f64,
+    /// Probability \[0,1\] of a torn writeback: only a random prefix of
+    /// the record lands, the tail reads as stale slot bytes (zeros), and
+    /// the sideband DMA never completes.
+    pub torn_chance: f64,
+    /// Probability \[0,1\] of a truncated completion: the DMA write is
+    /// cut short, so the host sees a record shorter than the layout.
+    pub truncate_chance: f64,
+    /// Probability \[0,1\] of duplicating a completion: the device
+    /// re-DMAs the same record (same sequence tag) into the next slot.
+    pub duplicate_chance: f64,
+    /// Probability \[0,1\] of writing a stale generation tag — the DD
+    /// word of a previous ring pass — so the entry looks like an old
+    /// completion the host already consumed.
+    pub stale_gen_chance: f64,
+    /// Probability \[0,1\] of losing the doorbell update: the completion
+    /// is written but not published until a later doorbell (or a host
+    /// ring reset) makes it visible.
+    pub doorbell_loss_chance: f64,
+    /// Probability \[0,1\] per frame of the queue's writeback engine
+    /// wedging: this frame and the next [`hang_cycles`] deliveries are
+    /// swallowed without completions, emulating a transient queue hang.
+    ///
+    /// [`hang_cycles`]: FaultConfig::hang_cycles
+    pub hang_chance: f64,
+    /// How many subsequent deliveries a hang swallows.
+    pub hang_cycles: u32,
     pub seed: u64,
 }
 
@@ -55,13 +88,129 @@ impl Default for FaultConfig {
         FaultConfig {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
+            torn_chance: 0.0,
+            truncate_chance: 0.0,
+            duplicate_chance: 0.0,
+            stale_gen_chance: 0.0,
+            doorbell_loss_chance: 0.0,
+            hang_chance: 0.0,
+            hang_cycles: 4,
             seed: 0x0DE5C,
         }
     }
 }
 
+impl FaultConfig {
+    /// Builder with every fault class off.
+    pub fn builder() -> FaultConfigBuilder {
+        FaultConfigBuilder {
+            cfg: FaultConfig::default(),
+        }
+    }
+
+    /// Reject probabilities outside \[0,1\] (including NaN).
+    pub fn validate(&self) -> Result<(), NicError> {
+        let probs = [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+            ("torn_chance", self.torn_chance),
+            ("truncate_chance", self.truncate_chance),
+            ("duplicate_chance", self.duplicate_chance),
+            ("stale_gen_chance", self.stale_gen_chance),
+            ("doorbell_loss_chance", self.doorbell_loss_chance),
+            ("hang_chance", self.hang_chance),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(NicError::BadConfig(format!(
+                    "{name} = {p} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn any_enabled(&self) -> bool {
+        [
+            self.drop_chance,
+            self.corrupt_chance,
+            self.torn_chance,
+            self.truncate_chance,
+            self.duplicate_chance,
+            self.stale_gen_chance,
+            self.doorbell_loss_chance,
+            self.hang_chance,
+        ]
+        .iter()
+        .any(|p| *p > 0.0)
+    }
+}
+
+/// Builder for [`FaultConfig`]: start from all-off, enable classes one
+/// by one, and get range validation at `build` time.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfigBuilder {
+    cfg: FaultConfig,
+}
+
+impl FaultConfigBuilder {
+    pub fn drop_chance(mut self, p: f64) -> Self {
+        self.cfg.drop_chance = p;
+        self
+    }
+
+    pub fn corrupt_chance(mut self, p: f64) -> Self {
+        self.cfg.corrupt_chance = p;
+        self
+    }
+
+    pub fn torn_chance(mut self, p: f64) -> Self {
+        self.cfg.torn_chance = p;
+        self
+    }
+
+    pub fn truncate_chance(mut self, p: f64) -> Self {
+        self.cfg.truncate_chance = p;
+        self
+    }
+
+    pub fn duplicate_chance(mut self, p: f64) -> Self {
+        self.cfg.duplicate_chance = p;
+        self
+    }
+
+    pub fn stale_gen_chance(mut self, p: f64) -> Self {
+        self.cfg.stale_gen_chance = p;
+        self
+    }
+
+    pub fn doorbell_loss_chance(mut self, p: f64) -> Self {
+        self.cfg.doorbell_loss_chance = p;
+        self
+    }
+
+    /// Enable transient queue hangs: each triggers with probability `p`
+    /// per frame and swallows `cycles` further deliveries.
+    pub fn hang(mut self, p: f64, cycles: u32) -> Self {
+        self.cfg.hang_chance = p;
+        self.cfg.hang_cycles = cycles;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn build(self) -> Result<FaultConfig, NicError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Counters for one receive queue.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NicStats {
     pub rx_frames: u64,
     pub rx_bytes: u64,
@@ -69,6 +218,52 @@ pub struct NicStats {
     pub dropped_faults: u64,
     pub dropped_ring_full: u64,
     pub corrupted: u64,
+    /// Torn writebacks (prefix landed, tail stale).
+    pub torn: u64,
+    /// Truncated completions (record cut short).
+    pub truncated: u64,
+    /// Duplicated completions (record re-DMAed).
+    pub duplicated: u64,
+    /// Completions written with a stale generation tag.
+    pub stale_gen: u64,
+    /// Doorbell updates lost after producing a completion.
+    pub doorbell_lost: u64,
+    /// Frames swallowed by a wedged writeback engine.
+    pub hang_dropped: u64,
+    /// Host-initiated queue resets ([`SimNic::reset_queue`]).
+    pub resets: u64,
+}
+
+impl NicStats {
+    /// Fold another queue's counters into this one (the sharded layer's
+    /// merged device-side view).
+    pub fn merge(&mut self, other: &NicStats) {
+        self.rx_frames += other.rx_frames;
+        self.rx_bytes += other.rx_bytes;
+        self.completions += other.completions;
+        self.dropped_faults += other.dropped_faults;
+        self.dropped_ring_full += other.dropped_ring_full;
+        self.corrupted += other.corrupted;
+        self.torn += other.torn;
+        self.truncated += other.truncated;
+        self.duplicated += other.duplicated;
+        self.stale_gen += other.stale_gen;
+        self.doorbell_lost += other.doorbell_lost;
+        self.hang_dropped += other.hang_dropped;
+        self.resets += other.resets;
+    }
+
+    /// Total injected faults across every class.
+    pub fn injected_faults(&self) -> u64 {
+        self.dropped_faults
+            + self.corrupted
+            + self.torn
+            + self.truncated
+            + self.duplicated
+            + self.stale_gen
+            + self.doorbell_lost
+            + self.hang_dropped
+    }
 }
 
 /// Errors raised by the simulator.
@@ -78,6 +273,9 @@ pub enum NicError {
     BadContract(String),
     /// The requested context assignment selects no completion path.
     NoPathForContext,
+    /// A configuration value is out of range (e.g. a fault probability
+    /// outside \[0,1\]).
+    BadConfig(String),
     Ring(RingError),
 }
 
@@ -86,6 +284,7 @@ impl fmt::Display for NicError {
         match self {
             NicError::BadContract(m) => write!(f, "bad contract: {m}"),
             NicError::NoPathForContext => write!(f, "context selects no completion path"),
+            NicError::BadConfig(m) => write!(f, "bad config: {m}"),
             NicError::Ring(e) => write!(f, "ring: {e}"),
         }
     }
@@ -100,6 +299,10 @@ impl std::error::Error for NicError {}
 pub struct RxSideband {
     /// Toeplitz hash computed at steering time (RSS policy, IP frames).
     pub rss_hint: Option<u32>,
+    /// The completion's writeback sequence tag, read from the ring slot.
+    /// An honest device tags entries with consecutive values; stale or
+    /// duplicated writebacks surface here for the host's validator.
+    pub seq: u64,
 }
 
 /// A simulated NIC receive queue executing an OpenDesc contract.
@@ -133,12 +336,16 @@ pub struct SimNic {
     pub stats: NicStats,
     faults: FaultConfig,
     fault_rng: SmallRng,
+    /// Next writeback sequence tag (increments per fresh completion).
+    wb_seq: u64,
+    /// Remaining deliveries a wedged writeback engine swallows.
+    hang_remaining: u32,
     /// Received frames pending host pickup, parallel to completions.
     rx_frames: std::collections::VecDeque<Vec<u8>>,
     /// Steering sideband in lockstep with the completion ring: one entry
     /// per successfully produced completion, consumed by
     /// [`SimNic::receive_into_hinted`].
-    rx_hints: std::collections::VecDeque<RxSideband>,
+    rx_hints: std::collections::VecDeque<Option<u32>>,
     /// Transmit descriptor ring (host → device).
     pub tx_ring: DescRing,
     /// DMA-visible buffer pool TX descriptors point into.
@@ -218,6 +425,8 @@ impl SimNic {
             stats: NicStats::default(),
             fault_rng: SmallRng::seed_from_u64(faults.seed),
             faults,
+            wb_seq: 0,
+            hang_remaining: 0,
             rx_frames: std::collections::VecDeque::new(),
             rx_hints: std::collections::VecDeque::new(),
             tx_ring: DescRing::new(ring_entries, 64),
@@ -236,10 +445,29 @@ impl SimNic {
         self.mode = mode;
     }
 
-    /// Configure fault injection.
-    pub fn set_faults(&mut self, faults: FaultConfig) {
+    /// Configure fault injection. Rejects out-of-range probabilities;
+    /// reseeds the fault RNG so runs are deterministic per config.
+    pub fn set_faults(&mut self, faults: FaultConfig) -> Result<(), NicError> {
+        faults.validate()?;
         self.fault_rng = SmallRng::seed_from_u64(faults.seed);
         self.faults = faults;
+        self.hang_remaining = 0;
+        Ok(())
+    }
+
+    /// Host-initiated queue recovery — the watchdog's re-arm. Publishes
+    /// any produced-but-unannounced completions (lost doorbells) and
+    /// un-wedges a hung writeback engine; an honest queue is unaffected.
+    pub fn reset_queue(&mut self) {
+        self.hang_remaining = 0;
+        self.cq.ring_doorbell();
+        self.stats.resets += 1;
+    }
+
+    /// One roll of the fault dice at probability `p`.
+    #[inline]
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.fault_rng.random::<f64>() < p
     }
 
     /// Override the DMA link model.
@@ -292,8 +520,19 @@ impl SimNic {
         parsed: Option<&ParsedFrame<'_>>,
         rss_hint: Option<u32>,
     ) -> Result<(), NicError> {
-        if self.faults.drop_chance > 0.0 && self.fault_rng.random::<f64>() < self.faults.drop_chance
-        {
+        // Transient queue hang: a wedged writeback engine swallows this
+        // and the next `hang_cycles` deliveries without completions.
+        if self.hang_remaining > 0 {
+            self.hang_remaining -= 1;
+            self.stats.hang_dropped += 1;
+            return Ok(());
+        }
+        if self.roll(self.faults.hang_chance) {
+            self.hang_remaining = self.faults.hang_cycles;
+            self.stats.hang_dropped += 1;
+            return Ok(());
+        }
+        if self.roll(self.faults.drop_chance) {
             self.stats.dropped_faults += 1;
             return Ok(());
         }
@@ -322,25 +561,58 @@ impl SimNic {
                 self.wb_scratch.extend_from_slice(&out);
             }
         }
-        if self.faults.corrupt_chance > 0.0
-            && !self.wb_scratch.is_empty()
-            && self.fault_rng.random::<f64>() < self.faults.corrupt_chance
-        {
+        // Corruption faults hit the record *and* the sideband in
+        // lockstep: a fault that mangles the completion DMA has no
+        // reason to spare the hint word, and a pristine hint would let
+        // hint-primed plans silently repair the damage.
+        let mut hint = rss_hint;
+        if !self.wb_scratch.is_empty() && self.roll(self.faults.torn_chance) {
+            // Torn writeback: only a prefix lands; the tail keeps the
+            // slot's stale bytes (zeros here) and the sideband is lost.
+            let cut = self.fault_rng.random_range(0..self.wb_scratch.len());
+            for b in &mut self.wb_scratch[cut..] {
+                *b = 0;
+            }
+            hint = None;
+            self.stats.torn += 1;
+        }
+        if !self.wb_scratch.is_empty() && self.roll(self.faults.corrupt_chance) {
             let idx = self.fault_rng.random_range(0..self.wb_scratch.len());
             self.wb_scratch[idx] ^= 1 << self.fault_rng.random_range(0..8);
+            if let Some(h) = hint.as_mut() {
+                *h ^= 1 << self.fault_rng.random_range(0..32);
+            }
             self.stats.corrupted += 1;
         }
-        match self.cq.produce(&self.wb_scratch) {
-            Ok(()) => {}
+        if !self.wb_scratch.is_empty() && self.roll(self.faults.truncate_chance) {
+            let keep = self.fault_rng.random_range(0..self.wb_scratch.len());
+            self.wb_scratch.truncate(keep);
+            hint = None;
+            self.stats.truncated += 1;
+        }
+        // Generation tag: fresh by default; a stale-gen fault re-writes
+        // a tag from the previous ring pass, so the entry looks like a
+        // completion the host already consumed.
+        let mut tag = self.wb_seq;
+        if self.roll(self.faults.stale_gen_chance) {
+            tag = tag.wrapping_sub(self.cq.capacity() as u64);
+            self.stats.stale_gen += 1;
+        }
+        match self.cq.produce_tagged(&self.wb_scratch, tag) {
+            Ok(()) => self.wb_seq += 1,
             Err(RingError::Full) => {
                 self.stats.dropped_ring_full += 1;
                 return Ok(());
             }
             Err(e) => return Err(NicError::Ring(e)),
         }
-        self.cq.ring_doorbell();
+        if self.roll(self.faults.doorbell_loss_chance) {
+            self.stats.doorbell_lost += 1;
+        } else {
+            self.cq.ring_doorbell();
+        }
         // Sideband rides in lockstep with the completion just produced.
-        self.rx_hints.push_back(RxSideband { rss_hint });
+        self.rx_hints.push_back(hint);
         self.dma.record(&self.dma_cfg, self.wb_scratch.len() as u32);
         if !self.rx_pool.enabled {
             // Copy into a recycled buffer instead of allocating per frame.
@@ -352,6 +624,22 @@ impl SimNic {
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += frame.len() as u64;
         self.stats.completions += 1;
+        // Duplicated completion: the device re-DMAs the same record with
+        // the same tag into the next slot; the host sees the packet
+        // twice and must discard the replay by its sequence tag. (Buffer
+        // mode has no second posted buffer to read, so skip there.)
+        if !self.rx_pool.enabled
+            && self.roll(self.faults.duplicate_chance)
+            && self.cq.produce_tagged(&self.wb_scratch, tag).is_ok()
+        {
+            self.cq.ring_doorbell();
+            self.rx_hints.push_back(hint);
+            let mut buf = self.frame_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(frame);
+            self.rx_frames.push_back(buf);
+            self.stats.duplicated += 1;
+        }
         Ok(())
     }
 
@@ -386,11 +674,15 @@ impl SimNic {
         frame: &mut Vec<u8>,
         cmpt: &mut Vec<u8>,
     ) -> Option<RxSideband> {
-        let c = self.cq.consume()?;
+        let (c, seq) = self.cq.consume_with_seq()?;
         cmpt.clear();
         cmpt.extend_from_slice(c);
-        // The sideband queue is produced in lockstep with `cq`.
-        let sideband = self.rx_hints.pop_front().unwrap_or_default();
+        // The sideband queue is produced in lockstep with `cq`; the
+        // sequence tag comes from the ring slot itself.
+        let sideband = RxSideband {
+            rss_hint: self.rx_hints.pop_front().unwrap_or_default(),
+            seq,
+        };
         let ok = if self.rx_pool.enabled {
             self.rx_buffer_read_into(frame)
         } else {
@@ -672,11 +964,15 @@ mod tests {
     fn fault_injection_drops_and_corrupts() {
         let mut nic = SimNic::new(models::e1000_legacy(), 1024).unwrap();
         nic.configure(Assignment::new()).unwrap();
-        nic.set_faults(FaultConfig {
-            drop_chance: 0.3,
-            corrupt_chance: 0.3,
-            seed: 42,
-        });
+        nic.set_faults(
+            FaultConfig::builder()
+                .drop_chance(0.3)
+                .corrupt_chance(0.3)
+                .seed(42)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         for _ in 0..500 {
             nic.deliver(&frame()).unwrap();
         }
@@ -686,6 +982,176 @@ mod tests {
             nic.stats.rx_frames + nic.stats.dropped_faults + nic.stats.dropped_ring_full,
             500
         );
+    }
+
+    #[test]
+    fn fault_config_rejects_out_of_range_probabilities() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = FaultConfig::builder().torn_chance(bad).build();
+            assert!(
+                matches!(err, Err(NicError::BadConfig(_))),
+                "torn_chance = {bad} must be rejected"
+            );
+        }
+        let mut nic = SimNic::new(models::e1000_legacy(), 16).unwrap();
+        let cfg = FaultConfig {
+            drop_chance: 2.0,
+            ..FaultConfig::default()
+        };
+        assert!(matches!(nic.set_faults(cfg), Err(NicError::BadConfig(_))));
+        // Builder defaults leave every class off.
+        let off = FaultConfig::builder().build().unwrap();
+        assert!(!off.any_enabled());
+    }
+
+    #[test]
+    fn corruption_hits_completion_and_hint_in_lockstep() {
+        // Regression for the hint-path hole: a corrupt fault must mangle
+        // the sideband hint too, or hint-primed plans silently repair
+        // the corrupted completion and the fault is invisible.
+        let mut nic = SimNic::new(models::e1000e(), 64).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        nic.set_faults(
+            FaultConfig::builder()
+                .corrupt_chance(1.0)
+                .seed(7)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let f = frame();
+        let true_hint = 0xABCD_1234u32;
+        nic.deliver_steered(&f, None, Some(true_hint)).unwrap();
+        let (mut fr, mut c) = (Vec::new(), Vec::new());
+        let side = nic.receive_into_hinted(&mut fr, &mut c).unwrap();
+        assert_eq!(nic.stats.corrupted, 1);
+        let got = side.rss_hint.expect("hint still delivered, but faulted");
+        assert_ne!(got, true_hint, "hint must not survive corruption intact");
+        assert_eq!((got ^ true_hint).count_ones(), 1, "single bit flip");
+    }
+
+    #[test]
+    fn torn_and_truncated_writebacks_lose_the_hint() {
+        for (cfg, check_len) in [
+            (FaultConfig::builder().torn_chance(1.0), false),
+            (FaultConfig::builder().truncate_chance(1.0), true),
+        ] {
+            let mut nic = SimNic::new(models::e1000e(), 64).unwrap();
+            nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+            let full_len = {
+                nic.deliver(&frame()).unwrap();
+                let (_, c) = nic.receive().unwrap();
+                c.len()
+            };
+            nic.set_faults(cfg.seed(9).build().unwrap()).unwrap();
+            nic.deliver_steered(&frame(), None, Some(0x1111)).unwrap();
+            let (mut fr, mut c) = (Vec::new(), Vec::new());
+            let side = nic.receive_into_hinted(&mut fr, &mut c).unwrap();
+            assert_eq!(side.rss_hint, None, "sideband DMA must be lost");
+            if check_len {
+                assert!(c.len() < full_len, "truncation must shorten the record");
+            } else {
+                assert_eq!(c.len(), full_len, "torn writeback keeps the length");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_completions_reuse_the_sequence_tag() {
+        let mut nic = SimNic::new(models::e1000e(), 64).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        nic.set_faults(
+            FaultConfig::builder()
+                .duplicate_chance(1.0)
+                .seed(11)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        nic.deliver(&frame()).unwrap();
+        assert_eq!(nic.stats.duplicated, 1);
+        let (mut fr, mut c) = (Vec::new(), Vec::new());
+        let first = nic.receive_into_hinted(&mut fr, &mut c).unwrap();
+        let orig = c.clone();
+        let second = nic.receive_into_hinted(&mut fr, &mut c).unwrap();
+        assert_eq!(first.seq, second.seq, "replay carries the same tag");
+        assert_eq!(c, orig, "replay carries the same record");
+        assert!(nic.receive_into_hinted(&mut fr, &mut c).is_none());
+    }
+
+    #[test]
+    fn stale_generation_tags_look_like_a_previous_ring_pass() {
+        let mut nic = SimNic::new(models::e1000e(), 16).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        nic.set_faults(
+            FaultConfig::builder()
+                .stale_gen_chance(1.0)
+                .seed(13)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        nic.deliver(&frame()).unwrap();
+        let (mut fr, mut c) = (Vec::new(), Vec::new());
+        let side = nic.receive_into_hinted(&mut fr, &mut c).unwrap();
+        assert_eq!(
+            side.seq,
+            0u64.wrapping_sub(nic.cq.capacity() as u64),
+            "tag is one full ring behind"
+        );
+        assert_eq!(nic.stats.stale_gen, 1);
+    }
+
+    #[test]
+    fn lost_doorbell_hides_completions_until_queue_reset() {
+        let mut nic = SimNic::new(models::e1000e(), 16).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        nic.set_faults(
+            FaultConfig::builder()
+                .doorbell_loss_chance(1.0)
+                .seed(17)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        nic.deliver(&frame()).unwrap();
+        nic.deliver(&frame()).unwrap();
+        assert_eq!(nic.stats.doorbell_lost, 2);
+        let (mut fr, mut c) = (Vec::new(), Vec::new());
+        assert!(
+            nic.receive_into_hinted(&mut fr, &mut c).is_none(),
+            "unpublished completions are invisible"
+        );
+        nic.reset_queue();
+        assert_eq!(nic.stats.resets, 1);
+        assert!(nic.receive_into_hinted(&mut fr, &mut c).is_some());
+        assert!(nic.receive_into_hinted(&mut fr, &mut c).is_some());
+    }
+
+    #[test]
+    fn queue_hang_swallows_k_deliveries_then_recovers() {
+        let mut nic = SimNic::new(models::e1000e(), 64).unwrap();
+        nic.configure(asn(&[("use_rss", 1, 1)])).unwrap();
+        nic.set_faults(
+            FaultConfig::builder()
+                .hang(1.0, 3)
+                .seed(19)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // First delivery trips the hang, the next 3 are swallowed too.
+        for _ in 0..4 {
+            nic.deliver(&frame()).unwrap();
+        }
+        assert_eq!(nic.stats.hang_dropped, 4);
+        assert_eq!(nic.stats.completions, 0);
+        // Reset un-wedges the engine; with hang_chance still 1.0 the
+        // next delivery would re-trip, so disable faults first.
+        nic.reset_queue();
+        nic.set_faults(FaultConfig::default()).unwrap();
+        nic.deliver(&frame()).unwrap();
+        assert_eq!(nic.stats.completions, 1);
     }
 
     #[test]

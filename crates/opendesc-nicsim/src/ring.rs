@@ -36,6 +36,10 @@ pub struct DescRing {
     slots: Vec<Vec<u8>>,
     /// Valid byte length of each slot's current entry.
     lens: Vec<u16>,
+    /// Writeback sequence tag of each slot's current entry — the
+    /// generation word a real NIC embeds in the descriptor so the host
+    /// can tell a fresh writeback from a stale or re-DMAed one.
+    seqs: Vec<u64>,
     slot_size: usize,
     mask: usize,
     /// Total entries ever produced.
@@ -55,6 +59,7 @@ impl DescRing {
         DescRing {
             slots: vec![vec![0u8; slot_size]; cap],
             lens: vec![0; cap],
+            seqs: vec![0; cap],
             slot_size,
             mask: cap - 1,
             prod: 0,
@@ -94,6 +99,15 @@ impl DescRing {
     ///
     /// [`ring_doorbell`]: DescRing::ring_doorbell
     pub fn produce(&mut self, entry: &[u8]) -> Result<(), RingError> {
+        let seq = self.prod;
+        self.produce_tagged(entry, seq)
+    }
+
+    /// [`produce`](DescRing::produce) with an explicit sequence tag. An
+    /// honest device tags each entry with its absolute produce index; a
+    /// faulty one may re-use a tag (duplicated writeback) or write one
+    /// from a previous ring generation (stale DD bit).
+    pub fn produce_tagged(&mut self, entry: &[u8], seq: u64) -> Result<(), RingError> {
         if entry.len() > self.slot_size {
             return Err(RingError::EntryTooLarge {
                 len: entry.len(),
@@ -106,6 +120,7 @@ impl DescRing {
         let idx = (self.prod as usize) & self.mask;
         self.slots[idx][..entry.len()].copy_from_slice(entry);
         self.lens[idx] = entry.len() as u16;
+        self.seqs[idx] = seq;
         self.prod += 1;
         Ok(())
     }
@@ -125,12 +140,18 @@ impl DescRing {
 
     /// Consume the next published entry, if any.
     pub fn consume(&mut self) -> Option<&[u8]> {
+        self.consume_with_seq().map(|(e, _)| e)
+    }
+
+    /// [`consume`](DescRing::consume) that also surfaces the entry's
+    /// sequence tag, so the host can run generation/duplicate checks.
+    pub fn consume_with_seq(&mut self) -> Option<(&[u8], u64)> {
         if self.cons >= self.doorbell {
             return None;
         }
         let idx = (self.cons as usize) & self.mask;
         self.cons += 1;
-        Some(&self.slots[idx][..self.lens[idx] as usize])
+        Some((&self.slots[idx][..self.lens[idx] as usize], self.seqs[idx]))
     }
 
     /// Peek at the next published entry without consuming.
@@ -208,6 +229,25 @@ mod tests {
         }
         assert_eq!(r.total_produced(), 40);
         assert_eq!(r.total_consumed(), 40);
+    }
+
+    #[test]
+    fn sequence_tags_default_to_produce_index_and_survive_wraparound() {
+        let mut r = DescRing::new(4, 8);
+        for round in 0..3u64 {
+            for i in 0..4u64 {
+                r.produce(&[round as u8, i as u8]).unwrap();
+            }
+            r.ring_doorbell();
+            for i in 0..4u64 {
+                let (_, seq) = r.consume_with_seq().unwrap();
+                assert_eq!(seq, round * 4 + i);
+            }
+        }
+        // A faulty producer can tag an entry with an old generation.
+        r.produce_tagged(b"x", 2).unwrap();
+        r.ring_doorbell();
+        assert_eq!(r.consume_with_seq().unwrap().1, 2);
     }
 
     #[test]

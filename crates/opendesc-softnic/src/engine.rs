@@ -113,6 +113,18 @@ pub mod csum_status {
     pub const BAD: u16 = 0x0000;
 }
 
+/// RX status bit encoding shared by hardware models and software: every
+/// completed frame has both "descriptor done" and "end of packet" set
+/// (the simulator delivers whole frames), so a status word missing
+/// either bit is structurally invalid — the completion validator relies
+/// on this.
+pub mod rx_status {
+    /// Descriptor done.
+    pub const DD: u64 = 1 << 0;
+    /// End of packet.
+    pub const EOP: u64 = 1 << 1;
+}
+
 /// Software implementations of the semantic alphabet.
 ///
 /// Stateless semantics are pure functions of the frame; `flow_tag`
@@ -222,9 +234,9 @@ impl SoftNic {
                 self.rss_memo(p, memo).map(|h| (h & 0xFF) as u64)
             }
             ShimOp::RxStatus => {
-                // Bit 0: descriptor done; bit 1: end of packet. Software
-                // receives complete frames, so both are always set.
-                Some(0b11)
+                // Software receives complete frames, so both bits are
+                // always set.
+                Some(rx_status::DD | rx_status::EOP)
             }
             // Semantics software cannot recompute (timestamp, crypto_ctx)
             // or that have no reference implementation.

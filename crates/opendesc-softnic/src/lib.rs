@@ -18,5 +18,5 @@ pub mod toeplitz;
 pub mod wire;
 
 pub use calibrate::{calibrate, CalibrationReport};
-pub use engine::{csum_status, kvs_key_hash, ptype, ShimMemo, ShimOp, SoftNic};
+pub use engine::{csum_status, kvs_key_hash, ptype, rx_status, ShimMemo, ShimOp, SoftNic};
 pub use toeplitz::{rss_ipv4, rss_ipv4_l4, toeplitz_hash, MSFT_RSS_KEY};

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Run the RX datapath benches and record the perf trajectory.
 #
-#   scripts/bench.sh           full criterion runs (E3, E8, E12, E13) + JSON
-#   scripts/bench.sh --quick   wall-clock quick mode, emits BENCH_e12.json
-#                              and BENCH_e13.json only
+#   scripts/bench.sh           full criterion runs (E3, E8, E12–E14) + JSON
+#   scripts/bench.sh --quick   wall-clock quick mode, emits BENCH_e12.json,
+#                              BENCH_e13.json and BENCH_e14.json only
 #
 # The JSON records are the machine-readable matrices:
 #   BENCH_e12.json  Mpps + ns/pkt per (model, path) and the e1000e
@@ -11,6 +11,10 @@
 #   BENCH_e13.json  aggregate Mpps per (model, queue count) and the
 #                   e1000e 4-queue-vs-1 scaling ratio (PR 3 acceptance);
 #                   the emitter asserts the >=2x floor itself.
+#   BENCH_e14.json  goodput per (model, fault rate) with Full validation
+#                   plus the e1000e watchdog recovery time (PR 4
+#                   acceptance); the emitter asserts delivery at every
+#                   rate and a <=16-poll recovery itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +28,9 @@ if [ "$quick" = 0 ]; then
     cargo bench -p opendesc-bench --bench e8_batched_accessors
     cargo bench -p opendesc-bench --bench e12_rx_datapath
     cargo bench -p opendesc-bench --bench e13_sharded_rx
+    cargo bench -p opendesc-bench --bench e14_fault_recovery
 fi
 
 cargo run --release -q -p opendesc-bench --bin e12_json -- BENCH_e12.json
 cargo run --release -q -p opendesc-bench --bin e13_json -- BENCH_e13.json
+cargo run --release -q -p opendesc-bench --bin e14_json -- BENCH_e14.json

@@ -124,11 +124,15 @@ fn fault_injection_does_not_break_the_driver() {
         .compile_model(&model, &intent, &mut reg)
         .unwrap();
     let mut nic = SimNic::new(model, 64).unwrap();
-    nic.set_faults(FaultConfig {
-        drop_chance: 0.2,
-        corrupt_chance: 0.2,
-        seed: 77,
-    });
+    nic.set_faults(
+        FaultConfig::builder()
+            .drop_chance(0.2)
+            .corrupt_chance(0.2)
+            .seed(77)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     let mut drv = OpenDescDriver::attach(nic, compiled).unwrap();
     let mut gen = PktGen::new(Workload::default());
     let mut received = 0;
