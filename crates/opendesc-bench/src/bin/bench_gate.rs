@@ -1,0 +1,88 @@
+//! The CI perf-regression gate: compare freshly measured `BENCH_*.json`
+//! records against the committed baselines and fail on any gated metric
+//! outside its tolerance band.
+//!
+//! Usage: `bench_gate [--relative-only] <baseline_dir> <current_dir> [experiment...]`
+//!
+//! Experiments default to `e12 e13 e14 e15`; each is read as
+//! `<dir>/BENCH_<exp>.json` on both sides. The comparison table is
+//! printed to stdout and, when `$GITHUB_STEP_SUMMARY` is set, appended
+//! there so the job summary shows it. Exit status: 0 when every gated
+//! metric is within band, 1 otherwise, 2 on usage/parse errors.
+//!
+//! `--relative-only` gates only the self-normalized metrics (speedups,
+//! scaling, retention, recovery polls, the telemetry overhead ratio)
+//! and reports absolute Mpps rows informationally without letting them
+//! fail the run — the mode for shared CI runners, whose absolute
+//! throughput varies far more than any honest tolerance band.
+
+use opendesc_bench::gate;
+use opendesc_telemetry::parse_json;
+use std::process::ExitCode;
+
+fn load(dir: &str, exp: &str) -> Result<opendesc_telemetry::Json, String> {
+    let path = format!("{dir}/BENCH_{exp}.json");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let relative_only = args.iter().any(|a| a == "--relative-only");
+    args.retain(|a| a != "--relative-only");
+    if args.len() < 2 {
+        eprintln!(
+            "usage: bench_gate [--relative-only] <baseline_dir> <current_dir> [experiment...]"
+        );
+        return ExitCode::from(2);
+    }
+    let (baseline_dir, current_dir) = (&args[0], &args[1]);
+    let experiments: Vec<String> = if args.len() > 2 {
+        args[2..].to_vec()
+    } else {
+        ["e12", "e13", "e14", "e15"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+    let mut results = Vec::new();
+    for exp in &experiments {
+        let baseline = match load(baseline_dir, exp) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_gate: baseline {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let current = match load(current_dir, exp) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_gate: current {e}");
+                return ExitCode::from(2);
+            }
+        };
+        results.extend(gate::compare(exp, &baseline, &current));
+    }
+    if relative_only {
+        gate::demote_absolute(&mut results);
+    }
+    let table = gate::markdown_table(&results);
+    let pass = gate::all_pass(&results);
+    let verdict = if pass {
+        "**perf gate: PASS** — every gated metric within its band"
+    } else {
+        "**perf gate: FAIL** — at least one gated metric regressed past its band"
+    };
+    println!("## Perf gate\n\n{table}\n{verdict}");
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&summary) {
+            let _ = writeln!(f, "## Perf gate\n\n{table}\n{verdict}");
+        }
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -728,6 +728,425 @@ pub mod e14 {
     }
 }
 
+/// E15 — telemetry overhead: the E13 4-queue sharded drain on e1000e
+/// with poll-cycle telemetry (histograms + trace ring) switched on vs
+/// off, shared by the quick-mode JSON emitter (`scripts/bench.sh` →
+/// `BENCH_e15.json`).
+///
+/// The telemetry layer's hot-path budget is ≤3% of throughput: clock
+/// reads and histogram records happen per *batch*, trace events only at
+/// admission/fault sites, and everything hides behind one `enabled`
+/// flag. The two configurations are interleaved round-robin and each
+/// scored by its best round (min-estimator over `max_busy_ns`, as in
+/// E12/E13), so the ratio compares best-case against best-case.
+pub mod e15 {
+    use super::e13;
+    use opendesc_core::{ShardReport, Snapshot};
+    use opendesc_nicsim::models;
+
+    /// Queue count of the overhead configuration (the E13 midpoint).
+    pub const QUEUES: usize = 4;
+    /// Throughput the telemetry-on run must retain (the ≤3% budget).
+    pub const MIN_RATIO: f64 = 0.97;
+
+    /// One measured configuration.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        pub model: String,
+        /// "on" or "off".
+        pub telemetry: &'static str,
+        pub mpps: f64,
+        pub total_pkts: u64,
+        pub max_busy_ns: u64,
+    }
+
+    /// The E15 measurement: best per-arm rows, the overhead ratio, and
+    /// the engine's metric snapshot (telemetry-on rounds filled it).
+    #[derive(Debug, Clone)]
+    pub struct Outcome {
+        pub rows: Vec<Row>,
+        /// Telemetry-on throughput relative to telemetry-off: the
+        /// median over round pairs of `off_busy / on_busy` (summed
+        /// across workers); 1.0 = free, and >1.0 means the difference
+        /// is below measurement noise.
+        pub ratio: f64,
+        pub snapshot: Snapshot,
+    }
+
+    /// Keep the round with the smallest **summed** worker busy time.
+    /// The sum scores the round on all four workers' measurements at
+    /// once, so one scheduler hiccup on one worker perturbs the score
+    /// by a quarter of what it would do to a max-based score — the
+    /// per-round signal here (~0.35 ms) is small enough that the
+    /// estimator's noise floor decides whether the ≤3% budget is even
+    /// testable.
+    fn better(rep: ShardReport, best: &mut Option<ShardReport>) {
+        let take = match best {
+            None => true,
+            Some(b) => rep.sum_busy_ns() < b.sum_busy_ns(),
+        };
+        if take {
+            *best = Some(rep);
+        }
+    }
+
+    /// Run `rounds` off/on round **pairs** on **one** engine, toggling
+    /// the telemetry flag between rounds. One engine — not one per arm
+    /// — so both arms share the exact same rings, plans, and allocation
+    /// layout; the only difference between an off round and an on round
+    /// is the flag the experiment is about.
+    ///
+    /// The reported ratio is the **median of per-pair ratios**: the two
+    /// rounds of a pair run back to back, so machine-phase noise
+    /// (frequency excursions, scheduler placement) hits both arms of a
+    /// pair about equally and divides out, and the median discards the
+    /// pairs where it didn't. Within-pair order alternates each pair so
+    /// neither arm systematically inherits the other's cache warmth.
+    /// A min/min-of-arms estimator was tried first and flaked: at
+    /// ~0.35 ms of busy time per round its arm minima wander ±4%,
+    /// wider than the 3% budget being tested.
+    pub fn run_quick(rounds: usize) -> Outcome {
+        let model = models::e1000e();
+        let mut eng = e13::engine(&model, QUEUES);
+        let pools = e13::pools(&eng);
+        // Warm-up on the real scoped-thread engine, checking conservation.
+        assert_eq!(eng.run(&pools).total_packets() as usize, e13::ROUND);
+        let (mut best_off, mut best_on): (Option<ShardReport>, Option<ShardReport>) = (None, None);
+        let mut ratios = Vec::with_capacity(rounds.max(1));
+        for j in 0..rounds.max(1) {
+            // One arm of a pair: REPS back-to-back drains with the flag
+            // held, scored by their summed busy time (3× the per-pair
+            // signal of a single drain) plus the arm's best single rep
+            // for the report rows.
+            fn arm(
+                eng: &mut opendesc_core::ShardedRx,
+                pools: &[Vec<opendesc_nicsim::pktgen::ShardFrame>],
+                on: bool,
+            ) -> (ShardReport, u64) {
+                const REPS: usize = 3;
+                eng.set_telemetry_enabled(on);
+                let mut total = 0u64;
+                let mut best: Option<ShardReport> = None;
+                for _ in 0..REPS {
+                    let rep = eng.run_sequential(pools);
+                    total += rep.sum_busy_ns();
+                    better(rep, &mut best);
+                }
+                (best.expect("REPS > 0"), total)
+            }
+            let ((rep_off, off_busy), (rep_on, on_busy)) = if j % 2 == 0 {
+                let o = arm(&mut eng, &pools, false);
+                let n = arm(&mut eng, &pools, true);
+                (o, n)
+            } else {
+                let n = arm(&mut eng, &pools, true);
+                let o = arm(&mut eng, &pools, false);
+                (o, n)
+            };
+            ratios.push(off_busy as f64 / on_busy.max(1) as f64);
+            better(rep_off, &mut best_off);
+            better(rep_on, &mut best_on);
+        }
+        ratios.sort_by(f64::total_cmp);
+        let ratio = ratios[ratios.len() / 2];
+        let row = |rep: &ShardReport, telemetry: &'static str| Row {
+            model: model.name.clone(),
+            telemetry,
+            mpps: rep.aggregate_mpps(),
+            total_pkts: rep.total_packets(),
+            max_busy_ns: rep.max_busy_ns(),
+        };
+        let (off, on) = (
+            best_off.expect("measured rounds"),
+            best_on.expect("measured rounds"),
+        );
+        let rows = vec![row(&off, "off"), row(&on, "on")];
+        eng.set_telemetry_enabled(true);
+        Outcome {
+            rows,
+            ratio,
+            snapshot: eng.snapshot(),
+        }
+    }
+
+    /// Hand-formatted JSON (no serde in the tree): the record
+    /// `scripts/bench.sh` writes to `BENCH_e15.json`. Histogram stats
+    /// from the telemetry-on run ride along as informational fields
+    /// (`_ns`-suffixed, so determinism tooling and the gate skip them).
+    pub fn to_json(out: &Outcome) -> String {
+        let (rows, snapshot) = (&out.rows, &out.snapshot);
+        let hist_stat = |name: &str, pick: fn(&opendesc_core::Hist) -> u64| match snapshot.get(name)
+        {
+            Some(opendesc_core::MetricValue::Hist(h)) => pick(h),
+            _ => 0,
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e15_telemetry_overhead\",\n");
+        s.push_str("  \"unit\": \"Mpps aggregate\",\n");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"model\": \"{}\", \"telemetry\": \"{}\", \"mpps\": {:.4}, \"total_pkts\": {}, \"max_busy_ns\": {}}}{}\n",
+                r.model, r.telemetry, r.mpps, r.total_pkts, r.max_busy_ns, sep
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"overhead_ratio_on_vs_off_e1000e\": {:.4},\n",
+            // The gate treats ratios ≥ 1.0 as equal-to-baseline noise.
+            out.ratio.min(1.0)
+        ));
+        s.push_str(&format!(
+            "  \"poll_p50_ns\": {},\n",
+            hist_stat("rx.engine.time.poll_ns", |h| h.quantile(0.5))
+        ));
+        s.push_str(&format!(
+            "  \"poll_p99_ns\": {},\n",
+            hist_stat("rx.engine.time.poll_ns", |h| h.quantile(0.99))
+        ));
+        s.push_str(&format!(
+            "  \"fields_hw\": {},\n",
+            snapshot.counter("rx.engine.fields_hw")
+        ));
+        s.push_str(&format!(
+            "  \"fields_sw\": {}\n",
+            snapshot.counter("rx.engine.fields_sw")
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The CI perf-regression gate: read a current `BENCH_*.json` record and
+/// its committed baseline, extract the gated metrics, apply per-metric
+/// tolerance bands, and render the comparison as a markdown table for
+/// the job summary. `bench_gate` (the bin) exits nonzero when any gated
+/// metric regresses past its band.
+pub mod gate {
+    use opendesc_telemetry::Json;
+
+    /// Which way a metric is allowed to move.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Direction {
+        HigherBetter,
+        LowerBetter,
+    }
+
+    /// A gated metric's tolerance band.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rule {
+        pub direction: Direction,
+        /// Allowed relative regression (0.10 = 10%).
+        pub tolerance: f64,
+    }
+
+    /// The tolerance table, keyed on metric-name shape. Throughput-like
+    /// numbers (Mpps, speedups, scaling, retention) may drop at most
+    /// 10–15%; recovery latency may grow at most 25%; the telemetry
+    /// overhead ratio gets the E15 budget directly (≥0.97 of baseline's
+    /// ratio would double-count, so it gates like throughput). Counts,
+    /// byte sizes, and `_ns` timings are informational, not gated.
+    pub fn rule_for(metric: &str) -> Option<Rule> {
+        let hb = |tolerance| {
+            Some(Rule {
+                direction: Direction::HigherBetter,
+                tolerance,
+            })
+        };
+        if metric.contains("retention") {
+            return hb(0.15);
+        }
+        if metric.contains("recovery_polls") {
+            return Some(Rule {
+                direction: Direction::LowerBetter,
+                tolerance: 0.25,
+            });
+        }
+        if metric.contains("overhead_ratio") {
+            return hb(0.03);
+        }
+        // Speedup and scaling factors divide two measurements taken in
+        // *different phases* of an emitter run (batched vs per-packet,
+        // 4-queue vs 1-queue), so machine drift between the phases
+        // leaks in; they get a wider band than within-phase ratios.
+        if metric.contains("speedup") || metric.contains("scaling") {
+            return hb(0.20);
+        }
+        if metric.ends_with("mpps") {
+            return hb(0.10);
+        }
+        None
+    }
+
+    /// Whether a gated metric is an **absolute** wall-clock measurement
+    /// (Mpps rows), as opposed to a self-normalized one (speedups,
+    /// scaling factors, retention, recovery polls, the telemetry
+    /// overhead ratio — all ratios of measurements taken within one
+    /// run, which divide machine speed out). Absolute metrics gate
+    /// reliably only on dedicated hardware; on shared runners, where
+    /// observed run-to-run throughput swings ±40%, `bench_gate
+    /// --relative-only` restricts the gate to the self-normalized set.
+    pub fn is_absolute(metric: &str) -> bool {
+        metric.ends_with("mpps")
+    }
+
+    /// Flatten a bench record into named scalars. Top-level numbers keep
+    /// their key; numbers inside `rows` get a key built from the row's
+    /// identifying fields (`model`, `path`, `queues`, `rate`,
+    /// `telemetry`), so the same row in baseline and current lines up by
+    /// name regardless of row order.
+    pub fn flatten(doc: &Json) -> Vec<(String, f64)> {
+        const ID_FIELDS: [&str; 5] = ["model", "path", "queues", "rate", "telemetry"];
+        let mut out = Vec::new();
+        let Some(obj) = doc.as_obj() else {
+            return out;
+        };
+        for (k, v) in obj {
+            if let Some(x) = v.as_f64() {
+                out.push((k.clone(), x));
+                continue;
+            }
+            if k != "rows" {
+                continue;
+            }
+            let Some(rows) = v.as_arr() else { continue };
+            for row in rows {
+                let Some(fields) = row.as_obj() else { continue };
+                let mut id = String::new();
+                for want in ID_FIELDS {
+                    let Some(val) = row.get(want) else { continue };
+                    let part = match val {
+                        Json::Str(s) => s.clone(),
+                        Json::Num(n) => format!("{n}"),
+                        _ => continue,
+                    };
+                    if !id.is_empty() {
+                        id.push(',');
+                    }
+                    id.push_str(&format!("{want}={part}"));
+                }
+                for (fk, fv) in fields {
+                    if ID_FIELDS.contains(&fk.as_str()) {
+                        continue;
+                    }
+                    if let Some(x) = fv.as_f64() {
+                        out.push((format!("rows[{id}].{fk}"), x));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One gated comparison.
+    #[derive(Debug, Clone)]
+    pub struct GateResult {
+        pub experiment: String,
+        pub metric: String,
+        pub baseline: f64,
+        pub current: f64,
+        /// Signed relative change, `(current - baseline) / baseline`.
+        pub change: f64,
+        pub rule: Rule,
+        pub pass: bool,
+        /// When false the row is informational: shown in the table but
+        /// excluded from [`all_pass`] (the `--relative-only` demotion).
+        pub gated: bool,
+    }
+
+    /// Compare a current record against its baseline. Every gated
+    /// metric present in the baseline must be present in the current
+    /// record (a silently dropped metric fails the gate); metrics new
+    /// in the current record are not gated this run — they gate once
+    /// the baseline is re-committed.
+    pub fn compare(experiment: &str, baseline: &Json, current: &Json) -> Vec<GateResult> {
+        let base = flatten(baseline);
+        let cur = flatten(current);
+        let mut out = Vec::new();
+        for (metric, b) in &base {
+            let Some(rule) = rule_for(metric) else {
+                continue;
+            };
+            let c = cur.iter().find(|(k, _)| k == metric).map(|(_, v)| *v);
+            let (current_v, change, pass) = match c {
+                None => (f64::NAN, f64::NAN, false),
+                Some(c) => {
+                    let change = if *b != 0.0 { (c - b) / b } else { 0.0 };
+                    // Strict at the boundary: a throughput drop of
+                    // exactly the tolerance (−10%) FAILS.
+                    let pass = match rule.direction {
+                        Direction::HigherBetter => c > b * (1.0 - rule.tolerance),
+                        Direction::LowerBetter => c < b * (1.0 + rule.tolerance),
+                    };
+                    (c, change, pass)
+                }
+            };
+            out.push(GateResult {
+                experiment: experiment.to_string(),
+                metric: metric.clone(),
+                baseline: *b,
+                current: current_v,
+                change,
+                rule,
+                pass,
+                gated: true,
+            });
+        }
+        out
+    }
+
+    /// Demote absolute wall-clock metrics to informational rows (see
+    /// [`is_absolute`]) — the `--relative-only` mode for shared runners.
+    pub fn demote_absolute(results: &mut [GateResult]) {
+        for r in results {
+            if is_absolute(&r.metric) {
+                r.gated = false;
+            }
+        }
+    }
+
+    /// All gated metrics within their bands?
+    pub fn all_pass(results: &[GateResult]) -> bool {
+        results.iter().all(|r| r.pass || !r.gated)
+    }
+
+    /// Render the comparison as a GitHub-flavored markdown table (the
+    /// perf-gate job appends this to `$GITHUB_STEP_SUMMARY`).
+    pub fn markdown_table(results: &[GateResult]) -> String {
+        let mut s = String::new();
+        s.push_str("| experiment | metric | baseline | current | change | band | verdict |\n");
+        s.push_str("|---|---|---:|---:|---:|---|---|\n");
+        for r in results {
+            let band = match r.rule.direction {
+                Direction::HigherBetter => format!("≥ −{:.0}%", r.rule.tolerance * 100.0),
+                Direction::LowerBetter => format!("≤ +{:.0}%", r.rule.tolerance * 100.0),
+            };
+            let verdict = if !r.gated {
+                "ℹ️ info"
+            } else if r.pass {
+                "✅ pass"
+            } else {
+                "❌ FAIL"
+            };
+            let (current, change) = if r.current.is_nan() {
+                ("missing".to_string(), "—".to_string())
+            } else {
+                (
+                    format!("{:.4}", r.current),
+                    format!("{:+.1}%", r.change * 100.0),
+                )
+            };
+            s.push_str(&format!(
+                "| {} | {} | {:.4} | {} | {} | {} | {} |\n",
+                r.experiment, r.metric, r.baseline, current, change, band, verdict
+            ));
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -848,6 +1267,123 @@ mod tests {
         assert!(json.contains("\"experiment\": \"e14_fault_recovery\""));
         assert!(json.contains("goodput_retention_10pct_e1000e"));
         assert!(json.contains("recovery_polls_e1000e"));
+    }
+
+    #[test]
+    fn e15_overhead_run_emits_json_and_snapshot() {
+        // One measured round: both configurations drain the full round,
+        // the record carries the gate's ratio key, and the telemetry-on
+        // snapshot actually filled the poll histogram.
+        let out = e15::run_quick(2);
+        assert_eq!(out.rows.len(), 2);
+        for r in &out.rows {
+            assert_eq!(
+                r.total_pkts as usize,
+                e13::ROUND,
+                "{} run lost packets",
+                r.telemetry
+            );
+            assert!(r.mpps.is_finite() && r.mpps > 0.0);
+        }
+        assert!(out.ratio.is_finite() && out.ratio > 0.0);
+        match out.snapshot.get("rx.engine.time.poll_ns") {
+            Some(opendesc_core::MetricValue::Hist(h)) => {
+                assert!(h.count() > 0, "telemetry-on run recorded no poll cycles")
+            }
+            other => panic!("engine poll histogram missing: {other:?}"),
+        }
+        assert!(out.snapshot.counter("rx.engine.worker.packets") as usize >= e13::ROUND);
+        let json = e15::to_json(&out);
+        assert!(json.contains("\"experiment\": \"e15_telemetry_overhead\""));
+        assert!(json.contains("overhead_ratio_on_vs_off_e1000e"));
+        // The record round-trips through the gate's parser.
+        let doc = opendesc_telemetry::parse_json(&json).expect("e15 record parses");
+        assert!(!gate::flatten(&doc).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_synthetic_throughput_regression() {
+        // The acceptance case: a −10% throughput regression must trip
+        // the gate; a −5% one must not. Recovery polls gate the other
+        // direction (+25% fails).
+        let baseline = opendesc_telemetry::parse_json(
+            r#"{
+                "experiment": "e13_sharded_rx",
+                "rows": [
+                    {"model": "e1000e", "queues": 4, "mpps": 10.0, "total_pkts": 2048}
+                ],
+                "scaling_4q_vs_1q_e1000e": 3.0,
+                "recovery_polls_e1000e": 8
+            }"#,
+        )
+        .unwrap();
+        let regressed = opendesc_telemetry::parse_json(
+            r#"{
+                "experiment": "e13_sharded_rx",
+                "rows": [
+                    {"model": "e1000e", "queues": 4, "mpps": 9.0, "total_pkts": 2048}
+                ],
+                "scaling_4q_vs_1q_e1000e": 3.0,
+                "recovery_polls_e1000e": 8
+            }"#,
+        )
+        .unwrap();
+        let ok = opendesc_telemetry::parse_json(
+            r#"{
+                "experiment": "e13_sharded_rx",
+                "rows": [
+                    {"model": "e1000e", "queues": 4, "mpps": 9.5, "total_pkts": 2048}
+                ],
+                "scaling_4q_vs_1q_e1000e": 3.1,
+                "recovery_polls_e1000e": 9
+            }"#,
+        )
+        .unwrap();
+        let bad = gate::compare("e13", &baseline, &regressed);
+        assert!(!gate::all_pass(&bad), "-10% mpps must fail the gate");
+        let failed: Vec<_> = bad
+            .iter()
+            .filter(|r| !r.pass)
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert_eq!(failed, ["rows[model=e1000e,queues=4].mpps"]);
+        let good = gate::compare("e13", &baseline, &ok);
+        assert!(
+            gate::all_pass(&good),
+            "-5% mpps is within the band: {good:?}"
+        );
+        // total_pkts is informational: no rule, so never in the results.
+        assert!(bad.iter().all(|r| !r.metric.contains("total_pkts")));
+        // Recovery latency gates lower-better.
+        let slow = opendesc_telemetry::parse_json(r#"{"recovery_polls_e1000e": 10}"#).unwrap();
+        let base = opendesc_telemetry::parse_json(r#"{"recovery_polls_e1000e": 8}"#).unwrap();
+        assert!(
+            !gate::all_pass(&gate::compare("e14", &base, &slow)),
+            "+25% polls must fail"
+        );
+        // A gated metric missing from the current record fails loudly.
+        let empty = opendesc_telemetry::parse_json(r#"{}"#).unwrap();
+        assert!(!gate::all_pass(&gate::compare("e14", &base, &empty)));
+        // The table renders one row per gated metric.
+        let table = gate::markdown_table(&bad);
+        assert!(table.contains("FAIL") && table.contains("mpps"));
+        // --relative-only demotes the absolute Mpps row to informational
+        // (shown but unable to fail), while a regression in a
+        // self-normalized metric still trips the gate.
+        let mut demoted = gate::compare("e13", &baseline, &regressed);
+        gate::demote_absolute(&mut demoted);
+        assert!(gate::all_pass(&demoted), "demoted mpps must not fail");
+        assert!(gate::markdown_table(&demoted).contains("info"));
+        let slow_scaling =
+            opendesc_telemetry::parse_json(r#"{"scaling_4q_vs_1q_e1000e": 2.0}"#).unwrap();
+        let scale_base =
+            opendesc_telemetry::parse_json(r#"{"scaling_4q_vs_1q_e1000e": 3.0}"#).unwrap();
+        let mut rel = gate::compare("e13", &scale_base, &slow_scaling);
+        gate::demote_absolute(&mut rel);
+        assert!(
+            !gate::all_pass(&rel),
+            "scaling regressions gate in relative-only mode"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ use opendesc_ir::SemanticId;
 use opendesc_nicsim::nic::{NicError, SimNic};
 use opendesc_softnic::wire::ParsedFrame;
 use opendesc_softnic::{ShimMemo, SoftNic};
+use opendesc_telemetry::{MetricRegistry, QueueTelemetry, TraceKind};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Metadata for one received packet, ordered like the intent's fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -189,6 +191,10 @@ pub struct OpenDescDriver {
     vstats: ValidationStats,
     health: HealthState,
     watchdog: Watchdog,
+    /// Per-queue instruments: poll-cycle histograms, field-source mix,
+    /// and the trace ring. Driver-owned, so hot-path updates need no
+    /// synchronization; disabled it costs one branch per hook.
+    tel: QueueTelemetry,
 }
 
 impl OpenDescDriver {
@@ -215,6 +221,7 @@ impl OpenDescDriver {
             vstats: ValidationStats::default(),
             health: HealthState::default(),
             watchdog: Watchdog::default(),
+            tel: QueueTelemetry::default(),
         })
     }
 
@@ -222,6 +229,7 @@ impl OpenDescDriver {
     /// outstanding-work counter.
     pub fn deliver(&mut self, frame: &[u8]) -> Result<(), NicError> {
         self.watchdog.note_fed(1);
+        self.tel.event(TraceKind::Doorbell, frame.len() as u64, 0);
         self.nic.deliver(frame)
     }
 
@@ -235,6 +243,7 @@ impl OpenDescDriver {
         rss_hint: Option<u32>,
     ) -> Result<(), NicError> {
         self.watchdog.note_fed(1);
+        self.tel.event(TraceKind::Doorbell, frame.len() as u64, 0);
         self.nic.deliver_steered(frame, parsed, rss_hint)
     }
 
@@ -276,11 +285,57 @@ impl OpenDescDriver {
         self.watchdog = Watchdog::with_config(cfg);
     }
 
+    /// This queue's telemetry instruments (histograms, field mix, trace
+    /// ring).
+    pub fn telemetry(&self) -> &QueueTelemetry {
+        &self.tel
+    }
+
+    pub fn telemetry_mut(&mut self) -> &mut QueueTelemetry {
+        &mut self.tel
+    }
+
+    /// Turn hot-path instrumentation on/off (the E15 on/off arms).
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.tel.set_enabled(enabled);
+    }
+
+    /// Tag this driver's telemetry with its queue index (trace-event
+    /// attribution; the sharded engine sets it at worker construction).
+    pub fn set_queue_index(&mut self, queue: u16) {
+        self.tel.set_queue(queue);
+    }
+
+    /// Register everything this driver can see into `reg` under `scope`
+    /// (e.g. `rx.q0`): its own instruments, the validator and watchdog
+    /// ledgers, the health machine, the device's counters, and the
+    /// SoftNIC engine — the existing struct APIs become named views in
+    /// one registry.
+    pub fn register_metrics(&self, reg: &mut MetricRegistry, scope: &str) {
+        self.tel.register_into(reg, scope);
+        self.vstats
+            .register_into(reg, &format!("{scope}.validation"));
+        self.watchdog
+            .register_into(reg, &format!("{scope}.watchdog"));
+        reg.gauge(
+            &format!("{scope}.health"),
+            health_rank(self.health()) as f64,
+        );
+        reg.counter(
+            &format!("{scope}.health_transitions"),
+            self.health.transitions,
+        );
+        self.nic.register_metrics(reg, &format!("{scope}.nic"));
+        self.soft.register_metrics(reg, &format!("{scope}.softnic"));
+    }
+
     /// Watchdog-declared stall: reset/re-arm the ring (republishes lost
     /// doorbells, clears wedged writeback state) and revoke trust.
     fn recover(&mut self) {
         self.nic.reset_queue();
         self.health.on_fault();
+        self.tel
+            .event(TraceKind::WatchdogReset, self.watchdog.resets, 0);
     }
 
     /// Admit one consumed completion's sequence tag, updating the
@@ -288,6 +343,13 @@ impl OpenDescDriver {
     /// frame, so it must not mask hidden completions as progress).
     /// `true` = deliver, `false` = discard (duplicate or stale
     /// writeback).
+    /// Clean admissions are NOT traced here: on the batched hot path a
+    /// per-packet ring write would eat the E15 overhead budget, and the
+    /// batch's `BatchPolled` event already summarizes them. Anomalies
+    /// (discard verdicts) always trace; the per-packet [`poll`] path
+    /// traces its writebacks itself.
+    ///
+    /// [`poll`]: OpenDescDriver::poll
     fn admit_seq(&mut self, seq: u64) -> bool {
         if self.mode == ValidationMode::Off {
             self.watchdog.note_progress(1);
@@ -302,6 +364,7 @@ impl OpenDescDriver {
                 self.watchdog.note_alive();
                 self.vstats.duplicates += 1;
                 self.health.on_fault();
+                self.tel.event(TraceKind::DiscardDuplicate, seq, 0);
                 false
             }
             SeqVerdict::Stale => {
@@ -310,6 +373,7 @@ impl OpenDescDriver {
                 self.watchdog.note_progress(1);
                 self.vstats.stale += 1;
                 self.health.on_fault();
+                self.tel.event(TraceKind::DiscardStale, seq, 0);
                 false
             }
         }
@@ -344,9 +408,18 @@ impl OpenDescDriver {
         if self.mode != ValidationMode::Off && cmpt.len() < spec.expected_len {
             self.vstats.truncated += 1;
             self.health.on_fault();
+            self.tel.event(
+                TraceKind::Truncated,
+                cmpt.len() as u64,
+                spec.expected_len as u64,
+            );
             plan.execute_degraded(&mut self.soft, frame, values);
             self.vstats.degraded_packets += 1;
             self.vstats.accepted += 1;
+            if self.tel.enabled() {
+                self.tel.fields_sw += plan.degraded.len() as u64;
+                self.tel.event(TraceKind::DegradedServe, 0, 0);
+            }
             return;
         }
         match self.disposition() {
@@ -354,26 +427,41 @@ impl OpenDescDriver {
                 plan.execute_degraded(&mut self.soft, frame, values);
                 self.vstats.degraded_packets += 1;
                 self.health.on_clean();
+                if self.tel.enabled() {
+                    self.tel.fields_sw += plan.degraded.len() as u64;
+                    self.tel.event(TraceKind::DegradedServe, 0, 0);
+                }
             }
             Disposition::Verified => {
                 let repaired = plan.execute_verified(set, &mut self.soft, frame, cmpt, values);
                 if repaired > 0 {
                     self.vstats.repaired_fields += repaired as u64;
                     self.health.on_fault();
+                    self.tel.event(TraceKind::Repaired, repaired as u64, 0);
                 } else {
                     self.health.on_clean();
+                }
+                if self.tel.enabled() {
+                    self.tel.fields_hw += plan.hw.len() as u64;
+                    self.tel.fields_sw += plan.sw.len() as u64;
                 }
             }
             Disposition::Trusted => {
                 plan.execute_into_primed(set, &mut self.soft, frame, cmpt, rss_hint, values);
+                if self.tel.enabled() {
+                    self.tel.fields_hw += plan.hw.len() as u64;
+                    self.tel.fields_sw += plan.sw.len() as u64;
+                }
                 if self.mode == ValidationMode::Off {
                     return;
                 }
                 if spec.check_values(frame.len(), |i| values[i]).is_some() {
                     self.vstats.structural_failures += 1;
                     self.health.on_fault();
+                    self.tel.event(TraceKind::StructuralFailure, 0, 0);
                     plan.execute_degraded(&mut self.soft, frame, values);
                     self.vstats.degraded_packets += 1;
+                    self.tel.event(TraceKind::DegradedServe, 0, 0);
                 } else {
                     self.health.on_clean();
                 }
@@ -390,6 +478,13 @@ impl OpenDescDriver {
     /// empty poll with work outstanding feeds the watchdog — when it
     /// trips, the ring is reset/re-armed and polling retries once.
     pub fn poll(&mut self) -> Option<RxPacket> {
+        let before = self.health();
+        let r = self.poll_inner();
+        self.note_health_transition(before);
+        r
+    }
+
+    fn poll_inner(&mut self) -> Option<RxPacket> {
         let mut frame = Vec::new();
         let mut cmpt = Vec::new();
         loop {
@@ -403,6 +498,7 @@ impl OpenDescDriver {
             if !self.admit_seq(side.seq) {
                 continue;
             }
+            self.tel.event(TraceKind::Writeback, side.seq, 0);
             let mut values = vec![None; self.iface.plan.steps.len()];
             self.execute_checked(&frame, &cmpt, side.rss_hint, &mut values);
             let meta = self
@@ -454,6 +550,18 @@ impl OpenDescDriver {
             self.iface.accessors.accessors.len(),
             "batch was built for a different interface"
         );
+        // Telemetry discipline: a handful of integer histogram records
+        // per *batch* (not per packet), skipped entirely when disabled.
+        // Even the two `Instant` reads are too hot for every cycle at
+        // ~1µs/batch, so the poll-cost clock is sampled 1-in-2^k cycles
+        // (`sample_clock`) — the ≤3% E15 overhead budget.
+        let instrument = self.tel.enabled();
+        let (t0, occupancy, health_before) = if instrument {
+            let t0 = self.tel.sample_clock().then(Instant::now);
+            (t0, self.nic.pending_completions() as u64, self.health())
+        } else {
+            (None, 0, self.health())
+        };
         let mut n = self.drain_batch(batch);
         if n == 0 && self.watchdog.observe_empty() {
             // Stall declared: reset/re-arm and retry once — the re-arm
@@ -464,7 +572,36 @@ impl OpenDescDriver {
         if n > 0 {
             self.fill_batch(batch);
         }
+        if instrument {
+            if let Some(t0) = t0 {
+                self.tel.poll_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            self.tel.ring_occupancy.record(occupancy);
+            if n > 0 {
+                self.tel
+                    .batch_fill_permille
+                    .record((n * 1000 / batch.cap.max(1)) as u64);
+                self.tel
+                    .trace
+                    .record(TraceKind::BatchPolled, n as u64, occupancy);
+            }
+            self.note_health_transition(health_before);
+        }
         n
+    }
+
+    /// Record a health-machine move since `before`, if any, into the
+    /// trace ring (operands are severity ranks: 0 = Healthy,
+    /// 1 = Recovering, 2 = Degraded).
+    fn note_health_transition(&mut self, before: QueueHealth) {
+        let after = self.health();
+        if after != before {
+            self.tel.event(
+                TraceKind::HealthTransition,
+                health_rank(before),
+                health_rank(after),
+            );
+        }
     }
 
     /// Drain the rings into recycled frame/completion storage, keeping
@@ -526,10 +663,16 @@ impl OpenDescDriver {
                         self.health.on_clean();
                     }
                 }
+                if self.tel.enabled() {
+                    self.tel.fields_sw += (n * plan.degraded.len()) as u64;
+                    self.tel.event(TraceKind::DegradedServe, n as u64, 0);
+                }
             }
             Disposition::Verified => {
+                let mut degraded = 0usize;
                 for pkt in 0..n {
                     if batch.short[pkt] {
+                        degraded += 1;
                         degrade_one(
                             plan,
                             &mut self.soft,
@@ -573,10 +716,17 @@ impl OpenDescDriver {
                     if repaired > 0 {
                         self.vstats.repaired_fields += repaired as u64;
                         self.health.on_fault();
+                        self.tel
+                            .event(TraceKind::Repaired, repaired as u64, pkt as u64);
                     } else {
                         self.health.on_clean();
                     }
                     self.vstats.accepted += 1;
+                }
+                if self.tel.enabled() {
+                    self.tel.fields_sw +=
+                        (degraded * plan.degraded.len() + (n - degraded) * plan.sw.len()) as u64;
+                    self.tel.fields_hw += ((n - degraded) * plan.hw.len()) as u64;
                 }
             }
             Disposition::Trusted => {
@@ -623,6 +773,11 @@ impl OpenDescDriver {
                         }
                     }
                 }
+                if self.tel.enabled() {
+                    let shorts = batch.short[..n].iter().filter(|s| **s).count();
+                    self.tel.fields_hw += ((n - shorts) * plan.hw.len()) as u64;
+                    self.tel.fields_sw += ((n - shorts) * plan.sw.len()) as u64;
+                }
                 if self.mode == ValidationMode::Off {
                     return;
                 }
@@ -639,6 +794,10 @@ impl OpenDescDriver {
                         );
                         self.vstats.degraded_packets += 1;
                         self.vstats.accepted += 1;
+                        if self.tel.enabled() {
+                            self.tel.fields_sw += plan.degraded.len() as u64;
+                            self.tel.event(TraceKind::DegradedServe, 1, pkt as u64);
+                        }
                         continue;
                     }
                     let frame_len = batch.frames[pkt].len();
@@ -648,6 +807,7 @@ impl OpenDescDriver {
                     if fail {
                         self.vstats.structural_failures += 1;
                         self.health.on_fault();
+                        self.tel.event(TraceKind::StructuralFailure, pkt as u64, 0);
                         degrade_one(
                             plan,
                             &mut self.soft,
@@ -658,6 +818,10 @@ impl OpenDescDriver {
                             &mut batch.meta,
                         );
                         self.vstats.degraded_packets += 1;
+                        if self.tel.enabled() {
+                            self.tel.fields_sw += plan.degraded.len() as u64;
+                            self.tel.event(TraceKind::DegradedServe, 1, pkt as u64);
+                        }
                     } else {
                         self.health.on_clean();
                     }
@@ -665,6 +829,17 @@ impl OpenDescDriver {
                 }
             }
         }
+    }
+}
+
+/// Severity rank of a health state, used as trace-event operand
+/// encoding and as the `*.health` gauge value: 0 = Healthy,
+/// 1 = Recovering, 2 = Degraded.
+fn health_rank(h: QueueHealth) -> u64 {
+    match h {
+        QueueHealth::Healthy => 0,
+        QueueHealth::Recovering => 1,
+        QueueHealth::Degraded => 2,
     }
 }
 

@@ -57,3 +57,9 @@ pub use shard::{
     ShardedRx, WorkerStats,
 };
 pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};
+
+// The unified telemetry layer — re-exported so engine users can take a
+// registry snapshot or read trace rings without naming the crate.
+pub use opendesc_telemetry::{
+    Hist, MetricRegistry, MetricValue, QueueTelemetry, Snapshot, TraceEvent, TraceKind, TraceRing,
+};

@@ -253,6 +253,24 @@ impl ValidationStats {
         self.degraded_packets += other.degraded_packets;
     }
 
+    /// Register every counter under `scope` (e.g. `rx.q0.validation`) —
+    /// the telemetry view over the same cells; registering several
+    /// queues under one scope folds them like [`merge`].
+    ///
+    /// [`merge`]: ValidationStats::merge
+    pub fn register_into(&self, reg: &mut opendesc_telemetry::MetricRegistry, scope: &str) {
+        reg.counter(&format!("{scope}.accepted"), self.accepted);
+        reg.counter(&format!("{scope}.truncated"), self.truncated);
+        reg.counter(&format!("{scope}.duplicates"), self.duplicates);
+        reg.counter(&format!("{scope}.stale"), self.stale);
+        reg.counter(
+            &format!("{scope}.structural_failures"),
+            self.structural_failures,
+        );
+        reg.counter(&format!("{scope}.repaired_fields"), self.repaired_fields);
+        reg.counter(&format!("{scope}.degraded_packets"), self.degraded_packets);
+    }
+
     /// Counter deltas since `base` (per-round reporting over cumulative
     /// driver counters).
     pub fn since(&self, base: &ValidationStats) -> ValidationStats {
@@ -472,6 +490,25 @@ impl Watchdog {
     /// Frames fed but not yet observed (saturating: resets forgive).
     pub fn outstanding(&self) -> u64 {
         self.fed.saturating_sub(self.polled)
+    }
+
+    /// Frames fed toward the queue so far.
+    pub fn fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// Completions credited as progress so far.
+    pub fn polled(&self) -> u64 {
+        self.polled
+    }
+
+    /// Register the watchdog's ledger under `scope` (e.g.
+    /// `rx.q0.watchdog`).
+    pub fn register_into(&self, reg: &mut opendesc_telemetry::MetricRegistry, scope: &str) {
+        reg.counter(&format!("{scope}.fed"), self.fed);
+        reg.counter(&format!("{scope}.polled"), self.polled);
+        reg.counter(&format!("{scope}.resets"), self.resets);
+        reg.gauge(&format!("{scope}.outstanding"), self.outstanding() as f64);
     }
 }
 

@@ -35,6 +35,7 @@ use opendesc_nicsim::multiqueue::{CachePadded, SteerPolicy, Steerer};
 use opendesc_nicsim::nic::{NicError, NicStats, SimNic};
 use opendesc_nicsim::pktgen::ShardFrame;
 use opendesc_softnic::wire::ParsedFrame;
+use opendesc_telemetry::{MetricRegistry, Snapshot};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,7 +110,8 @@ pub struct RxWorker {
 }
 
 impl RxWorker {
-    fn new(queue: usize, drv: OpenDescDriver, batch_cap: usize) -> RxWorker {
+    fn new(queue: usize, mut drv: OpenDescDriver, batch_cap: usize) -> RxWorker {
+        drv.set_queue_index(queue as u16);
         let batch = drv.make_batch(batch_cap);
         RxWorker {
             queue,
@@ -190,6 +192,11 @@ impl RxWorker {
             out.push((pkt.frame, meta));
         }
         out
+    }
+
+    /// Read access to the owned driver (telemetry/inspection path).
+    pub fn driver(&self) -> &OpenDescDriver {
+        &self.drv
     }
 
     /// Mutable access to the owned driver (test/setup path).
@@ -468,6 +475,65 @@ impl ShardedRx {
             })
             .collect();
         ShardReport { per_worker }
+    }
+
+    /// Switch poll-cycle telemetry (histograms + trace rings) on or off
+    /// for every worker. Off is the default: the hot path then skips
+    /// clock reads, histogram records, and trace writes entirely.
+    pub fn set_telemetry_enabled(&mut self, on: bool) {
+        for w in &mut self.workers {
+            w.drv.set_telemetry_enabled(on);
+        }
+    }
+
+    /// One unified metric snapshot for the whole engine: every worker
+    /// registers its device, driver, validator, watchdog, and softnic
+    /// counters under a `rx.q{N}` scope, and registers them *again*
+    /// under `rx.engine`, where the registry's additive counter folding
+    /// and histogram merging produce the engine-wide totals. Worker
+    /// round counters ride along under `rx.q{N}.worker`.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut reg = MetricRegistry::default();
+        reg.gauge("rx.engine.queues", self.workers.len() as f64);
+        for w in &self.workers {
+            let scope = format!("rx.q{}", w.queue);
+            w.drv.register_metrics(&mut reg, &scope);
+            w.drv.register_metrics(&mut reg, "rx.engine");
+            reg.counter(&format!("{scope}.worker.packets"), w.stats.value.packets);
+            reg.counter(&format!("{scope}.worker.batches"), w.stats.value.batches);
+            reg.counter(&format!("{scope}.worker.steered"), w.stats.value.steered);
+            reg.counter(&format!("{scope}.worker.busy_ns"), w.stats.value.busy_ns);
+            reg.counter("rx.engine.worker.packets", w.stats.value.packets);
+            reg.counter("rx.engine.worker.batches", w.stats.value.batches);
+            reg.counter("rx.engine.worker.steered", w.stats.value.steered);
+            reg.counter("rx.engine.worker.busy_ns", w.stats.value.busy_ns);
+        }
+        // Gauges are last-write-wins, so the engine-scope health slot
+        // holds whichever queue registered last; the honest engine-wide
+        // value is the *worst* queue (same rule as `worst_health`).
+        let worst = self
+            .workers
+            .iter()
+            .map(|w| match w.drv.health() {
+                QueueHealth::Healthy => 0.0,
+                QueueHealth::Recovering => 1.0,
+                QueueHealth::Degraded => 2.0,
+            })
+            .fold(0.0, f64::max);
+        reg.gauge("rx.engine.health", worst);
+        reg.snapshot()
+    }
+
+    /// Every worker's trace ring, oldest-first, as one human-readable
+    /// report — the thing a failing test dumps so the poll-cycle
+    /// history (doorbells, writebacks, verdicts, health moves) is on
+    /// the record.
+    pub fn trace_dump(&self) -> String {
+        let mut out = String::new();
+        for w in &self.workers {
+            out.push_str(&w.drv.telemetry().trace.dump());
+        }
+        out
     }
 
     /// Parallel drain of everything currently pending (after a

@@ -264,6 +264,29 @@ impl NicStats {
             + self.doorbell_lost
             + self.hang_dropped
     }
+
+    /// Register every counter under `scope` (e.g. `rx.q0.nic`). This is
+    /// the telemetry view over the same cells the struct API exposes;
+    /// registering several queues under one scope folds them, exactly
+    /// like [`merge`](NicStats::merge).
+    pub fn register_into(&self, reg: &mut opendesc_telemetry::MetricRegistry, scope: &str) {
+        reg.counter(&format!("{scope}.rx_frames"), self.rx_frames);
+        reg.counter(&format!("{scope}.rx_bytes"), self.rx_bytes);
+        reg.counter(&format!("{scope}.completions"), self.completions);
+        reg.counter(&format!("{scope}.dropped_faults"), self.dropped_faults);
+        reg.counter(
+            &format!("{scope}.dropped_ring_full"),
+            self.dropped_ring_full,
+        );
+        reg.counter(&format!("{scope}.corrupted"), self.corrupted);
+        reg.counter(&format!("{scope}.torn"), self.torn);
+        reg.counter(&format!("{scope}.truncated"), self.truncated);
+        reg.counter(&format!("{scope}.duplicated"), self.duplicated);
+        reg.counter(&format!("{scope}.stale_gen"), self.stale_gen);
+        reg.counter(&format!("{scope}.doorbell_lost"), self.doorbell_lost);
+        reg.counter(&format!("{scope}.hang_dropped"), self.hang_dropped);
+        reg.counter(&format!("{scope}.resets"), self.resets);
+    }
 }
 
 /// Errors raised by the simulator.
@@ -462,6 +485,22 @@ impl SimNic {
         self.hang_remaining = 0;
         self.cq.ring_doorbell();
         self.stats.resets += 1;
+    }
+
+    /// Completions currently pending host pickup (ring occupancy).
+    pub fn pending_completions(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Register this queue's device-side telemetry under `scope` (e.g.
+    /// `rx.q0.nic`): every [`NicStats`] counter plus ring-occupancy
+    /// gauges. The device is a first-class registry source — its
+    /// injected-fault counters sit next to the host validator's
+    /// caught-fault counters in the same snapshot.
+    pub fn register_metrics(&self, reg: &mut opendesc_telemetry::MetricRegistry, scope: &str) {
+        self.stats.register_into(reg, scope);
+        reg.gauge(&format!("{scope}.ring_pending"), self.cq.len() as f64);
+        reg.gauge(&format!("{scope}.ring_capacity"), self.cq.capacity() as f64);
     }
 
     /// One roll of the fault dice at probability `p`.

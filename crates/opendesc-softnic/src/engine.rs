@@ -136,6 +136,9 @@ pub struct SoftNic {
     /// Emulated flow table: 5-tuple hash → tag, insertion-ordered ids.
     flow_table: HashMap<u64, u32>,
     next_flow_tag: u32,
+    /// Shim ops executed over this engine's lifetime (telemetry: the
+    /// software half of the field-source mix).
+    shim_ops: u64,
 }
 
 impl Default for SoftNic {
@@ -150,7 +153,23 @@ impl SoftNic {
             rss_key: MSFT_RSS_KEY,
             flow_table: HashMap::new(),
             next_flow_tag: 1,
+            shim_ops: 0,
         }
+    }
+
+    /// Shim ops executed so far (every [`exec_op`] call, including ones
+    /// that returned `None`).
+    ///
+    /// [`exec_op`]: SoftNic::exec_op
+    pub fn shim_ops(&self) -> u64 {
+        self.shim_ops
+    }
+
+    /// Register the engine's counters under `scope` (e.g.
+    /// `rx.q0.softnic`).
+    pub fn register_metrics(&self, reg: &mut opendesc_telemetry::MetricRegistry, scope: &str) {
+        reg.counter(&format!("{scope}.shim_ops"), self.shim_ops);
+        reg.counter(&format!("{scope}.flows"), self.flow_table.len() as u64);
     }
 
     /// Use a non-default RSS key.
@@ -203,6 +222,7 @@ impl SoftNic {
         frame_len: usize,
         memo: &mut ShimMemo,
     ) -> Option<u64> {
+        self.shim_ops += 1;
         match op {
             ShimOp::RssHash => self.rss_memo(p, memo).map(|h| h as u64),
             ShimOp::IpChecksum => {

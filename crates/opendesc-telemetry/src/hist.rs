@@ -1,0 +1,243 @@
+//! Zero-allocation log-bucket histograms for hot-path measurement.
+//!
+//! A [`Hist`] is a fixed `[u64; 64]` of power-of-two buckets plus
+//! count/sum/min/max — no heap, `Copy`-cheap to reset, and safe to keep
+//! in a per-worker `CachePadded` cell. Recording is a `leading_zeros`
+//! and two adds; merging is element-wise addition, so per-worker cells
+//! can be folded into an engine-wide view only at snapshot time (the
+//! same discipline the sharded engine uses for its counters).
+//!
+//! Bucket `0` holds the value `0`; bucket `i > 0` holds values `v` with
+//! `2^(i-1) <= v < 2^i` (i.e. `floor(log2(v)) == i - 1`), and the last
+//! bucket absorbs everything from `2^62` up. Merging is associative and
+//! commutative by construction — a property the telemetry tests pin
+//! down with proptests, because snapshot correctness depends on it.
+
+/// Number of buckets: value `0`, then one per power of two up to `2^62`,
+/// with the last bucket open-ended.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket index value `v` lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the last bucket saturates).
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-capacity logarithmic histogram (see module docs).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Hist {
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Record one value. Constant time, no allocation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Fold another histogram into this one (element-wise; associative
+    /// and commutative, so per-worker cells can merge in any order).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the first bucket whose
+    /// cumulative count reaches `q * count`, clamped to the observed
+    /// `[min, max]` range. `q` in `[0, 1]`; returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_hi(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(bucket_lo, count)` for non-empty buckets, low to high — the
+    /// compact form the snapshot serializes.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_lo(i), *c))
+            .collect()
+    }
+
+    pub fn reset(&mut self) {
+        *self = Hist::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for k in 1..62 {
+            let lo = 1u64 << k;
+            assert_eq!(bucket_index(lo - 1), k, "2^{k}-1");
+            assert_eq!(bucket_index(lo), k + 1, "2^{k}");
+            assert_eq!(bucket_index(lo + 1), k + 1, "2^{k}+1");
+        }
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        for i in 0..HIST_BUCKETS {
+            assert!(bucket_lo(i) <= bucket_hi(i));
+            assert_eq!(bucket_index(bucket_lo(i)), i);
+            if i < HIST_BUCKETS - 1 {
+                assert_eq!(bucket_index(bucket_hi(i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_summary_stats() {
+        let mut h = Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+        // p50 falls in the bucket holding 3 ([2,3]), clamped to range.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for v in [0u64, 5, 17, 64] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 5, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Run the RX datapath benches and record the perf trajectory.
 #
-#   scripts/bench.sh           full criterion runs (E3, E8, E12–E14) + JSON
-#   scripts/bench.sh --quick   wall-clock quick mode, emits BENCH_e12.json,
-#                              BENCH_e13.json and BENCH_e14.json only
+#   scripts/bench.sh [--quick] [OUTDIR]
+#
+#   (default)   full criterion runs (E3, E8, E12–E14) + JSON records
+#   --quick     wall-clock quick mode, emits the JSON records only
+#   OUTDIR      where the BENCH_*.json records are written (default: the
+#               repo root, i.e. over the committed baselines; CI's
+#               perf-gate job points this at a scratch directory and
+#               diffs against the committed copies)
 #
 # The JSON records are the machine-readable matrices:
 #   BENCH_e12.json  Mpps + ns/pkt per (model, path) and the e1000e
@@ -15,13 +20,23 @@
 #                   plus the e1000e watchdog recovery time (PR 4
 #                   acceptance); the emitter asserts delivery at every
 #                   rate and a <=16-poll recovery itself.
+#   BENCH_e15.json  aggregate Mpps with poll-cycle telemetry on vs off
+#                   on the e1000e 4-queue sharded config (PR 5
+#                   acceptance); the emitter asserts the >=97% overhead
+#                   budget itself.
+#
+# Every failure propagates: set -e aborts on the first failing cargo
+# invocation and the script's exit status is that failure's.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 if [ "${1:-}" = "--quick" ]; then
     quick=1
+    shift
 fi
+outdir="${1:-.}"
+mkdir -p "$outdir"
 
 if [ "$quick" = 0 ]; then
     cargo bench -p opendesc-bench --bench e3_datapath_throughput
@@ -31,6 +46,7 @@ if [ "$quick" = 0 ]; then
     cargo bench -p opendesc-bench --bench e14_fault_recovery
 fi
 
-cargo run --release -q -p opendesc-bench --bin e12_json -- BENCH_e12.json
-cargo run --release -q -p opendesc-bench --bin e13_json -- BENCH_e13.json
-cargo run --release -q -p opendesc-bench --bin e14_json -- BENCH_e14.json
+cargo run --release -q -p opendesc-bench --bin e12_json -- "$outdir/BENCH_e12.json"
+cargo run --release -q -p opendesc-bench --bin e13_json -- "$outdir/BENCH_e13.json"
+cargo run --release -q -p opendesc-bench --bin e14_json -- "$outdir/BENCH_e14.json"
+cargo run --release -q -p opendesc-bench --bin e15_json -- "$outdir/BENCH_e15.json"

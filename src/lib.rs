@@ -54,6 +54,7 @@ pub use opendesc_ir as ir;
 pub use opendesc_nicsim as nicsim;
 pub use opendesc_p4 as p4;
 pub use opendesc_softnic as softnic;
+pub use opendesc_telemetry as telemetry;
 
 /// Convenience prelude with the most-used types.
 pub mod prelude {
