@@ -919,6 +919,206 @@ pub mod e15 {
     }
 }
 
+/// E16 — the plan-bytecode-VM acceptance matrix: the same
+/// model × path grid as E12, re-measured now that every datapath
+/// executes the lowered [`PlanProgram`] bytecode, plus the two ratio
+/// metrics the perf gate bands with hard floors:
+///
+/// * `plan_vs_per_packet_<model>` — the VM plan path against the seed
+///   per-packet accessor loop, both timed in the same interleaved run
+///   (floor 1.0: the compiled path must not lose to per-packet reads
+///   anywhere, the regression the interpreted plans had on 3 of 4
+///   models in the committed `BENCH_e12.json`).
+/// * `batched_vs_e12_batched_<model>` — the batched bytecode path
+///   against the committed pre-VM E12 batched numbers
+///   ([`e16::E12_BATCHED_BASELINE`]), floor 1.5.
+///
+/// One deliberate configuration change from E12: frames enter through
+/// the device steering stage (`deliver_steered`, the path the sharded
+/// engine and E13 drive), so completions carry the device-computed
+/// Toeplitz hash as sideband and hint-primed plans serve
+/// `rss_hash`/`queue_hint` from the memo instead of re-running Toeplitz
+/// on the host. E12 keeps the hintless wire path for continuity with
+/// the seed benchmark; E16 measures the datapath in the configuration
+/// it actually ships in. All three paths receive the identical steered
+/// stream; the per-packet baseline has no way to consume the sideband,
+/// so the change costs it nothing — the hint can only make the
+/// `plan_vs_per_packet` floor easier for the paths that exploit it,
+/// which is precisely the point: the floor compares the shipped
+/// configuration of each path, not a handicapped one.
+///
+/// [`PlanProgram`]: opendesc_core::PlanProgram
+pub mod e16 {
+    use super::e12;
+    pub use super::e12::{BATCH_CAP, PATHS, ROUND};
+    use opendesc_core::OpenDescDriver;
+    use opendesc_nicsim::multiqueue::Steerer;
+    use opendesc_nicsim::SteerPolicy;
+    use opendesc_softnic::SoftNic;
+    use std::time::Instant;
+
+    /// Rows reuse the E12 shape so the gate's flattener lines the two
+    /// records up by the same `(model, path)` identity.
+    pub type Row = e12::Row;
+
+    /// The committed pre-VM batched throughput per model — the
+    /// `BENCH_e12.json` baseline at the time the interpreter tax was
+    /// measured, frozen as the denominator of
+    /// `batched_vs_e12_batched_<model>`. Constants, not a file read:
+    /// the ratio must not silently re-anchor when E12 baselines are
+    /// regenerated on VM-enabled builds.
+    pub const E12_BATCHED_BASELINE: [(&str, f64); 4] = [
+        ("e1000e", 6.0174),
+        ("ixgbe", 5.5286),
+        ("mlx5", 5.3150),
+        ("qdma", 5.1289),
+    ];
+
+    /// Acceptance floors (also encoded in the gate's rule table).
+    pub const MIN_PLAN_RATIO: f64 = 1.0;
+    pub const MIN_BATCHED_RATIO: f64 = 1.5;
+
+    /// Deliver one round through the device steering stage: parse and
+    /// Toeplitz once per frame on the way in (untimed, as in E13), so
+    /// the completion sideband carries the hash the device computed.
+    pub fn deliver_steered_round(drv: &mut OpenDescDriver, steer: &Steerer, frames: &[Vec<u8>]) {
+        for (i, f) in frames.iter().enumerate() {
+            let v = steer.steer(i as u64, f);
+            drv.deliver_steered(f, v.parsed.as_ref(), v.rss)
+                .expect("ring sized for the round");
+        }
+    }
+
+    /// Run the E16 matrix with the same wall-clock harness as
+    /// [`e12::run_quick`]: interleaved round-robin paths, warm-up round,
+    /// min-estimator per path. Only the drain is timed; steering-stage
+    /// work happens outside the clock.
+    pub fn run_quick(rounds: usize) -> Vec<Row> {
+        let frames = e12::traffic(ROUND);
+        let steer = Steerer::new(SteerPolicy::Rss, 1);
+        let mut rows = Vec::new();
+        for model in e12::model_matrix() {
+            let mut drvs: Vec<OpenDescDriver> = PATHS
+                .iter()
+                .map(|_| e12::driver(model.clone(), ROUND * 2))
+                .collect();
+            let mut soft = SoftNic::new();
+            let mut batch = drvs[2].make_batch(BATCH_CAP);
+            let mut best = [f64::INFINITY; 3];
+            let mut sink = 0u128;
+            for round in 0..=rounds {
+                for (pi, path) in PATHS.iter().enumerate() {
+                    let drv = &mut drvs[pi];
+                    deliver_steered_round(drv, &steer, &frames);
+                    let t = Instant::now();
+                    let (n, acc) = match *path {
+                        "per_packet" => e12::drain_per_packet(drv, &mut soft),
+                        "plan" => e12::drain_plan(drv),
+                        _ => e12::drain_batched(drv, &mut batch),
+                    };
+                    let ns = t.elapsed().as_nanos() as f64 / n as f64;
+                    sink ^= acc;
+                    if round > 0 && ns < best[pi] {
+                        best[pi] = ns;
+                    }
+                }
+            }
+            std::hint::black_box(sink);
+            for (pi, path) in PATHS.iter().enumerate() {
+                let ns = best[pi];
+                rows.push(Row {
+                    model: model.name.clone(),
+                    path,
+                    mpps: 1e3 / ns,
+                    ns_per_pkt: ns,
+                });
+            }
+        }
+        rows
+    }
+
+    fn mpps(rows: &[Row], model: &str, path: &str) -> f64 {
+        rows.iter()
+            .find(|r| r.model == model && r.path == path)
+            .map(|r| r.mpps)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// VM plan path vs the seed per-packet accessor loop, same run
+    /// (self-normalized: machine speed divides out).
+    pub fn plan_vs_per_packet(rows: &[Row], model: &str) -> f64 {
+        mpps(rows, model, "plan") / mpps(rows, model, "per_packet")
+    }
+
+    /// Batched bytecode path vs the committed pre-VM E12 batched number
+    /// (absolute in disguise: the denominator is a frozen constant).
+    pub fn batched_vs_e12(rows: &[Row], model: &str) -> f64 {
+        let base = E12_BATCHED_BASELINE
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        mpps(rows, model, "batched") / base
+    }
+
+    /// Worst (smallest) plan-vs-per-packet ratio across the matrix —
+    /// what the emitter's floor assertion checks.
+    pub fn worst_plan_ratio(rows: &[Row]) -> f64 {
+        E12_BATCHED_BASELINE
+            .iter()
+            .map(|(m, _)| plan_vs_per_packet(rows, m))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst (smallest) batched-vs-E12 ratio across the matrix.
+    pub fn worst_batched_ratio(rows: &[Row]) -> f64 {
+        E12_BATCHED_BASELINE
+            .iter()
+            .map(|(m, _)| batched_vs_e12(rows, m))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Hand-formatted JSON (no serde in the tree): the perf-trajectory
+    /// record `scripts/bench.sh` writes to `BENCH_e16.json`.
+    pub fn to_json(rows: &[Row]) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e16_vm_datapath\",\n");
+        s.push_str("  \"unit\": \"Mpps\",\n");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"model\": \"{}\", \"path\": \"{}\", \"mpps\": {:.4}, \"ns_per_pkt\": {:.1}}}{}\n",
+                r.model, r.path, r.mpps, r.ns_per_pkt, sep
+            ));
+        }
+        s.push_str("  ],\n");
+        for (m, _) in E12_BATCHED_BASELINE {
+            s.push_str(&format!(
+                "  \"plan_vs_per_packet_{}\": {:.4},\n",
+                m,
+                plan_vs_per_packet(rows, m)
+            ));
+        }
+        for (i, (m, _)) in E12_BATCHED_BASELINE.iter().enumerate() {
+            let sep = if i + 1 < E12_BATCHED_BASELINE.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "  \"batched_vs_e12_batched_{}\": {:.4}{}\n",
+                m,
+                batched_vs_e12(rows, m),
+                sep
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
 /// The CI perf-regression gate: read a current `BENCH_*.json` record and
 /// its committed baseline, extract the gated metrics, apply per-metric
 /// tolerance bands, and render the comparison as a markdown table for
@@ -940,6 +1140,13 @@ pub mod gate {
         pub direction: Direction,
         /// Allowed relative regression (0.10 = 10%).
         pub tolerance: f64,
+        /// Hard acceptance floor on the *current* value, independent of
+        /// how the baseline moved: a `HigherBetter` metric must also
+        /// stay `>= floor` to pass. Used by the E16 ratios, whose bands
+        /// encode absolute acceptance criteria (plan path never loses
+        /// to per-packet, batched at least 1.5x the pre-VM batched),
+        /// not just "no worse than last time".
+        pub floor: Option<f64>,
     }
 
     /// The tolerance table, keyed on metric-name shape. Throughput-like
@@ -953,6 +1160,7 @@ pub mod gate {
             Some(Rule {
                 direction: Direction::HigherBetter,
                 tolerance,
+                floor: None,
             })
         };
         if metric.contains("retention") {
@@ -962,10 +1170,37 @@ pub mod gate {
             return Some(Rule {
                 direction: Direction::LowerBetter,
                 tolerance: 0.25,
+                floor: None,
             });
         }
         if metric.contains("overhead_ratio") {
             return hb(0.03);
+        }
+        // The E16 acceptance ratios carry hard floors on top of their
+        // bands. `plan_vs_per_packet` divides two paths measured in the
+        // same interleaved run (machine speed cancels), so it gates
+        // even under `--relative-only`; the VM plan path losing to the
+        // seed accessors anywhere is exactly the regression E16 exists
+        // to catch. The band is wide because the denominator (the
+        // slowest path in the matrix) carries the most scheduler noise
+        // run-to-run; the hard floor is the acceptance criterion.
+        if metric.contains("plan_vs_per_packet") {
+            return Some(Rule {
+                direction: Direction::HigherBetter,
+                tolerance: 0.15,
+                floor: Some(1.0),
+            });
+        }
+        // `batched_vs_e12_batched` divides a live measurement by a
+        // *committed constant*, so despite being written as a ratio it
+        // moves 1:1 with machine speed — an absolute metric in
+        // disguise (see `is_absolute`).
+        if metric.contains("batched_vs_e12") {
+            return Some(Rule {
+                direction: Direction::HigherBetter,
+                tolerance: 0.20,
+                floor: Some(1.5),
+            });
         }
         // Speedup and scaling factors divide two measurements taken in
         // *different phases* of an emitter run (batched vs per-packet,
@@ -988,8 +1223,12 @@ pub mod gate {
     /// reliably only on dedicated hardware; on shared runners, where
     /// observed run-to-run throughput swings ±40%, `bench_gate
     /// --relative-only` restricts the gate to the self-normalized set.
+    ///
+    /// `batched_vs_e12_batched` counts as absolute even though it is
+    /// spelled as a ratio: its denominator is a committed constant, so
+    /// the quotient tracks machine speed exactly like a raw Mpps row.
     pub fn is_absolute(metric: &str) -> bool {
-        metric.ends_with("mpps")
+        metric.ends_with("mpps") || metric.contains("batched_vs_e12")
     }
 
     /// Flatten a bench record into named scalars. Top-level numbers keep
@@ -1076,11 +1315,18 @@ pub mod gate {
                     let change = if *b != 0.0 { (c - b) / b } else { 0.0 };
                     // Strict at the boundary: a throughput drop of
                     // exactly the tolerance (−10%) FAILS.
-                    let pass = match rule.direction {
+                    let in_band = match rule.direction {
                         Direction::HigherBetter => c > b * (1.0 - rule.tolerance),
                         Direction::LowerBetter => c < b * (1.0 + rule.tolerance),
                     };
-                    (c, change, pass)
+                    // The floor is inclusive (it restates an acceptance
+                    // criterion like "ratio >= 1.0", where exactly 1.0
+                    // means the plan path broke even — allowed).
+                    let above_floor = rule.floor.is_none_or(|f| match rule.direction {
+                        Direction::HigherBetter => c >= f,
+                        Direction::LowerBetter => c <= f,
+                    });
+                    (c, change, in_band && above_floor)
                 }
             };
             out.push(GateResult {
@@ -1119,10 +1365,17 @@ pub mod gate {
         s.push_str("| experiment | metric | baseline | current | change | band | verdict |\n");
         s.push_str("|---|---|---:|---:|---:|---|---|\n");
         for r in results {
-            let band = match r.rule.direction {
+            let mut band = match r.rule.direction {
                 Direction::HigherBetter => format!("≥ −{:.0}%", r.rule.tolerance * 100.0),
                 Direction::LowerBetter => format!("≤ +{:.0}%", r.rule.tolerance * 100.0),
             };
+            if let Some(f) = r.rule.floor {
+                let cmp = match r.rule.direction {
+                    Direction::HigherBetter => "≥",
+                    Direction::LowerBetter => "≤",
+                };
+                band.push_str(&format!(", floor {cmp} {f}"));
+            }
             let verdict = if !r.gated {
                 "ℹ️ info"
             } else if r.pass {
@@ -1384,6 +1637,97 @@ mod tests {
             !gate::all_pass(&rel),
             "scaling regressions gate in relative-only mode"
         );
+    }
+
+    #[test]
+    fn gate_floors_bind_independently_of_baseline() {
+        // The E16 ratios carry hard floors: a value inside its relative
+        // band but below the floor still fails, and a value above the
+        // floor is judged by the band alone.
+        let base = opendesc_telemetry::parse_json(
+            r#"{"plan_vs_per_packet_qdma": 1.02, "batched_vs_e12_batched_qdma": 1.55}"#,
+        )
+        .unwrap();
+        let below = opendesc_telemetry::parse_json(
+            r#"{"plan_vs_per_packet_qdma": 0.99, "batched_vs_e12_batched_qdma": 1.49}"#,
+        )
+        .unwrap();
+        let res = gate::compare("e16", &base, &below);
+        assert_eq!(res.len(), 2, "both ratios are gated: {res:?}");
+        for r in &res {
+            assert!(
+                !r.pass,
+                "{}: inside the band but below the floor must fail",
+                r.metric
+            );
+            assert!(r.change.abs() < r.rule.tolerance, "{}", r.metric);
+        }
+        let above = opendesc_telemetry::parse_json(
+            r#"{"plan_vs_per_packet_qdma": 1.00, "batched_vs_e12_batched_qdma": 1.50}"#,
+        )
+        .unwrap();
+        assert!(
+            gate::all_pass(&gate::compare("e16", &base, &above)),
+            "floors are inclusive: exactly 1.0 / 1.5 passes"
+        );
+        // The table spells the floor out next to the band.
+        assert!(gate::markdown_table(&res).contains("floor ≥ 1"));
+        // --relative-only demotes the constant-denominator batched
+        // ratio (machine-speed-proportional) but keeps the same-run
+        // plan ratio gated.
+        let mut demoted = gate::compare("e16", &base, &below);
+        gate::demote_absolute(&mut demoted);
+        assert!(!gate::all_pass(&demoted), "plan ratio still gates");
+        let plan_only: Vec<_> = demoted.iter().filter(|r| r.gated).collect();
+        assert_eq!(plan_only.len(), 1);
+        assert!(plan_only[0].metric.contains("plan_vs_per_packet"));
+    }
+
+    #[test]
+    fn e16_steered_paths_agree_and_emit_json() {
+        // Same cross-path agreement as E12, under steered delivery:
+        // the device-computed hash sideband primes the plan paths' memo
+        // but must change no metadata value any path produces.
+        let frames = e12::traffic(24);
+        let steer = opendesc_nicsim::multiqueue::Steerer::new(opendesc_nicsim::SteerPolicy::Rss, 1);
+        for model in e12::model_matrix() {
+            let name = model.name.clone();
+            let mut a = e12::driver(model.clone(), 64);
+            let mut b = e12::driver(model.clone(), 64);
+            let mut c = e12::driver(model, 64);
+            for drv in [&mut a, &mut b, &mut c] {
+                e16::deliver_steered_round(drv, &steer, &frames);
+            }
+            let mut soft = opendesc_softnic::SoftNic::new();
+            let mut batch = c.make_batch(7); // odd cap: exercises remainder
+            let seed = e12::drain_per_packet(&mut a, &mut soft);
+            let plan = e12::drain_plan(&mut b);
+            let batched = e12::drain_batched(&mut c, &mut batch);
+            assert_eq!(seed, plan, "{name}: steered plan drain diverged");
+            assert_eq!(seed, batched, "{name}: steered batched drain diverged");
+            assert_eq!(seed.0, 24, "{name}: lost packets");
+        }
+        // The emitter produces one row per (model, path) plus both
+        // per-model ratio keys, and round-trips through the gate.
+        let rows = e16::run_quick(1);
+        assert_eq!(rows.len(), 4 * e16::PATHS.len());
+        let json = e16::to_json(&rows);
+        assert!(json.contains("\"experiment\": \"e16_vm_datapath\""));
+        for m in ["e1000e", "ixgbe", "mlx5", "qdma"] {
+            assert!(json.contains(&format!("plan_vs_per_packet_{m}")));
+            assert!(json.contains(&format!("batched_vs_e12_batched_{m}")));
+            assert!(e16::plan_vs_per_packet(&rows, m).is_finite());
+            assert!(e16::batched_vs_e12(&rows, m).is_finite());
+        }
+        assert!(e16::worst_plan_ratio(&rows).is_finite());
+        assert!(e16::worst_batched_ratio(&rows).is_finite());
+        let doc = opendesc_telemetry::parse_json(&json).expect("e16 record parses");
+        let gated = gate::flatten(&doc)
+            .iter()
+            .filter(|(k, _)| gate::rule_for(k).is_some())
+            .count();
+        // 12 mpps rows + 4 plan ratios + 4 batched ratios.
+        assert_eq!(gated, 20, "every E16 metric the gate expects is present");
     }
 
     #[test]

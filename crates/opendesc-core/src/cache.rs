@@ -17,6 +17,7 @@
 
 use crate::compiler::{CompileError, CompiledInterface, Compiler};
 use crate::intent::Intent;
+use crate::lower::{lower, LowerError, LoweredPlan};
 use crate::robust::ValidatorSpec;
 use opendesc_ir::{Assignment, SemanticRegistry};
 use opendesc_nicsim::models::NicModel;
@@ -34,12 +35,22 @@ pub struct CompiledRx {
     /// Layout-derived completion validator, computed once here so N
     /// queues sharing the artifact share one spec.
     validator: ValidatorSpec,
+    /// The plan's bytecode + verified-eBPF form, lowered once here. An
+    /// `Err` records why the plan cannot run on the VM path (the tree
+    /// interpreter remains as fallback for directly-attached drivers;
+    /// the cache refuses to serve such artifacts at all).
+    lowered: Result<LoweredPlan, LowerError>,
 }
 
 impl CompiledRx {
     pub fn new(iface: CompiledInterface) -> Self {
         let validator = ValidatorSpec::derive(&iface.accessors, &iface.reg);
-        CompiledRx { iface, validator }
+        let lowered = lower(&iface.accessors, &iface.plan);
+        CompiledRx {
+            iface,
+            validator,
+            lowered,
+        }
     }
 
     /// The wrapped interface (also reachable through `Deref`).
@@ -50,6 +61,16 @@ impl CompiledRx {
     /// The layout-derived completion validator spec.
     pub fn validator(&self) -> &ValidatorSpec {
         &self.validator
+    }
+
+    /// The verifier-accepted bytecode form, when lowering succeeded.
+    pub fn lowered(&self) -> Option<&LoweredPlan> {
+        self.lowered.as_ref().ok()
+    }
+
+    /// Why lowering failed, when it did.
+    pub fn lowering_error(&self) -> Option<&LowerError> {
+        self.lowered.as_ref().err()
     }
 }
 
@@ -76,15 +97,22 @@ const _: () = {
 
 /// Cache key: everything that determines a compilation's output.
 ///
-/// Semantics are keyed by *name* (not `SemanticId`) so the key is stable
-/// across registries; the context override is canonicalized by sorting.
+/// An intent's meaning depends on *which registry* interned its
+/// semantic ids — the same name can map to different ids (or widths) in
+/// different registries. Keying on semantic-name strings alone therefore
+/// aliases across registries and can hand a worker a plan compiled for
+/// the wrong id assignment. The key instead binds the registry's
+/// [`fingerprint`](SemanticRegistry::fingerprint) together with a hash
+/// of the intent's `(id, field name, width)` rows; the context override
+/// is canonicalized by sorting.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     model: String,
     deparser: String,
-    intent_name: String,
-    /// `(semantic name, field name, width)` per intent field, in order.
-    fields: Vec<(String, String, u16)>,
+    /// Fingerprint of the registry's id ↔ (name, width) assignment.
+    reg_fingerprint: u64,
+    /// FNV-1a over the intent name and its `(id, name, width)` fields.
+    intent_hash: u64,
     /// Sorted `(dotted field, value)` of the context override, if any.
     context: Option<Vec<(String, u128)>>,
 }
@@ -96,17 +124,27 @@ impl PlanKey {
         context: Option<&Assignment>,
         reg: &SemanticRegistry,
     ) -> PlanKey {
-        let fields = intent
-            .fields
-            .iter()
-            .map(|f| {
-                (
-                    reg.name(f.semantic).to_string(),
-                    f.name.clone(),
-                    f.width_bits,
-                )
-            })
-            .collect();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut byte = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in intent.name.as_bytes() {
+            byte(*b);
+        }
+        byte(0xFF);
+        for f in &intent.fields {
+            for b in f.semantic.0.to_le_bytes() {
+                byte(b);
+            }
+            for b in f.name.as_bytes() {
+                byte(*b);
+            }
+            for b in f.width_bits.to_le_bytes() {
+                byte(b);
+            }
+            byte(0xFF);
+        }
         let context = context.map(|ctx| {
             let mut kv: Vec<(String, u128)> = ctx.iter().map(|(f, v)| (f.dotted(), *v)).collect();
             kv.sort();
@@ -115,8 +153,8 @@ impl PlanKey {
         PlanKey {
             model: model.name.clone(),
             deparser: model.deparser.clone(),
-            intent_name: intent.name.clone(),
-            fields,
+            reg_fingerprint: reg.fingerprint(),
+            intent_hash: h,
             context,
         }
     }
@@ -188,12 +226,15 @@ impl PlanCache {
         if let Some(ctx) = context {
             iface.context = Some(ctx.clone());
         }
+        let rx = Arc::new(CompiledRx::new(iface));
+        // The cache only serves verifier-accepted plans: a plan whose
+        // lowered eBPF form the verifier rejected never enters the map.
+        if let Some(e) = rx.lowering_error() {
+            return Err(CompileError::Lowering(e.to_string()));
+        }
         let mut inner = self.inner.lock().unwrap();
         inner.misses += 1;
-        let arc = inner
-            .map
-            .entry(key)
-            .or_insert_with(|| Arc::new(CompiledRx::new(iface)));
+        let arc = inner.map.entry(key).or_insert_with(|| rx);
         Ok(Arc::clone(arc))
     }
 
@@ -288,6 +329,63 @@ mod tests {
             .get_or_compile_with(&models::mlx5(), &i, Some(&ctx), &mut reg)
             .unwrap();
         assert!(Arc::ptr_eq(&forced, &again));
+    }
+
+    #[test]
+    fn distinct_registries_never_alias_cache_entries() {
+        // Regression: the old key was semantic-*name* strings, so two
+        // registries assigning the same names to different ids collided
+        // and the second caller got a plan compiled for the wrong id
+        // assignment. The fingerprint in the key must keep them apart.
+        let cache = PlanCache::default();
+        let mut reg_a = SemanticRegistry::with_builtins();
+        let mut reg_b = SemanticRegistry::empty();
+        reg_b.register_custom(
+            "shift_ids",
+            8,
+            opendesc_ir::Cost::flat(1.0),
+            "displaces every builtin id",
+        );
+        for (_, info) in SemanticRegistry::with_builtins().iter() {
+            reg_b.register(info.clone());
+        }
+        let ia = intent(&mut reg_a, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let ib = intent(&mut reg_b, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let a = cache
+            .get_or_compile(&models::e1000e(), &ia, &mut reg_a)
+            .unwrap();
+        let b = cache
+            .get_or_compile(&models::e1000e(), &ib, &mut reg_b)
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "same names on different registries must not share an artifact"
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2), "both requests must be misses");
+    }
+
+    #[test]
+    fn cache_serves_only_verifier_accepted_plans() {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        for model in [
+            models::e1000e(),
+            models::ixgbe(),
+            models::mlx5(),
+            models::qdma_default(),
+        ] {
+            let rx = cache.get_or_compile(&model, &i, &mut reg).unwrap();
+            let low = rx
+                .lowered()
+                .expect("every cache-served plan carries its lowered form");
+            assert!(
+                low.verifier_states > 0 || low.ebpf.is_empty(),
+                "{}: the verifier must actually have run",
+                model.name
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum CompileError {
     Paths(String),
     /// The selection objective had no feasible solution.
     Select(SelectError),
+    /// The compiled plan could not be lowered to verifier-accepted
+    /// bytecode (the plan cache refuses to serve unproven plans).
+    Lowering(String),
 }
 
 impl fmt::Display for CompileError {
@@ -46,6 +49,7 @@ impl fmt::Display for CompileError {
             CompileError::Extract(m) => write!(f, "extraction error: {m}"),
             CompileError::Paths(m) => write!(f, "path enumeration error: {m}"),
             CompileError::Select(e) => write!(f, "selection error: {e}"),
+            CompileError::Lowering(m) => write!(f, "lowering error: {m}"),
         }
     }
 }

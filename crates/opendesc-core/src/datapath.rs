@@ -7,6 +7,7 @@
 //! fields through constant-time accessors, invoking SoftNIC shims only
 //! for semantics the layout does not carry.
 
+use crate::accessor::AccessorSet;
 use crate::cache::CompiledRx;
 use crate::compiler::CompiledInterface;
 use crate::plan::RxPlan;
@@ -14,6 +15,7 @@ use crate::robust::{
     HealthConfig, HealthState, QueueHealth, SeqTracker, SeqVerdict, ValidationMode,
     ValidationStats, Watchdog, WatchdogConfig,
 };
+use crate::vm;
 use opendesc_ir::bits::width_mask;
 use opendesc_ir::SemanticId;
 use opendesc_nicsim::nic::{NicError, SimNic};
@@ -195,6 +197,18 @@ pub struct OpenDescDriver {
     /// and the trace ring. Driver-owned, so hot-path updates need no
     /// synchronization; disabled it costs one branch per hook.
     tel: QueueTelemetry,
+    /// Recycled completion-record storage for the per-packet [`poll`]
+    /// path (`receive_into_hinted` clears and refills it), so a
+    /// steady-state poll loop stops allocating for completions.
+    ///
+    /// [`poll`]: OpenDescDriver::poll
+    scratch_cmpt: Vec<u8>,
+    /// Recycled metadata-values scratch for the per-packet [`poll`]
+    /// path; its contents move into the returned [`RxPacket`] by copy,
+    /// never by reallocation.
+    ///
+    /// [`poll`]: OpenDescDriver::poll
+    scratch_values: Vec<Option<u128>>,
 }
 
 impl OpenDescDriver {
@@ -222,6 +236,8 @@ impl OpenDescDriver {
             health: HealthState::default(),
             watchdog: Watchdog::default(),
             tel: QueueTelemetry::default(),
+            scratch_cmpt: Vec::new(),
+            scratch_values: Vec::new(),
         })
     }
 
@@ -392,6 +408,12 @@ impl OpenDescDriver {
     /// Execute one admitted packet into `values`, applying the
     /// truncation guard, the mode/health disposition, and structural
     /// checks; updates validation stats and health.
+    ///
+    /// All three dispositions run the lowered, verifier-accepted
+    /// bytecode ([`crate::vm`]) when the interface carries one; the
+    /// tree interpreter in [`crate::plan`] is only the fallback for
+    /// plans that could not be lowered (and the differential-test
+    /// oracle).
     fn execute_checked(
         &mut self,
         frame: &[u8],
@@ -403,6 +425,7 @@ impl OpenDescDriver {
         let plan = &iface.plan;
         let set = &iface.accessors;
         let spec = iface.validator();
+        let prog = iface.lowered().map(|l| &l.prog);
         // Truncated writeback: shorter than the layout promises; no
         // accessor may touch it (reads would run past the end).
         if self.mode != ValidationMode::Off && cmpt.len() < spec.expected_len {
@@ -413,7 +436,10 @@ impl OpenDescDriver {
                 cmpt.len() as u64,
                 spec.expected_len as u64,
             );
-            plan.execute_degraded(&mut self.soft, frame, values);
+            match prog {
+                Some(p) => p.run_degraded(&mut self.soft, frame, values),
+                None => plan.execute_degraded(&mut self.soft, frame, values),
+            }
             self.vstats.degraded_packets += 1;
             self.vstats.accepted += 1;
             if self.tel.enabled() {
@@ -424,7 +450,10 @@ impl OpenDescDriver {
         }
         match self.disposition() {
             Disposition::Degraded => {
-                plan.execute_degraded(&mut self.soft, frame, values);
+                match prog {
+                    Some(p) => p.run_degraded(&mut self.soft, frame, values),
+                    None => plan.execute_degraded(&mut self.soft, frame, values),
+                }
                 self.vstats.degraded_packets += 1;
                 self.health.on_clean();
                 if self.tel.enabled() {
@@ -433,7 +462,10 @@ impl OpenDescDriver {
                 }
             }
             Disposition::Verified => {
-                let repaired = plan.execute_verified(set, &mut self.soft, frame, cmpt, values);
+                let repaired = match prog {
+                    Some(p) => p.run_verified(&mut self.soft, frame, cmpt, values),
+                    None => plan.execute_verified(set, &mut self.soft, frame, cmpt, values),
+                };
                 if repaired > 0 {
                     self.vstats.repaired_fields += repaired as u64;
                     self.health.on_fault();
@@ -447,7 +479,12 @@ impl OpenDescDriver {
                 }
             }
             Disposition::Trusted => {
-                plan.execute_into_primed(set, &mut self.soft, frame, cmpt, rss_hint, values);
+                match prog {
+                    Some(p) => p.run_trusted(&mut self.soft, frame, cmpt, rss_hint, values),
+                    None => {
+                        plan.execute_into_primed(set, &mut self.soft, frame, cmpt, rss_hint, values)
+                    }
+                }
                 if self.tel.enabled() {
                     self.tel.fields_hw += plan.hw.len() as u64;
                     self.tel.fields_sw += plan.sw.len() as u64;
@@ -455,11 +492,24 @@ impl OpenDescDriver {
                 if self.mode == ValidationMode::Off {
                     return;
                 }
-                if spec.check_values(frame.len(), |i| values[i]).is_some() {
+                let (fail, proven) = spec.check_values_all(frame.len(), |i| values[i]);
+                if fail.is_some() {
                     self.vstats.structural_failures += 1;
                     self.health.on_fault();
                     self.tel.event(TraceKind::StructuralFailure, 0, 0);
-                    plan.execute_degraded(&mut self.soft, frame, values);
+                    // Selective re-serve: fields the structural checks
+                    // just proved against frame truth keep their
+                    // validated values, as do software slots (already
+                    // frame-derived — minus hint-fed ones, whose memo
+                    // was primed by untrusted device sideband). Only
+                    // the remainder is recomputed.
+                    let keep = proven | plan.keep_sw_mask(rss_hint.is_some());
+                    match prog {
+                        Some(p) => {
+                            p.run_degraded_partial_at(&mut self.soft, frame, keep, values, 1, 0)
+                        }
+                        None => plan.execute_degraded_partial(&mut self.soft, frame, keep, values),
+                    }
                     self.vstats.degraded_packets += 1;
                     self.tel.event(TraceKind::DegradedServe, 0, 0);
                 } else {
@@ -485,32 +535,42 @@ impl OpenDescDriver {
     }
 
     fn poll_inner(&mut self) -> Option<RxPacket> {
+        // Frames move into the returned packet, so their storage is
+        // per-call; completion and values scratch recycle across polls.
         let mut frame = Vec::new();
-        let mut cmpt = Vec::new();
-        loop {
+        let mut cmpt = std::mem::take(&mut self.scratch_cmpt);
+        let mut values = std::mem::take(&mut self.scratch_values);
+        let result = loop {
             let Some(side) = self.nic.receive_into_hinted(&mut frame, &mut cmpt) else {
                 if self.watchdog.observe_empty() {
                     self.recover();
                     continue;
                 }
-                return None;
+                break None;
             };
             if !self.admit_seq(side.seq) {
                 continue;
             }
             self.tel.event(TraceKind::Writeback, side.seq, 0);
-            let mut values = vec![None; self.iface.plan.steps.len()];
+            values.clear();
+            values.resize(self.iface.plan.steps.len(), None);
             self.execute_checked(&frame, &cmpt, side.rss_hint, &mut values);
             let meta = self
                 .iface
                 .accessors
                 .accessors
                 .iter()
-                .zip(values)
-                .map(|(a, v)| (a.semantic, v))
+                .zip(values.iter())
+                .map(|(a, v)| (a.semantic, *v))
                 .collect();
-            return Some(RxPacket { frame, meta });
-        }
+            break Some(RxPacket {
+                frame: std::mem::take(&mut frame),
+                meta,
+            });
+        };
+        self.scratch_cmpt = cmpt;
+        self.scratch_values = values;
+        result
     }
 
     /// Poll up to `n` packets.
@@ -637,26 +697,45 @@ impl OpenDescDriver {
     /// chosen once from the health at entry; structural failures inside
     /// the batch re-serve that packet degraded and demote health for the
     /// *next* batch.
+    ///
+    /// When the interface carries a lowered [`PlanProgram`] (every
+    /// verifier-accepted plan does), all three dispositions execute the
+    /// bytecode; hardware fields additionally run one *instruction*
+    /// across the whole batch ([`vm::load_column`]), amortizing dispatch
+    /// to once per field per batch. The tree interpreter remains only as
+    /// the fallback for unlowerable plans.
+    ///
+    /// [`PlanProgram`]: crate::vm::PlanProgram
     fn fill_batch(&mut self, batch: &mut RxBatch) {
         let iface = Arc::clone(&self.iface);
         let plan = &iface.plan;
         let set = &iface.accessors;
         let spec = iface.validator();
+        let prog = iface.lowered().map(|l| &l.prog);
         let n = batch.len;
         let cap = batch.cap;
         let fields = batch.sems.len();
         match self.disposition() {
             Disposition::Degraded => {
                 for pkt in 0..n {
-                    degrade_one(
-                        plan,
-                        &mut self.soft,
-                        fields,
-                        cap,
-                        pkt,
-                        &batch.frames[pkt],
-                        &mut batch.meta,
-                    );
+                    match prog {
+                        Some(p) => p.run_degraded_at(
+                            &mut self.soft,
+                            &batch.frames[pkt],
+                            &mut batch.meta,
+                            cap,
+                            pkt,
+                        ),
+                        None => degrade_one(
+                            plan,
+                            &mut self.soft,
+                            fields,
+                            cap,
+                            pkt,
+                            &batch.frames[pkt],
+                            &mut batch.meta,
+                        ),
+                    }
                     self.vstats.degraded_packets += 1;
                     self.vstats.accepted += 1;
                     if !batch.short[pkt] {
@@ -673,46 +752,48 @@ impl OpenDescDriver {
                 for pkt in 0..n {
                     if batch.short[pkt] {
                         degraded += 1;
-                        degrade_one(
-                            plan,
-                            &mut self.soft,
-                            fields,
-                            cap,
-                            pkt,
-                            &batch.frames[pkt],
-                            &mut batch.meta,
-                        );
+                        match prog {
+                            Some(p) => p.run_degraded_at(
+                                &mut self.soft,
+                                &batch.frames[pkt],
+                                &mut batch.meta,
+                                cap,
+                                pkt,
+                            ),
+                            None => degrade_one(
+                                plan,
+                                &mut self.soft,
+                                fields,
+                                cap,
+                                pkt,
+                                &batch.frames[pkt],
+                                &mut batch.meta,
+                            ),
+                        }
                         self.vstats.degraded_packets += 1;
                         self.vstats.accepted += 1;
                         continue;
                     }
-                    let frame = &batch.frames[pkt];
-                    let parsed = ParsedFrame::parse(frame);
-                    let mut memo = ShimMemo::default();
-                    for &acc_idx in &plan.hw {
-                        batch.meta[acc_idx * cap + pkt] =
-                            Some(set.accessors[acc_idx].read(&batch.cmpts[pkt]));
-                    }
-                    let mut repaired = 0u32;
-                    for &(acc_idx, op) in &plan.hw_check {
-                        let want = parsed
-                            .as_ref()
-                            .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
-                            .map(|v| width_mask(set.accessors[acc_idx].width_bits) & v as u128);
-                        if let Some(w) = want {
-                            let slot = &mut batch.meta[acc_idx * cap + pkt];
-                            if *slot != Some(w) {
-                                *slot = Some(w);
-                                repaired += 1;
-                            }
-                        }
-                    }
-                    for &(acc_idx, op) in &plan.sw {
-                        batch.meta[acc_idx * cap + pkt] = parsed
-                            .as_ref()
-                            .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
-                            .map(|v| v as u128);
-                    }
+                    let repaired = match prog {
+                        Some(p) => p.run_verified_at(
+                            &mut self.soft,
+                            &batch.frames[pkt],
+                            &batch.cmpts[pkt],
+                            &mut batch.meta,
+                            cap,
+                            pkt,
+                        ),
+                        None => verify_one(
+                            plan,
+                            set,
+                            &mut self.soft,
+                            cap,
+                            pkt,
+                            &batch.frames[pkt],
+                            &batch.cmpts[pkt],
+                            &mut batch.meta,
+                        ),
+                    };
                     if repaired > 0 {
                         self.vstats.repaired_fields += repaired as u64;
                         self.health.on_fault();
@@ -734,20 +815,44 @@ impl OpenDescDriver {
                 // Hardware fields: one column at a time across the whole
                 // batch; truncated records fall back to per-packet guarded
                 // reads (`None` for the short ones).
-                for &acc_idx in &plan.hw {
-                    let base = acc_idx * cap;
-                    if any_short {
-                        for pkt in 0..n {
-                            batch.meta[base + pkt] = if batch.short[pkt] {
-                                None
+                match prog {
+                    Some(p) => {
+                        for insn in p.hw_insns() {
+                            let base = insn.dst as usize * cap;
+                            if any_short {
+                                for pkt in 0..n {
+                                    batch.meta[base + pkt] = if batch.short[pkt] {
+                                        None
+                                    } else {
+                                        Some(vm::exec_load(insn, &batch.cmpts[pkt]))
+                                    };
+                                }
                             } else {
-                                Some(set.accessors[acc_idx].read(&batch.cmpts[pkt]))
-                            };
+                                vm::load_column(
+                                    insn,
+                                    &batch.cmpts[..n],
+                                    &mut batch.meta[base..base + n],
+                                );
+                            }
                         }
-                    } else {
-                        set.read_column(acc_idx, &batch.cmpts[..n], &mut batch.hwcol[..n]);
-                        for pkt in 0..n {
-                            batch.meta[base + pkt] = Some(batch.hwcol[pkt]);
+                    }
+                    None => {
+                        for &acc_idx in &plan.hw {
+                            let base = acc_idx * cap;
+                            if any_short {
+                                for pkt in 0..n {
+                                    batch.meta[base + pkt] = if batch.short[pkt] {
+                                        None
+                                    } else {
+                                        Some(set.accessors[acc_idx].read(&batch.cmpts[pkt]))
+                                    };
+                                }
+                            } else {
+                                set.read_column(acc_idx, &batch.cmpts[..n], &mut batch.hwcol[..n]);
+                                for pkt in 0..n {
+                                    batch.meta[base + pkt] = Some(batch.hwcol[pkt]);
+                                }
+                            }
                         }
                     }
                 }
@@ -765,11 +870,28 @@ impl OpenDescDriver {
                         if let Some(h) = batch.hints[pkt] {
                             memo.prime_rss(h);
                         }
-                        for &(acc_idx, op) in &plan.sw {
-                            batch.meta[acc_idx * cap + pkt] = parsed
-                                .as_ref()
-                                .and_then(|p| self.soft.exec_op(op, p, frame.len(), &mut memo))
-                                .map(|v| v as u128);
+                        match prog {
+                            Some(p) => {
+                                for insn in p.sw_insns() {
+                                    batch.meta[insn.dst as usize * cap + pkt] = vm::exec_shim(
+                                        &mut self.soft,
+                                        insn,
+                                        parsed.as_ref(),
+                                        frame.len(),
+                                        &mut memo,
+                                    );
+                                }
+                            }
+                            None => {
+                                for &(acc_idx, op) in &plan.sw {
+                                    batch.meta[acc_idx * cap + pkt] = parsed
+                                        .as_ref()
+                                        .and_then(|p| {
+                                            self.soft.exec_op(op, p, frame.len(), &mut memo)
+                                        })
+                                        .map(|v| v as u128);
+                                }
+                            }
                         }
                     }
                 }
@@ -783,15 +905,24 @@ impl OpenDescDriver {
                 }
                 for pkt in 0..n {
                     if batch.short[pkt] {
-                        degrade_one(
-                            plan,
-                            &mut self.soft,
-                            fields,
-                            cap,
-                            pkt,
-                            &batch.frames[pkt],
-                            &mut batch.meta,
-                        );
+                        match prog {
+                            Some(p) => p.run_degraded_at(
+                                &mut self.soft,
+                                &batch.frames[pkt],
+                                &mut batch.meta,
+                                cap,
+                                pkt,
+                            ),
+                            None => degrade_one(
+                                plan,
+                                &mut self.soft,
+                                fields,
+                                cap,
+                                pkt,
+                                &batch.frames[pkt],
+                                &mut batch.meta,
+                            ),
+                        }
                         self.vstats.degraded_packets += 1;
                         self.vstats.accepted += 1;
                         if self.tel.enabled() {
@@ -801,22 +932,37 @@ impl OpenDescDriver {
                         continue;
                     }
                     let frame_len = batch.frames[pkt].len();
-                    let fail = spec
-                        .check_values(frame_len, |i| batch.meta[i * cap + pkt])
-                        .is_some();
-                    if fail {
+                    let (fail, proven) =
+                        spec.check_values_all(frame_len, |i| batch.meta[i * cap + pkt]);
+                    if fail.is_some() {
                         self.vstats.structural_failures += 1;
                         self.health.on_fault();
                         self.tel.event(TraceKind::StructuralFailure, pkt as u64, 0);
-                        degrade_one(
-                            plan,
-                            &mut self.soft,
-                            fields,
-                            cap,
-                            pkt,
-                            &batch.frames[pkt],
-                            &mut batch.meta,
-                        );
+                        // Selective re-serve: structurally-proven fields
+                        // and frame-derived software slots (minus
+                        // hint-fed ones) keep their values; only the
+                        // remainder is recomputed.
+                        let keep = proven | plan.keep_sw_mask(batch.hints[pkt].is_some());
+                        match prog {
+                            Some(p) => p.run_degraded_partial_at(
+                                &mut self.soft,
+                                &batch.frames[pkt],
+                                keep,
+                                &mut batch.meta,
+                                cap,
+                                pkt,
+                            ),
+                            None => degrade_partial_one(
+                                plan,
+                                &mut self.soft,
+                                fields,
+                                cap,
+                                pkt,
+                                keep,
+                                &batch.frames[pkt],
+                                &mut batch.meta,
+                            ),
+                        }
                         self.vstats.degraded_packets += 1;
                         if self.tel.enabled() {
                             self.tel.fields_sw += plan.degraded.len() as u64;
@@ -840,6 +986,84 @@ fn health_rank(h: QueueHealth) -> u64 {
         QueueHealth::Healthy => 0,
         QueueHealth::Recovering => 1,
         QueueHealth::Degraded => 2,
+    }
+}
+
+/// Tree-interpreter fallback for verified execution of one batched
+/// packet (same contract as [`RxPlan::execute_verified`], on
+/// column-major storage); returns repaired-field count. Only reached
+/// when the plan could not be lowered to bytecode.
+#[allow(clippy::too_many_arguments)]
+fn verify_one(
+    plan: &RxPlan,
+    set: &AccessorSet,
+    soft: &mut SoftNic,
+    cap: usize,
+    pkt: usize,
+    frame: &[u8],
+    cmpt: &[u8],
+    meta: &mut [Option<u128>],
+) -> u32 {
+    let parsed = ParsedFrame::parse(frame);
+    let mut memo = ShimMemo::default();
+    for &acc_idx in &plan.hw {
+        meta[acc_idx * cap + pkt] = Some(set.accessors[acc_idx].read(cmpt));
+    }
+    let mut repaired = 0u32;
+    for &(acc_idx, op) in &plan.hw_check {
+        let want = parsed
+            .as_ref()
+            .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+            .map(|v| width_mask(set.accessors[acc_idx].width_bits) & v as u128);
+        if let Some(w) = want {
+            let slot = &mut meta[acc_idx * cap + pkt];
+            if *slot != Some(w) {
+                *slot = Some(w);
+                repaired += 1;
+            }
+        }
+    }
+    for &(acc_idx, op) in &plan.sw {
+        meta[acc_idx * cap + pkt] = parsed
+            .as_ref()
+            .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+            .map(|v| v as u128);
+    }
+    repaired
+}
+
+/// Tree-interpreter fallback for selective degraded re-serve of one
+/// batched packet (same contract as
+/// [`RxPlan::execute_degraded_partial`], on column-major storage).
+#[allow(clippy::too_many_arguments)]
+fn degrade_partial_one(
+    plan: &RxPlan,
+    soft: &mut SoftNic,
+    fields: usize,
+    cap: usize,
+    pkt: usize,
+    keep: u128,
+    frame: &[u8],
+    meta: &mut [Option<u128>],
+) {
+    if fields > 128 {
+        return degrade_one(plan, soft, fields, cap, pkt, frame, meta);
+    }
+    for f in 0..fields {
+        if keep & (1u128 << f) == 0 {
+            meta[f * cap + pkt] = None;
+        }
+    }
+    let parsed = ParsedFrame::parse(frame);
+    let mut memo = ShimMemo::default();
+    for &(acc_idx, op) in &plan.degraded {
+        if acc_idx < 128 && keep & (1u128 << acc_idx) != 0 {
+            continue;
+        }
+        meta[acc_idx * cap + pkt] = parsed
+            .as_ref()
+            .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+            .map(|v| v as u128);
     }
 }
 

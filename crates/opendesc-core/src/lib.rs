@@ -32,11 +32,13 @@ pub mod datapath;
 pub mod equiv;
 pub mod hook;
 pub mod intent;
+pub mod lower;
 pub mod plan;
 pub mod robust;
 pub mod select;
 pub mod shard;
 pub mod tx;
+pub mod vm;
 
 pub use accessor::{Accessor, AccessorKind, AccessorSet};
 pub use baseline::{GenericMbuf, GenericMbufDriver, LcdDriver};
@@ -46,6 +48,7 @@ pub use datapath::{OpenDescDriver, RxBatch, RxPacket};
 pub use equiv::{capabilities, diff, intent_equivalent, ContractDiff, IntentEquivalence};
 pub use hook::{HookDriver, HookStats, HookVerdict};
 pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
+pub use lower::{lower, EbpfFieldProg, EbpfWindow, LowerError, LoweredPlan};
 pub use plan::{PlanStep, RxPlan};
 pub use robust::{
     FieldCheck, HealthConfig, HealthState, QueueHealth, SeqTracker, SeqVerdict, ValidationMode,
@@ -57,6 +60,7 @@ pub use shard::{
     ShardedRx, WorkerStats,
 };
 pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};
+pub use vm::{BcInsn, PlanProgram};
 
 // The unified telemetry layer — re-exported so engine users can take a
 // registry snapshot or read trace rings without naming the crate.

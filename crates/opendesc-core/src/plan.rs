@@ -1,5 +1,5 @@
-//! Compiled RX shim plans: the per-packet execution IR of a compiled
-//! interface.
+//! Compiled RX shim plans: the step-level IR of a compiled interface,
+//! and its tree-walking reference interpreter.
 //!
 //! `AccessorSet` tells *where* each semantic comes from; an [`RxPlan`]
 //! lowers that, once, at `Compiler::compile` time, into how the hot loop
@@ -9,6 +9,14 @@
 //! once, shares the [`ParsedFrame`] across all software steps, and
 //! memoizes intra-packet repeats through [`ShimMemo`] (RSS feeding both
 //! `rss_hash` and `queue_hint` is computed a single time).
+//!
+//! The `execute_*` methods here are the **differential-test oracle**,
+//! not the production datapath: the driver runs the plan's bytecode form
+//! (lowered by [`mod@crate::lower`], executed by [`crate::vm`]), which E12
+//! showed is what it takes to beat the per-packet accessors. The
+//! interpreter stays because it is the simplest possible statement of
+//! the plan semantics — `tests/vm_equivalence.rs` holds the VM, the
+//! eBPF-lowered interpreter, and this tree walker bit-identical.
 
 use crate::accessor::{AccessorKind, AccessorSet};
 use opendesc_ir::bits::width_mask;
@@ -159,6 +167,62 @@ impl RxPlan {
         let parsed = ParsedFrame::parse(frame);
         let mut memo = ShimMemo::default();
         for &(acc_idx, op) in &self.degraded {
+            out[acc_idx] = parsed
+                .as_ref()
+                .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
+                .map(|v| v as u128);
+        }
+    }
+
+    /// Bitmask of software-step slots whose already-computed values may
+    /// be *kept* across a degraded re-serve: software values were never
+    /// read from the (now-distrusted) completion. When the trusted pass
+    /// was primed with the device's RSS sideband (`hinted`), the
+    /// `rss_hash`/`queue_hint` slots are excluded — the hint is device
+    /// data and is as untrusted as the failing completion.
+    pub fn keep_sw_mask(&self, hinted: bool) -> u128 {
+        let mut mask = 0u128;
+        for &(acc_idx, op) in &self.sw {
+            if acc_idx >= 128 {
+                continue;
+            }
+            if hinted && matches!(op, ShimOp::RssHash | ShimOp::QueueHint) {
+                continue;
+            }
+            mask |= 1u128 << acc_idx;
+        }
+        mask
+    }
+
+    /// Selective degraded re-serve: like
+    /// [`execute_degraded`](RxPlan::execute_degraded), but slots whose
+    /// bit is set in `keep` retain the value already in `out` — fields
+    /// the validator affirmatively proved, or software values that never
+    /// touched the completion — instead of being recomputed. `keep = 0`
+    /// is exactly full degraded execution; plans wider than the 128-bit
+    /// mask fall back to it.
+    pub fn execute_degraded_partial(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        keep: u128,
+        out: &mut [Option<u128>],
+    ) {
+        if self.steps.len() > 128 {
+            return self.execute_degraded(soft, frame, out);
+        }
+        debug_assert!(out.len() >= self.steps.len());
+        for (i, slot) in out[..self.steps.len()].iter_mut().enumerate() {
+            if keep & (1u128 << i) == 0 {
+                *slot = None;
+            }
+        }
+        let parsed = ParsedFrame::parse(frame);
+        let mut memo = ShimMemo::default();
+        for &(acc_idx, op) in &self.degraded {
+            if keep & (1u128 << acc_idx) != 0 {
+                continue;
+            }
             out[acc_idx] = parsed
                 .as_ref()
                 .and_then(|p| soft.exec_op(op, p, frame.len(), &mut memo))
@@ -341,6 +405,71 @@ mod tests {
             &mut primed,
         );
         assert_eq!(plain, primed);
+    }
+
+    #[test]
+    fn partial_degrade_keeps_kept_slots_and_recomputes_the_rest() {
+        let iface = compiled_for(models::e1000e());
+        let plan = &iface.plan;
+        let frame = testpkt::udp4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            4242,
+            11211,
+            &testpkt::kvs_get_payload("partial:key"),
+            Some(0x0042),
+        );
+        let mut soft = SoftNic::new();
+        // keep = 0 is bit-identical to full degraded execution.
+        let mut full = vec![Some(0xDEADu128); plan.steps.len()];
+        let mut part = vec![Some(0xDEADu128); plan.steps.len()];
+        plan.execute_degraded(&mut soft, &frame, &mut full);
+        plan.execute_degraded_partial(&mut soft, &frame, 0, &mut part);
+        assert_eq!(full, part);
+        // A kept slot survives untouched (even with a sentinel value the
+        // shims would never produce); everything else matches full
+        // degraded output.
+        let keep_idx = plan.degraded[0].0;
+        let sentinel = Some(0xFEED_FACE_u128);
+        let mut kept = vec![None; plan.steps.len()];
+        kept[keep_idx] = sentinel;
+        plan.execute_degraded_partial(&mut soft, &frame, 1u128 << keep_idx, &mut kept);
+        assert_eq!(kept[keep_idx], sentinel, "kept slot must not be recomputed");
+        for i in 0..plan.steps.len() {
+            if i != keep_idx {
+                assert_eq!(kept[i], full[i], "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn keep_sw_mask_excludes_hint_fed_slots_when_primed() {
+        let mut reg = opendesc_ir::SemanticRegistry::with_builtins();
+        let intent = Intent::builder("mask")
+            .want(&mut reg, names::RSS_HASH)
+            .want(&mut reg, names::QUEUE_HINT)
+            .want(&mut reg, names::VLAN_TCI)
+            .build();
+        let iface = Compiler::default()
+            .compile_model(&models::e1000_legacy(), &intent, &mut reg)
+            .unwrap();
+        let plan = &iface.plan;
+        assert!(
+            plan.sw.len() >= 2,
+            "legacy e1000 computes rss_hash and queue_hint in software"
+        );
+        let unhinted = plan.keep_sw_mask(false);
+        let hinted = plan.keep_sw_mask(true);
+        for &(acc_idx, op) in &plan.sw {
+            let bit = 1u128 << acc_idx;
+            assert_ne!(unhinted & bit, 0, "unhinted keeps every sw slot");
+            let hint_fed = matches!(op, ShimOp::RssHash | ShimOp::QueueHint);
+            assert_eq!(
+                hinted & bit == 0,
+                hint_fed,
+                "hinted mask drops exactly the hint-fed slots"
+            );
+        }
     }
 
     #[test]

@@ -145,6 +145,48 @@ impl ValidatorSpec {
         }
         None
     }
+
+    /// [`check_values`](ValidatorSpec::check_values), but evaluating
+    /// *every* check instead of short-circuiting, and additionally
+    /// returning a bitmask of the accessor slots whose value was nonzero
+    /// and passed its check — fields the validator affirmatively proved
+    /// structurally intact. On a structural failure, degraded re-serving
+    /// can keep those proven columns instead of recomputing everything.
+    /// Zero values are *not* marked proven: zero is merely "field not
+    /// produced", which proves nothing about the rest of the record.
+    pub fn check_values_all(
+        &self,
+        frame_len: usize,
+        get: impl Fn(usize) -> Option<u128>,
+    ) -> (Option<FieldCheck>, u128) {
+        let mut failed = None;
+        let mut proven: u128 = 0;
+        for &(i, width, c) in &self.checks {
+            let Some(v) = get(i) else { continue };
+            if v == 0 {
+                continue;
+            }
+            let ok = match c {
+                FieldCheck::PktLen => v == frame_len as u128 & width_mask(width),
+                FieldCheck::CsumStatus => {
+                    v == csum_status::GOOD as u128 || v == csum_status::BAD as u128
+                }
+                FieldCheck::RxStatus => {
+                    let want = (rx_status::DD | rx_status::EOP) as u128 & width_mask(width);
+                    v & want == want
+                }
+                FieldCheck::PacketType => v & ptype::ETH as u128 != 0,
+            };
+            if ok {
+                if i < 128 {
+                    proven |= 1u128 << i;
+                }
+            } else if failed.is_none() {
+                failed = Some(c);
+            }
+        }
+        (failed, proven)
+    }
 }
 
 /// Verdict of admitting one completion's sequence tag.
@@ -657,5 +699,62 @@ mod tests {
             .0;
         let bad = spec.check_values(100, |i| (i == csum_idx).then_some(0x1234));
         assert_eq!(bad, Some(FieldCheck::CsumStatus));
+    }
+
+    #[test]
+    fn check_values_all_reports_proven_fields_alongside_the_failure() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::builder("v")
+            .want(&mut reg, names::PKT_LEN)
+            .want(&mut reg, names::IP_CHECKSUM)
+            .build();
+        let iface = Compiler::default()
+            .compile_model(&models::e1000e(), &intent, &mut reg)
+            .unwrap();
+        let spec = ValidatorSpec::derive(&iface.accessors, &iface.reg);
+        let len_idx = spec
+            .checks
+            .iter()
+            .find(|(_, _, c)| *c == FieldCheck::PktLen)
+            .unwrap()
+            .0;
+        let csum_idx = spec
+            .checks
+            .iter()
+            .find(|(_, _, c)| *c == FieldCheck::CsumStatus)
+            .unwrap()
+            .0;
+        let good_csum = opendesc_softnic::csum_status::GOOD as u128;
+        // Both pass → no failure, both slots proven.
+        let (fail, proven) = spec.check_values_all(100, |i| {
+            if i == len_idx {
+                Some(100)
+            } else if i == csum_idx {
+                Some(good_csum)
+            } else {
+                None
+            }
+        });
+        assert_eq!(fail, None);
+        assert_ne!(proven & (1 << len_idx), 0);
+        assert_ne!(proven & (1 << csum_idx), 0);
+        // pkt_len lies, csum passes → failure reported, csum still
+        // proven, the liar not.
+        let (fail, proven) = spec.check_values_all(100, |i| {
+            if i == len_idx {
+                Some(99)
+            } else if i == csum_idx {
+                Some(good_csum)
+            } else {
+                None
+            }
+        });
+        assert_eq!(fail, Some(FieldCheck::PktLen));
+        assert_eq!(proven & (1 << len_idx), 0);
+        assert_ne!(proven & (1 << csum_idx), 0);
+        // Zero values prove nothing and fail nothing — agreeing with
+        // check_values.
+        let (fail, proven) = spec.check_values_all(100, |_| Some(0));
+        assert_eq!((fail, proven), (None, 0));
     }
 }

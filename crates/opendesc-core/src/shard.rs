@@ -628,6 +628,42 @@ mod tests {
     }
 
     #[test]
+    fn every_worker_artifact_carries_a_verified_bytecode_plan() {
+        // The sharded engine attaches artifacts out of the PlanCache,
+        // which only serves plans that lowered to bytecode and passed
+        // the eBPF verifier — so every worker's datapath runs the VM.
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg);
+        for model in [
+            models::e1000e(),
+            models::ixgbe(),
+            models::mlx5(),
+            models::qdma_default(),
+        ] {
+            let name = model.name.clone();
+            let eng =
+                ShardedRx::new_uniform(&cache, &model, &i, &mut reg, 2, 64, SteerPolicy::Rss, 16)
+                    .unwrap();
+            for w in eng.workers() {
+                let lowered = w
+                    .artifact()
+                    .lowered()
+                    .unwrap_or_else(|| panic!("{name} q{} artifact has no bytecode", w.queue));
+                let prog = &lowered.prog;
+                assert_eq!(prog.slots, w.artifact().accessors.accessors.len(), "{name}");
+                assert_eq!(prog.hw_len, w.artifact().plan.hw.len(), "{name}");
+                // Every hardware field's window programs went through
+                // the verifier before the cache handed the plan out.
+                assert!(
+                    lowered.verifier_states > 0 || lowered.ebpf.is_empty(),
+                    "{name}: verifier never ran"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_run_drains_every_steered_frame() {
         let cache = PlanCache::default();
         let mut reg = SemanticRegistry::with_builtins();

@@ -1,0 +1,568 @@
+//! Plan bytecode: the compiled-execution form of an [`RxPlan`](crate::plan::RxPlan).
+//!
+//! The tree-walking interpreter in [`crate::plan`] re-dispatches on
+//! `PlanStep` and re-derives each accessor's load strategy (alignment,
+//! width, offset arithmetic inside `Accessor::read`) for every packet.
+//! That interpreter tax made the plan path *slower* than the seed
+//! per-packet accessors on hardware-heavy models (the E12 regression
+//! this module fixes). Lowering (see [`mod@crate::lower`]) runs that
+//! derivation once, at compile time, and emits a compact register
+//! bytecode: each instruction is a fixed 6-byte cell whose opcode
+//! already encodes the load shape (`ld.be4` instead of "figure out how
+//! to read 32 aligned bits"), so the per-packet loop is a single
+//! jump-table dispatch over pre-resolved operations.
+//!
+//! One [`PlanProgram`] carries three instruction streams — `trusted`,
+//! `verified`, and `degraded` — mirroring the three execution
+//! dispositions of the self-healing datapath. All runners take a
+//! `(stride, idx)` output addressing pair so the same code serves the
+//! row-major per-packet path (`stride = 1, idx = 0`) and the
+//! column-major batched path (`stride = cap, idx = pkt`). Batched
+//! hardware loads additionally go through [`load_column`], which runs
+//! one *instruction* across the whole batch — amortizing even the
+//! jump-table dispatch to once per field per batch.
+//!
+//! The legacy tree interpreter stays as the differential-test oracle
+//! (`tests/vm_equivalence.rs`); every runner here is bit-identical to
+//! its `RxPlan::execute_*` counterpart by construction and by test.
+
+use opendesc_softnic::wire::ParsedFrame;
+use opendesc_softnic::{ShimMemo, ShimOp, SoftNic};
+
+use opendesc_ir::bits::{read_bits, read_bytes_be, width_mask};
+
+/// Opcodes of the plan bytecode. The `LD_*` family reads the completion
+/// record into the destination slot; `SHIM` runs a SoftNIC op against
+/// the parsed frame; `SHIM_CHECK` cross-checks a hardware slot against
+/// its SoftNIC reference (verified mode's compare-and-repair).
+pub mod op {
+    /// `dst = cmpt[a]` — one-byte load.
+    pub const LD_BE1: u8 = 0x01;
+    /// `dst = be16(cmpt[a..a+2])`.
+    pub const LD_BE2: u8 = 0x02;
+    /// `dst = be32(cmpt[a..a+4])`.
+    pub const LD_BE4: u8 = 0x03;
+    /// `dst = be64(cmpt[a..a+8])`.
+    pub const LD_BE8: u8 = 0x04;
+    /// `dst = be(cmpt[a..a+b])` — aligned odd/wide widths (3, 5, 16 B…).
+    pub const LD_BYTES: u8 = 0x05;
+    /// `dst = bits(cmpt, offset_bits = a, width_bits = b)` — unaligned.
+    pub const LD_BITS: u8 = 0x06;
+    /// `dst = softnic(shim a)` over the parsed frame.
+    pub const SHIM: u8 = 0x10;
+    /// Compare slot `dst` (width `b` bits) against `softnic(shim a)`;
+    /// on mismatch the software reference wins and the repair counts.
+    pub const SHIM_CHECK: u8 = 0x11;
+}
+
+/// One bytecode instruction: a fixed 6-byte cell (see the binary format
+/// table in DESIGN.md). `dst` is the output slot — the accessor index,
+/// which is also the metadata column. `a`/`b` are opcode-specific
+/// operands (byte offset / bit offset / shim code, and length / width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcInsn {
+    pub op: u8,
+    pub dst: u8,
+    pub a: u16,
+    pub b: u16,
+}
+
+impl BcInsn {
+    /// Serialize to the on-disk cell: `[op, dst, a.le, b.le]`.
+    pub fn encode(&self) -> [u8; 6] {
+        let a = self.a.to_le_bytes();
+        let b = self.b.to_le_bytes();
+        [self.op, self.dst, a[0], a[1], b[0], b[1]]
+    }
+
+    pub fn decode(cell: [u8; 6]) -> BcInsn {
+        BcInsn {
+            op: cell[0],
+            dst: cell[1],
+            a: u16::from_le_bytes([cell[2], cell[3]]),
+            b: u16::from_le_bytes([cell[4], cell[5]]),
+        }
+    }
+}
+
+/// Stable numeric code of a shim op, used as the `a` operand of `SHIM`
+/// and `SHIM_CHECK` instructions (part of the binary format — do not
+/// renumber).
+pub fn shim_code(op: ShimOp) -> u16 {
+    match op {
+        ShimOp::RssHash => 0,
+        ShimOp::IpChecksum => 1,
+        ShimOp::L4Checksum => 2,
+        ShimOp::VlanTci => 3,
+        ShimOp::PktLen => 4,
+        ShimOp::PacketType => 5,
+        ShimOp::IpId => 6,
+        ShimOp::PayloadOffset => 7,
+        ShimOp::FlowTag => 8,
+        ShimOp::KvsKeyHash => 9,
+        ShimOp::QueueHint => 10,
+        ShimOp::RxStatus => 11,
+        ShimOp::Unsupported => 12,
+    }
+}
+
+/// Inverse of [`shim_code`]; unknown codes decode to `Unsupported`.
+pub fn shim_from_code(code: u16) -> ShimOp {
+    match code {
+        0 => ShimOp::RssHash,
+        1 => ShimOp::IpChecksum,
+        2 => ShimOp::L4Checksum,
+        3 => ShimOp::VlanTci,
+        4 => ShimOp::PktLen,
+        5 => ShimOp::PacketType,
+        6 => ShimOp::IpId,
+        7 => ShimOp::PayloadOffset,
+        8 => ShimOp::FlowTag,
+        9 => ShimOp::KvsKeyHash,
+        10 => ShimOp::QueueHint,
+        11 => ShimOp::RxStatus,
+        _ => ShimOp::Unsupported,
+    }
+}
+
+/// The bytecode form of one compiled plan: three instruction streams,
+/// one per execution disposition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanProgram {
+    /// Trusted-mode program: the hardware loads first (`hw_len` of
+    /// them, so the batched runner can execute them columnar), then the
+    /// software shims. Slots are disjoint, so the reorder relative to
+    /// intent order is invisible in the output.
+    pub trusted: Vec<BcInsn>,
+    /// Number of hardware-load instructions at the head of `trusted`.
+    pub hw_len: usize,
+    /// Verified-mode program: hardware loads, then `SHIM_CHECK`
+    /// cross-checks, then software shims.
+    pub verified: Vec<BcInsn>,
+    /// Degraded-mode program: software shims only; the runner clears
+    /// every slot first (device-only fields come out `None`).
+    pub degraded: Vec<BcInsn>,
+    /// Output slots (= accessor count = metadata columns).
+    pub slots: usize,
+}
+
+/// Execute one hardware-load instruction against a completion record.
+///
+/// # Panics
+/// Panics if the completion is shorter than the instruction's range —
+/// the same contract as `Accessor::read`: the datapath's truncation
+/// guard keeps short records away from loads.
+#[inline(always)]
+pub fn exec_load(insn: &BcInsn, cmpt: &[u8]) -> u128 {
+    let off = insn.a as usize;
+    match insn.op {
+        op::LD_BE1 => cmpt[off] as u128,
+        op::LD_BE2 => u16::from_be_bytes([cmpt[off], cmpt[off + 1]]) as u128,
+        op::LD_BE4 => {
+            u32::from_be_bytes(cmpt[off..off + 4].try_into().expect("4-byte load")) as u128
+        }
+        op::LD_BE8 => {
+            u64::from_be_bytes(cmpt[off..off + 8].try_into().expect("8-byte load")) as u128
+        }
+        op::LD_BYTES => read_bytes_be(cmpt, off, insn.b as usize),
+        op::LD_BITS => read_bits(cmpt, insn.a as u32, insn.b),
+        other => unreachable!("opcode {other:#x} is not a load"),
+    }
+}
+
+/// Run one load instruction across a whole batch of completion records,
+/// unrolled four-wide like `AccessorSet::read_column` — but with the
+/// load shape resolved once, not re-derived per record.
+pub fn load_column<C: AsRef<[u8]>>(insn: &BcInsn, cmpts: &[C], out: &mut [Option<u128>]) {
+    let n = cmpts.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let v0 = exec_load(insn, cmpts[i].as_ref());
+        let v1 = exec_load(insn, cmpts[i + 1].as_ref());
+        let v2 = exec_load(insn, cmpts[i + 2].as_ref());
+        let v3 = exec_load(insn, cmpts[i + 3].as_ref());
+        out[i] = Some(v0);
+        out[i + 1] = Some(v1);
+        out[i + 2] = Some(v2);
+        out[i + 3] = Some(v3);
+        i += 4;
+    }
+    while i < n {
+        out[i] = Some(exec_load(insn, cmpts[i].as_ref()));
+        i += 1;
+    }
+}
+
+/// Execute one `SHIM` instruction (shared by the per-packet and batched
+/// software loops).
+#[inline(always)]
+pub fn exec_shim(
+    soft: &mut SoftNic,
+    insn: &BcInsn,
+    parsed: Option<&ParsedFrame<'_>>,
+    frame_len: usize,
+    memo: &mut ShimMemo,
+) -> Option<u128> {
+    parsed
+        .and_then(|p| soft.exec_op(shim_from_code(insn.a), p, frame_len, memo))
+        .map(|v| v as u128)
+}
+
+impl PlanProgram {
+    /// The hardware-load prefix of the trusted program.
+    #[inline]
+    pub fn hw_insns(&self) -> &[BcInsn] {
+        &self.trusted[..self.hw_len]
+    }
+
+    /// The software-shim tail of the trusted program.
+    #[inline]
+    pub fn sw_insns(&self) -> &[BcInsn] {
+        &self.trusted[self.hw_len..]
+    }
+
+    /// Whether trusted execution needs the frame parsed.
+    #[inline]
+    pub fn needs_parse(&self) -> bool {
+        self.hw_len < self.trusted.len()
+    }
+
+    /// Trusted execution of one packet; output slot `s` lands at
+    /// `out[s * stride + idx]` (row-major callers pass `stride = 1,
+    /// idx = 0`; the batched column-major path passes `stride = cap,
+    /// idx = pkt`). Bit-identical to `RxPlan::execute_into_primed`.
+    #[allow(clippy::too_many_arguments)] // mirrors the datapath call sites' full per-packet context
+    pub fn run_trusted_at(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        rss_hint: Option<u32>,
+        out: &mut [Option<u128>],
+        stride: usize,
+        idx: usize,
+    ) {
+        let parsed = if self.needs_parse() {
+            ParsedFrame::parse(frame)
+        } else {
+            None
+        };
+        let mut memo = ShimMemo::default();
+        if let Some(h) = rss_hint {
+            memo.prime_rss(h);
+        }
+        for insn in &self.trusted {
+            let slot = insn.dst as usize * stride + idx;
+            out[slot] = if insn.op == op::SHIM {
+                exec_shim(soft, insn, parsed.as_ref(), frame.len(), &mut memo)
+            } else {
+                Some(exec_load(insn, cmpt))
+            };
+        }
+    }
+
+    /// [`run_trusted_at`](PlanProgram::run_trusted_at) with row-major
+    /// addressing.
+    #[inline]
+    pub fn run_trusted(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        rss_hint: Option<u32>,
+        out: &mut [Option<u128>],
+    ) {
+        self.run_trusted_at(soft, frame, cmpt, rss_hint, out, 1, 0)
+    }
+
+    /// Verified execution: hardware loads, compare-and-repair against
+    /// the SoftNIC reference, unprimed software shims. Returns the
+    /// number of repaired fields. Bit-identical to
+    /// `RxPlan::execute_verified`.
+    pub fn run_verified_at(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        out: &mut [Option<u128>],
+        stride: usize,
+        idx: usize,
+    ) -> u32 {
+        let parsed = if self.verified.len() > self.hw_len {
+            ParsedFrame::parse(frame)
+        } else {
+            None
+        };
+        let mut memo = ShimMemo::default();
+        let mut repaired = 0;
+        for insn in &self.verified {
+            let slot = insn.dst as usize * stride + idx;
+            match insn.op {
+                op::SHIM => {
+                    out[slot] = exec_shim(soft, insn, parsed.as_ref(), frame.len(), &mut memo);
+                }
+                op::SHIM_CHECK => {
+                    let want = parsed
+                        .as_ref()
+                        .and_then(|p| {
+                            soft.exec_op(shim_from_code(insn.a), p, frame.len(), &mut memo)
+                        })
+                        .map(|v| width_mask(insn.b) & v as u128);
+                    if let Some(w) = want {
+                        if out[slot] != Some(w) {
+                            out[slot] = Some(w);
+                            repaired += 1;
+                        }
+                    }
+                }
+                _ => out[slot] = Some(exec_load(insn, cmpt)),
+            }
+        }
+        repaired
+    }
+
+    /// Row-major [`run_verified_at`](PlanProgram::run_verified_at).
+    #[inline]
+    pub fn run_verified(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        cmpt: &[u8],
+        out: &mut [Option<u128>],
+    ) -> u32 {
+        self.run_verified_at(soft, frame, cmpt, out, 1, 0)
+    }
+
+    /// Degraded execution: the completion is untrusted and never read;
+    /// every slot is cleared, then the recomputable ones are filled from
+    /// frame bytes. Bit-identical to `RxPlan::execute_degraded`.
+    pub fn run_degraded_at(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        out: &mut [Option<u128>],
+        stride: usize,
+        idx: usize,
+    ) {
+        self.run_degraded_partial_at(soft, frame, 0, out, stride, idx)
+    }
+
+    /// Row-major [`run_degraded_at`](PlanProgram::run_degraded_at).
+    #[inline]
+    pub fn run_degraded(&self, soft: &mut SoftNic, frame: &[u8], out: &mut [Option<u128>]) {
+        self.run_degraded_at(soft, frame, out, 1, 0)
+    }
+
+    /// Selective degraded re-serve: slots whose bit is set in `keep`
+    /// retain their already-validated value; every other slot is
+    /// cleared and recomputed from frame bytes (device-only fields come
+    /// out `None`). `keep = 0` is exactly full degraded execution.
+    pub fn run_degraded_partial_at(
+        &self,
+        soft: &mut SoftNic,
+        frame: &[u8],
+        keep: u128,
+        out: &mut [Option<u128>],
+        stride: usize,
+        idx: usize,
+    ) {
+        for s in 0..self.slots {
+            if keep & (1u128 << s) == 0 {
+                out[s * stride + idx] = None;
+            }
+        }
+        let parsed = ParsedFrame::parse(frame);
+        let mut memo = ShimMemo::default();
+        for insn in &self.degraded {
+            if keep & (1u128 << insn.dst) != 0 {
+                continue;
+            }
+            out[insn.dst as usize * stride + idx] =
+                exec_shim(soft, insn, parsed.as_ref(), frame.len(), &mut memo);
+        }
+    }
+
+    /// Serialize to the container format documented in DESIGN.md:
+    /// magic, version, slot count, then the three sections as
+    /// `u16 count ++ count × 6-byte cells`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + 6 * (self.trusted.len() + self.verified.len() + self.degraded.len()),
+        );
+        out.extend_from_slice(b"ODBC");
+        out.push(1); // version
+        out.push(self.slots as u8);
+        for section in [&self.trusted, &self.verified, &self.degraded] {
+            out.extend_from_slice(&(section.len() as u16).to_le_bytes());
+            for insn in section.iter() {
+                out.extend_from_slice(&insn.encode());
+            }
+        }
+        out
+    }
+
+    /// Parse the container format back; `None` on any structural
+    /// mismatch. `hw_len` is recomputed from the trusted section's
+    /// load prefix.
+    pub fn decode(bytes: &[u8]) -> Option<PlanProgram> {
+        if bytes.len() < 6 || &bytes[..4] != b"ODBC" || bytes[4] != 1 {
+            return None;
+        }
+        let slots = bytes[5] as usize;
+        let mut pos = 6;
+        let mut sections: [Vec<BcInsn>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for section in sections.iter_mut() {
+            let count = u16::from_le_bytes([*bytes.get(pos)?, *bytes.get(pos + 1)?]) as usize;
+            pos += 2;
+            for _ in 0..count {
+                let cell: [u8; 6] = bytes.get(pos..pos + 6)?.try_into().ok()?;
+                section.push(BcInsn::decode(cell));
+                pos += 6;
+            }
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        let [trusted, verified, degraded] = sections;
+        let hw_len = trusted
+            .iter()
+            .take_while(|i| i.op != op::SHIM && i.op != op::SHIM_CHECK)
+            .count();
+        Some(PlanProgram {
+            trusted,
+            hw_len,
+            verified,
+            degraded,
+            slots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insn_cell_roundtrips() {
+        let insn = BcInsn {
+            op: op::LD_BITS,
+            dst: 7,
+            a: 0x1234,
+            b: 0x00FF,
+        };
+        assert_eq!(BcInsn::decode(insn.encode()), insn);
+    }
+
+    #[test]
+    fn shim_codes_roundtrip() {
+        for op in [
+            ShimOp::RssHash,
+            ShimOp::IpChecksum,
+            ShimOp::L4Checksum,
+            ShimOp::VlanTci,
+            ShimOp::PktLen,
+            ShimOp::PacketType,
+            ShimOp::IpId,
+            ShimOp::PayloadOffset,
+            ShimOp::FlowTag,
+            ShimOp::KvsKeyHash,
+            ShimOp::QueueHint,
+            ShimOp::RxStatus,
+            ShimOp::Unsupported,
+        ] {
+            assert_eq!(shim_from_code(shim_code(op)), op);
+        }
+    }
+
+    #[test]
+    fn program_container_roundtrips() {
+        let prog = PlanProgram {
+            trusted: vec![
+                BcInsn {
+                    op: op::LD_BE4,
+                    dst: 0,
+                    a: 0,
+                    b: 4,
+                },
+                BcInsn {
+                    op: op::SHIM,
+                    dst: 1,
+                    a: shim_code(ShimOp::VlanTci),
+                    b: 0,
+                },
+            ],
+            hw_len: 1,
+            verified: vec![BcInsn {
+                op: op::SHIM_CHECK,
+                dst: 0,
+                a: shim_code(ShimOp::PktLen),
+                b: 16,
+            }],
+            degraded: vec![BcInsn {
+                op: op::SHIM,
+                dst: 1,
+                a: shim_code(ShimOp::VlanTci),
+                b: 0,
+            }],
+            slots: 2,
+        };
+        let bytes = prog.encode();
+        assert_eq!(&bytes[..4], b"ODBC");
+        assert_eq!(PlanProgram::decode(&bytes), Some(prog));
+        // Truncated and corrupted containers are rejected, not panics.
+        assert_eq!(PlanProgram::decode(&bytes[..bytes.len() - 1]), None);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(PlanProgram::decode(&bad), None);
+    }
+
+    #[test]
+    fn specialized_loads_match_generic_bit_reads() {
+        let cmpt: Vec<u8> = (0u8..32).map(|i| i.wrapping_mul(37) ^ 0x5A).collect();
+        for (opc, off, b, bits_off, bits_w) in [
+            (op::LD_BE1, 3u16, 1u16, 24u32, 8u16),
+            (op::LD_BE2, 4, 2, 32, 16),
+            (op::LD_BE4, 8, 4, 64, 32),
+            (op::LD_BE8, 16, 8, 128, 64),
+            (op::LD_BYTES, 1, 3, 8, 24),
+            (op::LD_BYTES, 0, 16, 0, 128),
+        ] {
+            let insn = BcInsn {
+                op: opc,
+                dst: 0,
+                a: off,
+                b,
+            };
+            assert_eq!(
+                exec_load(&insn, &cmpt),
+                read_bits(&cmpt, bits_off, bits_w),
+                "opcode {opc:#x}"
+            );
+        }
+        let unaligned = BcInsn {
+            op: op::LD_BITS,
+            dst: 0,
+            a: 13,
+            b: 27,
+        };
+        assert_eq!(exec_load(&unaligned, &cmpt), read_bits(&cmpt, 13, 27));
+    }
+
+    #[test]
+    fn load_column_matches_scalar_loads() {
+        let cmpts: Vec<Vec<u8>> = (0u8..7)
+            .map(|i| (0u8..16).map(|j| i.wrapping_mul(31) ^ j).collect())
+            .collect();
+        let insn = BcInsn {
+            op: op::LD_BE4,
+            dst: 0,
+            a: 4,
+            b: 4,
+        };
+        let mut out = vec![None; cmpts.len()];
+        load_column(&insn, &cmpts, &mut out);
+        for (c, got) in cmpts.iter().zip(&out) {
+            assert_eq!(*got, Some(exec_load(&insn, c)));
+        }
+    }
+}

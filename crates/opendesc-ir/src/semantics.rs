@@ -402,6 +402,33 @@ impl SemanticRegistry {
             .enumerate()
             .map(|(i, info)| (SemanticId(i as u32), info))
     }
+
+    /// Fingerprint of the id ↔ (name, width) assignment — FNV-1a over
+    /// every interned semantic in id order. Two registries that assign
+    /// the same names to different ids (or different widths) fingerprint
+    /// differently, which is what lets plan caches key on *which*
+    /// registry compiled an artifact rather than trusting name strings
+    /// to mean the same thing everywhere.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut byte = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (id, info) in self.iter() {
+            for b in id.0.to_le_bytes() {
+                byte(b);
+            }
+            for b in info.name.as_bytes() {
+                byte(*b);
+            }
+            for b in info.width_bits.to_le_bytes() {
+                byte(b);
+            }
+            byte(0xFF); // record separator
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +470,23 @@ mod tests {
         };
         assert_eq!(c.eval(100), 60.0);
         assert!(Cost::Infinite.eval(1).is_infinite());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_id_assignments() {
+        let builtins = SemanticRegistry::with_builtins();
+        assert_eq!(builtins.fingerprint(), builtins.clone().fingerprint());
+        // Same names, shifted ids: a leading dummy displaces everything.
+        let mut shifted = SemanticRegistry::empty();
+        shifted.register_custom("dummy_first", 8, Cost::flat(1.0), "shifts ids");
+        for (_, info) in builtins.iter() {
+            shifted.register(info.clone());
+        }
+        assert_ne!(builtins.fingerprint(), shifted.fingerprint());
+        // Width changes also change the fingerprint.
+        let mut rewidth = builtins.clone();
+        rewidth.register_custom(names::RSS_HASH, 16, Cost::flat(40.0), "narrow");
+        assert_ne!(builtins.fingerprint(), rewidth.fingerprint());
     }
 
     #[test]

@@ -24,6 +24,13 @@
 #                   on the e1000e 4-queue sharded config (PR 5
 #                   acceptance); the emitter asserts the >=97% overhead
 #                   budget itself.
+#   BENCH_e16.json  the E12 matrix re-measured on the plan-bytecode VM
+#                   under steered delivery, plus the per-model
+#                   plan-vs-per-packet (floor 1.0) and
+#                   batched-vs-E12-batched (floor 1.5) ratios (PR 6
+#                   acceptance); the emitter asserts both floors itself
+#                   (the absolute one only when
+#                   OPENDESC_BENCH_RELATIVE_ONLY is unset).
 #
 # Every failure propagates: set -e aborts on the first failing cargo
 # invocation and the script's exit status is that failure's.
@@ -50,3 +57,4 @@ cargo run --release -q -p opendesc-bench --bin e12_json -- "$outdir/BENCH_e12.js
 cargo run --release -q -p opendesc-bench --bin e13_json -- "$outdir/BENCH_e13.json"
 cargo run --release -q -p opendesc-bench --bin e14_json -- "$outdir/BENCH_e14.json"
 cargo run --release -q -p opendesc-bench --bin e15_json -- "$outdir/BENCH_e15.json"
+cargo run --release -q -p opendesc-bench --bin e16_json -- "$outdir/BENCH_e16.json"

@@ -1,0 +1,216 @@
+//! Differential testing of the three plan-execution forms.
+//!
+//! Every compiled plan exists in three executable shapes: the legacy
+//! tree interpreter (`RxPlan::execute_*`, kept as the oracle), the
+//! register bytecode the datapath actually runs (`PlanProgram`), and
+//! the eBPF lowering whose window programs the in-repo verifier proves
+//! bounds-safe before the `PlanCache` hands the plan out. This suite
+//! holds all three bit-identical over random intents × all four NIC
+//! models × arbitrary frames and completion bytes — and checks that
+//! the verifier accepts every plan the compiler can produce.
+//!
+//! Failures print the model and `CHAOS_SEED` (the CI chaos job fans
+//! this suite out across seeds) so a failing case is replayable.
+
+use opendesc::compiler::{lower, Accessor, AccessorSet, Compiler, Intent, LowerError, RxPlan};
+use opendesc::ebpf::Vm;
+use opendesc::ir::{names, SemanticId, SemanticRegistry};
+use opendesc::nicsim::models;
+use opendesc::softnic::{testpkt, SoftNic};
+use proptest::prelude::*;
+
+/// The semantic pool random intents draw from (same stateless set as
+/// the chaos suite; per-flow state legitimately varies with order).
+const SEMS: [&str; 8] = [
+    names::RSS_HASH,
+    names::QUEUE_HINT,
+    names::VLAN_TCI,
+    names::PKT_LEN,
+    names::PACKET_TYPE,
+    names::PAYLOAD_OFFSET,
+    names::KVS_KEY_HASH,
+    names::IP_CHECKSUM,
+];
+
+/// CI override: mixes an external seed into the completion-byte
+/// generator so the chaos job explores distinct records per matrix
+/// entry.
+fn env_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Intent over the semantics whose bit is set in `mask` (1..256, so
+/// never empty).
+fn intent_from_mask(mask: u32, reg: &mut SemanticRegistry) -> Intent {
+    let mut b = Intent::builder("vmdiff");
+    for (i, name) in SEMS.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            b = b.want(reg, name);
+        }
+    }
+    b.build()
+}
+
+/// Deterministic pseudo-random completion bytes (xorshift) — the
+/// device-side record both executors read.
+fn splat(mut seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed as u8
+        })
+        .collect()
+}
+
+fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        (
+            any::<[u8; 4]>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..48usize),
+            any::<bool>(),
+            any::<u16>(),
+        )
+            .prop_map(|(dst, dp, pay, tagged, tci)| {
+                testpkt::udp4(
+                    [10, 0, 0, 1],
+                    dst,
+                    40000,
+                    dp,
+                    &pay,
+                    tagged.then_some(tci & 0x0FFF),
+                )
+            }),
+        "\\PC{1,12}".prop_map(|key| {
+            testpkt::udp4(
+                [10, 0, 0, 1],
+                [10, 0, 0, 2],
+                40000,
+                11211,
+                &testpkt::kvs_get_payload(&key),
+                None,
+            )
+        }),
+        proptest::collection::vec(any::<u8>(), 0..96usize),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline differential property: for random intents on every
+    /// model, the bytecode VM, the eBPF-lowered interpreter, and the
+    /// legacy tree interpreter produce bit-identical metadata (and
+    /// identical shim-op counts) across all three dispositions — and
+    /// the verifier accepts every lowered plan.
+    #[test]
+    fn bytecode_ebpf_and_tree_interpreter_are_bit_identical(
+        mask in 1u32..256,
+        frame in arb_frame(),
+        cmpt_seed in any::<u64>(),
+        hint in (any::<bool>(), any::<u32>()).prop_map(|(s, h)| s.then_some(h)),
+    ) {
+        let seed = cmpt_seed ^ env_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for model in [models::e1000e(), models::ixgbe(), models::mlx5(), models::qdma_default()] {
+            let name = model.name.clone();
+            let ctx = format!("model={name} mask={mask:#010b} CHAOS_SEED={}", env_seed());
+            let mut reg = SemanticRegistry::with_builtins();
+            let intent = intent_from_mask(mask, &mut reg);
+            let compiled = Compiler::default()
+                .compile_model(&model, &intent, &mut reg)
+                .expect("intent compiles on every model");
+            let set = &compiled.accessors;
+            let plan = &compiled.plan;
+            // Verifier acceptance: every plan the compiler can produce
+            // must lower, with all window programs proven bounds-safe.
+            let lowered = match lower(set, plan) {
+                Ok(l) => l,
+                Err(e) => return Err(TestCaseError::fail(format!("{ctx}: rejected: {e}"))),
+            };
+            let prog = &lowered.prog;
+            prop_assert!(
+                lowered.verifier_states > 0 || lowered.ebpf.is_empty(),
+                "{}: verifier never ran", ctx
+            );
+            let cmpt = splat(seed | 1, set.completion_bytes as usize);
+            let slots = plan.steps.len();
+
+            // Trusted disposition (primed like the datapath's hot path).
+            let mut tree = vec![None; slots];
+            let mut soft_a = SoftNic::new();
+            plan.execute_into_primed(set, &mut soft_a, &frame, &cmpt, hint, &mut tree);
+            let mut byte = vec![None; slots];
+            let mut soft_b = SoftNic::new();
+            prog.run_trusted(&mut soft_b, &frame, &cmpt, hint, &mut byte);
+            prop_assert_eq!(&tree, &byte, "{}: trusted diverged", &ctx);
+            prop_assert_eq!(
+                soft_a.shim_ops(), soft_b.shim_ops(),
+                "{}: trusted shim-op counts diverged", &ctx
+            );
+
+            // Every hardware field through the eBPF VM: window programs
+            // combine to exactly the accessor's (and bytecode's) value.
+            let vm = Vm::default();
+            for f in &lowered.ebpf {
+                let got = f.run(&vm, &cmpt).expect("verified program executes");
+                let want = set.accessors[f.acc_idx].read(&cmpt);
+                prop_assert_eq!(
+                    got, want,
+                    "{}: eBPF field {} diverged", &ctx, &f.name
+                );
+            }
+
+            // Verified disposition, on a corrupted record so the
+            // compare-and-repair paths actually fire.
+            let mut bad = cmpt.clone();
+            for (i, b) in bad.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *b ^= 0x5A;
+                }
+            }
+            let mut tree_v = vec![None; slots];
+            let mut soft_c = SoftNic::new();
+            let rep_tree = plan.execute_verified(set, &mut soft_c, &frame, &bad, &mut tree_v);
+            let mut byte_v = vec![None; slots];
+            let mut soft_d = SoftNic::new();
+            let rep_byte = prog.run_verified(&mut soft_d, &frame, &bad, &mut byte_v);
+            prop_assert_eq!(&tree_v, &byte_v, "{}: verified diverged", &ctx);
+            prop_assert_eq!(rep_tree, rep_byte, "{}: repair counts diverged", &ctx);
+
+            // Degraded disposition, with sentinel prefill to prove both
+            // clear device-only slots identically.
+            let mut tree_d = vec![Some(0xDEAD); slots];
+            let mut soft_e = SoftNic::new();
+            plan.execute_degraded(&mut soft_e, &frame, &mut tree_d);
+            let mut byte_d = vec![Some(0xBEEF); slots];
+            let mut soft_f = SoftNic::new();
+            prog.run_degraded(&mut soft_f, &frame, &mut byte_d);
+            prop_assert_eq!(&tree_d, &byte_d, "{}: degraded diverged", &ctx);
+        }
+    }
+}
+
+/// A layout lying about its completion size is rejected at lowering:
+/// the verifier refuses to prove the out-of-bounds window, and such a
+/// plan is never executable (the `PlanCache` won't serve it).
+#[test]
+fn out_of_bounds_plan_is_rejected_not_served() {
+    let set = AccessorSet {
+        accessors: vec![Accessor::hardware(SemanticId(0), "liar", 96, 32)],
+        completion_bytes: 8,
+    };
+    let reg = SemanticRegistry::with_builtins();
+    let plan = RxPlan::compile(&set, &reg);
+    match lower(&set, &plan) {
+        Err(LowerError::Verify { name, reason, .. }) => {
+            assert!(name.starts_with("liar"), "{name}");
+            assert!(reason.contains("exceeds proven bound"), "{reason}");
+        }
+        other => panic!("expected Verify rejection, got {other:?}"),
+    }
+}
