@@ -1,0 +1,71 @@
+//! Quick-mode E17 runner: measures the doorbell-batched TX path against
+//! the seed per-send driver and the full-duplex forward-scaling matrix,
+//! asserts the acceptance floors, and writes the perf-trajectory
+//! record. Used by `scripts/bench.sh` and the CI perf-gate job.
+//!
+//! Floors (both self-normalized ratios — machine speed divides out, so
+//! both are asserted even under `OPENDESC_BENCH_RELATIVE_ONLY`):
+//!   * `tx_batched_vs_seed_e1000e` >= 2.0 — the batched submission path
+//!     must at least halve the per-frame cost of the seed send loop.
+//!   * `forward_scaling_4q_e1000e` >= 2.0 — four full-duplex queues
+//!     must at least double single-queue aggregate forward throughput.
+//!
+//! A single attempt can be poisoned by scheduler luck, so each floor
+//! check gets three attempts (the E15/E16 precedent); a real regression
+//! fails all three.
+//!
+//! Usage: `e17_json [OUTPUT.json]` (default `BENCH_e17.json`).
+
+use opendesc_bench::e17;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_e17.json".into());
+    let (mut rows, mut tx_ratio) = e17::run_quick(3);
+    for attempt in 1..3 {
+        let scaling = e17::scaling(&rows, "e1000e", 4, 1);
+        if tx_ratio >= e17::MIN_TX_RATIO && scaling >= e17::MIN_SCALING {
+            break;
+        }
+        eprintln!(
+            "attempt {attempt}: tx batched/seed {tx_ratio:.2}x, 4q/1q scaling {scaling:.2}x; re-measuring"
+        );
+        (rows, tx_ratio) = e17::run_quick(3);
+    }
+    println!(
+        "E17: full-duplex forward, {} pkts/round, {}-frame TX batches, RSS steering",
+        e17::ROUND,
+        e17::BATCH_CAP
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>14}",
+        "model", "queues", "fwd Mpps", "total_pkts", "max_busy_ns"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} {:>12.3} {:>12} {:>14}",
+            r.model, r.queues, r.mpps, r.total_pkts, r.max_busy_ns
+        );
+    }
+    let scaling = e17::scaling(&rows, "e1000e", 4, 1);
+    println!(
+        "e1000e: batched/seed TX {tx_ratio:.2}x (floor {:.1}), 4q/1q forward scaling {scaling:.2}x (floor {:.1})",
+        e17::MIN_TX_RATIO,
+        e17::MIN_SCALING
+    );
+    assert!(
+        tx_ratio >= e17::MIN_TX_RATIO,
+        "acceptance: batched TX submission must be at least {:.1}x the seed \
+         per-send path on e1000e (got {tx_ratio:.2}x)",
+        e17::MIN_TX_RATIO
+    );
+    assert!(
+        scaling >= e17::MIN_SCALING,
+        "acceptance: 4 full-duplex queues must aggregate at least {:.1}x \
+         single-queue forward throughput on e1000e (got {scaling:.2}x)",
+        e17::MIN_SCALING
+    );
+    std::fs::write(&path, e17::to_json(&rows, tx_ratio)).expect("write bench record");
+    println!("wrote {path}");
+}

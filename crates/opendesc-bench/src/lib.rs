@@ -1119,6 +1119,285 @@ pub mod e16 {
     }
 }
 
+/// E17 — the full-duplex engine: the doorbell-batched TX path head to
+/// head against the seed per-send driver, and RX→TX forward throughput
+/// across shard counts, shared by the quick-mode JSON emitter
+/// (`scripts/bench.sh` → `BENCH_e17.json`).
+///
+/// Head-to-head: the same frames and the same offload request go out
+/// twice on e1000e — once through the seed `TxDriver::send` (per-send
+/// buffer registration, `TxWriter` field loop, one doorbell per frame)
+/// and once through `TxBatch`/`TxQueue::submit` (arena copy, bytecode
+/// deparse, one doorbell per batch). Only host submission is timed; the
+/// device consumes each round off the clock, mirroring the E13/E16
+/// discipline of keeping simulated-device work out of host numbers.
+///
+/// Scaling: a `ShardedEngine` forwarding every received packet back out
+/// (the xdp_firewall pass-through shape, with the IP-checksum offload
+/// requested per response) at 1/2/4/8 queues. As in E13, the warm round
+/// runs the real scoped-thread engine and checks packet conservation;
+/// measured rounds use the sequential harness so `busy_ns` stays honest
+/// on small hosts, scored by min-estimator over `max_busy_ns`.
+pub mod e17 {
+    use opendesc_core::{
+        compile_tx, CompiledTxPlan, EngineReport, ForwardFn, Intent, PlanCache, Selector,
+        ShardedEngine, TxBatch, TxDriver, TxQueue, TxRequest, TxVerdict,
+    };
+    use opendesc_ir::{names, SemanticRegistry};
+    use opendesc_nicsim::pktgen::{ShardFrame, ShardedPktGen};
+    use opendesc_nicsim::{models, NicModel, SimNic, SteerPolicy, Workload};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Queue counts of the forward-scaling series.
+    pub const QUEUE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    /// Frames per round, across all queues.
+    pub const ROUND: usize = 2048;
+    /// Per-worker batch capacity (RX poll budget and TX batch size).
+    pub const BATCH_CAP: usize = 32;
+    /// Per-queue ring; engine workers feed in `BATCH_CAP` chunks.
+    pub const RING: usize = 256;
+    /// Largest frame the TX arenas accept (the workload tops out well
+    /// under this; small so 8 queues of pre-registered slots stay cheap).
+    pub const MAX_FRAME: usize = 512;
+    /// TX ring for the head-to-head, sized so a full round is in flight
+    /// before the untimed device drain — no mid-measurement stalls.
+    pub const TX_RING: usize = ROUND * 2;
+
+    /// Acceptance floors (also encoded in the gate's rule table).
+    pub const MIN_TX_RATIO: f64 = 2.0;
+    pub const MIN_SCALING: f64 = 2.0;
+
+    /// RX side of the forward path: steer on the device RSS hash, know
+    /// the length — the minimal forwarding contract.
+    pub fn rx_intent(reg: &mut SemanticRegistry) -> Intent {
+        Intent::builder("e17-fwd-rx")
+            .want(reg, names::RSS_HASH)
+            .want(reg, names::PKT_LEN)
+            .build()
+    }
+
+    /// TX side: responses want the IPv4 checksum inserted (in the
+    /// e1000e descriptor's `cmd` bit — a hardware offload there).
+    pub fn tx_intent(reg: &mut SemanticRegistry) -> Intent {
+        Intent::builder("e17-fwd-tx")
+            .want(reg, names::TX_IP_CSUM)
+            .build()
+    }
+
+    /// The models of the scaling matrix: e1000e (fixed-function RX, the
+    /// gated config) and ice (hardware flex RX, all-hardware TX hints).
+    pub fn model_matrix() -> Vec<NicModel> {
+        vec![models::e1000e(), models::ice()]
+    }
+
+    /// E13's traffic shape (128 flows so RSS spreads across 8 queues),
+    /// untagged so every frame takes the same TX fixup path.
+    pub fn workload() -> Workload {
+        Workload {
+            flows: 128,
+            payload: (18, 256),
+            transport: opendesc_nicsim::Transport::Udp,
+            vlan_fraction: 0.0,
+            seed: 17,
+        }
+    }
+
+    /// The per-response offload request the forward verdict carries.
+    pub fn forward_req() -> TxRequest {
+        TxRequest {
+            ip_csum: true,
+            ..Default::default()
+        }
+    }
+
+    /// Nanoseconds per frame for the seed and batched TX paths, best
+    /// (min) of `rounds` measured rounds each, interleaved so machine
+    /// drift hits both paths alike. Returns `(seed_ns, batched_ns)`.
+    pub fn tx_head_to_head(rounds: usize) -> (f64, f64) {
+        let model = models::e1000e();
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = tx_intent(&mut reg);
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            model.desc_parser.as_deref().unwrap(),
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .expect("e17 TX intent compiles on e1000e");
+        let plan = Arc::new(CompiledTxPlan::new(compiled.clone(), &reg));
+
+        let mut seed_nic = SimNic::new(model.clone(), TX_RING).unwrap();
+        let mut seed = TxDriver::attach(&mut seed_nic, compiled, reg).unwrap();
+        let mut bat_nic = SimNic::new(model, TX_RING).unwrap();
+        let mut q = TxQueue::attach(&mut bat_nic, plan, MAX_FRAME);
+        let mut batch = TxBatch::new(BATCH_CAP, MAX_FRAME);
+
+        let frames = super::frames(workload(), ROUND);
+        let req = forward_req();
+        let (mut best_seed, mut best_batched) = (f64::INFINITY, f64::INFINITY);
+        for round in 0..=rounds.max(1) {
+            let t = Instant::now();
+            for f in &frames {
+                seed.send(&mut seed_nic, f, req)
+                    .expect("ring holds a round");
+            }
+            let seed_ns = t.elapsed().as_nanos() as f64 / frames.len() as f64;
+            assert_eq!(seed_nic.process_tx_drain() as usize, frames.len());
+
+            let t = Instant::now();
+            for chunk in frames.chunks(BATCH_CAP) {
+                for f in chunk {
+                    assert!(batch.push(f, req), "frame fits the arena slot");
+                }
+                let placed = q
+                    .submit(&mut bat_nic, &mut batch)
+                    .expect("ring holds a round");
+                assert_eq!(placed, chunk.len(), "no stalls at this ring size");
+                batch.clear();
+            }
+            let batched_ns = t.elapsed().as_nanos() as f64 / frames.len() as f64;
+            assert_eq!(bat_nic.process_tx_drain() as usize, frames.len());
+
+            if round > 0 {
+                best_seed = best_seed.min(seed_ns);
+                best_batched = best_batched.min(batched_ns);
+            }
+        }
+        (best_seed, best_batched)
+    }
+
+    /// Build a `queues`-wide full-duplex engine forwarding everything.
+    pub fn engine(model: &NicModel, queues: usize) -> ShardedEngine {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let rx = rx_intent(&mut reg);
+        let tx = tx_intent(&mut reg);
+        let forward: Arc<ForwardFn> = Arc::new(|_b, _i, _s| TxVerdict::Forward(forward_req()));
+        ShardedEngine::new_uniform(
+            &cache,
+            model,
+            &rx,
+            &tx,
+            &mut reg,
+            queues,
+            RING,
+            SteerPolicy::Rss,
+            BATCH_CAP,
+            MAX_FRAME,
+            forward,
+        )
+        .expect("e17 engine builds")
+    }
+
+    /// Per-queue pools for one round (lock-free sharded generation).
+    pub fn pools(eng: &ShardedEngine) -> Vec<Vec<ShardFrame>> {
+        ShardedPktGen::generate(workload(), eng.steerer(), ROUND).into_pools()
+    }
+
+    /// One measured row of the forward-scaling matrix.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        pub model: String,
+        pub queues: usize,
+        /// Aggregate forward Mpps: forwarded packets over the busiest
+        /// worker's busy time (drain + verdict + batched submit).
+        pub mpps: f64,
+        pub total_pkts: u64,
+        pub max_busy_ns: u64,
+        pub sum_busy_ns: u64,
+    }
+
+    /// Run the scaling matrix (see the module docs for the harness
+    /// discipline) and the TX head-to-head. Returns the rows plus the
+    /// seed/batched ns-per-frame ratio.
+    pub fn run_quick(rounds: usize) -> (Vec<Row>, f64) {
+        let mut rows = Vec::new();
+        for model in model_matrix() {
+            for &q in &QUEUE_COUNTS {
+                let mut eng = engine(&model, q);
+                let pools = pools(&eng);
+                let warm = eng.run(&pools);
+                assert_eq!(
+                    warm.total_rx_packets() as usize,
+                    ROUND,
+                    "{} x{q}: parallel warm-up lost packets",
+                    model.name
+                );
+                assert_eq!(
+                    warm.total_wire_frames(),
+                    warm.total_forwarded(),
+                    "{} x{q}: forwarded frames must reach the wire",
+                    model.name
+                );
+                let mut best: Option<EngineReport> = None;
+                for _ in 0..rounds.max(1) {
+                    let rep = eng.run_sequential(&pools);
+                    let better = match &best {
+                        None => true,
+                        Some(b) => rep.max_busy_ns() < b.max_busy_ns(),
+                    };
+                    if better {
+                        best = Some(rep);
+                    }
+                }
+                let rep = best.expect("at least one measured round");
+                rows.push(Row {
+                    model: model.name.clone(),
+                    queues: q,
+                    mpps: rep.aggregate_forward_mpps(),
+                    total_pkts: rep.total_forwarded(),
+                    max_busy_ns: rep.max_busy_ns(),
+                    sum_busy_ns: rep.sum_busy_ns(),
+                });
+            }
+        }
+        let (seed_ns, batched_ns) = tx_head_to_head(rounds);
+        (rows, seed_ns / batched_ns)
+    }
+
+    /// Aggregate-forward-throughput ratio between two queue counts.
+    pub fn scaling(rows: &[Row], model: &str, hi: usize, lo: usize) -> f64 {
+        let find = |q: usize| {
+            rows.iter()
+                .find(|r| r.model == model && r.queues == q)
+                .map(|r| r.mpps)
+                .unwrap_or(f64::NAN)
+        };
+        find(hi) / find(lo)
+    }
+
+    /// Hand-formatted JSON (no serde in the tree): the perf-trajectory
+    /// record `scripts/bench.sh` writes to `BENCH_e17.json`.
+    pub fn to_json(rows: &[Row], tx_ratio: f64) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e17_full_duplex\",\n");
+        s.push_str("  \"unit\": \"Mpps aggregate forward\",\n");
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"model\": \"{}\", \"queues\": {}, \"mpps\": {:.4}, \"total_pkts\": {}, \"max_busy_ns\": {}, \"sum_busy_ns\": {}}}{}\n",
+                r.model, r.queues, r.mpps, r.total_pkts, r.max_busy_ns, r.sum_busy_ns, sep
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"tx_batched_vs_seed_e1000e\": {:.4},\n",
+            tx_ratio
+        ));
+        s.push_str(&format!(
+            "  \"forward_scaling_4q_e1000e\": {:.2}\n",
+            scaling(rows, "e1000e", 4, 1)
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
 /// The CI perf-regression gate: read a current `BENCH_*.json` record and
 /// its committed baseline, extract the gated metrics, apply per-metric
 /// tolerance bands, and render the comparison as a markdown table for
@@ -1200,6 +1479,21 @@ pub mod gate {
                 direction: Direction::HigherBetter,
                 tolerance: 0.20,
                 floor: Some(1.5),
+            });
+        }
+        // The E17 acceptance ratios. Both are self-normalized —
+        // `tx_batched_vs_seed` divides two paths measured in the same
+        // interleaved run, `forward_scaling_4q` divides two queue
+        // counts of the same emitter phase — so both gate even under
+        // `--relative-only`, with the acceptance floor (2x) as the
+        // hard criterion on top of the drift band. Note the order:
+        // `forward_scaling_4q` would otherwise fall through to the
+        // generic floorless `scaling` rule below.
+        if metric.contains("tx_batched_vs_seed") || metric.contains("forward_scaling") {
+            return Some(Rule {
+                direction: Direction::HigherBetter,
+                tolerance: 0.20,
+                floor: Some(2.0),
             });
         }
         // Speedup and scaling factors divide two measurements taken in
@@ -1728,6 +2022,75 @@ mod tests {
             .count();
         // 12 mpps rows + 4 plan ratios + 4 batched ratios.
         assert_eq!(gated, 20, "every E16 metric the gate expects is present");
+    }
+
+    #[test]
+    fn e17_engine_conserves_frames_and_emits_json() {
+        // Small full-duplex sanity: the forward-everything engine puts
+        // every generated frame back on the wire, the head-to-head
+        // returns finite per-frame times, and the record carries both
+        // acceptance keys with working gate rules.
+        let model = opendesc_nicsim::models::e1000e();
+        let mut eng = e17::engine(&model, 4);
+        let pools = e17::pools(&eng);
+        assert_eq!(pools.iter().map(Vec::len).sum::<usize>(), e17::ROUND);
+        let rep = eng.run(&pools);
+        assert_eq!(rep.total_rx_packets() as usize, e17::ROUND);
+        assert_eq!(rep.total_forwarded() as usize, e17::ROUND);
+        assert_eq!(rep.total_wire_frames(), rep.total_forwarded());
+        let (seed_ns, batched_ns) = e17::tx_head_to_head(1);
+        assert!(seed_ns.is_finite() && seed_ns > 0.0);
+        assert!(batched_ns.is_finite() && batched_ns > 0.0);
+        let rows = vec![
+            e17::Row {
+                model: "e1000e".into(),
+                queues: 1,
+                mpps: 3.0,
+                total_pkts: 10,
+                max_busy_ns: 100,
+                sum_busy_ns: 100,
+            },
+            e17::Row {
+                model: "e1000e".into(),
+                queues: 4,
+                mpps: 9.0,
+                total_pkts: 10,
+                max_busy_ns: 33,
+                sum_busy_ns: 120,
+            },
+        ];
+        assert!((e17::scaling(&rows, "e1000e", 4, 1) - 3.0).abs() < 1e-9);
+        let json = e17::to_json(&rows, 2.5);
+        assert!(json.contains("\"experiment\": \"e17_full_duplex\""));
+        assert!(json.contains("tx_batched_vs_seed_e1000e"));
+        assert!(json.contains("forward_scaling_4q_e1000e"));
+        let doc = opendesc_telemetry::parse_json(&json).expect("e17 record parses");
+        assert!(!gate::flatten(&doc).is_empty());
+        // Both acceptance ratios carry the 2.0 floor (and must not fall
+        // through to the floorless generic `scaling` rule), gate as
+        // self-normalized metrics under --relative-only, and fail below
+        // the floor even inside the relative band.
+        for metric in ["tx_batched_vs_seed_e1000e", "forward_scaling_4q_e1000e"] {
+            let rule = gate::rule_for(metric).expect("e17 ratio is gated");
+            assert_eq!(rule.floor, Some(2.0), "{metric}");
+            assert!(!gate::is_absolute(metric), "{metric}");
+        }
+        let base = opendesc_telemetry::parse_json(
+            r#"{"tx_batched_vs_seed_e1000e": 2.05, "forward_scaling_4q_e1000e": 2.05}"#,
+        )
+        .unwrap();
+        let below = opendesc_telemetry::parse_json(
+            r#"{"tx_batched_vs_seed_e1000e": 1.95, "forward_scaling_4q_e1000e": 1.95}"#,
+        )
+        .unwrap();
+        let mut res = gate::compare("e17", &base, &below);
+        gate::demote_absolute(&mut res);
+        assert_eq!(res.len(), 2);
+        for r in &res {
+            assert!(r.gated, "{}: still gated under --relative-only", r.metric);
+            assert!(!r.pass, "{}: below the floor must fail", r.metric);
+            assert!(r.change.abs() < r.rule.tolerance, "{}", r.metric);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::compiler::{CompileError, CompiledInterface, Compiler};
 use crate::intent::Intent;
 use crate::lower::{lower, LowerError, LoweredPlan};
 use crate::robust::ValidatorSpec;
+use crate::tx::{compile_tx, CompiledTxPlan};
 use opendesc_ir::{Assignment, SemanticRegistry};
 use opendesc_nicsim::models::NicModel;
 use std::collections::HashMap;
@@ -92,6 +93,7 @@ impl From<CompiledInterface> for CompiledRx {
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<CompiledRx>();
+    assert_send_sync::<CompiledTxPlan>();
     assert_send_sync::<PlanCache>();
 };
 
@@ -165,6 +167,12 @@ struct CacheInner {
     map: HashMap<PlanKey, Arc<CompiledRx>>,
     hits: u64,
     misses: u64,
+    /// TX plans live in their own map with their own counters, so the
+    /// RX `stats()`/`len()` numbers existing callers assert on never
+    /// shift when a full-duplex engine also compiles TX.
+    tx_map: HashMap<PlanKey, Arc<CompiledTxPlan>>,
+    tx_hits: u64,
+    tx_misses: u64,
 }
 
 /// Keyed plan cache: `(model, context, intent) → Arc<CompiledRx>`.
@@ -238,10 +246,53 @@ impl PlanCache {
         Ok(Arc::clone(arc))
     }
 
+    /// Compiled TX plan for `(model, intent)`, compiling at most once —
+    /// the transmit-side twin of [`get_or_compile`](PlanCache::get_or_compile).
+    /// The returned artifact carries the Eq. 1 layout match, its deparse
+    /// bytecode, and the software/hardware offload split; N queues with
+    /// the same intent share one pointer-equal `Arc`.
+    pub fn get_or_compile_tx(
+        &self,
+        model: &NicModel,
+        intent: &Intent,
+        reg: &mut SemanticRegistry,
+    ) -> Result<Arc<CompiledTxPlan>, CompileError> {
+        let key = PlanKey::new(model, intent, None, reg);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(hit) = inner.tx_map.get(&key) {
+                let hit = Arc::clone(hit);
+                inner.tx_hits += 1;
+                return Ok(hit);
+            }
+        }
+        // Compile outside the lock, exactly like the RX path.
+        let parser = model.desc_parser.as_deref().unwrap_or("DescParser");
+        let tx = compile_tx(
+            &self.compiler.selector,
+            &model.p4_source,
+            parser,
+            &model.name,
+            intent,
+            reg,
+        )?;
+        let plan = Arc::new(CompiledTxPlan::new(tx, reg));
+        let mut inner = self.inner.lock().unwrap();
+        inner.tx_misses += 1;
+        let arc = inner.tx_map.entry(key).or_insert_with(|| plan);
+        Ok(Arc::clone(arc))
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock().unwrap();
         (inner.hits, inner.misses)
+    }
+
+    /// `(hits, misses)` of the TX plan map.
+    pub fn tx_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.tx_hits, inner.tx_misses)
     }
 
     /// Distinct artifacts held.
@@ -386,6 +437,33 @@ mod tests {
                 model.name
             );
         }
+    }
+
+    #[test]
+    fn tx_plans_cache_separately_from_rx() {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let ti = intent(&mut reg, "tx", &[names::TX_L4_CSUM, names::TX_VLAN_INSERT]);
+        let a = cache
+            .get_or_compile_tx(&models::qdma_default(), &ti, &mut reg)
+            .unwrap();
+        let b = cache
+            .get_or_compile_tx(&models::qdma_default(), &ti, &mut reg)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same TX request shares one plan");
+        assert_eq!(cache.tx_stats(), (1, 1));
+        assert_eq!(
+            cache.stats(),
+            (0, 0),
+            "TX compiles must not move the RX counters"
+        );
+        assert_eq!(cache.len(), 0, "TX plans live outside the RX map");
+        assert!(!a.prog.deparse.is_empty(), "plan carries deparse bytecode");
+        // A model without a TX parser errors and is never cached.
+        assert!(cache
+            .get_or_compile_tx(&models::mlx5(), &ti, &mut reg)
+            .is_err());
+        assert_eq!(cache.tx_stats(), (1, 1));
     }
 
     #[test]

@@ -56,10 +56,14 @@ pub use robust::{
 };
 pub use select::{Objective, PathScore, SelectError, Selection, Selector};
 pub use shard::{
-    DrainedPacket, EngineHealthReport, QueueHealthReport, RxWorker, ShardError, ShardReport,
-    ShardedRx, WorkerStats,
+    DrainedPacket, EngineHealthReport, EngineReport, EngineWorker, ForwardFn, QueueHealthReport,
+    RxWorker, ShardError, ShardReport, ShardedEngine, ShardedRx, TxVerdict, TxWorkerStats,
+    WorkerStats,
 };
-pub use tx::{compile_tx, CompiledTx, TxDriver, TxRequest, TxWriter};
+pub use tx::{
+    compile_tx, lower_tx, txreg, CompiledTx, CompiledTxPlan, TxBatch, TxDriver, TxQueue,
+    TxQueueStats, TxRequest, TxWriter,
+};
 pub use vm::{BcInsn, PlanProgram};
 
 // The unified telemetry layer — re-exported so engine users can take a

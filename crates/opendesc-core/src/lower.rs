@@ -282,6 +282,7 @@ pub fn lower(set: &AccessorSet, plan: &RxPlan) -> Result<LoweredPlan, LowerError
             verified,
             degraded,
             slots,
+            deparse: Vec::new(),
         },
         ebpf,
         verifier_states: stats.states_explored as u64,

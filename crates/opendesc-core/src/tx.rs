@@ -13,6 +13,7 @@
 use crate::compiler::CompileError;
 use crate::intent::Intent;
 use crate::select::{SelectError, Selector};
+use crate::vm::{op, BcInsn, PlanProgram};
 use opendesc_ir::bits::write_bits;
 use opendesc_ir::semantics::{names, SemanticRegistry};
 use opendesc_ir::txpath::{enumerate_tx_layouts, DescriptorLayout};
@@ -21,6 +22,7 @@ use opendesc_nicsim::nic::{NicError, SimNic};
 use opendesc_p4::typecheck::parse_and_check;
 use opendesc_softnic::fixup;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Serializes TX hint values into descriptor bytes at fixed offsets.
 #[derive(Debug, Clone)]
@@ -49,12 +51,30 @@ impl TxWriter {
     /// software).
     pub fn build(&self, values: &[(SemanticId, u128)]) -> Vec<u8> {
         let mut desc = vec![0u8; self.desc_bytes as usize];
+        self.build_into(&mut desc, values);
+        desc
+    }
+
+    /// Allocation-free [`TxWriter::build`]: serialize into a caller-owned
+    /// buffer of exactly `desc_bytes` bytes (zeroed first, so a reused
+    /// scratch buffer never leaks a previous descriptor's bits).
+    pub fn build_into(&self, desc: &mut [u8], values: &[(SemanticId, u128)]) {
+        assert_eq!(
+            desc.len(),
+            self.desc_bytes as usize,
+            "descriptor scratch must match the layout size"
+        );
+        desc.fill(0);
         for (sem, off, width) in &self.slots {
             if let Some((_, v)) = values.iter().find(|(s, _)| s == sem) {
-                write_bits(&mut desc, *off, *width, *v);
+                write_bits(desc, *off, *width, *v);
             }
         }
-        desc
+    }
+
+    /// `(semantic, offset_bits, width_bits)` for every writable slot.
+    pub fn slots(&self) -> &[(SemanticId, u32, u16)] {
+        &self.slots
     }
 
     /// Whether the layout carries a slot for `sem`.
@@ -74,13 +94,16 @@ pub struct CompiledTx {
     /// Requested TX semantics the layout cannot carry: the driver must
     /// perform these in software before posting.
     pub software: BTreeSet<SemanticId>,
+    /// Names of the `software` semantics, resolved once at compile time
+    /// so reporting them never re-walks the registry.
+    software_names: Vec<String>,
     pub layouts_considered: usize,
 }
 
 impl CompiledTx {
-    /// Names of software-fallback features.
-    pub fn software_features<'r>(&self, reg: &'r SemanticRegistry) -> Vec<&'r str> {
-        self.software.iter().map(|s| reg.name(*s)).collect()
+    /// Names of software-fallback features (precomputed at compile time).
+    pub fn software_features(&self) -> &[String] {
+        &self.software_names
     }
 }
 
@@ -157,12 +180,14 @@ pub fn compile_tx(
         .into_iter()
         .filter(|s| *s != buf_addr && *s != buf_len)
         .collect();
+    let software_names = software.iter().map(|s| reg.name(*s).to_string()).collect();
     Ok(CompiledTx {
         nic_name: nic_name.to_string(),
         context: layout.solve_context(),
         writer: TxWriter::new(layout),
         layout: layout.clone(),
         software,
+        software_names,
         layouts_considered: layouts.len(),
     })
 }
@@ -182,6 +207,17 @@ pub struct TxRequest {
 pub struct TxDriver {
     pub compiled: CompiledTx,
     reg: SemanticRegistry,
+    // Interned once at attach so the send path never does name lookups.
+    sem_addr: SemanticId,
+    sem_len: SemanticId,
+    sem_vlan: SemanticId,
+    sem_ip: SemanticId,
+    sem_l4: SemanticId,
+    // Scratch reused across sends: after warm-up no send allocates
+    // except the NIC-side `alloc_tx_buf` (the DMA buffer itself).
+    frame_scratch: Vec<u8>,
+    hints_scratch: Vec<(SemanticId, u128)>,
+    desc_scratch: Vec<u8>,
 }
 
 impl TxDriver {
@@ -194,46 +230,404 @@ impl TxDriver {
         if let Some(ctx) = &compiled.context {
             nic.configure_tx(ctx.clone());
         }
-        Ok(TxDriver { compiled, reg })
+        let id = |n: &str| reg.id(n).expect("builtin semantic");
+        let desc_scratch = vec![0u8; compiled.writer.desc_bytes as usize];
+        Ok(TxDriver {
+            sem_addr: id(names::BUF_ADDR),
+            sem_len: id(names::BUF_LEN),
+            sem_vlan: id(names::TX_VLAN_INSERT),
+            sem_ip: id(names::TX_IP_CSUM),
+            sem_l4: id(names::TX_L4_CSUM),
+            compiled,
+            reg,
+            frame_scratch: Vec::new(),
+            hints_scratch: Vec::new(),
+            desc_scratch,
+        })
+    }
+
+    /// The registry this driver was compiled against.
+    pub fn registry(&self) -> &SemanticRegistry {
+        &self.reg
     }
 
     /// Send one frame: offloads the layout carries become descriptor
-    /// hints; the rest are applied in software before posting.
+    /// hints; the rest are applied in software before posting. Reuses
+    /// internal scratch buffers, so steady-state sends allocate only the
+    /// NIC-side DMA buffer.
     pub fn send(&mut self, nic: &mut SimNic, frame: &[u8], req: TxRequest) -> Result<(), NicError> {
-        let mut frame = frame.to_vec();
-        let id = |n: &str| self.reg.id(n).expect("builtin semantic");
-        let mut hints: Vec<(SemanticId, u128)> = Vec::new();
+        self.frame_scratch.clear();
+        self.frame_scratch.extend_from_slice(frame);
+        self.hints_scratch.clear();
 
         if let Some(tci) = req.vlan {
-            let sem = id(names::TX_VLAN_INSERT);
-            if self.compiled.writer.can_write(sem) {
-                hints.push((sem, tci as u128));
-            } else if let Some(tagged) = fixup::insert_vlan(&frame, tci) {
-                frame = tagged;
+            if self.compiled.writer.can_write(self.sem_vlan) {
+                self.hints_scratch.push((self.sem_vlan, tci as u128));
+            } else {
+                fixup::insert_vlan_in_place(&mut self.frame_scratch, tci);
             }
         }
         if req.ip_csum {
-            let sem = id(names::TX_IP_CSUM);
-            if self.compiled.writer.can_write(sem) {
-                hints.push((sem, 1));
+            if self.compiled.writer.can_write(self.sem_ip) {
+                self.hints_scratch.push((self.sem_ip, 1));
             } else {
-                fixup::fill_ipv4_checksum(&mut frame);
+                fixup::fill_ipv4_checksum(&mut self.frame_scratch);
             }
         }
         if req.l4_csum {
-            let sem = id(names::TX_L4_CSUM);
-            if self.compiled.writer.can_write(sem) {
-                hints.push((sem, 1));
+            if self.compiled.writer.can_write(self.sem_l4) {
+                self.hints_scratch.push((self.sem_l4, 1));
             } else {
-                fixup::fill_l4_checksum(&mut frame);
+                fixup::fill_l4_checksum(&mut self.frame_scratch);
             }
         }
 
-        let addr = nic.alloc_tx_buf(&frame);
-        hints.push((id(names::BUF_ADDR), addr as u128));
-        hints.push((id(names::BUF_LEN), frame.len() as u128));
-        let desc = self.compiled.writer.build(&hints);
-        nic.post_tx(&desc)
+        let addr = nic.alloc_tx_buf(&self.frame_scratch);
+        self.hints_scratch.push((self.sem_addr, addr as u128));
+        self.hints_scratch
+            .push((self.sem_len, self.frame_scratch.len() as u128));
+        self.compiled
+            .writer
+            .build_into(&mut self.desc_scratch, &self.hints_scratch);
+        nic.post_tx(&self.desc_scratch)
+    }
+}
+
+/// Canonical TX hint register file for the deparse bytecode. Every
+/// compiled TX plan stores from the same five registers, so the batched
+/// submit path fills one stack array per frame and runs the program —
+/// no per-layout dispatch, no name lookups.
+pub mod txreg {
+    /// DMA address of the frame buffer.
+    pub const BUF_ADDR: usize = 0;
+    /// Frame length in bytes.
+    pub const BUF_LEN: usize = 1;
+    /// VLAN TCI to insert (0 = none).
+    pub const VLAN: usize = 2;
+    /// Request IPv4 header checksum insertion (0/1).
+    pub const IP_CSUM: usize = 3;
+    /// Request L4 checksum insertion (0/1).
+    pub const L4_CSUM: usize = 4;
+    /// Register file size.
+    pub const COUNT: usize = 5;
+}
+
+/// Lower a compiled TX layout to deparse bytecode over the canonical
+/// [`txreg`] register file: one store per descriptor slot, with the
+/// store shape (aligned width vs. arbitrary bit field) resolved here,
+/// once, instead of per packet. Slots whose semantic is outside the
+/// canonical file are skipped — the layout may carry them, but this
+/// driver never sets them, exactly like [`TxWriter::build`] with no
+/// matching hint.
+pub fn lower_tx(compiled: &CompiledTx, reg: &SemanticRegistry) -> PlanProgram {
+    let canonical = [
+        (reg.id(names::BUF_ADDR), txreg::BUF_ADDR),
+        (reg.id(names::BUF_LEN), txreg::BUF_LEN),
+        (reg.id(names::TX_VLAN_INSERT), txreg::VLAN),
+        (reg.id(names::TX_IP_CSUM), txreg::IP_CSUM),
+        (reg.id(names::TX_L4_CSUM), txreg::L4_CSUM),
+    ];
+    let mut deparse = Vec::new();
+    for (sem, off, width) in compiled.writer.slots() {
+        let Some(dst) = canonical
+            .iter()
+            .find_map(|(id, r)| (*id == Some(*sem)).then_some(*r as u8))
+        else {
+            continue;
+        };
+        let insn = if off % 8 == 0 {
+            let byte = (off / 8) as u16;
+            match *width {
+                8 => BcInsn {
+                    op: op::ST_BE1,
+                    dst,
+                    a: byte,
+                    b: 1,
+                },
+                16 => BcInsn {
+                    op: op::ST_BE2,
+                    dst,
+                    a: byte,
+                    b: 2,
+                },
+                32 => BcInsn {
+                    op: op::ST_BE4,
+                    dst,
+                    a: byte,
+                    b: 4,
+                },
+                64 => BcInsn {
+                    op: op::ST_BE8,
+                    dst,
+                    a: byte,
+                    b: 8,
+                },
+                w if w % 8 == 0 => BcInsn {
+                    op: op::ST_BYTES,
+                    dst,
+                    a: byte,
+                    b: w / 8,
+                },
+                w => BcInsn {
+                    op: op::ST_BITS,
+                    dst,
+                    a: *off as u16,
+                    b: w,
+                },
+            }
+        } else {
+            BcInsn {
+                op: op::ST_BITS,
+                dst,
+                a: *off as u16,
+                b: *width,
+            }
+        };
+        deparse.push(insn);
+    }
+    PlanProgram {
+        deparse,
+        ..PlanProgram::default()
+    }
+}
+
+/// A fully-lowered TX artifact: the Eq. 1 layout match plus its deparse
+/// bytecode and the software/hardware disposition of each offload,
+/// resolved once at compile time. Shareable across queues behind an
+/// `Arc`, like `CompiledRx`.
+#[derive(Debug, Clone)]
+pub struct CompiledTxPlan {
+    pub tx: CompiledTx,
+    /// Deparse program over the [`txreg`] register file.
+    pub prog: PlanProgram,
+    /// VLAN insertion must happen in driver software.
+    pub sw_vlan: bool,
+    /// IPv4 checksum must be filled in driver software.
+    pub sw_ip_csum: bool,
+    /// L4 checksum must be filled in driver software.
+    pub sw_l4_csum: bool,
+}
+
+impl CompiledTxPlan {
+    /// Lower a compiled TX layout into a plan.
+    pub fn new(tx: CompiledTx, reg: &SemanticRegistry) -> CompiledTxPlan {
+        let id = |n: &str| reg.id(n).expect("builtin semantic");
+        let prog = lower_tx(&tx, reg);
+        CompiledTxPlan {
+            sw_vlan: !tx.writer.can_write(id(names::TX_VLAN_INSERT)),
+            sw_ip_csum: !tx.writer.can_write(id(names::TX_IP_CSUM)),
+            sw_l4_csum: !tx.writer.can_write(id(names::TX_L4_CSUM)),
+            prog,
+            tx,
+        }
+    }
+}
+
+/// A struct-of-arrays transmit batch: one flat frame arena (each slot
+/// reserves 4 bytes of VLAN headroom so software tag insertion never
+/// reallocates), a length column, and a request column. Reused across
+/// submissions — `clear` keeps the arena.
+pub struct TxBatch {
+    arena: Vec<u8>,
+    lens: Vec<u32>,
+    reqs: Vec<TxRequest>,
+    cap: usize,
+    max_frame: usize,
+    slot_bytes: usize,
+}
+
+impl TxBatch {
+    /// A batch of up to `cap` frames of up to `max_frame` bytes each.
+    pub fn new(cap: usize, max_frame: usize) -> TxBatch {
+        let slot_bytes = max_frame + 4;
+        TxBatch {
+            arena: vec![0u8; cap * slot_bytes],
+            lens: Vec::with_capacity(cap),
+            reqs: Vec::with_capacity(cap),
+            cap,
+            max_frame,
+            slot_bytes,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.lens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// Drop all frames; the arena stays allocated.
+    pub fn clear(&mut self) {
+        self.lens.clear();
+        self.reqs.clear();
+    }
+
+    /// Copy a frame into the next arena slot. `false` when the batch is
+    /// full or the frame exceeds `max_frame`.
+    pub fn push(&mut self, frame: &[u8], req: TxRequest) -> bool {
+        if self.lens.len() == self.cap || frame.len() > self.max_frame {
+            return false;
+        }
+        let i = self.lens.len();
+        self.arena[i * self.slot_bytes..i * self.slot_bytes + frame.len()].copy_from_slice(frame);
+        self.lens.push(frame.len() as u32);
+        self.reqs.push(req);
+        true
+    }
+
+    /// The `i`-th frame at its current length (post-fixup after submit).
+    pub fn frame(&self, i: usize) -> &[u8] {
+        &self.arena[i * self.slot_bytes..i * self.slot_bytes + self.lens[i] as usize]
+    }
+
+    /// The `i`-th offload request.
+    pub fn request(&self, i: usize) -> TxRequest {
+        self.reqs[i]
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut [u8] {
+        &mut self.arena[i * self.slot_bytes..(i + 1) * self.slot_bytes]
+    }
+}
+
+/// Counters for one batched TX queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxQueueStats {
+    /// Frames submitted to the ring.
+    pub frames: u64,
+    /// Doorbells rung (one per non-empty submit).
+    pub doorbells: u64,
+    /// Software fix-ups applied (per offload, not per frame).
+    pub sw_fixups: u64,
+    /// Submits that could not place every frame (ring back-pressure).
+    pub stalls: u64,
+}
+
+/// The batched, allocation-free transmit path. `attach` pre-allocates
+/// one DMA buffer per ring entry; `submit` then reuses them round-robin,
+/// reclaiming lazily from the NIC's consumed count — no completion
+/// queue walk, no locks, no per-send allocation. The doorbell rings
+/// once per batch.
+pub struct TxQueue {
+    plan: Arc<CompiledTxPlan>,
+    /// Pre-allocated DMA slots, one per ring entry.
+    slots: Vec<u64>,
+    /// Frames submitted since attach.
+    submitted: u64,
+    /// NIC consumed-count at attach (the NIC may be shared with other
+    /// traffic before this queue exists).
+    cons_base: u64,
+    desc_scratch: Vec<u8>,
+    pub stats: TxQueueStats,
+}
+
+impl TxQueue {
+    /// Attach to a NIC: program the H2C context and pre-allocate DMA
+    /// buffers sized for `max_frame` plus VLAN headroom. The queue
+    /// assumes exclusive use of the NIC's TX ring.
+    pub fn attach(nic: &mut SimNic, plan: Arc<CompiledTxPlan>, max_frame: usize) -> TxQueue {
+        if let Some(ctx) = &plan.tx.context {
+            nic.configure_tx(ctx.clone());
+        }
+        let zero = vec![0u8; max_frame + 4];
+        let slots = (0..nic.tx_ring.capacity())
+            .map(|_| nic.host_mem.alloc(&zero))
+            .collect();
+        let desc_scratch = vec![0u8; plan.tx.writer.desc_bytes as usize];
+        TxQueue {
+            plan,
+            slots,
+            submitted: 0,
+            cons_base: nic.tx_completed(),
+            desc_scratch,
+            stats: TxQueueStats::default(),
+        }
+    }
+
+    /// The plan this queue executes.
+    pub fn plan(&self) -> &Arc<CompiledTxPlan> {
+        &self.plan
+    }
+
+    /// Descriptors posted but not yet consumed by the device.
+    pub fn in_flight(&self, nic: &SimNic) -> u64 {
+        self.submitted - (nic.tx_completed() - self.cons_base)
+    }
+
+    /// Submit as many frames from the batch as the ring can take right
+    /// now; returns the count placed. Software fix-ups run in the
+    /// batch's arena slots (in place), the deparse bytecode fills the
+    /// descriptor scratch, and the doorbell rings once at the end.
+    pub fn submit(&mut self, nic: &mut SimNic, batch: &mut TxBatch) -> Result<usize, NicError> {
+        self.submit_from(nic, batch, 0)
+    }
+
+    /// [`submit`](TxQueue::submit) starting at batch index `from` — the
+    /// resubmission path after ring back-pressure. Fix-ups are safe to
+    /// re-run on an already-fixed slot (VLAN insertion refuses a tagged
+    /// frame; checksum fills are idempotent).
+    pub fn submit_from(
+        &mut self,
+        nic: &mut SimNic,
+        batch: &mut TxBatch,
+        from: usize,
+    ) -> Result<usize, NicError> {
+        let free = self.slots.len() as u64 - self.in_flight(nic);
+        let pending = batch.len().saturating_sub(from);
+        let n = (pending as u64).min(free) as usize;
+        let plan = Arc::clone(&self.plan);
+        for i in from..from + n {
+            let req = batch.reqs[i];
+            let mut len = batch.lens[i] as usize;
+            {
+                let slot = batch.slot_mut(i);
+                if let Some(tci) = req.vlan {
+                    if plan.sw_vlan {
+                        if let Some(nl) = fixup::insert_vlan_in_slice(slot, len, tci) {
+                            len = nl;
+                            self.stats.sw_fixups += 1;
+                        }
+                    }
+                }
+                if req.ip_csum && plan.sw_ip_csum && fixup::fill_ipv4_checksum(&mut slot[..len]) {
+                    self.stats.sw_fixups += 1;
+                }
+                if req.l4_csum && plan.sw_l4_csum && fixup::fill_l4_checksum(&mut slot[..len]) {
+                    self.stats.sw_fixups += 1;
+                }
+            }
+            batch.lens[i] = len as u32;
+            let dma = self.slots[(self.submitted % self.slots.len() as u64) as usize];
+            nic.host_mem.write(dma, batch.frame(i));
+            let hints: [u128; txreg::COUNT] = [
+                dma as u128,
+                len as u128,
+                match req.vlan {
+                    Some(t) if !plan.sw_vlan => t as u128,
+                    _ => 0,
+                },
+                (req.ip_csum && !plan.sw_ip_csum) as u128,
+                (req.l4_csum && !plan.sw_l4_csum) as u128,
+            ];
+            plan.prog.run_deparse(&hints, &mut self.desc_scratch);
+            nic.post_tx_deferred(&self.desc_scratch)?;
+            self.submitted += 1;
+        }
+        if n > 0 {
+            nic.ring_tx_doorbell();
+            self.stats.doorbells += 1;
+            self.stats.frames += n as u64;
+        }
+        if n < pending {
+            self.stats.stalls += 1;
+        }
+        Ok(n)
     }
 }
 
@@ -375,7 +769,7 @@ mod tests {
         assert!(
             !ctx_sw.software.is_empty(),
             "e1000e must report software TX features: {:?}",
-            ctx_sw.software_features(&reg_sw)
+            ctx_sw.software_features()
         );
         let mut nic_sw = SimNic::new(e1000e, 16).unwrap();
         let mut tx_sw = TxDriver::attach(&mut nic_sw, ctx_sw, reg_sw).unwrap();
@@ -471,5 +865,199 @@ mod tests {
         let desc = compiled.writer.build(&[(addr, 0xABCD), (vlan, 7)]);
         assert_eq!(desc.len(), 12);
         assert_eq!(&desc[..8], &0xABCDu64.to_be_bytes());
+    }
+
+    #[test]
+    fn deparse_bytecode_matches_writer_on_every_model() {
+        // For each TX-capable model: lower the layout and check the
+        // bytecode produces byte-identical descriptors to TxWriter.
+        for model in [
+            models::e1000_legacy(),
+            models::e1000e(),
+            models::ice(),
+            models::qdma_default(),
+        ] {
+            let mut reg = SemanticRegistry::with_builtins();
+            let intent = tx_intent(&mut reg);
+            let compiled = compile_tx(
+                &Selector::default(),
+                &model.p4_source,
+                "DescParser",
+                &model.name,
+                &intent,
+                &mut reg,
+            )
+            .unwrap();
+            let plan = CompiledTxPlan::new(compiled, &reg);
+            let id = |n: &str| reg.id(n).expect("builtin");
+            let cases: [(u64, usize, u16, bool, bool); 3] = [
+                (0x1000, 60, 0x0123, true, true),
+                (0xFFFF_FF00, 1514, 0, false, true),
+                (0x2468, 64, 0x0FFF, true, false),
+            ];
+            for (addr, len, tci, ip, l4) in cases {
+                let mut hints: Vec<(SemanticId, u128)> = vec![
+                    (id(names::BUF_ADDR), addr as u128),
+                    (id(names::BUF_LEN), len as u128),
+                ];
+                let mut regs = [0u128; txreg::COUNT];
+                regs[txreg::BUF_ADDR] = addr as u128;
+                regs[txreg::BUF_LEN] = len as u128;
+                if !plan.sw_vlan {
+                    hints.push((id(names::TX_VLAN_INSERT), tci as u128));
+                    regs[txreg::VLAN] = tci as u128;
+                }
+                if ip && !plan.sw_ip_csum {
+                    hints.push((id(names::TX_IP_CSUM), 1));
+                    regs[txreg::IP_CSUM] = 1;
+                }
+                if l4 && !plan.sw_l4_csum {
+                    hints.push((id(names::TX_L4_CSUM), 1));
+                    regs[txreg::L4_CSUM] = 1;
+                }
+                let golden = plan.tx.writer.build(&hints);
+                let mut desc = vec![0xFFu8; golden.len()];
+                plan.prog.run_deparse(&regs, &mut desc);
+                assert_eq!(desc, golden, "bytecode deparse diverges on {}", model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn build_into_matches_build() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = tx_intent(&mut reg);
+        let model = models::qdma_default();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        let addr = reg.id(names::BUF_ADDR).unwrap();
+        let hints = [(addr, 0xDEAD_BEEFu128)];
+        let golden = compiled.writer.build(&hints);
+        let mut scratch = vec![0xAAu8; compiled.writer.desc_bytes as usize];
+        compiled.writer.build_into(&mut scratch, &hints);
+        assert_eq!(scratch, golden, "stale scratch bytes must be zeroed");
+    }
+
+    #[test]
+    fn batched_queue_rings_one_doorbell_and_respects_ring_capacity() {
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = tx_intent(&mut reg);
+        let model = models::qdma_default();
+        let compiled = compile_tx(
+            &Selector::default(),
+            &model.p4_source,
+            "DescParser",
+            &model.name,
+            &intent,
+            &mut reg,
+        )
+        .unwrap();
+        let mut nic = SimNic::new(model, 8).unwrap();
+        let plan = Arc::new(CompiledTxPlan::new(compiled, &reg));
+        let mut q = TxQueue::attach(&mut nic, plan, 256);
+
+        let mut batch = TxBatch::new(16, 256);
+        for _ in 0..12 {
+            assert!(batch.push(
+                &zeroed_frame(),
+                TxRequest {
+                    l4_csum: true,
+                    vlan: Some(0x0042),
+                    ..Default::default()
+                },
+            ));
+        }
+        // Ring holds 8: first submit places 8, rings once, stalls.
+        let placed = q.submit(&mut nic, &mut batch).unwrap();
+        assert_eq!(placed, 8);
+        assert_eq!(q.stats.doorbells, 1);
+        assert_eq!(q.stats.stalls, 1);
+        assert_eq!(q.in_flight(&nic), 8);
+        // Device drains; the remaining 4 go out after completions free
+        // ring slots (submit skips already-placed frames via a fresh
+        // batch here for simplicity).
+        assert_eq!(nic.process_tx_drain(), 8);
+        assert_eq!(q.in_flight(&nic), 0);
+        // Only the placed prefix was fixed up in the arena; 8..12 are
+        // still pristine copies and can be re-pushed as-is.
+        let mut rest = TxBatch::new(4, 256);
+        for i in 8..12 {
+            assert!(rest.push(batch.frame(i), batch.request(i)));
+        }
+        let placed = q.submit(&mut nic, &mut rest).unwrap();
+        assert_eq!(placed, 4);
+        assert_eq!(q.stats.doorbells, 2);
+        assert_eq!(nic.process_tx_drain(), 4);
+        assert_eq!(nic.tx_stats.frames, 12);
+        assert_eq!(nic.tx_stats.parse_rejects, 0);
+        assert_eq!(nic.tx_stats.bad_buffers, 0);
+    }
+
+    #[test]
+    fn batched_queue_matches_seed_send_on_the_wire() {
+        // The batched path and the seed per-send path must emit
+        // byte-identical wire frames — hardware offload on qdma,
+        // software fallback on e1000e.
+        for model_fn in [models::qdma_default, models::e1000e] {
+            let mut reg_a = SemanticRegistry::with_builtins();
+            let intent_a = tx_intent(&mut reg_a);
+            let model = model_fn();
+            let name = model.name.clone();
+            let compiled_a = compile_tx(
+                &Selector::default(),
+                &model.p4_source,
+                "DescParser",
+                &name,
+                &intent_a,
+                &mut reg_a,
+            )
+            .unwrap();
+            let mut nic_a = SimNic::new(model_fn(), 32).unwrap();
+            let mut drv = TxDriver::attach(&mut nic_a, compiled_a, reg_a).unwrap();
+
+            let mut reg_b = SemanticRegistry::with_builtins();
+            let intent_b = tx_intent(&mut reg_b);
+            let compiled_b = compile_tx(
+                &Selector::default(),
+                &model.p4_source,
+                "DescParser",
+                &name,
+                &intent_b,
+                &mut reg_b,
+            )
+            .unwrap();
+            let mut nic_b = SimNic::new(model_fn(), 32).unwrap();
+            let plan = Arc::new(CompiledTxPlan::new(compiled_b, &reg_b));
+            let mut q = TxQueue::attach(&mut nic_b, plan, 256);
+
+            let reqs = [
+                TxRequest {
+                    l4_csum: true,
+                    vlan: Some(0x0123),
+                    ..Default::default()
+                },
+                TxRequest {
+                    ip_csum: true,
+                    ..Default::default()
+                },
+                TxRequest::default(),
+            ];
+            let mut batch = TxBatch::new(8, 256);
+            for req in reqs {
+                drv.send(&mut nic_a, &zeroed_frame(), req).unwrap();
+                assert!(batch.push(&zeroed_frame(), req));
+            }
+            assert_eq!(q.submit(&mut nic_b, &mut batch).unwrap(), 3);
+            let a = nic_a.process_tx();
+            let b = nic_b.process_tx();
+            assert_eq!(a, b, "batched TX diverges from seed send on {name}");
+        }
     }
 }

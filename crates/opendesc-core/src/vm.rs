@@ -29,7 +29,7 @@
 use opendesc_softnic::wire::ParsedFrame;
 use opendesc_softnic::{ShimMemo, ShimOp, SoftNic};
 
-use opendesc_ir::bits::{read_bits, read_bytes_be, width_mask};
+use opendesc_ir::bits::{read_bits, read_bytes_be, width_mask, write_bits};
 
 /// Opcodes of the plan bytecode. The `LD_*` family reads the completion
 /// record into the destination slot; `SHIM` runs a SoftNIC op against
@@ -53,6 +53,18 @@ pub mod op {
     /// Compare slot `dst` (width `b` bits) against `softnic(shim a)`;
     /// on mismatch the software reference wins and the repair counts.
     pub const SHIM_CHECK: u8 = 0x11;
+    /// `desc[a] = hints[dst]` — one-byte store (TX deparse).
+    pub const ST_BE1: u8 = 0x21;
+    /// `desc[a..a+2] = be16(hints[dst])`.
+    pub const ST_BE2: u8 = 0x22;
+    /// `desc[a..a+4] = be32(hints[dst])`.
+    pub const ST_BE4: u8 = 0x23;
+    /// `desc[a..a+8] = be64(hints[dst])`.
+    pub const ST_BE8: u8 = 0x24;
+    /// `desc[a..a+b] = be(hints[dst])` — aligned odd/wide widths.
+    pub const ST_BYTES: u8 = 0x25;
+    /// `bits(desc, offset_bits = a, width_bits = b) = hints[dst]`.
+    pub const ST_BITS: u8 = 0x26;
 }
 
 /// One bytecode instruction: a fixed 6-byte cell (see the binary format
@@ -144,6 +156,10 @@ pub struct PlanProgram {
     pub degraded: Vec<BcInsn>,
     /// Output slots (= accessor count = metadata columns).
     pub slots: usize,
+    /// TX deparse program: `ST_*` stores serializing the hint register
+    /// file into descriptor bytes (empty for RX-only plans). `dst` here
+    /// is the *input* hint register, not an output slot.
+    pub deparse: Vec<BcInsn>,
 }
 
 /// Execute one hardware-load instruction against a completion record.
@@ -167,6 +183,30 @@ pub fn exec_load(insn: &BcInsn, cmpt: &[u8]) -> u128 {
         op::LD_BYTES => read_bytes_be(cmpt, off, insn.b as usize),
         op::LD_BITS => read_bits(cmpt, insn.a as u32, insn.b),
         other => unreachable!("opcode {other:#x} is not a load"),
+    }
+}
+
+/// Execute one store instruction: serialize `hints[insn.dst]` into the
+/// descriptor at the instruction's pre-resolved offset — the TX mirror
+/// of [`exec_load`], with the same specialization idea (the opcode
+/// already encodes the store shape, nothing is re-derived per packet).
+///
+/// # Panics
+/// Panics if the descriptor is shorter than the instruction's range or
+/// the hint register file shorter than `dst` — both are fixed at
+/// lowering time, so a correctly-lowered plan can never trip this.
+#[inline(always)]
+pub fn exec_store(insn: &BcInsn, hints: &[u128], desc: &mut [u8]) {
+    let v = hints[insn.dst as usize];
+    let off = insn.a as usize;
+    match insn.op {
+        op::ST_BE1 => desc[off] = v as u8,
+        op::ST_BE2 => desc[off..off + 2].copy_from_slice(&(v as u16).to_be_bytes()),
+        op::ST_BE4 => desc[off..off + 4].copy_from_slice(&(v as u32).to_be_bytes()),
+        op::ST_BE8 => desc[off..off + 8].copy_from_slice(&(v as u64).to_be_bytes()),
+        op::ST_BYTES => write_bits(desc, off as u32 * 8, insn.b * 8, v),
+        op::ST_BITS => write_bits(desc, insn.a as u32, insn.b, v),
+        other => unreachable!("opcode {other:#x} is not a store"),
     }
 }
 
@@ -382,17 +422,41 @@ impl PlanProgram {
         }
     }
 
+    /// TX deparse: serialize the hint register file into descriptor
+    /// bytes. Zeroes the descriptor first (unwritten slots must read as
+    /// zero, matching `TxWriter::build`'s fresh-buffer semantics), then
+    /// runs the `deparse` store stream.
+    #[inline]
+    pub fn run_deparse(&self, hints: &[u128], desc: &mut [u8]) {
+        desc.fill(0);
+        for insn in &self.deparse {
+            exec_store(insn, hints, desc);
+        }
+    }
+
     /// Serialize to the container format documented in DESIGN.md:
-    /// magic, version, slot count, then the three sections as
-    /// `u16 count ++ count × 6-byte cells`.
+    /// magic, version, slot count, then the instruction sections as
+    /// `u16 count ++ count × 6-byte cells`. RX-only programs encode as
+    /// version 1 (three sections, bit-compatible with older readers);
+    /// programs carrying a TX deparse stream encode as version 2 with a
+    /// fourth section.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            8 + 6 * (self.trusted.len() + self.verified.len() + self.degraded.len()),
+            8 + 6
+                * (self.trusted.len()
+                    + self.verified.len()
+                    + self.degraded.len()
+                    + self.deparse.len()),
         );
         out.extend_from_slice(b"ODBC");
-        out.push(1); // version
+        let version = if self.deparse.is_empty() { 1 } else { 2 };
+        out.push(version);
         out.push(self.slots as u8);
-        for section in [&self.trusted, &self.verified, &self.degraded] {
+        let mut sections = vec![&self.trusted, &self.verified, &self.degraded];
+        if version == 2 {
+            sections.push(&self.deparse);
+        }
+        for section in sections {
             out.extend_from_slice(&(section.len() as u16).to_le_bytes());
             for insn in section.iter() {
                 out.extend_from_slice(&insn.encode());
@@ -403,15 +467,17 @@ impl PlanProgram {
 
     /// Parse the container format back; `None` on any structural
     /// mismatch. `hw_len` is recomputed from the trusted section's
-    /// load prefix.
+    /// load prefix. Accepts version 1 (RX-only) and version 2 (with a
+    /// deparse section).
     pub fn decode(bytes: &[u8]) -> Option<PlanProgram> {
-        if bytes.len() < 6 || &bytes[..4] != b"ODBC" || bytes[4] != 1 {
+        if bytes.len() < 6 || &bytes[..4] != b"ODBC" || !(bytes[4] == 1 || bytes[4] == 2) {
             return None;
         }
+        let n_sections = if bytes[4] == 2 { 4 } else { 3 };
         let slots = bytes[5] as usize;
         let mut pos = 6;
-        let mut sections: [Vec<BcInsn>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for section in sections.iter_mut() {
+        let mut sections: [Vec<BcInsn>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for section in sections.iter_mut().take(n_sections) {
             let count = u16::from_le_bytes([*bytes.get(pos)?, *bytes.get(pos + 1)?]) as usize;
             pos += 2;
             for _ in 0..count {
@@ -423,7 +489,7 @@ impl PlanProgram {
         if pos != bytes.len() {
             return None;
         }
-        let [trusted, verified, degraded] = sections;
+        let [trusted, verified, degraded, deparse] = sections;
         let hw_len = trusted
             .iter()
             .take_while(|i| i.op != op::SHIM && i.op != op::SHIM_CHECK)
@@ -434,6 +500,7 @@ impl PlanProgram {
             verified,
             degraded,
             slots,
+            deparse,
         })
     }
 }
@@ -505,9 +572,11 @@ mod tests {
                 b: 0,
             }],
             slots: 2,
+            deparse: Vec::new(),
         };
         let bytes = prog.encode();
         assert_eq!(&bytes[..4], b"ODBC");
+        assert_eq!(bytes[4], 1, "RX-only programs stay on the v1 container");
         assert_eq!(PlanProgram::decode(&bytes), Some(prog));
         // Truncated and corrupted containers are rejected, not panics.
         assert_eq!(PlanProgram::decode(&bytes[..bytes.len() - 1]), None);
@@ -546,6 +615,72 @@ mod tests {
             b: 27,
         };
         assert_eq!(exec_load(&unaligned, &cmpt), read_bits(&cmpt, 13, 27));
+    }
+
+    #[test]
+    fn stores_roundtrip_through_loads() {
+        // Every store shape must be read back exactly by the matching
+        // load — the TX deparse and RX parse halves of the same cells.
+        let hints: [u128; 3] = [0xDEAD_BEEF_CAFE_F00D, 0x1234, 0x5A];
+        for (st, ld, dst, a, b) in [
+            (op::ST_BE1, op::LD_BE1, 2u8, 3u16, 1u16),
+            (op::ST_BE2, op::LD_BE2, 1, 4, 2),
+            (op::ST_BE4, op::LD_BE4, 0, 8, 4),
+            (op::ST_BE8, op::LD_BE8, 0, 0, 8),
+            (op::ST_BYTES, op::LD_BYTES, 0, 1, 3),
+        ] {
+            let mut desc = vec![0u8; 16];
+            let store = BcInsn { op: st, dst, a, b };
+            exec_store(&store, &hints, &mut desc);
+            let load = BcInsn { op: ld, dst, a, b };
+            let width_bits = b * 8;
+            assert_eq!(
+                exec_load(&load, &desc),
+                hints[dst as usize] & width_mask(width_bits),
+                "store opcode {st:#x}"
+            );
+        }
+        // Unaligned store: 27 bits at bit offset 13.
+        let mut desc = vec![0u8; 16];
+        let store = BcInsn {
+            op: op::ST_BITS,
+            dst: 0,
+            a: 13,
+            b: 27,
+        };
+        exec_store(&store, &hints, &mut desc);
+        assert_eq!(read_bits(&desc, 13, 27), hints[0] & width_mask(27));
+    }
+
+    #[test]
+    fn deparse_program_roundtrips_v2_container() {
+        let prog = PlanProgram {
+            deparse: vec![
+                BcInsn {
+                    op: op::ST_BE8,
+                    dst: 0,
+                    a: 0,
+                    b: 8,
+                },
+                BcInsn {
+                    op: op::ST_BE2,
+                    dst: 1,
+                    a: 8,
+                    b: 2,
+                },
+            ],
+            slots: 0,
+            ..PlanProgram::default()
+        };
+        let bytes = prog.encode();
+        assert_eq!(bytes[4], 2, "deparse-carrying programs use v2");
+        assert_eq!(PlanProgram::decode(&bytes), Some(prog.clone()));
+        // run_deparse zeroes stale bytes before storing.
+        let mut desc = [0xFFu8; 12];
+        prog.run_deparse(&[0xABCD, 0x0042], &mut desc);
+        assert_eq!(&desc[..8], &0xABCDu64.to_be_bytes());
+        assert_eq!(&desc[8..10], &0x0042u16.to_be_bytes());
+        assert_eq!(&desc[10..], &[0, 0], "unwritten tail must be zeroed");
     }
 
     #[test]

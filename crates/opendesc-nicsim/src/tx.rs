@@ -47,7 +47,10 @@ impl SimNic {
         self.host_mem.alloc(frame)
     }
 
-    /// Post a raw TX descriptor (host side).
+    /// Post a raw TX descriptor (host side). One doorbell per
+    /// descriptor — the seed submission protocol. Batched submitters use
+    /// [`post_tx_deferred`](SimNic::post_tx_deferred) +
+    /// [`ring_tx_doorbell`](SimNic::ring_tx_doorbell) instead.
     pub fn post_tx(&mut self, desc: &[u8]) -> Result<(), NicError> {
         match self.tx_ring.produce(desc) {
             Ok(()) => {
@@ -57,6 +60,40 @@ impl SimNic {
             Err(e @ RingError::Full) => Err(NicError::Ring(e)),
             Err(e) => Err(NicError::Ring(e)),
         }
+    }
+
+    /// Stage a TX descriptor in the ring *without* publishing it: the
+    /// device sees nothing until [`ring_tx_doorbell`] makes the whole
+    /// batch visible at once. This is how real drivers amortize the MMIO
+    /// doorbell write over a batch.
+    ///
+    /// [`ring_tx_doorbell`]: SimNic::ring_tx_doorbell
+    pub fn post_tx_deferred(&mut self, desc: &[u8]) -> Result<(), NicError> {
+        self.tx_ring.produce(desc).map_err(NicError::Ring)
+    }
+
+    /// Publish every staged TX descriptor with one doorbell; returns how
+    /// many became visible to the device.
+    pub fn ring_tx_doorbell(&mut self) -> u64 {
+        self.tx_ring.ring_doorbell()
+    }
+
+    /// Cumulative count of TX descriptors the device has consumed — the
+    /// completion signal batched submitters reclaim buffer slots
+    /// against (a descriptor is consumed only after its frame left the
+    /// device, so a slot whose descriptor is consumed is free to reuse).
+    pub fn tx_completed(&self) -> u64 {
+        self.tx_ring.total_consumed()
+    }
+
+    /// [`process_tx`](SimNic::process_tx) without collecting the wire
+    /// frames: processes every published descriptor and returns the
+    /// number of frames emitted. The forwarding engine's device-side
+    /// drain — wire frames that nobody inspects are not retained.
+    pub fn process_tx_drain(&mut self) -> u64 {
+        let before = self.tx_stats.frames;
+        self.process_tx();
+        self.tx_stats.frames - before
     }
 
     /// Device side: consume published descriptors, parse them with the
@@ -278,6 +315,26 @@ mod tests {
         let mut nic = SimNic::new(models::mlx5(), 16).unwrap();
         assert!(!nic.tx_available());
         assert!(nic.process_tx().is_empty());
+    }
+
+    #[test]
+    fn deferred_posts_invisible_until_doorbell() {
+        let mut nic = SimNic::new(models::qdma_default(), 16).unwrap();
+        nic.configure_tx(h2c(12));
+        let frame = testpkt::udp4([9, 9, 9, 9], [8, 8, 8, 8], 3, 4, b"batched", None);
+        let addr = nic.alloc_tx_buf(&frame);
+        for _ in 0..3 {
+            nic.post_tx_deferred(&qdma_desc(addr, frame.len() as u16, None))
+                .unwrap();
+        }
+        // Nothing published: the device consumes nothing.
+        assert_eq!(nic.process_tx_drain(), 0);
+        assert_eq!(nic.tx_completed(), 0);
+        // One doorbell publishes the whole batch.
+        assert_eq!(nic.ring_tx_doorbell(), 3);
+        assert_eq!(nic.process_tx_drain(), 3);
+        assert_eq!(nic.tx_completed(), 3);
+        assert_eq!(nic.tx_stats.frames, 3);
     }
 
     #[test]

@@ -75,6 +75,44 @@ pub fn insert_vlan(frame: &[u8], tci: u16) -> Option<Vec<u8>> {
     Some(out)
 }
 
+/// Allocation-free [`insert_vlan`]: grow the caller's buffer by 4 bytes
+/// and shift the post-MAC payload in place (no fresh `Vec` once the
+/// buffer's capacity has warmed up). Returns `false` — frame unchanged —
+/// exactly when `insert_vlan` would return `None`.
+pub fn insert_vlan_in_place(frame: &mut Vec<u8>, tci: u16) -> bool {
+    let Some(eth) = EthFrame::new(frame) else {
+        return false;
+    };
+    if eth.has_vlan() {
+        return false;
+    }
+    frame.extend_from_slice(&[0u8; 4]);
+    let end = frame.len();
+    frame.copy_within(12..end - 4, 16);
+    frame[12..14].copy_from_slice(&ethertype::VLAN.to_be_bytes());
+    frame[14..16].copy_from_slice(&tci.to_be_bytes());
+    true
+}
+
+/// [`insert_vlan_in_place`] over a fixed-capacity slice holding a
+/// `len`-byte frame (the batched TX arena case: every slot reserves the
+/// 4-byte headroom up front). Returns the new frame length, or `None`
+/// with the slice unchanged when the frame is already tagged, too
+/// short, or the slot lacks headroom.
+pub fn insert_vlan_in_slice(buf: &mut [u8], len: usize, tci: u16) -> Option<usize> {
+    if len + 4 > buf.len() {
+        return None;
+    }
+    let eth = EthFrame::new(&buf[..len])?;
+    if eth.has_vlan() {
+        return None;
+    }
+    buf.copy_within(12..len, 16);
+    buf[12..14].copy_from_slice(&ethertype::VLAN.to_be_bytes());
+    buf[14..16].copy_from_slice(&tci.to_be_bytes());
+    Some(len + 4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +183,32 @@ mod tests {
     fn insert_vlan_rejects_already_tagged() {
         let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", Some(7));
         assert!(insert_vlan(&f, 9).is_none());
+    }
+
+    #[test]
+    fn in_place_vlan_variants_match_allocating_insert() {
+        let f = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"inplace", None);
+        let golden = insert_vlan(&f, 0x3011).unwrap();
+
+        let mut vec_frame = f.clone();
+        assert!(insert_vlan_in_place(&mut vec_frame, 0x3011));
+        assert_eq!(vec_frame, golden);
+
+        let mut slot = vec![0u8; f.len() + 64];
+        slot[..f.len()].copy_from_slice(&f);
+        let new_len = insert_vlan_in_slice(&mut slot, f.len(), 0x3011).unwrap();
+        assert_eq!(&slot[..new_len], &golden[..]);
+
+        // Already-tagged and too-short frames are refused unchanged,
+        // exactly like `insert_vlan`.
+        let tagged = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x", Some(7));
+        let mut t = tagged.clone();
+        assert!(!insert_vlan_in_place(&mut t, 9));
+        assert_eq!(t, tagged);
+        let mut short = vec![0u8; 8];
+        assert!(!insert_vlan_in_place(&mut short, 9));
+        let mut slot = vec![0u8; 64];
+        assert_eq!(insert_vlan_in_slice(&mut slot, 8, 9), None);
     }
 
     #[test]

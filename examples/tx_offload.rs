@@ -75,7 +75,7 @@ fn main() {
                     .join(","))
                 .filter(|s| !s.is_empty())
                 .unwrap_or_else(|| "-".into()),
-            compiled.software_features(&reg).join(","),
+            compiled.software_features().join(","),
         );
 
         let mut nic = SimNic::new(model, 64).unwrap();

@@ -31,6 +31,13 @@
 #                   acceptance); the emitter asserts both floors itself
 #                   (the absolute one only when
 #                   OPENDESC_BENCH_RELATIVE_ONLY is unset).
+#   BENCH_e17.json  the full-duplex engine: aggregate forward Mpps per
+#                   (model, queue count) on the sharded RX→TX path,
+#                   plus the batched-vs-seed TX submission ratio (floor
+#                   2.0) and the e1000e 4-queue forward scaling ratio
+#                   (floor 2.0) (PR 7 acceptance); both are
+#                   self-normalized, so the emitter asserts them
+#                   unconditionally.
 #
 # Every failure propagates: set -e aborts on the first failing cargo
 # invocation and the script's exit status is that failure's.
@@ -58,3 +65,4 @@ cargo run --release -q -p opendesc-bench --bin e13_json -- "$outdir/BENCH_e13.js
 cargo run --release -q -p opendesc-bench --bin e14_json -- "$outdir/BENCH_e14.json"
 cargo run --release -q -p opendesc-bench --bin e15_json -- "$outdir/BENCH_e15.json"
 cargo run --release -q -p opendesc-bench --bin e16_json -- "$outdir/BENCH_e16.json"
+cargo run --release -q -p opendesc-bench --bin e17_json -- "$outdir/BENCH_e17.json"

@@ -60,7 +60,8 @@ pub use opendesc_telemetry as telemetry;
 pub mod prelude {
     pub use opendesc_core::{
         CompiledInterface, Compiler, GenericMbufDriver, Intent, LcdDriver, Objective,
-        OpenDescDriver, RxPacket, Selector,
+        OpenDescDriver, PlanCache, RxPacket, Selector, ShardedEngine, ShardedRx, TxBatch, TxDriver,
+        TxQueue, TxRequest, TxVerdict,
     };
     pub use opendesc_ir::{names, Cost, SemanticId, SemanticRegistry};
     pub use opendesc_nicsim::{models, DmaConfig, PktGen, SimNic, Workload};

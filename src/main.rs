@@ -341,7 +341,7 @@ fn cmd_tx(o: &Opts) -> Result<(), String> {
         }
         _ => println!("  H2C context: none required"),
     }
-    let sw = compiled.software_features(&reg);
+    let sw = compiled.software_features();
     if sw.is_empty() {
         println!("  all requested hints carried by the descriptor");
     } else {

@@ -1,0 +1,272 @@
+//! Equivalence of the batched/bytecode TX path with the seed send path.
+//!
+//! Batching must be invisible on the wire: for the same frames and the
+//! same offload requests, the doorbell-batched [`TxQueue`] — descriptors
+//! serialized by the lowered deparse bytecode, software fixups applied
+//! in the arena — must transmit byte-identical frames, in order, to the
+//! seed per-send [`TxDriver`] on every TX-capable model. The two paths
+//! share nothing past `compile_tx`: the seed writes descriptors through
+//! [`TxWriter`] and rings the doorbell per send; the batch runs
+//! [`lower_tx`] bytecode and rings once per submit.
+//!
+//! A second property pins the lowering itself: for arbitrary hint
+//! values the deparse program must produce the exact descriptor bytes
+//! `TxWriter::build` does.
+//!
+//! The third property closes the loop: a full-duplex [`ShardedEngine`]
+//! forwarding every packet verbatim must put the same multiset of
+//! frames on the wire that was delivered to its queues.
+
+use opendesc::compiler::{
+    compile_tx, lower_tx, txreg, CompiledTxPlan, ForwardFn, Intent, PlanCache, RxBatch, Selector,
+    ShardedEngine, TxBatch, TxDriver, TxQueue, TxRequest, TxVerdict,
+};
+use opendesc::ir::{names, SemanticRegistry};
+use opendesc::nicsim::pktgen::ShardFrame;
+use opendesc::nicsim::{models, NicModel, SimNic, SteerPolicy};
+use opendesc::softnic::testpkt;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every model whose contract includes a TX descriptor parser.
+fn tx_models() -> Vec<NicModel> {
+    models::catalog()
+        .into_iter()
+        .filter(|m| m.desc_parser.is_some())
+        .collect()
+}
+
+fn tx_intent(reg: &mut SemanticRegistry) -> Intent {
+    Intent::builder("tx-equiv")
+        .want(reg, names::TX_L4_CSUM)
+        .want(reg, names::TX_IP_CSUM)
+        .want(reg, names::TX_VLAN_INSERT)
+        .build()
+}
+
+/// One arbitrary frame: valid UDP/TCP (VLAN-tagged or not, checksums
+/// zeroed so offloads have work to do) or raw bytes the fixups must
+/// refuse identically on both paths.
+fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        (
+            any::<[u8; 4]>(),
+            any::<[u8; 4]>(),
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64usize),
+            any::<bool>(),
+            any::<u16>(),
+            any::<bool>(),
+        )
+            .prop_map(|(s, d, sp, dp, pay, tagged, tci, udp)| {
+                let mut f = if udp {
+                    testpkt::udp4(s, d, sp, dp, &pay, tagged.then_some(tci & 0x0FFF))
+                } else {
+                    testpkt::tcp4(s, d, sp, dp, &pay, tagged.then_some(tci & 0x0FFF))
+                };
+                // Zero the IP header checksum of untagged frames so the
+                // ip_csum offload changes bytes (tagged frames keep
+                // theirs: offsets shift under the 802.1Q header).
+                if !tagged {
+                    f[24] = 0;
+                    f[25] = 0;
+                }
+                f
+            }),
+        proptest::collection::vec(any::<u8>(), 0..120usize),
+    ]
+}
+
+/// One arbitrary offload request.
+fn arb_req() -> impl Strategy<Value = TxRequest> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(None), (0u16..0x1000).prop_map(Some)],
+    )
+        .prop_map(|(ip_csum, l4_csum, vlan)| TxRequest {
+            ip_csum,
+            l4_csum,
+            vlan,
+        })
+}
+
+/// Wire frames from the seed path: one `TxDriver::send` (and one
+/// doorbell) per frame.
+fn seed_wire(model: &NicModel, cases: &[(Vec<u8>, TxRequest)]) -> Vec<Vec<u8>> {
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = tx_intent(&mut reg);
+    let compiled = compile_tx(
+        &Selector::default(),
+        &model.p4_source,
+        model.desc_parser.as_deref().unwrap(),
+        &model.name,
+        &intent,
+        &mut reg,
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+    let mut nic = SimNic::new(model.clone(), 256).unwrap();
+    let mut tx = TxDriver::attach(&mut nic, compiled, reg).unwrap();
+    for (frame, req) in cases {
+        tx.send(&mut nic, frame, *req).unwrap();
+    }
+    nic.process_tx()
+}
+
+/// Wire frames from the batched path: frames accumulate in a `TxBatch`
+/// arena and go out through `TxQueue::submit` — bytecode deparse, one
+/// doorbell per batch.
+fn batched_wire(
+    model: &NicModel,
+    cases: &[(Vec<u8>, TxRequest)],
+    batch_cap: usize,
+) -> Vec<Vec<u8>> {
+    let mut reg = SemanticRegistry::with_builtins();
+    let intent = tx_intent(&mut reg);
+    let compiled = compile_tx(
+        &Selector::default(),
+        &model.p4_source,
+        model.desc_parser.as_deref().unwrap(),
+        &model.name,
+        &intent,
+        &mut reg,
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+    let plan = Arc::new(CompiledTxPlan::new(compiled, &reg));
+    let mut nic = SimNic::new(model.clone(), 256).unwrap();
+    let mut q = TxQueue::attach(&mut nic, plan, 2048);
+    let mut batch = TxBatch::new(batch_cap, 2048);
+    let mut out = Vec::new();
+    for (frame, req) in cases {
+        if !batch.push(frame, *req) {
+            q.submit(&mut nic, &mut batch).unwrap();
+            out.extend(nic.process_tx());
+            batch.clear();
+            assert!(batch.push(frame, *req), "frame fits an empty batch");
+        }
+    }
+    q.submit(&mut nic, &mut batch).unwrap();
+    out.extend(nic.process_tx());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batched submission is byte- and order-identical to the seed
+    /// per-send path on every TX-capable model, across arbitrary
+    /// frame/request mixes and batch boundaries.
+    #[test]
+    fn batched_wire_equals_seed_wire_on_every_tx_model(
+        cases in proptest::collection::vec((arb_frame(), arb_req()), 1..24),
+        batch_cap in 1..9usize,
+    ) {
+        for model in tx_models() {
+            let want = seed_wire(&model, &cases);
+            let got = batched_wire(&model, &cases, batch_cap);
+            prop_assert_eq!(
+                &got,
+                &want,
+                "{} / batch_cap {}: batched TX diverged from seed send",
+                model.name.clone(),
+                batch_cap
+            );
+        }
+    }
+
+    /// The lowered deparse bytecode writes the exact descriptor bytes
+    /// `TxWriter::build` does, for arbitrary hint values.
+    #[test]
+    fn deparse_bytecode_equals_writer_for_arbitrary_hints(
+        addr in any::<u64>(),
+        len in any::<u16>(),
+        vlan in any::<u16>(),
+        ip in any::<bool>(),
+        l4 in any::<bool>(),
+    ) {
+        for model in tx_models() {
+            let mut reg = SemanticRegistry::with_builtins();
+            let intent = tx_intent(&mut reg);
+            let compiled = compile_tx(
+                &Selector::default(),
+                &model.p4_source,
+                model.desc_parser.as_deref().unwrap(),
+                &model.name,
+                &intent,
+                &mut reg,
+            )
+            .unwrap();
+            let prog = lower_tx(&compiled, &reg);
+            let id = |n: &str| reg.id(n).unwrap();
+            let golden = compiled.writer.build(&[
+                (id(names::BUF_ADDR), addr as u128),
+                (id(names::BUF_LEN), len as u128),
+                (id(names::TX_VLAN_INSERT), vlan as u128),
+                (id(names::TX_IP_CSUM), ip as u128),
+                (id(names::TX_L4_CSUM), l4 as u128),
+            ]);
+            let mut hints = [0u128; txreg::COUNT];
+            hints[txreg::BUF_ADDR] = addr as u128;
+            hints[txreg::BUF_LEN] = len as u128;
+            hints[txreg::VLAN] = vlan as u128;
+            hints[txreg::IP_CSUM] = ip as u128;
+            hints[txreg::L4_CSUM] = l4 as u128;
+            let mut desc = vec![0u8; compiled.writer.desc_bytes as usize];
+            prog.run_deparse(&hints, &mut desc);
+            prop_assert_eq!(
+                &desc,
+                &golden,
+                "{}: bytecode descriptor diverged from TxWriter",
+                model.name.clone()
+            );
+        }
+    }
+
+    /// A full-duplex engine forwarding everything verbatim conserves the
+    /// frame multiset: wire out == delivered in, per queue in order.
+    #[test]
+    fn full_duplex_forward_conserves_the_frame_multiset(
+        frames in proptest::collection::vec(arb_frame(), 1..24),
+        queues in 1..4usize,
+    ) {
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let rx_intent = Intent::builder("fwd_rx")
+            .want(&mut reg, names::RSS_HASH)
+            .want(&mut reg, names::PKT_LEN)
+            .build();
+        let tx_intent = Intent::builder("fwd_tx").build();
+        let forward: Arc<ForwardFn> =
+            Arc::new(|_b: &RxBatch, _i: usize, _s: &mut Vec<u8>| {
+                TxVerdict::Forward(TxRequest::default())
+            });
+        let mut eng = ShardedEngine::new_uniform(
+            &cache,
+            &models::e1000e(),
+            &rx_intent,
+            &tx_intent,
+            &mut reg,
+            queues,
+            256,
+            SteerPolicy::Rss,
+            8,
+            2048,
+            forward,
+        )
+        .unwrap();
+        let mut pools = vec![Vec::new(); queues];
+        for (i, f) in frames.iter().enumerate() {
+            let v = eng.steerer().steer(i as u64, f);
+            pools[v.queue].push(ShardFrame { bytes: f.clone(), rss: v.rss });
+        }
+        let (report, wires) = eng.run_collect(&pools);
+        prop_assert_eq!(report.total_forwarded() as usize, frames.len());
+        prop_assert_eq!(report.total_wire_frames(), report.total_forwarded());
+        for (q, wire) in wires.iter().enumerate() {
+            let want: Vec<&Vec<u8>> = pools[q].iter().map(|s| &s.bytes).collect();
+            let got: Vec<&Vec<u8>> = wire.iter().collect();
+            prop_assert_eq!(got, want, "queue {}: forwarded frames diverged", q);
+        }
+    }
+}
