@@ -293,6 +293,15 @@ impl OpenDescDriver {
         self.watchdog.resets
     }
 
+    /// Frames fed to this queue but not yet observed by a poll — the
+    /// watchdog's honest in-flight count (doorbell-lost completions are
+    /// written but unpublished, so the device's ring occupancy would
+    /// under-report). Zero means the queue has *quiesced*, which is the
+    /// rebalancer's precondition for migrating a bucket off it.
+    pub fn in_flight(&self) -> u64 {
+        self.watchdog.outstanding()
+    }
+
     pub fn set_health_config(&mut self, cfg: HealthConfig) {
         self.health = HealthState::with_config(cfg);
     }

@@ -34,6 +34,7 @@ pub mod hook;
 pub mod intent;
 pub mod lower;
 pub mod plan;
+pub mod rebalance;
 pub mod robust;
 pub mod select;
 pub mod shard;
@@ -50,15 +51,16 @@ pub use hook::{HookDriver, HookStats, HookVerdict};
 pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
 pub use lower::{lower, EbpfFieldProg, EbpfWindow, LowerError, LoweredPlan};
 pub use plan::{PlanStep, RxPlan};
+pub use rebalance::{imbalance_p99_p50, RebalanceConfig, RebalanceStats, Rebalancer, RetaMove};
 pub use robust::{
     FieldCheck, HealthConfig, HealthState, QueueHealth, SeqTracker, SeqVerdict, ValidationMode,
     ValidationStats, ValidatorSpec, Watchdog, WatchdogConfig,
 };
 pub use select::{Objective, PathScore, SelectError, Selection, Selector};
 pub use shard::{
-    DrainedPacket, EngineHealthReport, EngineReport, EngineWorker, ForwardFn, QueueHealthReport,
-    RxWorker, ShardError, ShardReport, ShardedEngine, ShardedRx, TxVerdict, TxWorkerStats,
-    WorkerStats,
+    AdaptiveConfig, AdaptiveOutcome, DrainedPacket, EngineHealthReport, EngineReport, EngineWorker,
+    ForwardFn, QueueHealthReport, RxWorker, ShardError, ShardReport, ShardedEngine, ShardedRx,
+    TxVerdict, TxWorkerStats, WorkerStats,
 };
 pub use tx::{
     compile_tx, lower_tx, txreg, CompiledTx, CompiledTxPlan, TxBatch, TxDriver, TxQueue,

@@ -1,0 +1,435 @@
+//! Telemetry-driven RETA rebalancing: the closed control loop between
+//! the per-queue busy/occupancy telemetry (PR 5) and the 128-entry RSS
+//! redirection table in [`Steerer`].
+//!
+//! Real traffic is Zipf-skewed: a handful of flows carry most of the
+//! bytes, and a static round-robin RETA pins whole hash buckets — and
+//! with them the heavy flows — to whichever queue the reset layout
+//! happened to name. The rebalancer closes the loop *around* the
+//! per-packet path, never inside it: each control interval it folds the
+//! interval's per-queue busy time and per-bucket packet counts into a
+//! per-bucket *load estimate* (in nanoseconds, via the owning queue's
+//! observed cost per packet), and when the hottest queue exceeds the
+//! hysteresis band it plans a bounded set of incremental RETA rewrites
+//! that migrate buckets from hot queues onto cold ones.
+//!
+//! Reorder-freedom is the caller's side of the contract
+//! (drain-before-remap): a bucket may only migrate off a queue that has
+//! *quiesced* — drained every in-flight frame it was fed. The planner
+//! enforces this by refusing moves whose source queue still reports
+//! in-flight work ([`RebalanceStats::deferred`] counts the refusals);
+//! the flip then simply waits for a later interval. Because RSS hashes
+//! a flow to exactly one bucket and a bucket names exactly one queue at
+//! a time, a flow's frames can never interleave across queues: all
+//! frames steered before the flip are drained before it, all frames
+//! after the flip land on the new queue.
+//!
+//! Thrash control: a `trigger_ratio` hysteresis band (no plan while
+//! `max_load ≤ trigger_ratio × mean`), a per-interval migration cap,
+//! and a per-bucket cooldown (a just-moved bucket is pinned for K
+//! intervals). Together these bound RETA churn — under a stationary
+//! workload the table converges and stops flipping, which
+//! `tests/adaptive_steering.rs` pins.
+//!
+//! [`Steerer`]: opendesc_nicsim::multiqueue::Steerer
+
+use opendesc_nicsim::multiqueue::RETA_SIZE;
+use opendesc_telemetry::{Hist, MetricRegistry};
+
+/// Control-loop tuning.
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// Hysteresis: plan only while the hottest queue's estimated load
+    /// exceeds `trigger_ratio × mean` (1.0 = always, higher = lazier).
+    pub trigger_ratio: f64,
+    /// Migration-rate cap: at most this many RETA rewrites per interval.
+    pub max_moves_per_interval: usize,
+    /// A migrated bucket is pinned for this many intervals before it may
+    /// move again (anti-thrash).
+    pub bucket_cooldown: u32,
+    /// Ignore intervals with fewer steered packets than this — too small
+    /// a sample to estimate bucket load from.
+    pub min_window_packets: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            trigger_ratio: 1.15,
+            max_moves_per_interval: 8,
+            bucket_cooldown: 2,
+            min_window_packets: 128,
+        }
+    }
+}
+
+/// One planned RETA rewrite: repoint `bucket` from queue `from` to
+/// queue `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetaMove {
+    pub bucket: usize,
+    pub from: u16,
+    pub to: u16,
+}
+
+/// Control-loop accounting across a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RebalanceStats {
+    /// Control intervals observed.
+    pub intervals: u64,
+    /// Intervals where the imbalance exceeded the hysteresis band.
+    pub triggered: u64,
+    /// RETA rewrites issued.
+    pub migrations: u64,
+    /// Planned moves refused because the source queue had not quiesced
+    /// (drain-before-remap held them back).
+    pub deferred: u64,
+    /// The most times any single bucket has flipped — the convergence
+    /// measure the proptests bound.
+    pub max_bucket_flips: u64,
+}
+
+/// The planner: owns the flip/cooldown ledgers and the bucket-load
+/// instruments; [`plan`](Rebalancer::plan) is called once per control
+/// interval with that interval's telemetry fold.
+pub struct Rebalancer {
+    cfg: RebalanceConfig,
+    /// Lifetime flip count per bucket.
+    flips: [u32; RETA_SIZE],
+    /// Intervals until each bucket may move again.
+    cooldown: [u32; RETA_SIZE],
+    /// Per-interval packet count of every active bucket — the
+    /// bucket-level load distribution, log2-binned.
+    bucket_hist: Hist,
+    stats: RebalanceStats,
+}
+
+impl Rebalancer {
+    pub fn new(cfg: RebalanceConfig) -> Rebalancer {
+        Rebalancer {
+            cfg,
+            flips: [0; RETA_SIZE],
+            cooldown: [0; RETA_SIZE],
+            bucket_hist: Hist::default(),
+            stats: RebalanceStats::default(),
+        }
+    }
+
+    /// Control-loop accounting so far.
+    pub fn stats(&self) -> RebalanceStats {
+        self.stats
+    }
+
+    /// Lifetime flip count per bucket.
+    pub fn flips(&self) -> &[u32; RETA_SIZE] {
+        &self.flips
+    }
+
+    /// One control-interval decision. Inputs are the interval's fold:
+    /// the current RETA, per-bucket steered packets, per-queue busy
+    /// nanoseconds and drained packets, and per-queue quiescence (no
+    /// in-flight frames). Returns the rewrites to apply, already vetted
+    /// against hysteresis, the migration cap, cooldowns, and
+    /// drain-before-remap. When the busy clock is dark (correctness
+    /// harnesses time nothing) the estimate degrades to packet counts.
+    pub fn plan(
+        &mut self,
+        reta: &[u16; RETA_SIZE],
+        bucket_pkts: &[u64; RETA_SIZE],
+        queue_busy_ns: &[u64],
+        queue_pkts: &[u64],
+        quiesced: &[bool],
+    ) -> Vec<RetaMove> {
+        self.stats.intervals += 1;
+        for c in self.cooldown.iter_mut() {
+            *c = c.saturating_sub(1);
+        }
+        for &n in bucket_pkts.iter().filter(|&&n| n > 0) {
+            self.bucket_hist.record(n);
+        }
+        let nq = queue_busy_ns.len();
+        let window: u64 = bucket_pkts.iter().sum();
+        if nq < 2 || window < self.cfg.min_window_packets {
+            return Vec::new();
+        }
+
+        // Fold telemetry into per-bucket load: a bucket's cost is its
+        // packet count scaled by the owning queue's observed ns/packet.
+        let timed = queue_busy_ns.iter().any(|&b| b > 0);
+        let total_busy: u64 = queue_busy_ns.iter().sum();
+        let total_pkts: u64 = queue_pkts.iter().sum();
+        let mean_cost = if timed && total_pkts > 0 {
+            total_busy as f64 / total_pkts as f64
+        } else {
+            1.0
+        };
+        let cost: Vec<f64> = (0..nq)
+            .map(|q| {
+                if timed && queue_pkts[q] > 0 {
+                    queue_busy_ns[q] as f64 / queue_pkts[q] as f64
+                } else {
+                    mean_cost
+                }
+            })
+            .collect();
+        let mut bucket_load = [0f64; RETA_SIZE];
+        let mut queue_load = vec![0f64; nq];
+        for b in 0..RETA_SIZE {
+            bucket_load[b] = bucket_pkts[b] as f64 * cost[reta[b] as usize];
+            queue_load[reta[b] as usize] += bucket_load[b];
+        }
+        let mean = queue_load.iter().sum::<f64>() / nq as f64;
+        let band = self.cfg.trigger_ratio * mean;
+        if mean <= 0.0 || !queue_load.iter().any(|&l| l > band) {
+            return Vec::new();
+        }
+        self.stats.triggered += 1;
+
+        // Greedy hottest→coldest: move the biggest cooled-down bucket
+        // that still *improves* the pair (never overshoot the gap). A
+        // hot queue with nothing movable — or one that has not drained
+        // its in-flight frames — is set aside for this interval.
+        let mut owner = *reta;
+        let mut moves = Vec::new();
+        let mut set_aside = vec![false; nq];
+        while moves.len() < self.cfg.max_moves_per_interval {
+            let hot = match (0..nq)
+                .filter(|&q| !set_aside[q] && queue_load[q] > band)
+                .max_by(|&a, &b| queue_load[a].total_cmp(&queue_load[b]))
+            {
+                Some(q) => q,
+                None => break,
+            };
+            if !quiesced[hot] {
+                self.stats.deferred += 1;
+                set_aside[hot] = true;
+                continue;
+            }
+            let cold = (0..nq)
+                .min_by(|&a, &b| queue_load[a].total_cmp(&queue_load[b]))
+                .expect("nq >= 2");
+            let gap = queue_load[hot] - queue_load[cold];
+            let pick = (0..RETA_SIZE)
+                .filter(|&b| {
+                    owner[b] as usize == hot
+                        && self.cooldown[b] == 0
+                        && bucket_load[b] > 0.0
+                        && bucket_load[b] < gap
+                })
+                .max_by(|&a, &b| bucket_load[a].total_cmp(&bucket_load[b]));
+            let b = match pick {
+                Some(b) => b,
+                None => {
+                    set_aside[hot] = true;
+                    continue;
+                }
+            };
+            queue_load[hot] -= bucket_load[b];
+            queue_load[cold] += bucket_load[b];
+            owner[b] = cold as u16;
+            self.flips[b] += 1;
+            self.cooldown[b] = self.cfg.bucket_cooldown;
+            self.stats.migrations += 1;
+            moves.push(RetaMove {
+                bucket: b,
+                from: hot as u16,
+                to: cold as u16,
+            });
+        }
+        self.stats.max_bucket_flips = self.flips.iter().copied().max().unwrap_or(0) as u64;
+        moves
+    }
+
+    /// Register the control loop's instruments under `scope` (e.g.
+    /// `rx.steer`): the rewrite/deferral counters and the log2 histogram
+    /// of per-interval bucket packet counts.
+    pub fn register_metrics(&self, reg: &mut MetricRegistry, scope: &str) {
+        reg.counter(&format!("{scope}.intervals"), self.stats.intervals);
+        reg.counter(&format!("{scope}.triggered"), self.stats.triggered);
+        reg.counter(&format!("{scope}.migrations"), self.stats.migrations);
+        reg.counter(&format!("{scope}.deferred"), self.stats.deferred);
+        reg.gauge(
+            &format!("{scope}.max_bucket_flips"),
+            self.stats.max_bucket_flips as f64,
+        );
+        reg.hist(&format!("{scope}.bucket_pkts"), &self.bucket_hist);
+    }
+}
+
+/// p99/p50 ratio over a small per-queue sample (exact nearest-rank
+/// percentiles, not the log2 histogram approximation) — the imbalance
+/// figure every benchmark row now reports. 0 samples → 1.0 (balanced by
+/// vacuity); a zero p50 with a hot tail reports the tail directly.
+pub fn imbalance_p99_p50(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let rank = |q: f64| -> u64 {
+        let i = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+        v[i]
+    };
+    let (p50, p99) = (rank(0.50), rank(0.99));
+    if p50 == 0 {
+        return if p99 == 0 { 1.0 } else { p99 as f64 };
+    }
+    p99 as f64 / p50 as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_quiesced(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    /// A RETA over `nq` queues with every bucket's packets given by `f`.
+    fn scenario(nq: usize, f: impl Fn(usize) -> u64) -> ([u16; RETA_SIZE], [u64; RETA_SIZE]) {
+        let mut reta = [0u16; RETA_SIZE];
+        let mut pkts = [0u64; RETA_SIZE];
+        for b in 0..RETA_SIZE {
+            reta[b] = (b % nq) as u16;
+            pkts[b] = f(b);
+        }
+        (reta, pkts)
+    }
+
+    fn queue_pkts(reta: &[u16; RETA_SIZE], pkts: &[u64; RETA_SIZE], nq: usize) -> Vec<u64> {
+        let mut q = vec![0u64; nq];
+        for b in 0..RETA_SIZE {
+            q[reta[b] as usize] += pkts[b];
+        }
+        q
+    }
+
+    #[test]
+    fn balanced_load_never_triggers() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (reta, pkts) = scenario(4, |_| 10);
+        let qp = queue_pkts(&reta, &pkts, 4);
+        for _ in 0..20 {
+            let moves = r.plan(&reta, &pkts, &[0; 4], &qp, &uniform_quiesced(4));
+            assert!(moves.is_empty(), "balanced traffic must not migrate");
+        }
+        assert_eq!(r.stats().triggered, 0);
+        assert_eq!(r.stats().migrations, 0);
+    }
+
+    #[test]
+    fn skew_migrates_buckets_off_the_hot_queue() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        // Queue 0 owns several hot buckets; queues 1-3 idle-ish.
+        let (mut reta, pkts) = scenario(4, |b| if b % 4 == 0 { 100 } else { 1 });
+        let mut moved = 0u64;
+        for _ in 0..10 {
+            let qp = queue_pkts(&reta, &pkts, 4);
+            let moves = r.plan(&reta, &pkts, &[0; 4], &qp, &uniform_quiesced(4));
+            for m in &moves {
+                assert_eq!(m.from, 0, "only the hot queue sheds load");
+                assert_ne!(m.to, 0);
+                assert_eq!(reta[m.bucket], m.from, "planner tracks live ownership");
+                reta[m.bucket] = m.to;
+                moved += 1;
+            }
+            if moves.is_empty() {
+                break;
+            }
+        }
+        assert!(moved > 0, "skew must trigger migrations");
+        // The loop converged: hot queue load within band of the mean.
+        let qp = queue_pkts(&reta, &pkts, 4);
+        let mean = qp.iter().sum::<u64>() as f64 / 4.0;
+        assert!(
+            (*qp.iter().max().unwrap() as f64) <= 1.5 * mean,
+            "post-rebalance spread {qp:?}"
+        );
+    }
+
+    #[test]
+    fn migration_rate_cap_and_cooldown_hold() {
+        let cfg = RebalanceConfig {
+            max_moves_per_interval: 2,
+            bucket_cooldown: 1_000,
+            ..RebalanceConfig::default()
+        };
+        let mut r = Rebalancer::new(cfg);
+        let (reta, pkts) = scenario(2, |b| if b % 2 == 0 { 50 } else { 1 });
+        let qp = queue_pkts(&reta, &pkts, 2);
+        let first = r.plan(&reta, &pkts, &[0; 2], &qp, &uniform_quiesced(2));
+        assert!(first.len() <= 2, "per-interval cap: {first:?}");
+        // Same table again: the moved buckets are cooling down, so the
+        // planner may only touch *other* buckets.
+        let second = r.plan(&reta, &pkts, &[0; 2], &qp, &uniform_quiesced(2));
+        for m in &second {
+            assert!(
+                !first.iter().any(|f| f.bucket == m.bucket),
+                "cooldown pins just-moved buckets"
+            );
+        }
+    }
+
+    #[test]
+    fn unquiesced_queue_defers_instead_of_stranding() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (reta, pkts) = scenario(2, |b| if b % 2 == 0 { 50 } else { 1 });
+        let qp = queue_pkts(&reta, &pkts, 2);
+        // Hot queue 0 still has frames in flight: nothing may move.
+        let moves = r.plan(&reta, &pkts, &[0; 2], &qp, &[false, true]);
+        assert!(moves.is_empty(), "drain-before-remap defers: {moves:?}");
+        assert_eq!(r.stats().deferred, 1);
+        assert_eq!(r.stats().migrations, 0);
+        // Once drained, the same interval fold migrates.
+        let moves = r.plan(&reta, &pkts, &[0; 2], &qp, &[true, true]);
+        assert!(!moves.is_empty());
+    }
+
+    #[test]
+    fn busy_telemetry_outweighs_raw_packet_counts() {
+        // Queue 1 drains equal packets but three times slower (its
+        // ns/pkt cost is higher) — load estimates must follow busy time,
+        // so queue 1 is the one that sheds buckets.
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (reta, pkts) = scenario(2, |_| 10);
+        let qp = queue_pkts(&reta, &pkts, 2);
+        let busy = [1_000u64, 3_000u64];
+        let moves = r.plan(&reta, &pkts, &busy, &qp, &uniform_quiesced(2));
+        assert!(!moves.is_empty(), "cost skew alone triggers");
+        for m in &moves {
+            assert_eq!(m.from, 1, "the slow queue sheds: {moves:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_windows_are_ignored() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (reta, pkts) = scenario(2, |b| if b == 0 { 20 } else { 0 });
+        let qp = queue_pkts(&reta, &pkts, 2);
+        assert!(r
+            .plan(&reta, &pkts, &[0; 2], &qp, &uniform_quiesced(2))
+            .is_empty());
+    }
+
+    #[test]
+    fn metrics_register_under_scope() {
+        let mut r = Rebalancer::new(RebalanceConfig::default());
+        let (reta, pkts) = scenario(2, |b| if b % 2 == 0 { 50 } else { 1 });
+        let qp = queue_pkts(&reta, &pkts, 2);
+        r.plan(&reta, &pkts, &[0; 2], &qp, &uniform_quiesced(2));
+        let mut reg = MetricRegistry::default();
+        r.register_metrics(&mut reg, "rx.steer");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rx.steer.intervals"), 1);
+        assert!(snap.counter("rx.steer.migrations") > 0);
+    }
+
+    #[test]
+    fn imbalance_ratio_basics() {
+        assert_eq!(imbalance_p99_p50(&[]), 1.0);
+        assert_eq!(imbalance_p99_p50(&[5, 5, 5, 5]), 1.0);
+        let skewed = [10u64, 10, 10, 10, 10, 10, 10, 100];
+        assert!(imbalance_p99_p50(&skewed) >= 10.0);
+        assert_eq!(imbalance_p99_p50(&[0, 0, 0, 8]), 8.0);
+    }
+}

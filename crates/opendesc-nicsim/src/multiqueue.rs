@@ -87,6 +87,9 @@ pub struct SteerVerdict<'f> {
     pub parsed: Option<ParsedFrame<'f>>,
     /// The steering-time Toeplitz hash (RSS policy, IP frames only).
     pub rss: Option<u32>,
+    /// The RETA bucket (`hash & (RETA_SIZE-1)`) that named the queue —
+    /// the unit of migration for adaptive rebalancing. RSS policy only.
+    pub bucket: Option<usize>,
 }
 
 /// Immutable steering state, built once when the queue set is configured.
@@ -136,6 +139,24 @@ impl Steerer {
         &self.reta
     }
 
+    /// Repoint one RETA bucket at `queue` — the rebalancer's migration
+    /// primitive. Like a real device's RETA write this changes where
+    /// *future* frames of the bucket's flows land; callers that need
+    /// reorder-freedom must drain the bucket's old queue first
+    /// (drain-before-remap).
+    pub fn set_reta(&mut self, bucket: usize, queue: u16) {
+        assert!(bucket < RETA_SIZE, "bucket {bucket} out of range");
+        assert!((queue as usize) < self.queues, "queue {queue} out of range");
+        self.reta[bucket] = queue;
+    }
+
+    /// Restore the reset round-robin RETA layout (`i % queues`).
+    pub fn reset_reta(&mut self) {
+        for (i, e) in self.reta.iter_mut().enumerate() {
+            *e = (i % self.queues) as u16;
+        }
+    }
+
     /// Steer frame `idx` of a stream. `idx` only matters for round-robin
     /// (the cursor); content-based policies ignore it, so any caller that
     /// knows a frame's stream position steers it identically — the
@@ -147,6 +168,7 @@ impl Steerer {
                 queue: (idx % self.queues as u64) as usize,
                 parsed,
                 rss: None,
+                bucket: None,
             },
             SteerPolicy::DstPort { table, default } => {
                 let port = parsed.as_ref().and_then(|p| p.ports()).map(|(_, d)| d);
@@ -163,6 +185,7 @@ impl Steerer {
                     queue,
                     parsed,
                     rss: None,
+                    bucket: None,
                 }
             }
             SteerPolicy::Rss => {
@@ -173,11 +196,19 @@ impl Steerer {
                         None => rss_ipv4(&MSFT_RSS_KEY, ip.src(), ip.dst()),
                     })
                 });
-                let queue = match rss {
-                    Some(h) => self.reta[h as usize & (RETA_SIZE - 1)] as usize,
-                    None => 0,
+                let (queue, bucket) = match rss {
+                    Some(h) => {
+                        let b = h as usize & (RETA_SIZE - 1);
+                        (self.reta[b] as usize, Some(b))
+                    }
+                    None => (0, None),
                 };
-                SteerVerdict { queue, parsed, rss }
+                SteerVerdict {
+                    queue,
+                    parsed,
+                    rss,
+                    bucket,
+                }
             }
         }
     }
@@ -362,6 +393,30 @@ mod tests {
             let v = st.steer(0, &f);
             let h = v.rss.expect("generated frames are IPv4");
             assert_eq!(v.queue, st.reta()[h as usize & (RETA_SIZE - 1)] as usize);
+        }
+    }
+
+    #[test]
+    fn reta_rewrite_moves_exactly_one_bucket() {
+        let mut st = Steerer::new(SteerPolicy::Rss, 4);
+        let fs = frames(100);
+        let before: Vec<_> = fs.iter().map(|f| st.steer(0, f).queue).collect();
+        // Move bucket of the first frame somewhere else; only frames in
+        // that bucket may change queue, and they all land on the target.
+        let moved = st.steer(0, &fs[0]).bucket.expect("ipv4 under rss");
+        let target = (st.reta()[moved] + 1) % 4;
+        st.set_reta(moved, target);
+        for (f, was) in fs.iter().zip(&before) {
+            let v = st.steer(0, f);
+            if v.bucket == Some(moved) {
+                assert_eq!(v.queue, target as usize, "migrated bucket lands on target");
+            } else {
+                assert_eq!(v.queue, *was, "other buckets are untouched");
+            }
+        }
+        st.reset_reta();
+        for (i, e) in st.reta().iter().enumerate() {
+            assert_eq!(*e as usize, i % 4);
         }
     }
 

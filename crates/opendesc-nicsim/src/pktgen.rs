@@ -15,6 +15,12 @@ pub enum Transport {
     KvsGet,
 }
 
+/// Fraction of total traffic each injected elephant flow carries. Two
+/// elephants under the default config thus pin ~16% of all frames onto
+/// (at most) two RSS buckets — the realistic heavy-hitter case RETA
+/// rebalancing has to survive.
+pub const ELEPHANT_SHARE: f64 = 0.08;
+
 /// Workload description.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -26,6 +32,14 @@ pub struct Workload {
     /// Fraction \[0,1\] of frames carrying an 802.1Q tag.
     pub vlan_fraction: f64,
     pub seed: u64,
+    /// Zipf skew exponent for flow popularity. `None` keeps the
+    /// historical uniform flow choice; `Some(α)` makes flow `k` (0-based
+    /// rank) carry probability ∝ 1/(k+1)^α — real traffic is α ≈ 0.9–1.3.
+    pub zipf_alpha: Option<f64>,
+    /// Injected elephant flows on top of the base distribution. Each
+    /// elephant is an *extra* flow (id ≥ `flows`) carrying a fixed
+    /// [`ELEPHANT_SHARE`] of total traffic.
+    pub elephants: u32,
 }
 
 impl Default for Workload {
@@ -36,6 +50,8 @@ impl Default for Workload {
             transport: Transport::Udp,
             vlan_fraction: 0.5,
             seed: 7,
+            zipf_alpha: None,
+            elephants: 0,
         }
     }
 }
@@ -50,6 +66,7 @@ impl Workload {
             transport: Transport::Udp,
             vlan_fraction: 0.0,
             seed: 7,
+            ..Workload::default()
         }
     }
 
@@ -61,7 +78,23 @@ impl Workload {
             transport: Transport::KvsGet,
             vlan_fraction: 0.0,
             seed: 7,
+            ..Workload::default()
         }
+    }
+
+    /// Skewed min-size workload: Zipf flow popularity plus injected
+    /// elephants — the E18 adaptive-steering traffic.
+    pub fn zipf(flows: u32, alpha: f64, elephants: u32) -> Self {
+        Workload {
+            zipf_alpha: Some(alpha),
+            elephants,
+            ..Workload::min_size(flows)
+        }
+    }
+
+    /// Total probability mass the injected elephants take.
+    fn elephant_mass(&self) -> f64 {
+        (self.elephants as f64 * ELEPHANT_SHARE).min(0.5)
     }
 }
 
@@ -70,15 +103,38 @@ pub struct PktGen {
     wl: Workload,
     rng: SmallRng,
     emitted: u64,
+    /// Cumulative Zipf distribution over the base flows (empty when the
+    /// workload is uniform): `zipf_cdf[k]` = P(flow rank ≤ k).
+    zipf_cdf: Vec<f64>,
 }
 
 impl PktGen {
     pub fn new(wl: Workload) -> Self {
         let rng = SmallRng::seed_from_u64(wl.seed);
+        let zipf_cdf = match wl.zipf_alpha {
+            Some(alpha) => {
+                let mut acc = 0.0f64;
+                let mut cdf: Vec<f64> = (0..wl.flows)
+                    .map(|k| {
+                        acc += 1.0 / ((k + 1) as f64).powf(alpha);
+                        acc
+                    })
+                    .collect();
+                for c in &mut cdf {
+                    *c /= acc;
+                }
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0; // seal float drift; sampling never overruns
+                }
+                cdf
+            }
+            None => Vec::new(),
+        };
         PktGen {
             wl,
             rng,
             emitted: 0,
+            zipf_cdf,
         }
     }
 
@@ -87,10 +143,36 @@ impl PktGen {
         self.emitted
     }
 
+    /// Pick the next frame's flow id: elephants first (fixed share of
+    /// the unit interval each), then the base distribution — Zipf by
+    /// rank when `zipf_alpha` is set, uniform otherwise. One RNG draw
+    /// either way, so skewed streams stay seed-deterministic and
+    /// regenerable per worker.
+    fn next_flow(&mut self) -> u32 {
+        if self.wl.zipf_alpha.is_none() && self.wl.elephants == 0 {
+            return self.rng.random_range(0..self.wl.flows);
+        }
+        let r = self.rng.random::<f64>();
+        let emass = self.wl.elephant_mass();
+        if r < emass {
+            // Elephant ids live above the base flow range.
+            let share = emass / self.wl.elephants as f64;
+            return self.wl.flows + ((r / share) as u32).min(self.wl.elephants - 1);
+        }
+        let u = (r - emass) / (1.0 - emass);
+        if self.zipf_cdf.is_empty() {
+            ((u * self.wl.flows as f64) as u32).min(self.wl.flows - 1)
+        } else {
+            self.zipf_cdf
+                .partition_point(|&c| c < u)
+                .min(self.wl.flows as usize - 1) as u32
+        }
+    }
+
     /// Generate the next frame.
     pub fn next_frame(&mut self) -> Vec<u8> {
         self.emitted += 1;
-        let flow = self.rng.random_range(0..self.wl.flows);
+        let flow = self.next_flow();
         // Derive a stable 5-tuple from the flow id.
         let src_ip = [10, 0, (flow >> 8) as u8, flow as u8];
         let dst_ip = [10, 1, 0, 1];
@@ -302,6 +384,72 @@ mod tests {
             for sf in pool {
                 assert!(sf.rss.is_some(), "IPv4 traffic under RSS carries a hash");
             }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_orders_flows_by_rank_and_stays_deterministic() {
+        let wl = Workload::zipf(32, 1.1, 0);
+        let mut counts = vec![0u64; 32];
+        let mut g = PktGen::new(wl.clone());
+        for _ in 0..4000 {
+            let f = g.next_frame();
+            let p = ParsedFrame::parse(&f).unwrap();
+            // Flow id round-trips through the src port derivation.
+            let flow = (p.ports().unwrap().0 - 10_000) as usize;
+            counts[flow] += 1;
+        }
+        assert!(
+            counts[0] > 3 * counts[8] && counts[0] > 6 * counts[31],
+            "rank-0 flow dominates the tail: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "tail flows still appear");
+        let mut a = PktGen::new(wl.clone());
+        let mut b = PktGen::new(wl);
+        for _ in 0..100 {
+            assert_eq!(
+                a.next_frame(),
+                b.next_frame(),
+                "skewed streams replay per seed"
+            );
+        }
+    }
+
+    #[test]
+    fn elephants_carry_their_share() {
+        let wl = Workload {
+            elephants: 2,
+            ..Workload::min_size(16)
+        };
+        let mut g = PktGen::new(wl);
+        let (mut eleph, total) = (0u64, 5000u64);
+        for _ in 0..total {
+            let f = g.next_frame();
+            let p = ParsedFrame::parse(&f).unwrap();
+            let flow = (p.ports().unwrap().0 - 10_000) as u32;
+            if flow >= 16 {
+                assert!(flow < 18, "elephant ids sit just above the base range");
+                eleph += 1;
+            }
+        }
+        let share = eleph as f64 / total as f64;
+        let want = 2.0 * ELEPHANT_SHARE;
+        assert!(
+            (share - want).abs() < 0.03,
+            "elephant share {share} ≉ {want}"
+        );
+    }
+
+    #[test]
+    fn zipf_sharded_generation_matches_worker_local_regeneration() {
+        use crate::multiqueue::{SteerPolicy, Steerer};
+        let st = Steerer::new(SteerPolicy::Rss, 8);
+        let wl = Workload::zipf(64, 1.3, 2);
+        let seq = ShardedPktGen::generate(wl.clone(), &st, 300).into_pools();
+        assert_eq!(seq.iter().map(Vec::len).sum::<usize>(), 300);
+        for (q, pool) in seq.iter().enumerate() {
+            let local = ShardedPktGen::shard_for(&wl, &st, 300, q);
+            assert_eq!(pool, &local, "queue {q}: skewed lock-free split must match");
         }
     }
 

@@ -11,9 +11,15 @@
 //!
 //! ```sh
 //! cargo run --example kvs_offload
+//! cargo run --example kvs_offload -- --zipf 1.3 --elephants 2
 //! ```
+//!
+//! With `--zipf <alpha>` (and optionally `--elephants <n>`) the request
+//! stream is skewed instead of uniform, and the example reports the
+//! per-queue occupancy skew RSS leaves behind instead of asserting the
+//! flat-load balance.
 
-use opendesc::compiler::{ForwardFn, RxBatch, TxVerdict};
+use opendesc::compiler::{imbalance_p99_p50, ForwardFn, RxBatch, TxVerdict};
 use opendesc::ir::names;
 use opendesc::nicsim::multiqueue::SteerPolicy;
 use opendesc::nicsim::pktgen::ShardedPktGen;
@@ -26,6 +32,31 @@ use std::sync::Arc;
 const SHARDS: usize = 4;
 const QUEUES: usize = 2;
 const REQUESTS: usize = 8_000;
+
+/// `--zipf <alpha>` / `--elephants <n>`: skew the request stream.
+fn skew_args() -> (Option<f64>, u32) {
+    let (mut zipf, mut elephants) = (None, 0u32);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--zipf" => {
+                zipf = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--zipf <alpha>"),
+                )
+            }
+            "--elephants" => {
+                elephants = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--elephants <n>")
+            }
+            other => panic!("unknown flag {other} (supported: --zipf <alpha>, --elephants <n>)"),
+        }
+    }
+    (zipf, elephants)
+}
 
 /// Turn a GET request into its response in place of `out`: swap MACs,
 /// IPs, and UDP ports, zero both checksums (the TX offload path fills
@@ -91,7 +122,11 @@ fn main() {
     )
     .expect("kvs intents compile (key hash via softnic shim on e1000e)");
 
-    let pools = ShardedPktGen::generate(Workload::kvs(64), eng.steerer(), REQUESTS).into_pools();
+    let (zipf, elephants) = skew_args();
+    let mut wl = Workload::kvs(64);
+    wl.zipf_alpha = zipf;
+    wl.elephants = elephants;
+    let pools = ShardedPktGen::generate(wl, eng.steerer(), REQUESTS).into_pools();
     let (report, wires) = eng.run_collect(&pools);
 
     println!(
@@ -130,17 +165,30 @@ fn main() {
         let bar = "#".repeat((n * 40 / total.max(1)) as usize);
         println!("  shard {i}: {n:>6} {bar}");
     }
-    let max = shard_load
-        .iter()
-        .map(|c| c.load(Ordering::Relaxed))
-        .max()
-        .unwrap() as f64;
-    let min = shard_load
-        .iter()
-        .map(|c| c.load(Ordering::Relaxed))
-        .min()
-        .unwrap() as f64;
-    assert!(max / min.max(1.0) < 2.0, "shard imbalance {max}/{min}");
+    if zipf.is_none() && elephants == 0 {
+        // Flat load only: skewed flows legitimately skew the shards.
+        let max = shard_load
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .max()
+            .unwrap() as f64;
+        let min = shard_load
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .min()
+            .unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.0, "shard imbalance {max}/{min}");
+    } else {
+        // Skewed mode: show what the flow skew does to the queues
+        // (this is the imbalance E18's adaptive steering exists to fix).
+        let per_queue: Vec<u64> = report.rx.iter().map(|w| w.packets).collect();
+        println!(
+            "skewed stream (zipf {:?}, {elephants} elephants): per-queue pkts {:?}, p99/p50 {:.2}",
+            zipf,
+            per_queue,
+            imbalance_p99_p50(&per_queue)
+        );
+    }
 
     let snap = eng.snapshot();
     println!(

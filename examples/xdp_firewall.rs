@@ -14,7 +14,11 @@
 //!
 //! ```sh
 //! cargo run --example xdp_firewall
+//! cargo run --example xdp_firewall -- --zipf 1.1 --elephants 1
 //! ```
+//!
+//! `--zipf <alpha>` / `--elephants <n>` skew the part-two traffic so
+//! the per-queue report shows what flow skew does to RSS steering.
 
 use opendesc::compiler::codegen::ebpf::gen_xdp_filter;
 use opendesc::compiler::{ForwardFn, RxBatch, TxVerdict};
@@ -26,6 +30,31 @@ use opendesc::nicsim::pktgen::ShardedPktGen;
 use opendesc::nicsim::SimNic;
 use opendesc::prelude::*;
 use std::sync::Arc;
+
+/// `--zipf <alpha>` / `--elephants <n>`: skew the part-two traffic.
+fn skew_args() -> (Option<f64>, u32) {
+    let (mut zipf, mut elephants) = (None, 0u32);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--zipf" => {
+                zipf = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--zipf <alpha>"),
+                )
+            }
+            "--elephants" => {
+                elephants = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--elephants <n>")
+            }
+            other => panic!("unknown flag {other} (supported: --zipf <alpha>, --elephants <n>)"),
+        }
+    }
+    (zipf, elephants)
+}
 
 fn main() {
     // Intent: the application steers on the device flow tag.
@@ -126,7 +155,13 @@ fn main() {
     )
     .expect("ice serves flow tags in hardware and has a TX parser");
     let total = 4_000;
-    let pools = ShardedPktGen::generate(Workload::default(), eng.steerer(), total).into_pools();
+    let (zipf, elephants) = skew_args();
+    let wl = Workload {
+        zipf_alpha: zipf,
+        elephants,
+        ..Default::default()
+    };
+    let pools = ShardedPktGen::generate(wl, eng.steerer(), total).into_pools();
     let report = eng.run(&pools);
     println!(
         "\nforwarding firewall on ice: {} in → {} forwarded, {} blocked ({} doorbells)",
@@ -134,6 +169,17 @@ fn main() {
         report.total_forwarded(),
         report.total_dropped(),
         eng.snapshot().counter("tx.engine.doorbells"),
+    );
+    let per_queue: Vec<u64> = report.rx.iter().map(|w| w.packets).collect();
+    println!(
+        "per-queue pkts {:?}, p99/p50 {:.2}{}",
+        per_queue,
+        opendesc::compiler::imbalance_p99_p50(&per_queue),
+        if zipf.is_some() || elephants > 0 {
+            " (skewed stream)"
+        } else {
+            ""
+        }
     );
     assert_eq!(report.total_rx_packets() as usize, total);
     assert_eq!(

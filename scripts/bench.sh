@@ -38,6 +38,15 @@
 #                   (floor 2.0) (PR 7 acceptance); both are
 #                   self-normalized, so the emitter asserts them
 #                   unconditionally.
+#   BENCH_e18.json  adaptive steering under skew: aggregate Mpps and
+#                   per-queue occupancy for static vs adaptive RETA on
+#                   e1000e at 16/64 queues under uniform and Zipf
+#                   {0.9, 1.1, 1.3} traffic with elephants, plus the
+#                   adaptive-vs-static Mpps ratios at alpha=1.3 (floor
+#                   1.2), the p99/p50 occupancy improvement ratios
+#                   (floor 1.3), and the uniform-cost guard (floor
+#                   0.8) (PR 8 acceptance); all are self-normalized,
+#                   so the emitter asserts them unconditionally.
 #
 # Every failure propagates: set -e aborts on the first failing cargo
 # invocation and the script's exit status is that failure's.
@@ -66,3 +75,4 @@ cargo run --release -q -p opendesc-bench --bin e14_json -- "$outdir/BENCH_e14.js
 cargo run --release -q -p opendesc-bench --bin e15_json -- "$outdir/BENCH_e15.json"
 cargo run --release -q -p opendesc-bench --bin e16_json -- "$outdir/BENCH_e16.json"
 cargo run --release -q -p opendesc-bench --bin e17_json -- "$outdir/BENCH_e17.json"
+cargo run --release -q -p opendesc-bench --bin e18_json -- "$outdir/BENCH_e18.json"

@@ -131,6 +131,7 @@ fn pools(eng: &ShardedRx, seed: u64, n: usize) -> Vec<Vec<ShardFrame>> {
         transport: opendesc::nicsim::Transport::Udp,
         vlan_fraction: 0.5,
         seed,
+        ..Workload::default()
     };
     ShardedPktGen::generate(wl, eng.steerer(), n).into_pools()
 }
