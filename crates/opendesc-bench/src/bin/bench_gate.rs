@@ -40,7 +40,7 @@ fn main() -> ExitCode {
     let experiments: Vec<String> = if args.len() > 2 {
         args[2..].to_vec()
     } else {
-        ["e12", "e13", "e14", "e15", "e16", "e17", "e18"]
+        ["e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"]
             .iter()
             .map(|s| s.to_string())
             .collect()

@@ -162,17 +162,33 @@ impl PlanKey {
     }
 }
 
+/// A cached artifact tagged with the cache epoch of the last request
+/// that returned it. Entries whose epoch falls behind the current one
+/// are *superseded* — a relayout has moved every consumer to a newer
+/// plan — and become evictable once their external refcount drops to
+/// zero (only the cache's own `Arc` remains).
+#[derive(Debug)]
+struct Versioned<T> {
+    plan: Arc<T>,
+    epoch: u64,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<PlanKey, Arc<CompiledRx>>,
+    map: HashMap<PlanKey, Versioned<CompiledRx>>,
     hits: u64,
     misses: u64,
     /// TX plans live in their own map with their own counters, so the
     /// RX `stats()`/`len()` numbers existing callers assert on never
     /// shift when a full-duplex engine also compiles TX.
-    tx_map: HashMap<PlanKey, Arc<CompiledTxPlan>>,
+    tx_map: HashMap<PlanKey, Versioned<CompiledTxPlan>>,
     tx_hits: u64,
     tx_misses: u64,
+    /// Current plan epoch. 0 until the first
+    /// [`begin_generation`](PlanCache::begin_generation); a cache that
+    /// never relayouts never evicts, so pre-evolution callers see the
+    /// exact historical behavior.
+    epoch: u64,
 }
 
 /// Keyed plan cache: `(model, context, intent) → Arc<CompiledRx>`.
@@ -220,8 +236,12 @@ impl PlanCache {
         let key = PlanKey::new(model, intent, context, reg);
         {
             let mut inner = self.inner.lock().unwrap();
-            if let Some(hit) = inner.map.get(&key) {
-                let hit = Arc::clone(hit);
+            let epoch = inner.epoch;
+            if let Some(hit) = inner.map.get_mut(&key) {
+                // A hit re-adopts the entry into the current epoch: a
+                // plan still being requested is not superseded.
+                hit.epoch = epoch;
+                let hit = Arc::clone(&hit.plan);
                 inner.hits += 1;
                 return Ok(hit);
             }
@@ -242,8 +262,13 @@ impl PlanCache {
         }
         let mut inner = self.inner.lock().unwrap();
         inner.misses += 1;
-        let arc = inner.map.entry(key).or_insert_with(|| rx);
-        Ok(Arc::clone(arc))
+        let epoch = inner.epoch;
+        let entry = inner
+            .map
+            .entry(key)
+            .or_insert_with(|| Versioned { plan: rx, epoch });
+        entry.epoch = epoch;
+        Ok(Arc::clone(&entry.plan))
     }
 
     /// Compiled TX plan for `(model, intent)`, compiling at most once —
@@ -260,8 +285,10 @@ impl PlanCache {
         let key = PlanKey::new(model, intent, None, reg);
         {
             let mut inner = self.inner.lock().unwrap();
-            if let Some(hit) = inner.tx_map.get(&key) {
-                let hit = Arc::clone(hit);
+            let epoch = inner.epoch;
+            if let Some(hit) = inner.tx_map.get_mut(&key) {
+                hit.epoch = epoch;
+                let hit = Arc::clone(&hit.plan);
                 inner.tx_hits += 1;
                 return Ok(hit);
             }
@@ -279,8 +306,13 @@ impl PlanCache {
         let plan = Arc::new(CompiledTxPlan::new(tx, reg));
         let mut inner = self.inner.lock().unwrap();
         inner.tx_misses += 1;
-        let arc = inner.tx_map.entry(key).or_insert_with(|| plan);
-        Ok(Arc::clone(arc))
+        let epoch = inner.epoch;
+        let entry = inner
+            .tx_map
+            .entry(key)
+            .or_insert_with(|| Versioned { plan, epoch });
+        entry.epoch = epoch;
+        Ok(Arc::clone(&entry.plan))
     }
 
     /// `(hits, misses)` so far.
@@ -302,6 +334,49 @@ impl PlanCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Distinct TX plans held.
+    pub fn tx_len(&self) -> usize {
+        self.inner.lock().unwrap().tx_map.len()
+    }
+
+    /// Current plan epoch. 0 until the first
+    /// [`begin_generation`](PlanCache::begin_generation).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().epoch
+    }
+
+    /// Open a new plan generation and return its epoch. Entries served
+    /// before this call become *superseded*: once no consumer outside
+    /// the cache holds them they are reclaimable by
+    /// [`evict_superseded`](PlanCache::evict_superseded). A relayout
+    /// calls this before compiling the incoming layout's plans, so the
+    /// outgoing generation ages out while any entry the new intent
+    /// re-requests (a hit) is re-adopted into the new epoch and kept.
+    pub fn begin_generation(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        inner.epoch += 1;
+        inner.epoch
+    }
+
+    /// Drop superseded artifacts no consumer still holds. An entry is
+    /// evicted when its epoch predates the current generation *and* the
+    /// cache's `Arc` is the last reference — a queue still draining the
+    /// old layout pins its plan (the `Arc` refcount is the "in-flight
+    /// batch" pin) until its flip commits and it drops the handle.
+    /// Returns how many artifacts (RX + TX) were reclaimed.
+    pub fn evict_superseded(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let epoch = inner.epoch;
+        let before = inner.map.len() + inner.tx_map.len();
+        inner
+            .map
+            .retain(|_, v| v.epoch == epoch || Arc::strong_count(&v.plan) > 1);
+        inner
+            .tx_map
+            .retain(|_, v| v.epoch == epoch || Arc::strong_count(&v.plan) > 1);
+        before - (inner.map.len() + inner.tx_map.len())
     }
 }
 
@@ -464,6 +539,70 @@ mod tests {
             .get_or_compile_tx(&models::mlx5(), &ti, &mut reg)
             .is_err());
         assert_eq!(cache.tx_stats(), (1, 1));
+    }
+
+    #[test]
+    fn relayout_generations_are_bounded() {
+        // Regression for unbounded growth: N relayouts cycling through
+        // distinct intents must never leave more than 2 live RX
+        // generations (the incoming plan plus the still-pinned outgoing
+        // one), and exactly 1 once each flip's old handle is dropped.
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let pool = [
+            names::RSS_HASH,
+            names::VLAN_TCI,
+            names::PKT_LEN,
+            names::PACKET_TYPE,
+        ];
+        let mut live = cache
+            .get_or_compile(
+                &models::ixgbe(),
+                &intent(&mut reg, "gen0", &[names::PKT_LEN]),
+                &mut reg,
+            )
+            .unwrap();
+        for n in 1..=8usize {
+            cache.begin_generation();
+            let i = intent(&mut reg, &format!("gen{n}"), &[pool[n % pool.len()]]);
+            let next = cache
+                .get_or_compile(&models::ixgbe(), &i, &mut reg)
+                .unwrap();
+            // Transition window: the outgoing plan is still pinned by
+            // `live`, so eviction must not reclaim it.
+            assert_eq!(cache.evict_superseded(), 0);
+            assert_eq!(cache.len(), 2, "old pinned + new = 2 live generations");
+            live = next; // flip commits; old Arc drops here
+            assert_eq!(cache.evict_superseded(), 1);
+            assert_eq!(cache.len(), 1, "superseded generation reclaimed");
+        }
+        assert_eq!(cache.generation(), 8);
+        drop(live);
+    }
+
+    #[test]
+    fn hits_readopt_entries_into_the_current_generation() {
+        // A relayout back to a layout the cache already holds must not
+        // age that entry out: the hit re-adopts it into the new epoch.
+        let cache = PlanCache::default();
+        let mut reg = SemanticRegistry::with_builtins();
+        let i = intent(&mut reg, "app", &[names::RSS_HASH, names::PKT_LEN]);
+        let a = cache
+            .get_or_compile(&models::e1000e(), &i, &mut reg)
+            .unwrap();
+        cache.begin_generation();
+        let b = cache
+            .get_or_compile(&models::e1000e(), &i, &mut reg)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        drop(a);
+        drop(b);
+        assert_eq!(
+            cache.evict_superseded(),
+            0,
+            "re-adopted entry is current-generation, never evicted"
+        );
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

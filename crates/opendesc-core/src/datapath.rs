@@ -10,6 +10,7 @@
 use crate::accessor::AccessorSet;
 use crate::cache::CompiledRx;
 use crate::compiler::CompiledInterface;
+use crate::evolve::{FlipProgress, RelayoutCounters};
 use crate::plan::RxPlan;
 use crate::robust::{
     HealthConfig, HealthState, QueueHealth, SeqTracker, SeqVerdict, ValidationMode,
@@ -209,6 +210,29 @@ pub struct OpenDescDriver {
     ///
     /// [`poll`]: OpenDescDriver::poll
     scratch_values: Vec<Option<u128>>,
+    /// Pending drain-and-flip, if a relayout is underway (see
+    /// [`crate::evolve`]).
+    flip: FlipState,
+    /// Plan generation this queue runs: bumped once per committed flip,
+    /// mirroring the device's ring generation.
+    generation: u64,
+    /// Set when a watchdog reset mid-flip already rolled the *device*
+    /// onto the new ring generation; the host plan swap then happens at
+    /// commit without reprogramming twice.
+    device_rolled: bool,
+    /// Relayout lifecycle counters (`{scope}.relayout.*`).
+    evolve: RelayoutCounters,
+}
+
+/// Driver-internal relayout state. The held `Arc` is the incoming
+/// plan's in-flight pin: the cache cannot evict a generation a queue is
+/// still flipping toward (or, via `iface`, still draining from).
+enum FlipState {
+    Idle,
+    /// Requested while `Degraded`; parked until health recovers.
+    Deferred(Arc<CompiledRx>),
+    /// Draining in-flight work under the outgoing plan.
+    Draining(Arc<CompiledRx>),
 }
 
 impl OpenDescDriver {
@@ -238,6 +262,10 @@ impl OpenDescDriver {
             tel: QueueTelemetry::default(),
             scratch_cmpt: Vec::new(),
             scratch_values: Vec::new(),
+            flip: FlipState::Idle,
+            generation: 0,
+            device_rolled: false,
+            evolve: RelayoutCounters::default(),
         })
     }
 
@@ -352,15 +380,156 @@ impl OpenDescDriver {
         );
         self.nic.register_metrics(reg, &format!("{scope}.nic"));
         self.soft.register_metrics(reg, &format!("{scope}.softnic"));
+        self.evolve.register_into(reg, &format!("{scope}.relayout"));
+        reg.counter(&format!("{scope}.plan_generation"), self.generation);
     }
 
     /// Watchdog-declared stall: reset/re-arm the ring (republishes lost
     /// doorbells, clears wedged writeback state) and revoke trust.
+    ///
+    /// Mid-flip the reset *rolls the queue forward*: instead of
+    /// re-arming the outgoing ring generation, it reprograms the device
+    /// onto the incoming one — a crash during a relayout accelerates
+    /// the flip, it never wedges it or resurrects the old layout.
+    /// Old-layout completions the device had in flight are re-tagged
+    /// into the stale-generation fault class and discarded by sequence
+    /// admission rather than misparsed. The *host* plan swap still
+    /// happens only at commit (the caller's batch storage is shaped for
+    /// the current plan), gated by `device_rolled`.
     fn recover(&mut self) {
-        self.nic.reset_queue();
+        let mut rolled = false;
+        if let FlipState::Draining(new) = &self.flip {
+            if !self.device_rolled {
+                if let Ok(stranded) = self.nic.reprogram_queue(new.context.clone()) {
+                    self.device_rolled = true;
+                    self.evolve.rolled_forward += 1;
+                    self.tel.event(
+                        TraceKind::RelayoutRolledForward,
+                        self.generation + 1,
+                        stranded as u64,
+                    );
+                    rolled = true;
+                }
+            }
+        }
+        if !rolled {
+            self.nic.reset_queue();
+        }
         self.health.on_fault();
         self.tel
             .event(TraceKind::WatchdogReset, self.watchdog.resets, 0);
+    }
+
+    /// Plan generation this queue runs (bumped per committed flip).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Relayout lifecycle counters so far.
+    pub fn relayout_counters(&self) -> RelayoutCounters {
+        self.evolve
+    }
+
+    /// Whether a relayout is pending (parked or draining).
+    pub fn flip_pending(&self) -> bool {
+        !matches!(self.flip, FlipState::Idle)
+    }
+
+    /// Begin a live relayout onto `new`. A healthy (or recovering)
+    /// queue enters the drain; a `Degraded` one parks the request —
+    /// renegotiating the contract with a device that was just caught
+    /// misbehaving is exactly when a half-programmed context does the
+    /// most damage — and [`advance_relayout`] retries it once health
+    /// recovers. A newer request supersedes a pending one (latest
+    /// intent wins).
+    ///
+    /// [`advance_relayout`]: OpenDescDriver::advance_relayout
+    pub fn request_relayout(&mut self, new: Arc<CompiledRx>) -> FlipProgress {
+        self.evolve.requested += 1;
+        if self.health() == QueueHealth::Degraded {
+            if !matches!(self.flip, FlipState::Deferred(_)) {
+                self.evolve.deferred += 1;
+                self.tel.event(
+                    TraceKind::RelayoutDeferred,
+                    self.generation + 1,
+                    health_rank(self.health()),
+                );
+            }
+            self.flip = FlipState::Deferred(new);
+            FlipProgress::Deferred
+        } else {
+            self.flip = FlipState::Draining(new);
+            FlipProgress::Draining
+        }
+    }
+
+    /// Advance a pending flip. Promotes a parked request once health
+    /// has left `Degraded`, and commits a draining one the moment the
+    /// queue quiesces (`in_flight` = 0). `polls_spent` is the drain
+    /// polls the caller has invested, recorded on the commit trace
+    /// event. Call between polls; returns where the flip stands.
+    pub fn advance_relayout(&mut self, polls_spent: u64) -> FlipProgress {
+        loop {
+            match &self.flip {
+                FlipState::Idle => return FlipProgress::Idle,
+                FlipState::Deferred(_) => {
+                    if self.health() == QueueHealth::Degraded {
+                        return FlipProgress::Deferred;
+                    }
+                    let FlipState::Deferred(new) =
+                        std::mem::replace(&mut self.flip, FlipState::Idle)
+                    else {
+                        unreachable!()
+                    };
+                    self.flip = FlipState::Draining(new);
+                }
+                FlipState::Draining(_) => {
+                    if self.in_flight() > 0 {
+                        return FlipProgress::Draining;
+                    }
+                    return self.commit_relayout(polls_spent);
+                }
+            }
+        }
+    }
+
+    /// Force a draining flip to commit now: outstanding frames are
+    /// forgiven (struck from the watchdog ledger — the device keeps
+    /// them and strands them across the generation tick as stale).
+    /// The budget-exhaustion path of the drain loop; a no-op unless
+    /// the flip is draining.
+    pub fn force_relayout(&mut self, polls_spent: u64) -> FlipProgress {
+        if matches!(self.flip, FlipState::Draining(_)) {
+            self.watchdog.forgive_outstanding();
+            self.commit_relayout(polls_spent)
+        } else {
+            self.advance_relayout(polls_spent)
+        }
+    }
+
+    /// Commit the flip: device-side ring-generation reprogram (unless a
+    /// roll-forward already did it), then the host plan swap. Strictly
+    /// ordered — the old plan parses every completion up to the ring
+    /// tick, the new plan everything after — so no completion is ever
+    /// read through the wrong layout. Callers that hold batch storage
+    /// must rebuild it after a commit (the plan's shape changed).
+    fn commit_relayout(&mut self, polls_spent: u64) -> FlipProgress {
+        let FlipState::Draining(new) = std::mem::replace(&mut self.flip, FlipState::Idle) else {
+            unreachable!("commit only from Draining");
+        };
+        if !self.device_rolled && self.nic.reprogram_queue(new.context.clone()).is_err() {
+            // The device rejected the incoming context: abort the flip
+            // and stay on the old, still-programmed generation rather
+            // than run a plan the device cannot serialize for.
+            return FlipProgress::Idle;
+        }
+        self.device_rolled = false;
+        self.iface = new;
+        self.generation += 1;
+        self.evolve.completed += 1;
+        self.tel
+            .event(TraceKind::RelayoutCompleted, self.generation, polls_spent);
+        FlipProgress::Committed(self.generation)
     }
 
     /// Admit one consumed completion's sequence tag, updating the

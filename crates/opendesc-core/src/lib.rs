@@ -30,6 +30,7 @@ pub mod codegen;
 pub mod compiler;
 pub mod datapath;
 pub mod equiv;
+pub mod evolve;
 pub mod hook;
 pub mod intent;
 pub mod lower;
@@ -47,6 +48,10 @@ pub use cache::{CompiledRx, PlanCache};
 pub use compiler::{CompileError, CompiledInterface, Compiler};
 pub use datapath::{OpenDescDriver, RxBatch, RxPacket};
 pub use equiv::{capabilities, diff, intent_equivalent, ContractDiff, IntentEquivalence};
+pub use evolve::{
+    EvolveConfig, FlipProgress, FlipRecord, RelayoutCounters, RelayoutOutcome, RelayoutRequest,
+    FLIP_POLL_BUDGET,
+};
 pub use hook::{HookDriver, HookStats, HookVerdict};
 pub use intent::{Intent, IntentBuilder, IntentError, FIG1_INTENT_P4};
 pub use lower::{lower, EbpfFieldProg, EbpfWindow, LowerError, LoweredPlan};

@@ -534,6 +534,19 @@ impl Watchdog {
         self.fed.saturating_sub(self.polled)
     }
 
+    /// Write off everything outstanding, exactly as a tripped reset
+    /// does, without waiting for the stall threshold. The relayout
+    /// protocol's last resort: when a drain-and-flip exhausts its poll
+    /// budget the remaining frames are genuinely lost on the device
+    /// (hang-swallowed or stranded behind the generation tick), and
+    /// counting them as outstanding forever would wedge the new
+    /// generation's stall detector.
+    pub fn forgive_outstanding(&mut self) {
+        self.polled = self.fed;
+        self.idle = 0;
+        self.backoff_shift = 0;
+    }
+
     /// Frames fed toward the queue so far.
     pub fn fed(&self) -> u64 {
         self.fed

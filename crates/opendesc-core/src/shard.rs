@@ -27,10 +27,11 @@
 use crate::cache::{CompiledRx, PlanCache};
 use crate::compiler::CompileError;
 use crate::datapath::{OpenDescDriver, RxBatch};
+use crate::evolve::{EvolveConfig, FlipProgress, FlipRecord, RelayoutOutcome};
 use crate::intent::Intent;
 use crate::rebalance::{RebalanceConfig, RebalanceStats, Rebalancer};
 use crate::robust::{QueueHealth, ValidationStats};
-use crate::tx::{TxBatch, TxQueue, TxRequest};
+use crate::tx::{CompiledTxPlan, TxBatch, TxQueue, TxRequest};
 use opendesc_ir::SemanticRegistry;
 use opendesc_nicsim::models::NicModel;
 use opendesc_nicsim::multiqueue::{CachePadded, SteerPolicy, Steerer, RETA_SIZE};
@@ -240,6 +241,64 @@ impl RxWorker {
     /// [`OpenDescDriver::in_flight`]). Zero = quiesced.
     pub fn in_flight(&self) -> u64 {
         self.drv.in_flight()
+    }
+
+    /// Ask this worker's queue to flip onto `new` (see
+    /// [`crate::evolve`]). Returns where the request landed: `Draining`
+    /// for a healthy queue, `Deferred` for a `Degraded` one.
+    pub fn request_relayout(&mut self, new: Arc<CompiledRx>) -> FlipProgress {
+        self.drv.request_relayout(new)
+    }
+
+    /// Drive a pending flip to resolution: drain in-flight work under
+    /// the *outgoing* plan (up to `budget` polls, then force-commit
+    /// with the stragglers forgiven), commit, and rebuild the batch
+    /// storage for the incoming plan's shape. Drained frames are
+    /// retained into `out` when given — they are delivered packets, not
+    /// casualties. A parked (`Deferred`) request returns immediately;
+    /// the caller retries at a later boundary, after health recovers.
+    /// Returns the final progress and the drain polls spent.
+    pub fn continue_relayout(
+        &mut self,
+        budget: u32,
+        mut out: Option<&mut Vec<Vec<u8>>>,
+    ) -> (FlipProgress, u32) {
+        let mut polls = 0u32;
+        loop {
+            match self.drv.advance_relayout(polls as u64) {
+                FlipProgress::Draining => {
+                    if polls >= budget {
+                        let prog = self.drv.force_relayout(polls as u64);
+                        if matches!(prog, FlipProgress::Committed(_)) {
+                            self.batch = self.drv.make_batch(self.batch.capacity());
+                        }
+                        return (prog, polls);
+                    }
+                    let t0 = Instant::now();
+                    let n = self.drv.poll_batch_into(&mut self.batch);
+                    polls += 1;
+                    if n > 0 {
+                        self.stats.value.packets += n as u64;
+                        self.stats.value.batches += 1;
+                        self.stats.value.busy_ns += t0.elapsed().as_nanos() as u64;
+                        if let Some(sink) = out.as_deref_mut() {
+                            for pkt in 0..n {
+                                sink.push(self.batch.frame(pkt).to_vec());
+                            }
+                        }
+                    }
+                }
+                prog => {
+                    if matches!(prog, FlipProgress::Committed(_)) {
+                        // The committed plan may carry a different
+                        // accessor shape; the old batch storage would
+                        // trip `poll_batch_into`'s interface assert.
+                        self.batch = self.drv.make_batch(self.batch.capacity());
+                    }
+                    return (prog, polls);
+                }
+            }
+        }
     }
 
     /// Drain everything pending into owned `(frame, metadata)` pairs —
@@ -784,6 +843,178 @@ impl ShardedRx {
         }
     }
 
+    /// Process `total` frames of `wl` in control intervals while
+    /// executing `cfg.schedule`'s live intent migrations: at each
+    /// scheduled boundary every queue drain-and-flips onto the new
+    /// compiled interface (see [`crate::evolve`]). Steering runs with
+    /// the live RETA but no rebalancing — relayout is the only control
+    /// action, so flip latency is not confounded with RETA moves.
+    /// Requests parked on a `Degraded` queue are retried at every later
+    /// boundary and commit once health recovers.
+    pub fn run_evolving(
+        &mut self,
+        wl: &Workload,
+        total: usize,
+        cfg: &EvolveConfig,
+    ) -> RelayoutOutcome {
+        self.run_evolving_impl(wl, total, cfg, None)
+    }
+
+    /// [`run_evolving`](ShardedRx::run_evolving) that also retains
+    /// every delivered frame as `(interval, queue, frame)` in drain
+    /// order — the correctness harness for multiset conservation and
+    /// per-flow order across flips.
+    pub fn run_evolving_collect(
+        &mut self,
+        wl: &Workload,
+        total: usize,
+        cfg: &EvolveConfig,
+    ) -> (RelayoutOutcome, Vec<(u32, usize, Vec<u8>)>) {
+        let mut delivered = Vec::with_capacity(total);
+        let out = self.run_evolving_impl(wl, total, cfg, Some(&mut delivered));
+        (out, delivered)
+    }
+
+    fn run_evolving_impl(
+        &mut self,
+        wl: &Workload,
+        total: usize,
+        cfg: &EvolveConfig,
+        mut collect: Option<&mut Vec<(u32, usize, Vec<u8>)>>,
+    ) -> RelayoutOutcome {
+        let nq = self.workers.len();
+        for w in &mut self.workers {
+            w.reset_stats();
+        }
+        let mut gen = PktGen::new(wl.clone());
+        let mut pools: Vec<Vec<ShardFrame>> = (0..nq).map(|_| Vec::new()).collect();
+        let mut sink: Vec<Vec<u8>> = Vec::new();
+        let mut flips: Vec<FlipRecord> = Vec::new();
+        let mut parked = vec![false; nq];
+        let mut stream_idx = 0u64;
+        let mut remaining = total;
+        let mut interval = 0u32;
+        while remaining > 0 {
+            let n = remaining.min(cfg.interval.max(1));
+            remaining -= n;
+            for p in &mut pools {
+                p.clear();
+            }
+            for _ in 0..n {
+                let bytes = gen.next_frame();
+                let (queue, rss) = {
+                    let v = self.steerer.steer(stream_idx, &bytes);
+                    (v.queue, v.rss)
+                };
+                stream_idx += 1;
+                pools[queue].push(ShardFrame { bytes, rss });
+            }
+            for (q, (w, pool)) in self.workers.iter_mut().zip(&pools).enumerate() {
+                match collect.as_deref_mut() {
+                    Some(master) => {
+                        sink.clear();
+                        w.pump_collect(pool, &mut sink);
+                        master.extend(sink.drain(..).map(|f| (interval, q, f)));
+                    }
+                    None => w.pump(pool),
+                }
+            }
+            // Boundary: submit due requests engine-wide, then drive
+            // every pending flip — fresh ones and requests parked at an
+            // earlier boundary whose queue may have recovered since.
+            for req in cfg.schedule.iter().filter(|r| r.at_interval == interval) {
+                for (q, w) in self.workers.iter_mut().enumerate() {
+                    if w.request_relayout(Arc::clone(&req.rx)) == FlipProgress::Deferred {
+                        parked[q] = true;
+                    }
+                }
+            }
+            self.drive_pending_flips(
+                cfg.budget,
+                interval,
+                &mut parked,
+                &mut flips,
+                &mut collect,
+                &mut sink,
+            );
+            interval += 1;
+        }
+        // Recovery drain, as in the adaptive loop: bounded empty ticks
+        // so a wedged queue resets and its stranded completions drain.
+        for _ in 0..64 {
+            if self.workers.iter().all(|w| w.in_flight() == 0) {
+                break;
+            }
+            for (q, w) in self.workers.iter_mut().enumerate() {
+                match collect.as_deref_mut() {
+                    Some(master) => {
+                        sink.clear();
+                        w.drain_tick(Some(&mut sink));
+                        master.extend(sink.drain(..).map(|f| (interval, q, f)));
+                    }
+                    None => {
+                        w.drain_tick(None);
+                    }
+                }
+            }
+        }
+        // Final boundary for flips still parked: a queue whose health
+        // recovered during the tail traffic can still commit.
+        self.drive_pending_flips(
+            cfg.budget,
+            interval,
+            &mut parked,
+            &mut flips,
+            &mut collect,
+            &mut sink,
+        );
+        let unresolved = self
+            .workers
+            .iter()
+            .filter(|w| w.driver().flip_pending())
+            .count();
+        RelayoutOutcome {
+            report: ShardReport {
+                per_worker: self.workers.iter().map(|w| w.stats()).collect(),
+            },
+            flips,
+            unresolved,
+        }
+    }
+
+    /// Drive every worker whose flip is pending (one relayout boundary).
+    fn drive_pending_flips(
+        &mut self,
+        budget: u32,
+        interval: u32,
+        parked: &mut [bool],
+        flips: &mut Vec<FlipRecord>,
+        collect: &mut Option<&mut Vec<(u32, usize, Vec<u8>)>>,
+        sink: &mut Vec<Vec<u8>>,
+    ) {
+        for (q, w) in self.workers.iter_mut().enumerate() {
+            if !w.driver().flip_pending() {
+                continue;
+            }
+            sink.clear();
+            let retain = collect.is_some();
+            let (prog, polls) = w.continue_relayout(budget, retain.then_some(&mut *sink));
+            if let Some(master) = collect.as_deref_mut() {
+                master.extend(sink.drain(..).map(|f| (interval, q, f)));
+            }
+            if let FlipProgress::Committed(g) = prog {
+                flips.push(FlipRecord {
+                    interval,
+                    queue: q,
+                    polls,
+                    generation: g,
+                    was_deferred: parked[q],
+                });
+                parked[q] = false;
+            }
+        }
+    }
+
     /// Parallel drain of everything currently pending (after a
     /// [`deliver`](ShardedRx::deliver) phase), collecting each worker's
     /// `(frame, metadata)` pairs — the equivalence-test entry point.
@@ -936,6 +1167,9 @@ pub struct EngineWorker {
     txb: TxBatch,
     rewrite: Vec<u8>,
     tstats: CachePadded<TxWorkerStats>,
+    /// TX plan to swap to when the pending RX flip commits (see
+    /// [`ShardedEngine::relayout`]); `None` outside a relayout.
+    pending_tx: Option<Arc<CompiledTxPlan>>,
 }
 
 impl EngineWorker {
@@ -953,6 +1187,20 @@ impl EngineWorker {
     fn reset_stats(&mut self) {
         self.rx.reset_stats();
         self.tstats.value = TxWorkerStats::default();
+    }
+
+    /// Drive this shard's pending flip: resolve the RX drain-and-flip,
+    /// and on commit swap the TX queue onto the plan a
+    /// [`relayout`](ShardedEngine::relayout) left pending — the two
+    /// directions flip as one unit, on the RX commit edge.
+    fn finish_relayout(&mut self, budget: u32) -> (FlipProgress, u32) {
+        let (prog, polls) = self.rx.continue_relayout(budget, None);
+        if matches!(prog, FlipProgress::Committed(_)) {
+            if let Some(tx) = self.pending_tx.take() {
+                self.txq.set_plan(&mut self.rx.drv.nic, tx);
+            }
+        }
+        (prog, polls)
     }
 
     /// Feed `pool`, then for each drained batch ask `fwd` for a verdict
@@ -1141,6 +1389,7 @@ impl ShardedEngine {
                 txb: TxBatch::new(batch_cap, max_frame),
                 rewrite: Vec::new(),
                 tstats: CachePadded::default(),
+                pending_tx: None,
             });
         }
         Ok(ShardedEngine {
@@ -1167,6 +1416,42 @@ impl ShardedEngine {
 
     pub fn workers_mut(&mut self) -> &mut [EngineWorker] {
         &mut self.workers
+    }
+
+    /// Live-relayout the whole engine between rounds: every shard
+    /// drain-and-flips its RX side onto `rx` (see [`crate::evolve`]),
+    /// then swaps its TX queue onto `tx` — TX is quiesced between
+    /// `run` calls, so the swap needs no drain of its own. Returns
+    /// per-queue flip progress; `Deferred` entries (queues mid-fault)
+    /// keep their request and commit on a later call once health
+    /// recovers — their TX side flips together with the RX commit,
+    /// which is why the TX plan is remembered per worker here. Each
+    /// entry is `(progress, drain_polls)`.
+    pub fn relayout(
+        &mut self,
+        rx: &Arc<CompiledRx>,
+        tx: Option<&Arc<CompiledTxPlan>>,
+        budget: u32,
+    ) -> Vec<(FlipProgress, u32)> {
+        self.workers
+            .iter_mut()
+            .map(|ew| {
+                ew.rx.request_relayout(Arc::clone(rx));
+                if let Some(tx) = tx {
+                    ew.pending_tx = Some(Arc::clone(tx));
+                }
+                ew.finish_relayout(budget)
+            })
+            .collect()
+    }
+
+    /// Retry flips a previous [`relayout`](ShardedEngine::relayout)
+    /// left deferred (after the affected queues recover health).
+    pub fn retry_relayout(&mut self, budget: u32) -> Vec<(FlipProgress, u32)> {
+        self.workers
+            .iter_mut()
+            .map(|ew| ew.finish_relayout(budget))
+            .collect()
     }
 
     /// One parallel round: worker `q` pumps and forwards `pools[q]` on

@@ -555,6 +555,21 @@ impl TxQueue {
         &self.plan
     }
 
+    /// Live-swap the queue onto a new compiled TX plan: reprogram the
+    /// H2C context and resize the descriptor scratch for the new
+    /// writer's record — the transmit twin of the RX drain-and-flip.
+    /// The caller must have quiesced the queue first
+    /// ([`in_flight`](TxQueue::in_flight) = 0): descriptors written
+    /// under the outgoing layout must not be consumed under the
+    /// incoming context.
+    pub fn set_plan(&mut self, nic: &mut SimNic, plan: Arc<CompiledTxPlan>) {
+        if let Some(ctx) = &plan.tx.context {
+            nic.configure_tx(ctx.clone());
+        }
+        self.desc_scratch = vec![0u8; plan.tx.writer.desc_bytes as usize];
+        self.plan = plan;
+    }
+
     /// Descriptors posted but not yet consumed by the device.
     pub fn in_flight(&self, nic: &SimNic) -> u64 {
         self.submitted - (nic.tx_completed() - self.cons_base)

@@ -232,6 +232,9 @@ pub struct NicStats {
     pub hang_dropped: u64,
     /// Host-initiated queue resets ([`SimNic::reset_queue`]).
     pub resets: u64,
+    /// Live per-queue context reprograms ([`SimNic::reprogram_queue`]) —
+    /// ring-generation bumps from host-requested relayouts.
+    pub reprograms: u64,
 }
 
 impl NicStats {
@@ -251,6 +254,7 @@ impl NicStats {
         self.doorbell_lost += other.doorbell_lost;
         self.hang_dropped += other.hang_dropped;
         self.resets += other.resets;
+        self.reprograms += other.reprograms;
     }
 
     /// Total injected faults across every class.
@@ -286,6 +290,7 @@ impl NicStats {
         reg.counter(&format!("{scope}.doorbell_lost"), self.doorbell_lost);
         reg.counter(&format!("{scope}.hang_dropped"), self.hang_dropped);
         reg.counter(&format!("{scope}.resets"), self.resets);
+        reg.counter(&format!("{scope}.reprograms"), self.reprograms);
     }
 }
 
@@ -361,6 +366,10 @@ pub struct SimNic {
     fault_rng: SmallRng,
     /// Next writeback sequence tag (increments per fresh completion).
     wb_seq: u64,
+    /// Ring/context generation: bumped by every
+    /// [`reprogram_queue`](SimNic::reprogram_queue) — the device-side
+    /// view of how many live relayouts this queue has been through.
+    ring_generation: u32,
     /// Remaining deliveries a wedged writeback engine swallows.
     hang_remaining: u32,
     /// Received frames pending host pickup, parallel to completions.
@@ -449,6 +458,7 @@ impl SimNic {
             fault_rng: SmallRng::seed_from_u64(faults.seed),
             faults,
             wb_seq: 0,
+            ring_generation: 0,
             hang_remaining: 0,
             rx_frames: std::collections::VecDeque::new(),
             rx_hints: std::collections::VecDeque::new(),
@@ -490,6 +500,49 @@ impl SimNic {
     /// Completions currently pending host pickup (ring occupancy).
     pub fn pending_completions(&self) -> usize {
         self.cq.len()
+    }
+
+    /// How many live relayouts this queue has been through.
+    pub fn ring_generation(&self) -> u32 {
+        self.ring_generation
+    }
+
+    /// Device-side live relayout: reprogram the per-queue context under
+    /// traffic and tick the ring generation over — the `reset_queue`-
+    /// style republish of an RXDID / descriptor-format change. `None`
+    /// keeps the current context (a generation bump without a path
+    /// change, e.g. when only software shims moved).
+    ///
+    /// Completions still unharvested at reprogram time were serialized
+    /// under the *old* layout; the new-generation ring cannot describe
+    /// them, so they are re-tagged with a previous-pass generation word
+    /// (exactly the stale-generation fault class, here exercised
+    /// intentionally) and republished — the host's sequence admission
+    /// discards them instead of misparsing old-layout bytes with the
+    /// new plan. A host that drains the queue to quiescence first
+    /// strands nothing. Also un-wedges a hung writeback engine, like
+    /// [`reset_queue`](SimNic::reset_queue). Returns the number of
+    /// stranded (stale-tagged) completions.
+    ///
+    /// A context with no matching completion path is rejected and the
+    /// old context stays programmed — a failed reprogram must not leave
+    /// the queue on a layout neither generation can parse.
+    pub fn reprogram_queue(&mut self, context: Option<Assignment>) -> Result<usize, NicError> {
+        if let Some(ctx) = context {
+            let old = std::mem::replace(&mut self.context, ctx);
+            self.refresh_active_path();
+            if self.active_path.is_none() {
+                self.context = old;
+                self.refresh_active_path();
+                return Err(NicError::NoPathForContext);
+            }
+        }
+        let stranded = self.cq.retag_pending_stale();
+        self.hang_remaining = 0;
+        self.cq.ring_doorbell();
+        self.ring_generation += 1;
+        self.stats.reprograms += 1;
+        Ok(stranded)
     }
 
     /// Register this queue's device-side telemetry under `scope` (e.g.

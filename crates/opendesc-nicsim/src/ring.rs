@@ -154,6 +154,25 @@ impl DescRing {
         Some((&self.slots[idx][..self.lens[idx] as usize], self.seqs[idx]))
     }
 
+    /// Re-tag every produced-but-unconsumed entry (published or not)
+    /// with a previous-pass generation word — `seq - capacity`, the
+    /// same arithmetic the stale-generation fault class uses. A
+    /// device-side relayout invalidates old-generation writebacks this
+    /// way: records serialized under the outgoing layout cannot be
+    /// described by the incoming one, so the device marks them stale
+    /// and the host's sequence admission discards them instead of
+    /// misparsing them. Returns the number of entries re-tagged.
+    pub fn retag_pending_stale(&mut self) -> usize {
+        let cap = self.capacity() as u64;
+        let mut i = self.cons;
+        while i < self.prod {
+            let idx = (i as usize) & self.mask;
+            self.seqs[idx] = self.seqs[idx].wrapping_sub(cap);
+            i += 1;
+        }
+        (self.prod - self.cons) as usize
+    }
+
     /// Peek at the next published entry without consuming.
     pub fn peek(&self) -> Option<&[u8]> {
         if self.cons >= self.doorbell {

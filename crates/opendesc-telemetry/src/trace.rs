@@ -38,6 +38,16 @@ pub enum TraceKind {
     /// A batched poll completed (`a` = packets, `b` = ring occupancy
     /// before the drain).
     BatchPolled,
+    /// A relayout request found the queue Degraded and was parked
+    /// (`a` = target plan generation, `b` = health severity rank).
+    RelayoutDeferred,
+    /// A drain-and-flip committed: the queue now runs the new plan
+    /// generation (`a` = new generation, `b` = drain polls spent).
+    RelayoutCompleted,
+    /// A watchdog reset fired mid-flip and rolled the device forward to
+    /// the new ring generation (`a` = new generation, `b` = old-layout
+    /// completions stranded and stale-tagged by the reprogram).
+    RelayoutRolledForward,
 }
 
 /// One fixed-size trace record.

@@ -12,12 +12,21 @@
 //! ```sh
 //! cargo run --example kvs_offload
 //! cargo run --example kvs_offload -- --zipf 1.3 --elephants 2
+//! cargo run --example kvs_offload -- --relayout 4
 //! ```
 //!
 //! With `--zipf <alpha>` (and optionally `--elephants <n>`) the request
 //! stream is skewed instead of uniform, and the example reports the
 //! per-queue occupancy skew RSS leaves behind instead of asserting the
 //! flat-load balance.
+//!
+//! With `--relayout <n>` the store stays up while its RX contract is
+//! renegotiated `n` times mid-run — each round drain-and-flips every
+//! queue onto an alternate layout (adding/removing an `rss_hash` want)
+//! and then serves another burst of requests under the new plans. The
+//! example reports per-round flip latency (drain polls) and asserts
+//! every request across every round was retained: live evolution, zero
+//! loss.
 
 use opendesc::compiler::{imbalance_p99_p50, ForwardFn, RxBatch, TxVerdict};
 use opendesc::ir::names;
@@ -34,8 +43,9 @@ const QUEUES: usize = 2;
 const REQUESTS: usize = 8_000;
 
 /// `--zipf <alpha>` / `--elephants <n>`: skew the request stream.
-fn skew_args() -> (Option<f64>, u32) {
-    let (mut zipf, mut elephants) = (None, 0u32);
+/// `--relayout <n>`: hot-renegotiate the RX contract n times mid-run.
+fn parse_args() -> (Option<f64>, u32, u32) {
+    let (mut zipf, mut elephants, mut relayout) = (None, 0u32, 0u32);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -52,10 +62,18 @@ fn skew_args() -> (Option<f64>, u32) {
                     .and_then(|v| v.parse().ok())
                     .expect("--elephants <n>")
             }
-            other => panic!("unknown flag {other} (supported: --zipf <alpha>, --elephants <n>)"),
+            "--relayout" => {
+                relayout = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--relayout <n>")
+            }
+            other => panic!(
+                "unknown flag {other} (supported: --zipf <alpha>, --elephants <n>, --relayout <n>)"
+            ),
         }
     }
-    (zipf, elephants)
+    (zipf, elephants, relayout)
 }
 
 /// Turn a GET request into its response in place of `out`: swap MACs,
@@ -122,7 +140,7 @@ fn main() {
     )
     .expect("kvs intents compile (key hash via softnic shim on e1000e)");
 
-    let (zipf, elephants) = skew_args();
+    let (zipf, elephants, relayout) = parse_args();
     let mut wl = Workload::kvs(64);
     wl.zipf_alpha = zipf;
     wl.elephants = elephants;
@@ -201,5 +219,75 @@ fn main() {
         snap.counter("tx.engine.doorbells") < snap.counter("tx.engine.frames"),
         "batched submission must ring fewer doorbells than frames"
     );
+    // --- Live evolution: renegotiate the RX contract while serving ---
+    // Each round flips every queue onto the alternate layout (adding or
+    // dropping an `rss_hash` want — the key hash the forward verdict
+    // shards on stays in both intents) and serves another burst of
+    // requests under the new plans. The store never goes down.
+    if relayout > 0 {
+        let alt_intent = Intent::builder("kvs_rx_v2")
+            .want(&mut reg, names::KVS_KEY_HASH)
+            .want(&mut reg, names::PKT_LEN)
+            .want(&mut reg, names::RSS_HASH)
+            .build();
+        let tx = cache
+            .get_or_compile_tx(&model, &tx_intent, &mut reg)
+            .expect("tx plan already cached");
+        let burst = REQUESTS / 4;
+        let (mut retained, mut worst_polls) = (0u64, 0u32);
+        println!("\nlive evolution: {relayout} contract renegotiations under traffic");
+        for round in 0..relayout {
+            cache.begin_generation();
+            let target = if round % 2 == 0 {
+                &alt_intent
+            } else {
+                &rx_intent
+            };
+            let rx = cache
+                .get_or_compile(&model, target, &mut reg)
+                .expect("alternate kvs layout compiles");
+            let flips = eng.relayout(&rx, Some(&tx), FLIP_POLL_BUDGET);
+            let polls = flips.iter().map(|(_, p)| *p).max().unwrap_or(0);
+            worst_polls = worst_polls.max(polls);
+            for (q, (prog, _)) in flips.iter().enumerate() {
+                assert!(
+                    matches!(prog, FlipProgress::Committed(_)),
+                    "queue {q} failed to flip: {prog:?}"
+                );
+            }
+            let mut wl = Workload::kvs(64);
+            wl.zipf_alpha = zipf;
+            wl.elephants = elephants;
+            wl.seed = round as u64 + 1;
+            let pools = ShardedPktGen::generate(wl, eng.steerer(), burst).into_pools();
+            let report = eng.run(&pools);
+            retained += report.total_rx_packets();
+            println!(
+                "  round {round}: {} queues -> {:>9} in {polls} drain polls; {}/{burst} requests served",
+                QUEUES,
+                target.name,
+                report.total_rx_packets(),
+            );
+            assert_eq!(
+                report.total_rx_packets() as usize,
+                burst,
+                "relayout lost requests"
+            );
+            assert_eq!(
+                report.total_wire_frames() as usize,
+                burst,
+                "responses lost after flip"
+            );
+        }
+        let evicted = cache.evict_superseded();
+        println!(
+            "retained {retained}/{} requests across {relayout} relayouts; worst flip {worst_polls} polls (budget {FLIP_POLL_BUDGET}); {evicted} superseded plan(s) evicted, {} live",
+            burst as u64 * relayout as u64,
+            cache.len() + cache.tx_len(),
+        );
+        assert_eq!(retained, burst as u64 * relayout as u64);
+        assert!(worst_polls <= FLIP_POLL_BUDGET);
+    }
+
     println!("identical application logic; the contract decided who hashes, who checksums.");
 }

@@ -15,10 +15,16 @@
 //! ```sh
 //! cargo run --example xdp_firewall
 //! cargo run --example xdp_firewall -- --zipf 1.1 --elephants 1
+//! cargo run --example xdp_firewall -- --relayout 3
 //! ```
 //!
 //! `--zipf <alpha>` / `--elephants <n>` skew the part-two traffic so
 //! the per-queue report shows what flow skew does to RSS steering.
+//! `--relayout <n>` hot-renegotiates the firewall's RX contract `n`
+//! times between bursts — each round drain-and-flips every ice queue
+//! onto an alternate completion layout (toggling an `rss_hash` want
+//! next to the flow tag) and filters another burst under the new
+//! plans, reporting flip latency and packet retention.
 
 use opendesc::compiler::codegen::ebpf::gen_xdp_filter;
 use opendesc::compiler::{ForwardFn, RxBatch, TxVerdict};
@@ -32,8 +38,9 @@ use opendesc::prelude::*;
 use std::sync::Arc;
 
 /// `--zipf <alpha>` / `--elephants <n>`: skew the part-two traffic.
-fn skew_args() -> (Option<f64>, u32) {
-    let (mut zipf, mut elephants) = (None, 0u32);
+/// `--relayout <n>`: hot-renegotiate the firewall contract n times.
+fn parse_args() -> (Option<f64>, u32, u32) {
+    let (mut zipf, mut elephants, mut relayout) = (None, 0u32, 0u32);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -50,10 +57,18 @@ fn skew_args() -> (Option<f64>, u32) {
                     .and_then(|v| v.parse().ok())
                     .expect("--elephants <n>")
             }
-            other => panic!("unknown flag {other} (supported: --zipf <alpha>, --elephants <n>)"),
+            "--relayout" => {
+                relayout = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--relayout <n>")
+            }
+            other => panic!(
+                "unknown flag {other} (supported: --zipf <alpha>, --elephants <n>, --relayout <n>)"
+            ),
         }
     }
-    (zipf, elephants)
+    (zipf, elephants, relayout)
 }
 
 fn main() {
@@ -155,7 +170,7 @@ fn main() {
     )
     .expect("ice serves flow tags in hardware and has a TX parser");
     let total = 4_000;
-    let (zipf, elephants) = skew_args();
+    let (zipf, elephants, relayout) = parse_args();
     let wl = Workload {
         zipf_alpha: zipf,
         elephants,
@@ -189,4 +204,74 @@ fn main() {
     );
     assert_eq!(report.total_wire_frames(), report.total_forwarded());
     assert!(report.total_forwarded() > 0 && report.total_dropped() > 0);
+
+    // --- Live evolution: re-contract the firewall without dropping it.
+    // The policy only needs the flow tag; each round toggles an
+    // `rss_hash` want next to it, drain-and-flips every queue onto the
+    // renegotiated layout, and filters another burst under the new
+    // plans. Retention must be total: a firewall that loses packets on
+    // a layout change fails open.
+    if relayout > 0 {
+        let alt_intent = Intent::builder("fw_rx_v2")
+            .want(&mut reg, names::FLOW_TAG)
+            .want(&mut reg, names::PKT_LEN)
+            .want(&mut reg, names::RSS_HASH)
+            .build();
+        let burst = total / 4;
+        let (mut retained, mut worst_polls) = (0u64, 0u32);
+        println!("\nlive evolution: {relayout} firewall re-contracts under traffic");
+        for round in 0..relayout {
+            cache.begin_generation();
+            let target = if round % 2 == 0 {
+                &alt_intent
+            } else {
+                &rx_intent
+            };
+            let rx = cache
+                .get_or_compile(&models::ice(), target, &mut reg)
+                .expect("alternate firewall layout compiles on ice");
+            let flips = eng.relayout(&rx, None, FLIP_POLL_BUDGET);
+            let polls = flips.iter().map(|(_, p)| *p).max().unwrap_or(0);
+            worst_polls = worst_polls.max(polls);
+            for (q, (prog, _)) in flips.iter().enumerate() {
+                assert!(
+                    matches!(prog, FlipProgress::Committed(_)),
+                    "queue {q} failed to flip: {prog:?}"
+                );
+            }
+            let wl = Workload {
+                zipf_alpha: zipf,
+                elephants,
+                seed: round as u64 + 1,
+                ..Default::default()
+            };
+            let pools = ShardedPktGen::generate(wl, eng.steerer(), burst).into_pools();
+            let r = eng.run(&pools);
+            retained += r.total_rx_packets();
+            println!(
+                "  round {round}: flipped to {:>8} in {polls} drain polls; {}/{burst} packets got a verdict ({} forwarded, {} blocked)",
+                target.name,
+                r.total_forwarded() + r.total_dropped(),
+                r.total_forwarded(),
+                r.total_dropped(),
+            );
+            assert_eq!(
+                r.total_rx_packets() as usize,
+                burst,
+                "relayout lost packets"
+            );
+            assert_eq!(
+                r.total_forwarded() + r.total_dropped(),
+                burst as u64,
+                "every packet keeps getting a verdict across flips"
+            );
+        }
+        let evicted = cache.evict_superseded();
+        println!(
+            "retained {retained}/{} packets across {relayout} relayouts; worst flip {worst_polls} polls (budget {FLIP_POLL_BUDGET}); {evicted} superseded plan(s) evicted",
+            burst as u64 * relayout as u64,
+        );
+        assert_eq!(retained, burst as u64 * relayout as u64);
+        assert!(worst_polls <= FLIP_POLL_BUDGET);
+    }
 }

@@ -47,6 +47,15 @@
 #                   (floor 1.3), and the uniform-cost guard (floor
 #                   0.8) (PR 8 acceptance); all are self-normalized,
 #                   so the emitter asserts them unconditionally.
+#   BENCH_e19.json  live interface evolution: steady-state aggregate
+#                   Mpps before and after four scheduled intent
+#                   migrations under traffic on every E13 model at 4
+#                   queues, plus the post/pre throughput ratios (floor
+#                   0.95), worst drain-and-flip latency in polls
+#                   (budget 16), and migration-phase retention (must
+#                   be 1.0) (PR 9 acceptance); all are self-normalized
+#                   or deterministic counts, so the emitter asserts
+#                   them unconditionally.
 #
 # Every failure propagates: set -e aborts on the first failing cargo
 # invocation and the script's exit status is that failure's.
@@ -76,3 +85,4 @@ cargo run --release -q -p opendesc-bench --bin e15_json -- "$outdir/BENCH_e15.js
 cargo run --release -q -p opendesc-bench --bin e16_json -- "$outdir/BENCH_e16.json"
 cargo run --release -q -p opendesc-bench --bin e17_json -- "$outdir/BENCH_e17.json"
 cargo run --release -q -p opendesc-bench --bin e18_json -- "$outdir/BENCH_e18.json"
+cargo run --release -q -p opendesc-bench --bin e19_json -- "$outdir/BENCH_e19.json"

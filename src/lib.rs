@@ -59,9 +59,10 @@ pub use opendesc_telemetry as telemetry;
 /// Convenience prelude with the most-used types.
 pub mod prelude {
     pub use opendesc_core::{
-        CompiledInterface, Compiler, GenericMbufDriver, Intent, LcdDriver, Objective,
-        OpenDescDriver, PlanCache, RxPacket, Selector, ShardedEngine, ShardedRx, TxBatch, TxDriver,
-        TxQueue, TxRequest, TxVerdict,
+        CompiledInterface, Compiler, EvolveConfig, FlipProgress, GenericMbufDriver, Intent,
+        LcdDriver, Objective, OpenDescDriver, PlanCache, RelayoutRequest, RxPacket, Selector,
+        ShardedEngine, ShardedRx, TxBatch, TxDriver, TxQueue, TxRequest, TxVerdict,
+        FLIP_POLL_BUDGET,
     };
     pub use opendesc_ir::{names, Cost, SemanticId, SemanticRegistry};
     pub use opendesc_nicsim::{models, DmaConfig, PktGen, SimNic, Workload};

@@ -1,0 +1,467 @@
+//! Correctness of live interface evolution: hot relayout under traffic
+//! must be invisible in the data and robust against the fault machine.
+//!
+//! Four properties, mirroring the adaptive-steering harness:
+//!
+//! 1. **Multiset conservation**: N random intent migrations mid-stream
+//!    deliver *exactly* the generated frame multiset — zero loss, zero
+//!    duplication — on all four packaged NIC models.
+//! 2. **Per-flow order**: every flow's frames arrive in generation
+//!    order through every flip. Drain-and-flip makes this structural: a
+//!    queue commits only after quiescing, so a flow's frames are never
+//!    in flight across two plan generations at once.
+//! 3. **Degraded deferral**: a relayout requested while the queue is
+//!    `Degraded` parks, keeps serving traffic under the old plan, and
+//!    commits after health recovers — with nothing lost across the
+//!    whole request → defer → recover → commit arc.
+//! 4. **Roll-forward**: a watchdog reset firing mid-flip lands the
+//!    queue on the NEW generation — the device reprograms forward,
+//!    stranded old-generation writebacks are discarded as stale (the
+//!    nicsim stale-generation fault class, exercised intentionally),
+//!    and the old plan is never resurrected.
+//!
+//! `CHAOS_SEED` fans the fault schedules across the CI chaos matrix.
+
+use opendesc::compiler::cache::CompiledRx;
+use opendesc::compiler::{
+    EvolveConfig, FlipProgress, Intent, OpenDescDriver, PlanCache, QueueHealth, RelayoutRequest,
+    ShardedRx, TraceKind,
+};
+use opendesc::ir::{names, SemanticRegistry};
+use opendesc::nicsim::models::NicModel;
+use opendesc::nicsim::{models, FaultConfig, PktGen, SimNic, SteerPolicy, Workload};
+use opendesc::softnic::testpkt;
+use opendesc::softnic::wire::ParsedFrame;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The four packaged models the migrations must hold on.
+fn model(ix: usize) -> NicModel {
+    match ix % 4 {
+        0 => models::e1000e(),
+        1 => models::ixgbe(),
+        2 => models::mlx5(),
+        _ => models::qdma_default(),
+    }
+}
+
+/// Distinct intents that every packaged model compiles — the migration
+/// pool. `k = 3` is the full shim-heavy intent the engines start on.
+fn intent_k(reg: &mut SemanticRegistry, k: usize) -> Intent {
+    let sems: [&[&str]; 4] = [
+        &[names::RSS_HASH, names::PKT_LEN, names::IP_CHECKSUM],
+        &[names::VLAN_TCI, names::PKT_LEN, names::PACKET_TYPE],
+        &[names::KVS_KEY_HASH, names::PAYLOAD_OFFSET, names::PKT_LEN],
+        &[
+            names::RSS_HASH,
+            names::QUEUE_HINT,
+            names::VLAN_TCI,
+            names::PKT_LEN,
+            names::PACKET_TYPE,
+            names::PAYLOAD_OFFSET,
+            names::KVS_KEY_HASH,
+            names::IP_CHECKSUM,
+        ],
+    ];
+    let mut b = Intent::builder(&format!("evolve-{}", k % 4));
+    for s in sems[k % 4] {
+        b = b.want(reg, s);
+    }
+    b.build()
+}
+
+/// An engine on `model(model_ix)` plus the cache/registry it compiles
+/// migration targets from.
+fn evolving_engine(model_ix: usize, queues: usize) -> (PlanCache, SemanticRegistry, ShardedRx) {
+    let cache = PlanCache::default();
+    let mut reg = SemanticRegistry::with_builtins();
+    let i0 = intent_k(&mut reg, 3);
+    let eng = ShardedRx::new_uniform(
+        &cache,
+        &model(model_ix),
+        &i0,
+        &mut reg,
+        queues,
+        256,
+        SteerPolicy::Rss,
+        16,
+    )
+    .expect("evolving engine builds on every packaged model");
+    (cache, reg, eng)
+}
+
+/// Schedule `migrations` intent flips at every other interval boundary,
+/// each under a fresh cache generation (the eviction protocol's entry
+/// point).
+fn schedule(
+    cache: &PlanCache,
+    reg: &mut SemanticRegistry,
+    model_ix: usize,
+    migrations: usize,
+) -> Vec<RelayoutRequest> {
+    (0..migrations)
+        .map(|mi| {
+            cache.begin_generation();
+            let rx = cache
+                .get_or_compile(&model(model_ix), &intent_k(reg, mi), reg)
+                .expect("migration intent compiles");
+            RelayoutRequest {
+                at_interval: mi as u32 * 2 + 1,
+                rx,
+            }
+        })
+        .collect()
+}
+
+fn flow_of(frame: &[u8]) -> u32 {
+    let p = ParsedFrame::parse(frame).expect("generated frames parse");
+    (p.ports().expect("udp traffic").0 - 10_000) as u32
+}
+
+fn env_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property 1: N live intent migrations conserve the frame multiset
+    /// exactly, on all four models — and the plan cache ends the run
+    /// holding at most the current generation plus the pinned previous
+    /// one.
+    #[test]
+    fn migrations_preserve_the_multiset_on_all_models(
+        model_ix in 0usize..4,
+        queues in 1u32..4u32,
+        alpha in (80u32..140).prop_map(|x| x as f64 / 100.0),
+        migrations in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let queues = 1usize << queues;
+        let total = 4096usize;
+        let mut wl = Workload::zipf(64, alpha, 1);
+        wl.seed = seed;
+        let (cache, mut reg, mut eng) = evolving_engine(model_ix, queues);
+        let cfg = EvolveConfig::new(512, schedule(&cache, &mut reg, model_ix, migrations));
+        let (out, delivered) = eng.run_evolving_collect(&wl, total, &cfg);
+
+        prop_assert_eq!(out.unresolved, 0, "a healthy run must not park flips");
+        prop_assert_eq!(
+            out.flips.len(),
+            queues * migrations,
+            "every queue must commit every scheduled migration"
+        );
+        prop_assert!(
+            out.max_flip_polls() <= 16,
+            "flip latency {} polls exceeds the drain budget",
+            out.max_flip_polls()
+        );
+        // Zero loss, zero duplication, zero invention: exact multiset.
+        prop_assert_eq!(delivered.len(), total, "relayouts lost or invented frames");
+        let mut gen = PktGen::new(wl);
+        let mut generated: Vec<Vec<u8>> = (0..total).map(|_| gen.next_frame()).collect();
+        generated.sort();
+        let mut got: Vec<Vec<u8>> = delivered.into_iter().map(|(_, _, f)| f).collect();
+        got.sort();
+        prop_assert_eq!(got, generated, "delivered multiset diverged across migrations");
+        // Superseded generations are reclaimable: once the schedule's
+        // own handles drop, only the live plan (and at most the one the
+        // last flip retired) survive eviction.
+        drop(cfg);
+        cache.evict_superseded();
+        prop_assert!(
+            cache.len() <= 2,
+            "{} live generations after {} migrations — the cache leaks plans",
+            cache.len(),
+            migrations
+        );
+    }
+
+    /// Property 2: per-flow delivery order survives every flip.
+    #[test]
+    fn per_flow_order_survives_relayout(
+        model_ix in 0usize..4,
+        queues in 1u32..4u32,
+        alpha in (80u32..140).prop_map(|x| x as f64 / 100.0),
+        migrations in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let queues = 1usize << queues;
+        let total = 4096usize;
+        let mut wl = Workload::zipf(64, alpha, 1);
+        wl.seed = seed;
+        let (cache, mut reg, mut eng) = evolving_engine(model_ix, queues);
+        let cfg = EvolveConfig::new(512, schedule(&cache, &mut reg, model_ix, migrations));
+        let (out, delivered) = eng.run_evolving_collect(&wl, total, &cfg);
+        prop_assert_eq!(out.report.total_packets() as usize, total);
+
+        // Replay the seed-deterministic generator for the reference
+        // per-flow order.
+        let mut gen = PktGen::new(wl);
+        let mut want: HashMap<u32, Vec<Vec<u8>>> = HashMap::new();
+        for _ in 0..total {
+            let f = gen.next_frame();
+            want.entry(flow_of(&f)).or_default().push(f);
+        }
+        let mut got: HashMap<u32, Vec<Vec<u8>>> = HashMap::new();
+        for (_, _, f) in delivered {
+            got.entry(flow_of(&f)).or_default().push(f);
+        }
+        prop_assert_eq!(got.len(), want.len(), "flows appeared or vanished");
+        for (flow, frames) in want {
+            prop_assert_eq!(
+                got.get(&flow),
+                Some(&frames),
+                "flow {} reordered across a flip",
+                flow
+            );
+        }
+    }
+}
+
+fn clean_frame(i: u32) -> Vec<u8> {
+    testpkt::udp4(
+        [10, 0, 0, 1],
+        [10, 0, (i >> 8) as u8, i as u8],
+        10_000 + (i % 7) as u16,
+        2000,
+        b"evolve",
+        Some(0x0042),
+    )
+}
+
+/// A single-queue driver pair `(driver, target_plan)` for the
+/// fault-interplay tests: attached on `intent_k(3)`, with `intent_k(1)`
+/// compiled as the relayout target.
+fn driver_and_target(seed: u64) -> (OpenDescDriver, Arc<CompiledRx>, PlanCache) {
+    let cache = PlanCache::default();
+    let mut reg = SemanticRegistry::with_builtins();
+    let a = cache
+        .get_or_compile(&models::e1000e(), &intent_k(&mut reg, 3), &mut reg)
+        .unwrap();
+    cache.begin_generation();
+    let b = cache
+        .get_or_compile(&models::e1000e(), &intent_k(&mut reg, 1), &mut reg)
+        .unwrap();
+    let nic = SimNic::new(models::e1000e(), 64).unwrap();
+    let mut drv = OpenDescDriver::attach_shared(nic, a).unwrap();
+    drv.set_telemetry_enabled(true);
+    // Seed-tagged no-op so the chaos matrix varies the schedule below.
+    let _ = seed;
+    (drv, b, cache)
+}
+
+/// Property 3: a relayout requested while `Degraded` defers, keeps
+/// serving, and completes after the health machine recovers — nothing
+/// lost across the whole arc.
+#[test]
+fn relayout_during_degraded_defers_and_completes_after_recovery() {
+    let seed = env_seed();
+    let (mut drv, target, _cache) = driver_and_target(seed);
+    let mut served = 0usize;
+
+    // Phase 1: a lying device (every completion duplicated) degrades
+    // health without losing anything — duplicates are discarded, the
+    // originals are served.
+    drv.nic
+        .set_faults(
+            FaultConfig::builder()
+                .duplicate_chance(1.0)
+                .seed(seed.wrapping_add(41))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    for i in 0..8 {
+        drv.deliver(&clean_frame(i)).unwrap();
+        while drv.poll().is_some() {
+            served += 1;
+        }
+    }
+    assert_eq!(served, 8, "duplicates must not lose or multiply packets");
+    assert_eq!(drv.health(), QueueHealth::Degraded);
+
+    // Phase 2: the request parks.
+    assert_eq!(
+        drv.request_relayout(Arc::clone(&target)),
+        FlipProgress::Deferred
+    );
+    assert_eq!(drv.relayout_counters().deferred, 1);
+    assert_eq!(drv.advance_relayout(0), FlipProgress::Deferred);
+    assert_eq!(drv.generation(), 0, "a parked flip must not commit");
+
+    // Phase 3: faults stop; clean traffic walks health back. The queue
+    // keeps serving under the OLD plan the whole time.
+    drv.nic.set_faults(FaultConfig::default()).unwrap();
+    let mut committed = None;
+    for i in 8..120 {
+        drv.deliver(&clean_frame(i)).unwrap();
+        while drv.poll().is_some() {
+            served += 1;
+        }
+        if let FlipProgress::Committed(g) = drv.advance_relayout(0) {
+            committed = Some((g, i));
+            break;
+        }
+        assert_eq!(
+            drv.health(),
+            QueueHealth::Degraded,
+            "flip must promote the moment health leaves Degraded"
+        );
+    }
+    let (gen, at) = committed.expect("flip never committed after recovery");
+    assert_eq!(gen, 1);
+    assert_ne!(
+        drv.health(),
+        QueueHealth::Degraded,
+        "commit must only happen after recovery"
+    );
+    assert!(
+        Arc::ptr_eq(&drv.iface, &target),
+        "queue must run the new plan"
+    );
+    let c = drv.relayout_counters();
+    assert_eq!(
+        (c.requested, c.deferred, c.completed, c.rolled_forward),
+        (1, 1, 1, 0)
+    );
+
+    // Phase 4: traffic continues under the new plan, losslessly.
+    for i in at + 1..at + 9 {
+        drv.deliver(&clean_frame(i)).unwrap();
+        while drv.poll().is_some() {
+            served += 1;
+        }
+    }
+    assert_eq!(served as u32, at + 9, "frames lost across the deferral arc");
+    assert_eq!(drv.in_flight(), 0);
+
+    // The trace ring has the story in order: deferral strictly before
+    // completion.
+    let events = drv.telemetry().trace.events();
+    let deferred_at = events
+        .iter()
+        .position(|e| e.kind == TraceKind::RelayoutDeferred)
+        .expect("deferral must trace");
+    let completed_at = events
+        .iter()
+        .position(|e| e.kind == TraceKind::RelayoutCompleted)
+        .expect("completion must trace");
+    assert!(deferred_at < completed_at);
+}
+
+/// Property 4: a watchdog reset mid-flip rolls the queue *forward* —
+/// the device reprograms onto the new ring generation, stranded
+/// old-generation writebacks are discarded as stale rather than
+/// misparsed, and the queue ends on the new plan, not wedged and not
+/// resurrected onto the old one.
+#[test]
+fn watchdog_reset_mid_flip_lands_on_the_new_generation() {
+    let seed = env_seed();
+    let (mut drv, target, _cache) = driver_and_target(seed);
+
+    // Every doorbell lost: completions are written but never published,
+    // so the drain stalls with frames in flight and the watchdog must
+    // fire mid-flip.
+    drv.nic
+        .set_faults(
+            FaultConfig::builder()
+                .doorbell_loss_chance(1.0)
+                .seed(seed.wrapping_add(59))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    for i in 0..6 {
+        drv.deliver(&clean_frame(i)).unwrap();
+    }
+    assert_eq!(drv.in_flight(), 6);
+
+    // The flip starts draining (health is still Healthy — the device
+    // hasn't been caught yet).
+    assert_eq!(
+        drv.request_relayout(Arc::clone(&target)),
+        FlipProgress::Draining
+    );
+    let mut polls = 0u64;
+    let generation = loop {
+        match drv.advance_relayout(polls) {
+            FlipProgress::Committed(g) => break g,
+            FlipProgress::Idle => panic!("flip aborted"),
+            _ => {}
+        }
+        assert!(polls < 64, "flip wedged (seed {seed})");
+        let _ = drv.poll();
+        polls += 1;
+    };
+
+    assert_eq!(generation, 1, "queue must land on the new generation");
+    assert_eq!(
+        drv.nic.ring_generation(),
+        1,
+        "device must tick its ring generation"
+    );
+    assert!(Arc::ptr_eq(&drv.iface, &target), "old plan resurrected");
+    let c = drv.relayout_counters();
+    assert_eq!(
+        c.rolled_forward, 1,
+        "the reset must roll forward, not re-arm"
+    );
+    assert_eq!(c.completed, 1);
+    assert_eq!(drv.nic.stats.reprograms, 1);
+    assert_eq!(
+        drv.validation_stats().stale,
+        6,
+        "stranded old-generation writebacks are stale-discarded, not misparsed"
+    );
+    assert_eq!(drv.in_flight(), 0, "queue wedged after roll-forward");
+    assert!(
+        drv.watchdog_resets() >= 1,
+        "the watchdog must actually have fired"
+    );
+
+    // Trace order: the roll-forward happens at (or before) the reset
+    // event that triggered it, and strictly before the commit.
+    let events = drv.telemetry().trace.events();
+    let rolled = events
+        .iter()
+        .position(|e| e.kind == TraceKind::RelayoutRolledForward)
+        .expect("roll-forward must trace");
+    let completed = events
+        .iter()
+        .position(|e| e.kind == TraceKind::RelayoutCompleted)
+        .expect("commit must trace");
+    assert!(rolled < completed);
+    assert_eq!(
+        events[rolled].a, 1,
+        "roll-forward targets the new generation"
+    );
+    assert_eq!(events[rolled].b, 6, "all six pending writebacks stranded");
+
+    // Fresh traffic flows under the new plan: sequence admission
+    // resynchronized across the generation tick (wb_seq is monotonic),
+    // and the new layout parses.
+    drv.nic.set_faults(FaultConfig::default()).unwrap();
+    let reg = SemanticRegistry::with_builtins();
+    let vlan = reg.id(names::VLAN_TCI).unwrap();
+    for i in 10..14 {
+        drv.deliver(&clean_frame(i)).unwrap();
+        let pkt = drv
+            .poll()
+            .expect("fresh completions admitted after the tick");
+        assert_eq!(
+            pkt.get(vlan),
+            Some(0x0042),
+            "new plan must parse the new layout"
+        );
+    }
+    assert_eq!(
+        drv.validation_stats().duplicates,
+        0,
+        "no replay admitted across generations"
+    );
+}
