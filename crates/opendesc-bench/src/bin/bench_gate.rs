@@ -4,7 +4,8 @@
 //!
 //! Usage: `bench_gate [--relative-only] <baseline_dir> <current_dir> [experiment...]`
 //!
-//! Experiments default to `e12 e13 e14 e15 e16 e17 e18`; each is read as
+//! Experiments default to `e12 e13 e14 e15 e16 e17 e18 e19 e20`; each
+//! is read as
 //! `<dir>/BENCH_<exp>.json` on both sides. The comparison table is
 //! printed to stdout and, when `$GITHUB_STEP_SUMMARY` is set, appended
 //! there so the job summary shows it. Exit status: 0 when every gated
@@ -40,10 +41,12 @@ fn main() -> ExitCode {
     let experiments: Vec<String> = if args.len() > 2 {
         args[2..].to_vec()
     } else {
-        ["e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     };
     let mut results = Vec::new();
     for exp in &experiments {

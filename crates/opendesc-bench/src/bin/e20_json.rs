@@ -1,0 +1,70 @@
+//! Quick-mode E20 runner: the differential conformance fuzzer over the
+//! generated layout space. Asserts the acceptance floors and writes the
+//! correctness-trajectory record. Used by `scripts/bench.sh` and the CI
+//! perf-gate job.
+//!
+//! Floors (all deterministic in the seed — asserted unconditionally):
+//!   * `layouts_negotiated` >= 200 — the fuzzer must cover the space,
+//!     not a corner of it.
+//!   * `divergences` == 0 — SoftNIC reference == tree oracle ==
+//!     bytecode VM == eBPF windows on every negotiated layout, and TX
+//!     deparse bytes == TxWriter.
+//!   * `manifests_roundtripped` == `layouts_negotiated` — every
+//!     negotiated manifest is `generate → parse → render` byte-stable.
+//!   * `ebpf_refused` > 0 — the adversarial sweep actually exercised
+//!     verifier refusals.
+//!
+//! Usage: `e20_json [OUTPUT.json]` (default `BENCH_e20.json`).
+
+use opendesc_bench::e20;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_e20.json".into());
+    let r = e20::run_quick(20);
+    println!(
+        "E20: conformance fuzzing, {} generated NICs x {} intents (seed 20)",
+        e20::NICS,
+        e20::INTENTS_PER_NIC
+    );
+    println!(
+        "{:>12} {:>14} {:>12} {:>10} {:>12}",
+        "negotiated", "roundtripped", "tx checked", "refused", "divergences"
+    );
+    println!(
+        "{:>12} {:>14} {:>12} {:>10} {:>12}",
+        r.layouts_negotiated,
+        r.manifests_roundtripped,
+        r.tx_checked,
+        r.ebpf_refused,
+        r.divergences.len()
+    );
+    for d in &r.divergences {
+        eprintln!(
+            "divergence: nic {} mask {:#010b}: {}",
+            d.nic_idx, d.intent_mask, d.detail
+        );
+    }
+    assert!(
+        r.divergences.is_empty(),
+        "acceptance: zero cross-path divergence (got {})",
+        r.divergences.len()
+    );
+    assert!(
+        r.layouts_negotiated as f64 >= e20::MIN_LAYOUTS,
+        "acceptance: must negotiate >= {} layouts (got {})",
+        e20::MIN_LAYOUTS,
+        r.layouts_negotiated
+    );
+    assert_eq!(
+        r.manifests_roundtripped, r.layouts_negotiated,
+        "acceptance: every negotiated manifest must round-trip byte-stably"
+    );
+    assert!(
+        r.ebpf_refused > 0,
+        "acceptance: the adversarial sweep must produce verifier refusals"
+    );
+    std::fs::write(&path, e20::to_json(&r)).expect("write bench record");
+    println!("wrote {path}");
+}

@@ -2035,6 +2035,107 @@ pub mod e19 {
     }
 }
 
+pub mod e20 {
+    //! E20 — differential conformance fuzzing across the layout space.
+    //!
+    //! Runs the seed-deterministic layout fuzzer
+    //! (`opendesc_core::conformance`): generated NIC models × random
+    //! intents, each negotiated, manifest-round-tripped, and
+    //! cross-checked over four execution forms (SoftNIC reference,
+    //! tree oracle, bytecode VM, verifier-gated eBPF) plus the TX
+    //! deparse path, with an adversarial sweep proving the eBPF
+    //! verifier refuses out-of-bounds plans. The record is a
+    //! correctness trajectory, not a timing: every number is
+    //! deterministic in the seed, and the gate holds
+    //! `conformance_clean` at 1.0 and `layouts_negotiated` at ≥ 200 —
+    //! the issue's acceptance criteria.
+    pub use opendesc_core::conformance::{run, Report};
+
+    /// Default fuzzing shape: 64 NICs × 4 intents = 256 negotiated
+    /// triples, comfortably above the 200-layout acceptance floor.
+    pub const NICS: u64 = 64;
+    pub const INTENTS_PER_NIC: u64 = 4;
+    /// Acceptance floor on negotiated layouts (also in the gate table).
+    pub const MIN_LAYOUTS: f64 = 200.0;
+
+    /// The bench-record run: fixed shape, caller-chosen seed.
+    pub fn run_quick(seed: u64) -> Report {
+        run(seed, NICS, INTENTS_PER_NIC)
+    }
+
+    /// 1.0 when every cross-path check agreed and every manifest
+    /// round-tripped; 0.0 otherwise. Deterministic, so the gate can
+    /// hold it at exactly 1.0.
+    pub fn clean_metric(r: &Report) -> f64 {
+        if r.divergences.is_empty() && r.manifests_roundtripped == r.layouts_negotiated {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Hand-formatted JSON (no serde in the tree): the record
+    /// `scripts/bench.sh` writes to `BENCH_e20.json`.
+    pub fn to_json(r: &Report) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e20_conformance\",\n");
+        s.push_str("  \"unit\": \"negotiated layouts (deterministic counts)\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", r.seed));
+        s.push_str(&format!("  \"nics\": {},\n", r.nics));
+        s.push_str(&format!(
+            "  \"layouts_negotiated\": {},\n",
+            r.layouts_negotiated
+        ));
+        s.push_str(&format!(
+            "  \"manifests_roundtripped\": {},\n",
+            r.manifests_roundtripped
+        ));
+        s.push_str(&format!("  \"ebpf_refused\": {},\n", r.ebpf_refused));
+        s.push_str(&format!("  \"tx_checked\": {},\n", r.tx_checked));
+        s.push_str(&format!("  \"divergences\": {},\n", r.divergences.len()));
+        s.push_str(&format!(
+            "  \"conformance_clean\": {:.1}\n",
+            clean_metric(r)
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn quick_run_meets_the_acceptance_floors() {
+            let r = run(7, 8, 4);
+            assert_eq!(r.layouts_negotiated, 32);
+            assert_eq!(clean_metric(&r), 1.0);
+            assert!(r.ebpf_refused > 0);
+        }
+
+        #[test]
+        fn json_record_is_parseable_and_gated() {
+            let r = run(7, 4, 2);
+            let doc = opendesc_telemetry::parse_json(&to_json(&r)).expect("valid JSON");
+            let flat = crate::gate::flatten(&doc);
+            let clean = flat
+                .iter()
+                .find(|(k, _)| k == "conformance_clean")
+                .expect("clean metric present");
+            assert_eq!(clean.1, 1.0);
+            assert!(
+                crate::gate::rule_for("conformance_clean").is_some(),
+                "clean metric must be gated"
+            );
+            assert!(
+                crate::gate::rule_for("layouts_negotiated").is_some(),
+                "negotiated count must be gated"
+            );
+        }
+    }
+}
+
 /// The CI perf-regression gate: read a current `BENCH_*.json` record and
 /// its committed baseline, extract the gated metrics, apply per-metric
 /// tolerance bands, and render the comparison as a markdown table for
@@ -2193,6 +2294,25 @@ pub mod gate {
                 direction: Direction::LowerBetter,
                 tolerance: 1.0,
                 floor: Some(super::e19::MAX_FLIP_POLLS as f64),
+            });
+        }
+        // The E20 conformance metrics are deterministic counts, not
+        // timings: zero tolerance, and the floors are the issue's
+        // acceptance criteria (zero divergence across all execution
+        // forms; ≥ 200 negotiated layouts per seed). Machine speed is
+        // irrelevant, so both gate under `--relative-only`.
+        if metric.contains("conformance_clean") {
+            return Some(Rule {
+                direction: Direction::HigherBetter,
+                tolerance: 0.0,
+                floor: Some(1.0),
+            });
+        }
+        if metric.contains("layouts_negotiated") {
+            return Some(Rule {
+                direction: Direction::HigherBetter,
+                tolerance: 0.0,
+                floor: Some(super::e20::MIN_LAYOUTS),
             });
         }
         // Speedup and scaling factors divide two measurements taken in

@@ -28,6 +28,7 @@ pub mod baseline;
 pub mod cache;
 pub mod codegen;
 pub mod compiler;
+pub mod conformance;
 pub mod datapath;
 pub mod equiv;
 pub mod evolve;

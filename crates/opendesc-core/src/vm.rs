@@ -465,6 +465,13 @@ impl PlanProgram {
         out
     }
 
+    /// FNV-1a content digest of the encoded container — the value a
+    /// manifest pins so a consumer can check the plan bytecode it loads
+    /// is the one that was negotiated.
+    pub fn digest(&self) -> u64 {
+        crate::codegen::manifest::fnv64(&self.encode())
+    }
+
     /// Parse the container format back; `None` on any structural
     /// mismatch. `hw_len` is recomputed from the trusted section's
     /// load prefix. Accepts version 1 (RX-only) and version 2 (with a

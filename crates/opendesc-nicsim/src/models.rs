@@ -517,6 +517,300 @@ pub fn qdma_default() -> NicModel {
     .expect("default layouts fit 64B")
 }
 
+// ---------------------------------------------------------------------
+// Programmable layout ingestion: a NIC model as pure data.
+// ---------------------------------------------------------------------
+
+/// One field of a programmable layout description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgField {
+    /// P4 field name; must be a valid identifier, unique per header.
+    pub name: String,
+    /// Semantic annotation; `None` renders a bare (pad/tag) field.
+    pub semantic: Option<String>,
+    pub width_bits: u16,
+}
+
+impl ProgField {
+    /// A semantic-carrying field.
+    pub fn sem(name: &str, semantic: &str, width_bits: u16) -> Self {
+        ProgField {
+            name: name.into(),
+            semantic: Some(semantic.into()),
+            width_bits,
+        }
+    }
+
+    /// A bare field: padding, reserved bits, or a generation tag.
+    pub fn pad(name: &str, width_bits: u16) -> Self {
+        ProgField {
+            name: name.into(),
+            semantic: None,
+            width_bits,
+        }
+    }
+}
+
+/// One completion-header layout: fields in emission order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgLayout {
+    pub fields: Vec<ProgField>,
+}
+
+impl ProgLayout {
+    pub fn bits(&self) -> u32 {
+        self.fields.iter().map(|f| f.width_bits as u32).sum()
+    }
+
+    pub fn bytes(&self) -> u32 {
+        self.bits().div_ceil(8)
+    }
+}
+
+/// How the deparser chooses among the alternative layouts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgGuard {
+    /// Exactly one layout, always emitted.
+    Unconditional,
+    /// Exactly two layouts behind a 1-bit context selector.
+    IfElse,
+    /// Up to `2^selector_bits` layouts behind a switch on a context
+    /// selector field.
+    Switch { selector_bits: u16 },
+    /// Exactly two layouts behind a guard the path solver cannot
+    /// analyze (two context fields compared to each other) — the
+    /// negotiated manifest must say `mode = "manual"`.
+    Opaque,
+}
+
+/// A TX descriptor description: a base header (which must carry
+/// `buf_addr` and `buf_len`) and an optional extended header gated on
+/// the host-to-card context's `desc_size`, QDMA-style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgTxSpec {
+    pub base: Vec<ProgField>,
+    pub ext: Option<Vec<ProgField>>,
+}
+
+/// A full programmable NIC description: everything [`programmable`]
+/// needs to mint a [`NicModel`]. A fifth real NIC is one of these — a
+/// data change, not code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgSpec {
+    pub name: String,
+    pub layouts: Vec<ProgLayout>,
+    pub guard: ProgGuard,
+    /// Optional fixed tail emitted after the selected alternative
+    /// (e1000e-style base record).
+    pub tail: Option<ProgLayout>,
+    pub tx: Option<ProgTxSpec>,
+}
+
+/// Render header fields, auto-padding the header to a whole number of
+/// bytes (the typechecker rejects ragged headers) in ≤128-bit chunks.
+fn render_fields(src: &mut String, fields: &[ProgField]) {
+    for f in fields {
+        match &f.semantic {
+            Some(s) => src.push_str(&format!(
+                "    @semantic(\"{s}\") bit<{}> {};\n",
+                f.width_bits, f.name
+            )),
+            None => src.push_str(&format!("    bit<{}> {};\n", f.width_bits, f.name)),
+        }
+    }
+    let bits: u32 = fields.iter().map(|f| f.width_bits as u32).sum();
+    let pad = bits.div_ceil(8) * 8 - bits;
+    if pad > 0 {
+        src.push_str(&format!("    bit<{pad}> alignpad;\n"));
+    }
+}
+
+fn fields_ok(fields: &[ProgField]) -> bool {
+    !fields.is_empty()
+        && fields.iter().all(|f| {
+            f.width_bits >= 1
+                && f.width_bits <= 128
+                && !f.name.is_empty()
+                && f.name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !f.name.starts_with(|c: char| c.is_ascii_digit())
+                && f.name != "alignpad"
+        })
+        && fields
+            .iter()
+            .enumerate()
+            .all(|(i, f)| fields[..i].iter().all(|g| g.name != f.name))
+}
+
+/// Build a [`NicModel`] from a programmable description. Returns `None`
+/// on an invalid shape: guard arity mismatch, a path exceeding 64
+/// bytes, malformed fields, or a TX spec without byte-aligned headers
+/// carrying `buf_addr`/`buf_len` in the base.
+pub fn programmable(spec: &ProgSpec) -> Option<NicModel> {
+    // Shape checks.
+    match spec.guard {
+        ProgGuard::Unconditional => {
+            if spec.layouts.len() != 1 {
+                return None;
+            }
+        }
+        ProgGuard::IfElse | ProgGuard::Opaque => {
+            if spec.layouts.len() != 2 {
+                return None;
+            }
+        }
+        ProgGuard::Switch { selector_bits } => {
+            if !(1..=16).contains(&selector_bits)
+                || spec.layouts.is_empty()
+                || (selector_bits < 16 && spec.layouts.len() > 1usize << selector_bits)
+            {
+                return None;
+            }
+        }
+    }
+    let tail_bytes = spec.tail.as_ref().map_or(0, |t| t.bytes());
+    let mut slot_bytes = 0u32;
+    for l in &spec.layouts {
+        if !fields_ok(&l.fields) {
+            return None;
+        }
+        // Headers are auto-padded to whole bytes individually.
+        let path_bytes = l.bytes() + tail_bytes;
+        if path_bytes > 64 {
+            return None;
+        }
+        slot_bytes = slot_bytes.max(path_bytes);
+    }
+    if let Some(t) = &spec.tail {
+        if !fields_ok(&t.fields) {
+            return None;
+        }
+    }
+    if let Some(tx) = &spec.tx {
+        let has =
+            |fs: &[ProgField], sem: &str| fs.iter().any(|f| f.semantic.as_deref() == Some(sem));
+        let byte_aligned =
+            |fs: &[ProgField]| fs.iter().map(|f| f.width_bits as u32).sum::<u32>() % 8 == 0;
+        if !fields_ok(&tx.base)
+            || !has(&tx.base, "buf_addr")
+            || !has(&tx.base, "buf_len")
+            || !byte_aligned(&tx.base)
+        {
+            return None;
+        }
+        if let Some(ext) = &tx.ext {
+            if !fields_ok(ext) || !byte_aligned(ext) {
+                return None;
+            }
+        }
+    }
+
+    // Completion headers.
+    let mut src = format!("// programmable model \"{}\" (generated).\n", spec.name);
+    for (i, l) in spec.layouts.iter().enumerate() {
+        src.push_str(&format!("header pd_cmpt{i}_t {{\n"));
+        render_fields(&mut src, &l.fields);
+        src.push_str("}\n");
+    }
+    if let Some(t) = &spec.tail {
+        src.push_str("header pd_tail_t {\n");
+        render_fields(&mut src, &t.fields);
+        src.push_str("}\n");
+    }
+
+    // Context struct.
+    src.push_str("struct pd_ctx_t { ");
+    match spec.guard {
+        ProgGuard::Unconditional => src.push_str("bit<1> reserved; "),
+        ProgGuard::IfElse => src.push_str("bit<1> sel; "),
+        ProgGuard::Switch { selector_bits } => src.push_str(&format!("bit<{selector_bits}> sel; ")),
+        ProgGuard::Opaque => src.push_str("bit<4> a; bit<4> b; "),
+    }
+    src.push_str("}\n");
+
+    // Metadata struct.
+    src.push_str("struct pd_meta_t {\n");
+    for i in 0..spec.layouts.len() {
+        src.push_str(&format!("    pd_cmpt{i}_t l{i};\n"));
+    }
+    if spec.tail.is_some() {
+        src.push_str("    pd_tail_t tail;\n");
+    }
+    src.push_str("}\n");
+
+    // Deparser.
+    src.push_str("control CmptDeparser(cmpt_out cmpt, in pd_ctx_t ctx, in pd_meta_t pipe_meta) {\n    apply {\n");
+    match spec.guard {
+        ProgGuard::Unconditional => {
+            src.push_str("        cmpt.emit(pipe_meta.l0);\n");
+        }
+        ProgGuard::IfElse => {
+            src.push_str("        if (ctx.sel == 1) {\n            cmpt.emit(pipe_meta.l1);\n        } else {\n            cmpt.emit(pipe_meta.l0);\n        }\n");
+        }
+        ProgGuard::Switch { .. } => {
+            src.push_str("        switch (ctx.sel) {\n");
+            for i in 0..spec.layouts.len() {
+                src.push_str(&format!(
+                    "            {i}: {{ cmpt.emit(pipe_meta.l{i}); }}\n"
+                ));
+            }
+            src.push_str("            default: { }\n        }\n");
+        }
+        ProgGuard::Opaque => {
+            src.push_str("        if (ctx.a == ctx.b) {\n            cmpt.emit(pipe_meta.l0);\n        } else {\n            cmpt.emit(pipe_meta.l1);\n        }\n");
+        }
+    }
+    if spec.tail.is_some() {
+        src.push_str("        cmpt.emit(pipe_meta.tail);\n");
+    }
+    src.push_str("    }\n}\n");
+
+    // TX descriptor parser.
+    if let Some(tx) = &spec.tx {
+        src.push_str("header pd_tx_base_t {\n");
+        render_fields(&mut src, &tx.base);
+        src.push_str("}\n");
+        let base_bytes: u32 = tx.base.iter().map(|f| f.width_bits as u32).sum::<u32>() / 8;
+        match &tx.ext {
+            Some(ext) => {
+                src.push_str("header pd_tx_ext_t {\n");
+                render_fields(&mut src, ext);
+                src.push_str("}\n");
+                let ext_bytes: u32 = ext.iter().map(|f| f.width_bits as u32).sum::<u32>() / 8;
+                src.push_str("struct pd_desc_t { pd_tx_base_t base; pd_tx_ext_t ext; }\n");
+                src.push_str("struct pd_h2c_ctx_t { bit<8> desc_size; }\n");
+                src.push_str(&format!(
+                    "parser DescParser(desc_in d, in pd_h2c_ctx_t h2c_ctx, out pd_desc_t desc_hdr) {{\n    state start {{\n        d.extract(desc_hdr.base);\n        transition select(h2c_ctx.desc_size) {{\n            {base_bytes}: accept;\n            {}: parse_ext;\n            default: reject;\n        }}\n    }}\n    state parse_ext {{\n        d.extract(desc_hdr.ext);\n        transition accept;\n    }}\n}}\n",
+                    base_bytes + ext_bytes
+                ));
+            }
+            None => {
+                src.push_str("struct pd_desc_t { pd_tx_base_t base; }\n");
+                src.push_str("struct pd_h2c_ctx_t { bit<1> reserved; }\n");
+                src.push_str("parser DescParser(desc_in d, in pd_h2c_ctx_t h2c_ctx, out pd_desc_t desc_hdr) {\n    state start {\n        d.extract(desc_hdr.base);\n        transition accept;\n    }\n}\n");
+            }
+        }
+    }
+
+    Some(NicModel {
+        name: spec.name.clone(),
+        description: format!(
+            "programmable: {} layouts, {:?} guard",
+            spec.layouts.len(),
+            spec.guard
+        ),
+        p4_source: src,
+        deparser: "CmptDeparser".into(),
+        desc_parser: spec.tx.as_ref().map(|_| "DescParser".into()),
+        ctx_param: "ctx".into(),
+        meta_param: "pipe_meta".into(),
+        ctx_type: "pd_ctx_t".into(),
+        meta_type: "pd_meta_t".into(),
+        completion_slot_bytes: slot_bytes as usize,
+    })
+}
+
 /// All fixed catalog models (including the default QDMA provisioning).
 pub fn catalog() -> Vec<NicModel> {
     vec![
@@ -635,6 +929,90 @@ mod tests {
         for m in catalog() {
             check_model(&m);
         }
+    }
+
+    fn sample_spec(guard: ProgGuard, n: usize) -> ProgSpec {
+        let layout = |tag: usize| ProgLayout {
+            fields: vec![
+                ProgField::sem(&format!("hash{tag}"), "rss_hash", 32),
+                ProgField::pad(&format!("gen{tag}"), 4),
+                ProgField::sem(&format!("len{tag}"), "pkt_len", 16),
+            ],
+        };
+        ProgSpec {
+            name: "prog-test".into(),
+            layouts: (0..n).map(layout).collect(),
+            guard,
+            tail: Some(ProgLayout {
+                fields: vec![ProgField::sem("status", "rx_status", 8)],
+            }),
+            tx: Some(ProgTxSpec {
+                base: vec![
+                    ProgField::sem("addr", "buf_addr", 64),
+                    ProgField::sem("len", "buf_len", 16),
+                    ProgField::pad("flags", 8),
+                ],
+                ext: Some(vec![ProgField::sem("vlan", "tx_vlan_insert", 16)]),
+            }),
+        }
+    }
+
+    #[test]
+    fn programmable_switch_model_checks() {
+        let m = programmable(&sample_spec(ProgGuard::Switch { selector_bits: 4 }, 3)).unwrap();
+        // 3 arms + empty default arm.
+        assert_eq!(check_model(&m), 4);
+        assert!(m.desc_parser.is_some());
+    }
+
+    #[test]
+    fn programmable_unconditional_and_ifelse() {
+        let m = programmable(&sample_spec(ProgGuard::Unconditional, 1)).unwrap();
+        assert_eq!(check_model(&m), 1);
+        let m = programmable(&sample_spec(ProgGuard::IfElse, 2)).unwrap();
+        assert_eq!(check_model(&m), 2);
+    }
+
+    #[test]
+    fn programmable_opaque_guard_is_unsolvable() {
+        let m = programmable(&sample_spec(ProgGuard::Opaque, 2)).unwrap();
+        let (checked, diags) = parse_and_check(&m.p4_source);
+        assert!(!diags.has_errors());
+        let mut reg = SemanticRegistry::with_builtins();
+        let cfg = extract(&checked, &m.deparser, &mut reg).unwrap();
+        let paths = enumerate_paths(&cfg, DEFAULT_MAX_PATHS).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(
+            paths.iter().all(|p| p.solve_context().is_none()),
+            "opaque guards must defeat the context solver"
+        );
+    }
+
+    #[test]
+    fn programmable_rejects_bad_shapes() {
+        // Guard arity.
+        assert!(programmable(&sample_spec(ProgGuard::Unconditional, 2)).is_none());
+        assert!(programmable(&sample_spec(ProgGuard::IfElse, 3)).is_none());
+        assert!(programmable(&sample_spec(ProgGuard::Switch { selector_bits: 1 }, 3)).is_none());
+        // Oversized path.
+        let mut big = sample_spec(ProgGuard::Unconditional, 1);
+        big.layouts[0].fields = (0..5)
+            .map(|i| ProgField::pad(&format!("p{i}"), 128))
+            .collect();
+        assert!(programmable(&big).is_none());
+        // TX base missing buf_len.
+        let mut tx = sample_spec(ProgGuard::Unconditional, 1);
+        tx.tx.as_mut().unwrap().base.retain(|f| f.name != "len");
+        assert!(programmable(&tx).is_none());
+        // TX header not byte-aligned.
+        let mut ragged = sample_spec(ProgGuard::Unconditional, 1);
+        ragged.tx.as_mut().unwrap().ext = Some(vec![ProgField::pad("x", 7)]);
+        assert!(programmable(&ragged).is_none());
+        // Duplicate field names.
+        let mut dup = sample_spec(ProgGuard::Unconditional, 1);
+        let first = dup.layouts[0].fields[0].clone();
+        dup.layouts[0].fields.push(first);
+        assert!(programmable(&dup).is_none());
     }
 
     #[test]

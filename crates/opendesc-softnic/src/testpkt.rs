@@ -116,6 +116,44 @@ pub fn kvs_get_payload(key: &str) -> Vec<u8> {
     format!("get {key}\r\n").into_bytes()
 }
 
+/// A seed-deterministic valid frame: cycles through UDP, TCP, VLAN and
+/// KVS-GET shapes with seed-derived addresses, ports and payloads. The
+/// conformance fuzzer uses this so every differential run is
+/// reproducible from its seed alone.
+pub fn seeded_frame(seed: u64) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let r = next();
+    let src = [10, (r >> 8) as u8, (r >> 16) as u8, (r >> 24) as u8];
+    let d = next();
+    let dst = [10, (d >> 8) as u8, (d >> 16) as u8, (d >> 24) as u8];
+    let p = next();
+    let sport = 1024 + (p as u16 % 50000);
+    let dport = 1 + ((p >> 16) as u16 % 60000);
+    let vlan = if p & 0x10_0000 != 0 {
+        Some((p >> 32) as u16 & 0x0FFF)
+    } else {
+        None
+    };
+    let n = next();
+    let payload: Vec<u8> = (0..(n % 64) as usize + 4)
+        .map(|i| (n >> (i % 8)) as u8 ^ i as u8)
+        .collect();
+    match next() % 3 {
+        0 => udp4(src, dst, sport, dport, &payload, vlan),
+        1 => tcp4(src, dst, sport, dport, &payload, vlan),
+        _ => {
+            let key = format!("k{:08x}", n as u32);
+            udp4(src, dst, sport, 11211, &kvs_get_payload(&key), vlan)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,15 @@
 #                   be 1.0) (PR 9 acceptance); all are self-normalized
 #                   or deterministic counts, so the emitter asserts
 #                   them unconditionally.
+#   BENCH_e20.json  differential conformance fuzzing: generated NICs x
+#                   random intents, each cross-checked SoftNIC
+#                   reference == tree oracle == bytecode VM == eBPF
+#                   windows, TX deparse bytes == TxWriter, and
+#                   manifest generate->parse->render byte-stability
+#                   (PR 10 acceptance); layouts_negotiated (floor 200)
+#                   and conformance_clean (must be 1.0) are
+#                   deterministic counts, so the emitter asserts them
+#                   unconditionally.
 #
 # Every failure propagates: set -e aborts on the first failing cargo
 # invocation and the script's exit status is that failure's.
@@ -86,3 +95,4 @@ cargo run --release -q -p opendesc-bench --bin e16_json -- "$outdir/BENCH_e16.js
 cargo run --release -q -p opendesc-bench --bin e17_json -- "$outdir/BENCH_e17.json"
 cargo run --release -q -p opendesc-bench --bin e18_json -- "$outdir/BENCH_e18.json"
 cargo run --release -q -p opendesc-bench --bin e19_json -- "$outdir/BENCH_e19.json"
+cargo run --release -q -p opendesc-bench --bin e20_json -- "$outdir/BENCH_e20.json"

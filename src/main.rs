@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "fmt" => cmd_fmt(&opts),
         "diff" => cmd_diff(&opts),
         "tx" => cmd_tx(&opts),
+        "manifests" => cmd_manifests(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -75,6 +76,7 @@ USAGE:
   opendesc tx       --nic <model> --want <sem,...>   compile the TX direction
   opendesc fmt      (--nic <model> | --contract <file.p4>)   normalize a contract
   opendesc diff     --nic <a> --nic-b <b>            capability diff of two models
+  opendesc manifests [--out <dir>]        regenerate the golden manifests (default manifests/)
 ";
 
 #[derive(Default)]
@@ -87,6 +89,7 @@ struct Opts {
     emit: String,
     beta: Option<f64>,
     nic_b: Option<String>,
+    out: Option<String>,
 }
 
 impl Opts {
@@ -107,6 +110,7 @@ impl Opts {
                 "--emit" => o.emit = val().unwrap_or_else(|| "report".into()),
                 "--beta" => o.beta = val().and_then(|v| v.parse().ok()),
                 "--nic-b" => o.nic_b = val(),
+                "--out" => o.out = val(),
                 _ => {}
             }
         }
@@ -299,6 +303,30 @@ fn cmd_diff(o: &Opts) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     print!("{}", d.render(&reg));
+    Ok(())
+}
+
+/// The golden-manifest set: the Fig. 1 intent negotiated against each
+/// RX-capable catalog model. Regenerated by `opendesc manifests`; CI
+/// fails if the committed `manifests/*.toml` drift from the compiler's
+/// output (and `tests/manifest_golden.rs` checks the same in-process).
+const GOLDEN_MODELS: [&str; 4] = ["e1000e", "ixgbe", "mlx5", "qdma"];
+
+fn cmd_manifests(o: &Opts) -> Result<(), String> {
+    let dir = o.out.as_deref().unwrap_or("manifests");
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for name in GOLDEN_MODELS {
+        let m = find_model(name)?;
+        let mut reg = SemanticRegistry::with_builtins();
+        let intent = Intent::from_p4(opendesc::compiler::intent::FIG1_INTENT_P4, &mut reg)
+            .map_err(|e| e.to_string())?;
+        let compiled = Compiler::default()
+            .compile(&m.p4_source, &m.deparser, &m.name, &intent, &mut reg)
+            .map_err(|e| format!("{name}: {e}"))?;
+        let path = format!("{dir}/{name}.toml");
+        std::fs::write(&path, compiled.manifest()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
